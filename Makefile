@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/contory-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/weatherwatcher
+	$(GO) run ./examples/regattaclassifier
+	$(GO) run ./examples/aggregate
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,187 @@
+package contory_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus micro-benchmarks of the query engine. The radio/energy
+// results are measured in *virtual* time/energy and attached as custom
+// metrics (vms/op = virtual milliseconds per operation, J/item = Joules per
+// context item), so `go test -bench=.` regenerates the paper's numbers
+// while ns/op tracks the simulator's real cost.
+
+import (
+	"testing"
+	"time"
+
+	"contory"
+	"contory/internal/experiments"
+	"contory/internal/query"
+)
+
+// BenchmarkTable1 regenerates the full latency table per iteration.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(3, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable1(b, res)
+		}
+	}
+}
+
+func reportTable1(b *testing.B, res experiments.Table1Result) {
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Latency.Avg, "vms/"+metricName(row.Operation))
+	}
+}
+
+// metricName compresses an operation label into a metric suffix.
+func metricName(op string) string {
+	out := make([]rune, 0, len(op))
+	for _, r := range op {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == ',' || r == ':':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	if len(out) > 40 {
+		out = out[:40]
+	}
+	return string(out)
+}
+
+// BenchmarkTable2 regenerates the full energy table per iteration.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(3, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Joules.Avg, "J/"+metricName(row.Method+" "+row.Operation))
+			}
+		}
+	}
+}
+
+// BenchmarkBaselinePower regenerates the operating-mode power study.
+func BenchmarkBaselinePower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BaselinePower(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.MW, "mW/"+metricName(row.Mode))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 runs the 15-minute UMTS provisioning trace per
+// iteration (virtual time; real time is milliseconds).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.PeakMW, "mW/peak")
+			b.ReportMetric(res.EnergyJ, "J/run")
+			b.ReportMetric(float64(res.IdlePeaks), "gsm_idle_peaks")
+		}
+	}
+}
+
+// BenchmarkFigure5 runs the GPS-failover scenario per iteration.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Switches)), "strategy_switches")
+			b.ReportMetric(res.ProbeEnergyJ, "J/probe_discovery")
+		}
+	}
+}
+
+// BenchmarkAblationMerging compares provider counts with merging on/off.
+func BenchmarkAblationMerging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.ProvidersWithMerge), "providers_merge_on")
+			b.ReportMetric(float64(res.ProvidersNoMerge), "providers_merge_off")
+			b.ReportMetric(float64(res.OutageItemsWithFailover), "outage_items_failover_on")
+			b.ReportMetric(float64(res.OutageItemsNoFailover), "outage_items_failover_off")
+		}
+	}
+}
+
+// BenchmarkQueryParse measures the parser on the paper's example query.
+func BenchmarkQueryParse(b *testing.B) {
+	src := "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryMerge measures the §4.3 merge on the paper's example pair.
+func BenchmarkQueryMerge(b *testing.B) {
+	q1 := query.MustParse("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10sec DURATION 1hour EVERY 15sec")
+	q2 := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20sec DURATION 2hour EVERY 30sec")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Merge(q1, q2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndPeriodicQuery measures the simulator's real cost of one
+// minute of virtual periodic ad hoc provisioning.
+func BenchmarkEndToEndPeriodicQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := contory.NewWorld(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		alice, err := w.AddPhone(contory.PhoneConfig{ID: "alice"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bob, err := w.AddPhone(contory.PhoneConfig{ID: "bob"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Link("alice", "bob", "wifi"); err != nil {
+			b.Fatal(err)
+		}
+		bob.PublishTag(contory.TypeTemperature, 14.0)
+		items := 0
+		cli := contory.ClientFuncs{OnItem: func(contory.Item) { items++ }}
+		q := contory.MustParseQuery("SELECT temperature FROM adHocNetwork(all,1) DURATION 5 min EVERY 15 sec")
+		if _, err := alice.Factory.ProcessCxtQuery(q, cli); err != nil {
+			b.Fatal(err)
+		}
+		w.Run(time.Minute)
+		if items == 0 {
+			b.Fatal("no deliveries")
+		}
+	}
+}

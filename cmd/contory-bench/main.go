@@ -1,0 +1,139 @@
+// Command contory-bench regenerates the tables and figures of the paper's
+// evaluation (§6.1) on the simulated testbed.
+//
+// Usage:
+//
+//	contory-bench -exp all            # everything
+//	contory-bench -exp table1         # Table 1 (latency)
+//	contory-bench -exp table2         # Table 2 (energy)
+//	contory-bench -exp baseline       # operating-mode power
+//	contory-bench -exp fig4           # Fig. 4 power trace (UMTS)
+//	contory-bench -exp fig5           # Fig. 5 GPS failover
+//	contory-bench -exp merge          # §4.3 query-merging example
+//	contory-bench -exp ablation       # design-choice ablations
+//	contory-bench -exp fieldtrial     # §3 field-trial findings
+//	contory-bench -exp hopsweep       # extension: WiFi hops vs UMTS crossovers
+//
+// Flags -rounds and -seed control repetition count and determinism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"contory/internal/energy"
+	"contory/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|baseline|fig4|fig5|merge|ablation|fieldtrial|hopsweep|all")
+	rounds := flag.Int("rounds", 10, "repetitions per measurement")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	traceOut := flag.String("trace-out", "", "write fig4/fig5 power samples as CSV to this file")
+	flag.Parse()
+	if err := run(*exp, *rounds, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "contory-bench:", err)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut, *exp, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "contory-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "trace CSV written to", *traceOut)
+	}
+}
+
+// writeTraces re-runs the figure experiments and dumps their multimeter
+// samples as CSV (seconds, milliwatts, figure) for external plotting.
+func writeTraces(path, exp string, seed int64) error {
+	var b strings.Builder
+	b.WriteString("figure,seconds,milliwatts\n")
+	dump := func(fig string, samples []energy.Sample) {
+		for _, s := range samples {
+			fmt.Fprintf(&b, "%s,%.1f,%.2f\n", fig, s.Since.Seconds(), float64(s.Power))
+		}
+	}
+	if exp == "all" || exp == "fig4" {
+		r, err := experiments.Figure4(seed)
+		if err != nil {
+			return fmt.Errorf("fig4 trace: %w", err)
+		}
+		dump("fig4", r.Samples)
+	}
+	if exp == "all" || exp == "fig5" {
+		r, err := experiments.Figure5(seed)
+		if err != nil {
+			return fmt.Errorf("fig5 trace: %w", err)
+		}
+		dump("fig5", r.Samples)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("write traces: %w", err)
+	}
+	return nil
+}
+
+func run(exp string, rounds int, seed int64) error {
+	type job struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	jobs := []job{
+		{"table1", func() (fmt.Stringer, error) {
+			r, err := experiments.Table1(rounds, seed)
+			return r, err
+		}},
+		{"table2", func() (fmt.Stringer, error) {
+			r, err := experiments.Table2(rounds, seed)
+			return r, err
+		}},
+		{"baseline", func() (fmt.Stringer, error) {
+			r, err := experiments.BaselinePower(seed)
+			return r, err
+		}},
+		{"fig4", func() (fmt.Stringer, error) {
+			r, err := experiments.Figure4(seed)
+			return r, err
+		}},
+		{"fig5", func() (fmt.Stringer, error) {
+			r, err := experiments.Figure5(seed)
+			return r, err
+		}},
+		{"merge", func() (fmt.Stringer, error) {
+			r, err := experiments.MergeDemo()
+			return r, err
+		}},
+		{"ablation", func() (fmt.Stringer, error) {
+			r, err := experiments.Ablation(seed)
+			return r, err
+		}},
+		{"fieldtrial", func() (fmt.Stringer, error) {
+			r, err := experiments.FieldTrial(2, seed)
+			return r, err
+		}},
+		{"hopsweep", func() (fmt.Stringer, error) {
+			r, err := experiments.HopSweep(5, rounds, seed)
+			return r, err
+		}},
+	}
+	ran := false
+	for _, j := range jobs {
+		if exp != "all" && exp != j.name {
+			continue
+		}
+		ran = true
+		res, err := j.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Println(res.String())
+		fmt.Println()
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunMergeExperiment(t *testing.T) {
+	if err := run("merge", 1, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineExperiment(t *testing.T) {
+	if err := run("baseline", 1, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", 1, 42); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestWriteTraces(t *testing.T) {
+	path := t.TempDir() + "/traces.csv"
+	if err := writeTraces(path, "fig5", 42); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.HasPrefix(s, "figure,seconds,milliwatts\n") {
+		t.Fatalf("header missing: %q", s[:40])
+	}
+	if !strings.Contains(s, "fig5,") {
+		t.Fatal("no fig5 samples")
+	}
+}

@@ -1,0 +1,119 @@
+// Command contory-query parses a Contory context query and executes it on
+// a small simulated testbed: one phone with a BT-GPS receiver, two peers in
+// an ad hoc WiFi line publishing sensor values, and a context
+// infrastructure.
+//
+// Usage:
+//
+//	contory-query -q "SELECT temperature FROM adHocNetwork(all,2) DURATION 2 min EVERY 20 sec"
+//	contory-query -q "SELECT location FROM intSensor DURATION 30 sec EVERY 5 sec"
+//	contory-query -parse-only -q "SELECT wind WHERE accuracy<=0.5 DURATION 1 hour EVENT AVG(wind)>15"
+//
+// Peers publish temperature (14.5 °C, 1 hop) and wind (8.2 kn, 2 hops);
+// the infrastructure stores a weather report. -run bounds the virtual time
+// simulated (default: the query's DURATION plus slack).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"contory"
+)
+
+func main() {
+	qText := flag.String("q", "", "context query text (required)")
+	runFor := flag.Duration("run", 0, "virtual time to simulate (default: DURATION + 30s)")
+	parseOnly := flag.Bool("parse-only", false, "only parse and print the canonical query")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+	if err := run(*qText, *runFor, *parseOnly, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "contory-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(qText string, runFor time.Duration, parseOnly bool, seed int64) error {
+	if qText == "" {
+		return fmt.Errorf("missing -q; try: -q \"SELECT temperature FROM adHocNetwork(all,2) DURATION 1 min EVERY 20 sec\"")
+	}
+	q, err := contory.ParseQuery(qText)
+	if err != nil {
+		return err
+	}
+	fmt.Println("parsed query:")
+	fmt.Println(indent(q.String()))
+	fmt.Printf("mode: %s\n\n", q.Mode())
+	if parseOnly {
+		return nil
+	}
+
+	w, err := contory.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	phone, err := w.AddPhone(contory.PhoneConfig{ID: "phone", GPS: &contory.Fix{Lat: 60.16, Lon: 24.93, SpeedKn: 5}})
+	if err != nil {
+		return err
+	}
+	near, err := w.AddPhone(contory.PhoneConfig{ID: "near"})
+	if err != nil {
+		return err
+	}
+	far, err := w.AddPhone(contory.PhoneConfig{ID: "far", NoInfra: true})
+	if err != nil {
+		return err
+	}
+	for _, l := range [][3]string{
+		{"phone", "near", "wifi"}, {"near", "far", "wifi"}, {"phone", "near", "bt"},
+	} {
+		if err := w.Link(l[0], l[1], l[2]); err != nil {
+			return err
+		}
+	}
+	near.PublishTag(contory.TypeTemperature, 14.5)
+	far.PublishTag(contory.TypeWind, 8.2)
+	if err := near.ReportWeather(contory.TypeTemperature, 14.5); err != nil {
+		return err
+	}
+	w.Run(30 * time.Second)
+
+	count := 0
+	t0 := w.Now()
+	cli := contory.ClientFuncs{
+		OnItem: func(it contory.Item) {
+			count++
+			fmt.Printf("  %6.1fs  %s\n", w.Now().Sub(t0).Seconds(), it)
+		},
+		OnError: func(msg string) { fmt.Println("  error:", msg) },
+	}
+	id, err := phone.Factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		return err
+	}
+	mech, _ := phone.Factory.QueryMechanism(id)
+	fmt.Printf("assigned %s via %s\nitems:\n", id, mech)
+
+	if runFor <= 0 {
+		runFor = q.Duration.Time + 30*time.Second
+		if q.Duration.IsSamples() {
+			runFor = 5 * time.Minute
+		}
+	}
+	w.Run(runFor)
+	fmt.Printf("\n%d item(s) in %v of virtual time\n", count, runFor)
+	return nil
+}
+
+func indent(s string) string {
+	out := "  "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "  "
+		}
+	}
+	return out
+}

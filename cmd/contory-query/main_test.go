@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunParseOnly(t *testing.T) {
+	err := run("SELECT temperature FROM adHocNetwork(all,2) DURATION 1 min EVERY 20 sec", 0, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	err := run("SELECT temperature FROM adHocNetwork(all,1) DURATION 1 min EVERY 20 sec", 0, false, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, false, 42); err == nil {
+		t.Fatal("missing query accepted")
+	}
+	if err := run("garbage", 0, false, 42); err == nil {
+		t.Fatal("unparsable query accepted")
+	}
+}

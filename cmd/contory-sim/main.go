@@ -1,0 +1,143 @@
+// Command contory-sim runs a scripted multi-boat sailing simulation (the
+// paper's DYNAMOS scenario): a fleet of boats with BT-GPS receivers sails a
+// regatta course, reporting locations to the infrastructure, publishing
+// weather observations in the ad hoc network, and surviving GPS failures
+// through Contory's dynamic strategy switching.
+//
+// Usage:
+//
+//	contory-sim -boats 4 -duration 30m -fail-gps 300s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"contory"
+	"contory/internal/infra"
+)
+
+func main() {
+	boats := flag.Int("boats", 4, "number of boats")
+	duration := flag.Duration("duration", 30*time.Minute, "virtual race duration")
+	failGPS := flag.Duration("fail-gps", 5*time.Minute, "when boat-1's GPS fails (0 = never)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+	if err := run(*boats, *duration, *failGPS, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "contory-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(boats int, duration, failGPS time.Duration, seed int64) error {
+	if boats < 2 {
+		boats = 2
+	}
+	w, err := contory.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	// Regatta course: three checkpoints heading north-east.
+	course := []infra.Checkpoint{
+		{Lat: 60.15, Lon: 24.95, Radius: 0.01},
+		{Lat: 60.20, Lon: 25.00, Radius: 0.01},
+		{Lat: 60.25, Lon: 25.05, Radius: 0.01},
+	}
+	regatta := infra.NewRegatta(course)
+	w.Infrastructure().AttachRegatta(regatta)
+	regatta.OnUpdate(func(st []infra.Standing) {
+		fmt.Printf("%8s  classification: ", clock(w))
+		for i, s := range st {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%s cp=%d", s.Boat, s.Checkpoints)
+		}
+		fmt.Println()
+	})
+
+	// Boats start staggered south-west of the course, sailing NE at
+	// slightly different speeds.
+	var fleet []*contory.Phone
+	for i := 0; i < boats; i++ {
+		id := fmt.Sprintf("boat-%d", i+1)
+		fix := contory.Fix{Lat: 60.10 - 0.002*float64(i), Lon: 24.90, SpeedKn: 5 + float64(i)}
+		p, err := w.AddPhone(contory.PhoneConfig{ID: id, GPS: &fix})
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, p)
+		if i > 0 {
+			if err := w.Link(id, fleet[i-1].ID(), "wifi"); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Each boat runs a periodic location query on itself and reports to
+	// the infrastructure; boat speed determines course progress.
+	for i, p := range fleet {
+		i, p := i, p
+		q := contory.MustParseQuery("SELECT location DURATION 12 hour EVERY 30 sec")
+		cli := contory.ClientFuncs{OnItem: func(it contory.Item) {
+			if fix, ok := it.Value.(contory.Fix); ok {
+				_ = p.ReportLocation(fix)
+			}
+		}}
+		if _, err := p.Factory.ProcessCxtQuery(q, cli); err != nil {
+			return err
+		}
+		// Advance the simulated GPS along the course.
+		gps := w.GPSOf(p.ID())
+		speed := 0.002 + 0.0005*float64(i) // degrees per 30-second tick
+		stepEvery := 30 * time.Second
+		var step func()
+		step = func() {
+			f := gps.Fix()
+			f.Lat += speed
+			f.Lon += speed
+			gps.SetFix(f)
+			scheduleAfter(w, stepEvery, step)
+		}
+		scheduleAfter(w, stepEvery, step)
+		// Boats also publish temperature observations in the ad hoc net.
+		p.PublishTag(contory.TypeTemperature, 14.0+float64(i))
+	}
+
+	// GPS failure injection on boat-1.
+	if failGPS > 0 {
+		scheduleAfter(w, failGPS, func() {
+			fmt.Printf("%8s  !! boat-1 GPS fails\n", clock(w))
+			w.GPSOf("boat-1").SetFailed(true)
+		})
+		scheduleAfter(w, failGPS+4*time.Minute, func() {
+			fmt.Printf("%8s  !! boat-1 GPS recovers\n", clock(w))
+			w.GPSOf("boat-1").SetFailed(false)
+		})
+	}
+
+	fmt.Printf("race: %d boats, %v, GPS failure at %v\n", boats, duration, failGPS)
+	w.Run(duration)
+
+	fmt.Println("\nfinal classification:")
+	for i, s := range regatta.Classification() {
+		fmt.Printf("  %d. %-8s checkpoints=%d avg speed=%.1f kn\n",
+			i+1, s.Boat, s.Checkpoints, s.AvgSpeedKn)
+	}
+	sw := fleet[0].Factory.Switches()
+	if len(sw) > 0 {
+		fmt.Println("\nboat-1 strategy switches:")
+		for _, s := range sw {
+			fmt.Printf("  %8s  %s → %s (%s)\n", s.At.Format("15:04:05"), s.From, s.To, s.Reason)
+		}
+	}
+	return nil
+}
+
+func clock(w *contory.World) string { return w.Now().Format("15:04:05") }
+
+func scheduleAfter(w *contory.World, d time.Duration, fn func()) {
+	w.After(d, fn)
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunShortRace(t *testing.T) {
+	if err := run(3, 10*time.Minute, 2*time.Minute, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMinimumBoats(t *testing.T) {
+	if err := run(0, 5*time.Minute, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package contory
+
+import (
+	"contory/internal/core"
+	"contory/internal/cxt"
+	"contory/internal/provider"
+	"contory/internal/query"
+)
+
+// Context data model (§4.1 of the paper).
+type (
+	// Item is one context item: type, value, timestamp, lifetime, source
+	// and quality metadata.
+	Item = cxt.Item
+	// Metadata carries the quality attributes usable in WHERE clauses.
+	Metadata = cxt.Metadata
+	// Source identifies what produced an item.
+	Source = cxt.Source
+	// Fix is a GPS position value for location items.
+	Fix = cxt.Fix
+	// Type is a context category.
+	Type = cxt.Type
+)
+
+// Context types from the CxtVocabulary.
+const (
+	TypeLocation    = cxt.TypeLocation
+	TypeSpeed       = cxt.TypeSpeed
+	TypeTemperature = cxt.TypeTemperature
+	TypeWind        = cxt.TypeWind
+	TypeHumidity    = cxt.TypeHumidity
+	TypePressure    = cxt.TypePressure
+	TypeWeather     = cxt.TypeWeather
+	TypeLight       = cxt.TypeLight
+	TypeNoise       = cxt.TypeNoise
+	TypeActivity    = cxt.TypeActivity
+)
+
+// Query language (§4.2).
+type (
+	// Query is a parsed context query.
+	Query = query.Query
+	// QuerySource is the parsed FROM clause.
+	QuerySource = query.Source
+)
+
+// ParseQuery parses a context query in the SELECT/FROM/WHERE/FRESHNESS/
+// DURATION/EVERY/EVENT template syntax.
+func ParseQuery(src string) (*Query, error) { return query.Parse(src) }
+
+// MustParseQuery is ParseQuery that panics on error; for constant query
+// text in examples and tests.
+func MustParseQuery(src string) *Query { return query.MustParse(src) }
+
+// MergeQueries applies the §4.3 clause-wise merging rules, returning a
+// query whose results cover both inputs.
+func MergeQueries(a, b *Query) (*Query, error) { return query.Merge(a, b) }
+
+// Middleware core (§4.3–4.4).
+type (
+	// Client is the application interface: receiveCxtItem, informError
+	// and makeDecision.
+	Client = core.Client
+	// Factory is the ContextFactory: the per-device middleware endpoint.
+	Factory = core.Factory
+	// Device bundles a phone's references, monitor, repository and access
+	// controller.
+	Device = core.Device
+	// Mechanism identifies a provisioning mechanism.
+	Mechanism = core.Mechanism
+	// SwitchEvent records one dynamic strategy switch.
+	SwitchEvent = core.SwitchEvent
+)
+
+// Provisioning mechanisms.
+const (
+	MechanismLocal = core.MechanismLocal
+	MechanismAdHoc = core.MechanismAdHoc
+	MechanismInfra = core.MechanismInfra
+)
+
+// Publishing (§4.3 CxtPublisher).
+type (
+	// PublishOptions configures a context item publication.
+	PublishOptions = provider.PublishOptions
+	// Transport selects BT or WiFi for ad hoc operations.
+	Transport = provider.Transport
+	// AccessMode is public or authenticated item access.
+	AccessMode = provider.AccessMode
+)
+
+// Transports and access modes.
+const (
+	TransportBT         = provider.TransportBT
+	TransportWiFi       = provider.TransportWiFi
+	PublicAccess        = provider.PublicAccess
+	AuthenticatedAccess = provider.AuthenticatedAccess
+)
+
+// ClientFuncs adapts plain functions to the Client interface; nil fields
+// get sensible defaults (errors dropped, decisions granted).
+type ClientFuncs struct {
+	OnItem     func(Item)
+	OnError    func(string)
+	OnDecision func(string) bool
+}
+
+var _ Client = ClientFuncs{}
+
+// ReceiveCxtItem implements Client.
+func (c ClientFuncs) ReceiveCxtItem(it Item) {
+	if c.OnItem != nil {
+		c.OnItem(it)
+	}
+}
+
+// InformError implements Client.
+func (c ClientFuncs) InformError(msg string) {
+	if c.OnError != nil {
+		c.OnError(msg)
+	}
+}
+
+// MakeDecision implements Client.
+func (c ClientFuncs) MakeDecision(msg string) bool {
+	if c.OnDecision == nil {
+		return true
+	}
+	return c.OnDecision(msg)
+}

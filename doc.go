@@ -1,0 +1,46 @@
+// Package contory is a Go reproduction of the Contory middleware for the
+// provisioning of context information on smart phones (Oriana Riva,
+// MIDDLEWARE 2006).
+//
+// Contory lets applications obtain context items — location, temperature,
+// wind, activity, battery level — through a single SQL-like query language,
+// while the middleware transparently provisions them through one of three
+// mechanisms and switches between them at run time:
+//
+//   - internal sensor-based provisioning (sensors integrated in the device
+//     or attached over Bluetooth, such as a BT-GPS receiver),
+//   - external infrastructure-based provisioning (a remote context
+//     repository reached over UMTS through an event-based middleware), and
+//   - distributed provisioning in mobile ad hoc networks (one-hop Bluetooth
+//     or multi-hop WiFi via a Smart Messages platform).
+//
+// Because the paper's evaluation hardware (Nokia Series 60/80 phones, BT
+// GPS, 802.11b ad hoc, UMTS, a multimeter in the battery circuit) is not
+// reproducible directly, this library ships a deterministic discrete-event
+// testbed: a virtual clock, calibrated radio models, per-device power
+// timelines and a simulated GPS. Queries, facades, providers, query merging
+// and failover are the real middleware; only the physics is simulated. All
+// latency and energy constants are calibrated against Tables 1–2 and
+// Figs. 4–5 of the paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	w, _ := contory.NewWorld(42)
+//	alice, _ := w.AddPhone(contory.PhoneConfig{ID: "alice"})
+//	bob, _ := w.AddPhone(contory.PhoneConfig{ID: "bob"})
+//	_ = w.Link("alice", "bob", "wifi")
+//
+//	bob.PublishTag("temperature", 14.0)
+//
+//	q := contory.MustParseQuery(`
+//	    SELECT temperature
+//	    FROM adHocNetwork(all,1)
+//	    DURATION 1 hour
+//	    EVERY 15 sec`)
+//	id, _ := alice.Factory.ProcessCxtQuery(q, client) // client: your Client impl
+//	w.Run(time.Minute)                                // advance virtual time
+//	_ = id
+//
+// See examples/ for complete programs, including the paper's sailing
+// scenario (WeatherWatcher and RegattaClassifier).
+package contory

@@ -1,0 +1,97 @@
+package contory_test
+
+import (
+	"fmt"
+	"time"
+
+	"contory"
+)
+
+// Example shows the complete life of a context query: two phones in an ad
+// hoc WiFi network, one publishing a temperature item, the other asking
+// for it periodically with the SQL-like query language.
+func Example() {
+	world, err := contory.NewWorld(42)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	alice, err := world.AddPhone(contory.PhoneConfig{ID: "alice"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	bob, err := world.AddPhone(contory.PhoneConfig{ID: "bob"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := world.Link("alice", "bob", "wifi"); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	bob.PublishTag(contory.TypeTemperature, 14.0)
+
+	q := contory.MustParseQuery(`
+		SELECT temperature
+		FROM adHocNetwork(all,1)
+		DURATION 3 samples
+		EVERY 30 sec`)
+	received := 0
+	client := contory.ClientFuncs{OnItem: func(it contory.Item) {
+		received++
+		fmt.Printf("item %d: %v from %s\n", received, it.Value, it.Source)
+	}}
+	if _, err := alice.Factory.ProcessCxtQuery(q, client); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	world.Run(2 * time.Minute)
+	fmt.Printf("done after %d items\n", received)
+	// Output:
+	// item 1: 14 from adHocNode:bob
+	// item 2: 14 from adHocNode:bob
+	// item 3: 14 from adHocNode:bob
+	// done after 3 items
+}
+
+// ExampleParseQuery parses the paper's §4.2 example query and prints its
+// canonical form.
+func ExampleParseQuery() {
+	q, err := contory.ParseQuery(
+		"SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 " +
+			"FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(q)
+	fmt.Println("mode:", q.Mode())
+	// Output:
+	// SELECT temperature
+	// FROM adHocNetwork(10,3)
+	// WHERE accuracy=0.2
+	// FRESHNESS 30 sec
+	// DURATION 1 hour
+	// EVENT AVG(temperature)>25
+	// mode: event-based
+}
+
+// ExampleMergeQueries reproduces the §4.3 query-merging table.
+func ExampleMergeQueries() {
+	q1 := contory.MustParseQuery("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10sec DURATION 1hour EVERY 15sec")
+	q2 := contory.MustParseQuery("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20sec DURATION 2hour EVERY 30sec")
+	q3, err := contory.MergeQueries(q1, q2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(q3)
+	// Output:
+	// SELECT temperature
+	// FROM adHocNetwork(all,3)
+	// FRESHNESS 20 sec
+	// DURATION 2 hour
+	// EVERY 15 sec
+}

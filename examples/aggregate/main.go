@@ -1,0 +1,81 @@
+// Aggregate: combining context from multiple provisioning mechanisms.
+//
+// The paper's second motivating advantage (§1): "combining results
+// collected through different context mechanisms allows applications to
+// partly relieve the uncertainty of single context sources". Here one
+// query runs simultaneously on the ad hoc network and the infrastructure
+// (ProcessCxtQueryMulti); a CxtAggregator averages the redundant streams
+// into one estimate per window.
+//
+//	go run ./examples/aggregate
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"contory"
+	"contory/internal/provider"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := contory.NewWorld(42)
+	if err != nil {
+		return err
+	}
+	me, err := world.AddPhone(contory.PhoneConfig{ID: "me"})
+	if err != nil {
+		return err
+	}
+	buddy, err := world.AddPhone(contory.PhoneConfig{ID: "buddy"})
+	if err != nil {
+		return err
+	}
+	if err := world.Link("me", "buddy", "wifi"); err != nil {
+		return err
+	}
+
+	// Two independent temperature sources that disagree slightly:
+	// the buddy's sensor (ad hoc network) and an official report
+	// (infrastructure).
+	buddy.PublishTag(contory.TypeTemperature, 14.8)
+	if err := buddy.ReportWeather(contory.TypeTemperature, 13.6); err != nil {
+		return err
+	}
+	world.Run(30 * time.Second)
+
+	// The aggregator averages everything that arrives in each 30-second
+	// window into a single fused estimate.
+	agg := provider.NewAggregator(me.Device.Clock, 30*time.Second, provider.MeanAggregate,
+		func(it contory.Item) {
+			fmt.Printf("fused estimate: %.2f °C (completeness %.2f, source %s)\n",
+				it.Value, it.Meta.Completeness, it.Source)
+		})
+	defer agg.Stop()
+
+	q := contory.MustParseQuery("SELECT temperature DURATION 3 min EVERY 30 sec")
+	id, err := me.Factory.ProcessCxtQueryMulti(q, contory.ClientFuncs{
+		OnItem: func(it contory.Item) {
+			fmt.Printf("  raw: %.1f °C from %s\n", it.Value, it.Source)
+			agg.Offer(it)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	mechs, err := me.Factory.QueryMechanisms(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %s running on %d mechanisms: %v\n", id, len(mechs), mechs)
+
+	world.Run(2 * time.Minute)
+	return nil
+}

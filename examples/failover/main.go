@@ -1,0 +1,84 @@
+// Failover: the Fig. 5 scenario as an application.
+//
+// A phone runs a periodic location query served by its BT-GPS receiver. At
+// t=155 s the GPS dies; Contory transparently switches the query to ad hoc
+// provisioning (a neighbouring phone publishes its location). When the GPS
+// is discovered again, Contory switches back. The application only ever
+// sees a stream of location items.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"contory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := contory.NewWorld(42)
+	if err != nil {
+		return err
+	}
+	phone, err := world.AddPhone(contory.PhoneConfig{
+		ID:  "phone",
+		GPS: &contory.Fix{Lat: 60.16, Lon: 24.93, SpeedKn: 5},
+	})
+	if err != nil {
+		return err
+	}
+	buddy, err := world.AddPhone(contory.PhoneConfig{ID: "buddy"})
+	if err != nil {
+		return err
+	}
+	if err := world.Link("phone", "buddy", "wifi"); err != nil {
+		return err
+	}
+	// The buddy boat publishes its own position in the ad hoc network.
+	buddy.PublishTag(contory.TypeLocation, contory.Fix{Lat: 60.17, Lon: 24.94, SpeedKn: 4})
+
+	start := world.Now()
+	received := 0
+	client := contory.ClientFuncs{
+		OnItem: func(it contory.Item) {
+			received++
+			if received%6 == 0 { // print every 30 s of stream
+				fmt.Printf("%6.0fs  location from %-22s %v\n",
+					world.Now().Sub(start).Seconds(), it.Source, it.Value)
+			}
+		},
+	}
+
+	// FROM is omitted: the middleware may switch strategies transparently.
+	q := contory.MustParseQuery("SELECT location DURATION 15 min EVERY 5 sec")
+	if _, err := phone.Factory.ProcessCxtQuery(q, client); err != nil {
+		return err
+	}
+
+	// Script the Fig. 5 failure: GPS off at t=155 s, back 3 minutes later.
+	world.After(155*time.Second, func() {
+		fmt.Println("        !! GPS device switched off")
+		world.GPSOf("phone").SetFailed(true)
+	})
+	world.After(155*time.Second+3*time.Minute, func() {
+		fmt.Println("        !! GPS device switched back on")
+		world.GPSOf("phone").SetFailed(false)
+	})
+
+	world.Run(12 * time.Minute)
+
+	fmt.Printf("\n%d location items delivered; strategy switches:\n", received)
+	for _, s := range phone.Factory.Switches() {
+		fmt.Printf("  %6.0fs  %s → %s  (%s)\n",
+			s.At.Sub(start).Seconds(), s.From, s.To, s.Reason)
+	}
+	return nil
+}

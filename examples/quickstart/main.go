@@ -1,0 +1,75 @@
+// Quickstart: the smallest useful Contory program.
+//
+// Two phones share an ad hoc WiFi link. Bob publishes a temperature
+// reading; Alice submits a periodic context query with the SQL-like query
+// language and receives Bob's readings through the middleware.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"contory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := contory.NewWorld(42)
+	if err != nil {
+		return err
+	}
+	alice, err := world.AddPhone(contory.PhoneConfig{ID: "alice"})
+	if err != nil {
+		return err
+	}
+	bob, err := world.AddPhone(contory.PhoneConfig{ID: "bob"})
+	if err != nil {
+		return err
+	}
+	if err := world.Link("alice", "bob", "wifi"); err != nil {
+		return err
+	}
+
+	// Bob publishes a temperature item in the ad hoc network (an SM tag).
+	bob.PublishTag(contory.TypeTemperature, 14.0)
+
+	// Alice asks for temperature readings every 15 seconds for 2 minutes.
+	q := contory.MustParseQuery(`
+		SELECT temperature
+		FROM adHocNetwork(all,1)
+		DURATION 2 min
+		EVERY 15 sec`)
+
+	client := contory.ClientFuncs{
+		OnItem: func(it contory.Item) {
+			fmt.Printf("alice received: %s\n", it)
+		},
+		OnError: func(msg string) {
+			fmt.Println("alice error:", msg)
+		},
+	}
+	id, err := alice.Factory.ProcessCxtQuery(q, client)
+	if err != nil {
+		return err
+	}
+	mech, err := alice.Factory.QueryMechanism(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %s assigned to the %s mechanism\n", id, mech)
+
+	// Advance virtual time: 2 minutes of provisioning happen instantly.
+	world.Run(2*time.Minute + 10*time.Second)
+
+	fmt.Printf("done; alice's local repository holds %d temperature item(s)\n",
+		alice.Device.Repo.Len(contory.TypeTemperature))
+	return nil
+}

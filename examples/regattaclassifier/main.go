@@ -1,0 +1,97 @@
+// RegattaClassifier: the second sailing service of §6.2.
+//
+// Virtual checkpoints are arranged along a regatta route. Each boat runs a
+// periodic location query against its own GPS (through Contory) and
+// communicates position and speed to the infrastructure, which processes
+// the reports and provides an updated classification of the competition.
+//
+//	go run ./examples/regattaclassifier
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"contory"
+	"contory/internal/infra"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := contory.NewWorld(42)
+	if err != nil {
+		return err
+	}
+
+	// The course: three checkpoints heading north-east.
+	course := []infra.Checkpoint{
+		{Lat: 60.13, Lon: 24.93, Radius: 0.01},
+		{Lat: 60.17, Lon: 24.97, Radius: 0.01},
+		{Lat: 60.21, Lon: 25.01, Radius: 0.01},
+	}
+	regatta := infra.NewRegatta(course)
+	world.Infrastructure().AttachRegatta(regatta)
+	start := world.Now()
+	regatta.OnUpdate(func(standings []infra.Standing) {
+		fmt.Printf("%5.0f min  classification:", world.Now().Sub(start).Minutes())
+		for _, s := range standings {
+			fmt.Printf("  %s(cp=%d)", s.Boat, s.Checkpoints)
+		}
+		fmt.Println()
+	})
+
+	// Three boats with BT-GPS receivers; "vela" is fastest.
+	type boat struct {
+		id    string
+		speed float64 // degrees of progress per 30 s
+	}
+	boats := []boat{{"aura", 0.0020}, {"selma", 0.0025}, {"vela", 0.0030}}
+	for _, bt := range boats {
+		bt := bt
+		p, err := world.AddPhone(contory.PhoneConfig{
+			ID:  bt.id,
+			GPS: &contory.Fix{Lat: 60.10, Lon: 24.90, SpeedKn: 4 + 40*bt.speed*60},
+		})
+		if err != nil {
+			return err
+		}
+		// The boat's RegattaClassifier client: every fix delivered by the
+		// middleware is reported to the infrastructure.
+		client := contory.ClientFuncs{OnItem: func(it contory.Item) {
+			if fix, ok := it.Value.(contory.Fix); ok {
+				_ = p.ReportLocation(fix)
+			}
+		}}
+		q := contory.MustParseQuery("SELECT location DURATION 2 hour EVERY 30 sec")
+		if _, err := p.Factory.ProcessCxtQuery(q, client); err != nil {
+			return err
+		}
+		// Sail: advance the simulated GPS along the course.
+		gps := world.GPSOf(bt.id)
+		stop := world.Every(30*time.Second, func() {
+			f := gps.Fix()
+			f.Lat += bt.speed
+			f.Lon += bt.speed
+			gps.SetFix(f)
+		})
+		defer stop()
+	}
+
+	world.Run(time.Hour)
+
+	fmt.Println("\nfinal classification:")
+	for i, s := range regatta.Classification() {
+		fmt.Printf("  %d. %-6s checkpoints=%d  avg speed=%.1f kn  last checkpoint at %s\n",
+			i+1, s.Boat, s.Checkpoints, s.AvgSpeedKn, s.LastAt.Format("15:04:05"))
+	}
+	if leader, ok := regatta.Leader(); ok {
+		fmt.Printf("\nwinner so far: %s\n", leader.Boat)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// WeatherWatcher: the first sailing service of §6.2.
+//
+// A sailor wants weather near a guest harbour they plan to visit. Weather
+// information owned by boats currently sailing there is often more reliable
+// than official stations, so the query first tries the ad hoc network; if
+// the target region is too far away or not dense enough, Contory sends the
+// query to the remote infrastructure, which returns recent observations
+// reported by boats in that region.
+//
+//	go run ./examples/weatherwatcher
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"contory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := contory.NewWorld(42)
+	if err != nil {
+		return err
+	}
+
+	// Our boat, sailing far from the harbour.
+	me, err := world.AddPhone(contory.PhoneConfig{ID: "me"})
+	if err != nil {
+		return err
+	}
+
+	// Two boats near the guest harbour (60.10 N, 24.90 E) report their
+	// positions and local weather to the infrastructure over UMTS.
+	harbourBoats := []struct {
+		id     string
+		fix    contory.Fix
+		tempC  float64
+		windKn float64
+	}{
+		{"aura", contory.Fix{Lat: 60.11, Lon: 24.91, SpeedKn: 4}, 13.5, 9.0},
+		{"selma", contory.Fix{Lat: 60.09, Lon: 24.88, SpeedKn: 5}, 13.9, 11.0},
+	}
+	for _, hb := range harbourBoats {
+		p, err := world.AddPhone(contory.PhoneConfig{ID: hb.id})
+		if err != nil {
+			return err
+		}
+		if err := p.ReportLocation(hb.fix); err != nil {
+			return err
+		}
+		world.Run(10 * time.Second)
+		if err := p.ReportWeather(contory.TypeTemperature, hb.tempC); err != nil {
+			return err
+		}
+		if err := p.ReportWeather(contory.TypeWind, hb.windKn); err != nil {
+			return err
+		}
+		world.Run(10 * time.Second)
+	}
+
+	// A boat far from the harbour also reports — its data must not leak
+	// into the region-scoped answer.
+	far, err := world.AddPhone(contory.PhoneConfig{ID: "faraway"})
+	if err != nil {
+		return err
+	}
+	if err := far.ReportLocation(contory.Fix{Lat: 59.0, Lon: 23.0}); err != nil {
+		return err
+	}
+	world.Run(10 * time.Second)
+	if err := far.ReportWeather(contory.TypeTemperature, 22.0); err != nil {
+		return err
+	}
+	world.Run(30 * time.Second)
+
+	// WeatherWatcher: region-scoped queries. The region is too far for ad
+	// hoc provisioning, so Contory falls back to the infrastructure.
+	fmt.Println("weather near the guest harbour (60.10 N, 24.90 E):")
+	for _, typ := range []contory.Type{contory.TypeTemperature, contory.TypeWind} {
+		typ := typ
+		q := contory.MustParseQuery(fmt.Sprintf(
+			"SELECT %s FROM region(60.10,24.90,0.1) FRESHNESS 10 min DURATION 1 min", typ))
+		client := contory.ClientFuncs{
+			OnItem: func(it contory.Item) {
+				fmt.Printf("  %-12s %v (reported by a boat in the region)\n", typ+":", it.Value)
+			},
+			OnError: func(msg string) { fmt.Println("  error:", msg) },
+		}
+		id, err := me.Factory.ProcessCxtQuery(q, client)
+		if err != nil {
+			return err
+		}
+		mech, _ := me.Factory.QueryMechanism(id)
+		fmt.Printf("  [%s served via %s]\n", id, mech)
+		world.Run(90 * time.Second)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module contory
+
+go 1.22

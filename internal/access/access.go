@@ -1,0 +1,206 @@
+// Package access implements the AccessController of §4.3: it controls
+// interaction with external sources and requesters of context items,
+// keeping bounded lists of previously connected and blocked context
+// sources. The lists are continuously refreshed so that only the most
+// recent and most often accessed sources stay in memory. In high-security
+// mode, every newly encountered source is admitted or blocked based on an
+// explicit validation by the application (the Client's makeDecision
+// callback); in low-security mode, every new entity is trusted.
+package access
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"contory/internal/vclock"
+)
+
+// SecurityMode selects how unknown sources are treated.
+type SecurityMode int
+
+// Security modes.
+const (
+	// LowSecurity trusts every new entity.
+	LowSecurity SecurityMode = iota + 1
+	// HighSecurity blocks or admits each new entity based on explicit
+	// application validation.
+	HighSecurity
+)
+
+// Decision is the outcome of an access check.
+type Decision int
+
+// Decisions.
+const (
+	Allowed Decision = iota + 1
+	Blocked
+)
+
+// Decider is the application validation hook (the paper's
+// makeDecision(String msg)); it returns true to admit the source.
+type Decider func(source string) bool
+
+// entry tracks one remembered source.
+type entry struct {
+	source   string
+	blocked  bool
+	lastSeen time.Time
+	count    int
+}
+
+// Controller is the access controller. The zero value is not usable; use
+// New.
+type Controller struct {
+	clock vclock.Clock
+
+	mu      sync.Mutex
+	mode    SecurityMode
+	cap     int
+	decider Decider
+	entries map[string]*entry
+}
+
+// DefaultCapacity bounds the remembered-source list.
+const DefaultCapacity = 64
+
+// New returns a Controller in the given mode remembering at most cap
+// sources (0 = DefaultCapacity).
+func New(clock vclock.Clock, mode SecurityMode, cap int) *Controller {
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	return &Controller{
+		clock:   clock,
+		mode:    mode,
+		cap:     cap,
+		entries: make(map[string]*entry),
+	}
+}
+
+// SetDecider installs the application validation hook for high-security
+// mode. Without a decider, unknown sources are blocked in that mode.
+func (c *Controller) SetDecider(d Decider) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decider = d
+}
+
+// SetMode switches the security mode at runtime.
+func (c *Controller) SetMode(mode SecurityMode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mode = mode
+}
+
+// Mode returns the current security mode.
+func (c *Controller) Mode() SecurityMode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// Check decides whether an interaction with the source is admitted,
+// remembering the outcome and refreshing the source's recency/frequency.
+func (c *Controller) Check(source string) Decision {
+	c.mu.Lock()
+	now := c.clock.Now()
+	if e, known := c.entries[source]; known {
+		e.lastSeen = now
+		e.count++
+		blocked := e.blocked
+		c.mu.Unlock()
+		if blocked {
+			return Blocked
+		}
+		return Allowed
+	}
+	mode, decider := c.mode, c.decider
+	c.mu.Unlock()
+
+	// New entity.
+	admitted := true
+	if mode == HighSecurity {
+		admitted = decider != nil && decider(source)
+	}
+	c.mu.Lock()
+	c.entries[source] = &entry{
+		source:   source,
+		blocked:  !admitted,
+		lastSeen: now,
+		count:    1,
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	if !admitted {
+		return Blocked
+	}
+	return Allowed
+}
+
+// Block explicitly blocks a source.
+func (c *Controller) Block(source string) {
+	c.upsert(source, true)
+}
+
+// Allow explicitly admits a source.
+func (c *Controller) Allow(source string) {
+	c.upsert(source, false)
+}
+
+func (c *Controller) upsert(source string, blocked bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	if e, ok := c.entries[source]; ok {
+		e.blocked = blocked
+		e.lastSeen = now
+		return
+	}
+	c.entries[source] = &entry{source: source, blocked: blocked, lastSeen: now, count: 1}
+	c.evictLocked()
+}
+
+// Known reports whether the source is remembered.
+func (c *Controller) Known(source string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[source]
+	return ok
+}
+
+// KnownSources returns all remembered sources, sorted.
+func (c *Controller) KnownSources() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for s := range c.entries {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evictLocked keeps the list within capacity by discarding the least
+// valuable entries: least often accessed, oldest first.
+func (c *Controller) evictLocked() {
+	if len(c.entries) <= c.cap {
+		return
+	}
+	all := make([]*entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count < all[j].count
+		}
+		return all[i].lastSeen.Before(all[j].lastSeen)
+	})
+	for _, e := range all {
+		if len(c.entries) <= c.cap {
+			return
+		}
+		delete(c.entries, e.source)
+	}
+}

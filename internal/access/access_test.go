@@ -1,0 +1,127 @@
+package access
+
+import (
+	"fmt"
+	"testing"
+
+	"contory/internal/vclock"
+)
+
+func TestLowSecurityTrustsNewEntities(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, LowSecurity, 0)
+	if got := c.Check("phone-2"); got != Allowed {
+		t.Fatalf("Check = %v, want Allowed", got)
+	}
+	if !c.Known("phone-2") {
+		t.Fatal("source not remembered")
+	}
+}
+
+func TestHighSecurityAsksApplication(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, HighSecurity, 0)
+	// No decider installed: unknown sources are blocked.
+	if got := c.Check("stranger"); got != Blocked {
+		t.Fatalf("Check without decider = %v, want Blocked", got)
+	}
+	asked := 0
+	c.SetDecider(func(src string) bool {
+		asked++
+		return src == "friend"
+	})
+	if got := c.Check("friend"); got != Allowed {
+		t.Fatalf("Check(friend) = %v", got)
+	}
+	if got := c.Check("foe"); got != Blocked {
+		t.Fatalf("Check(foe) = %v", got)
+	}
+	// Remembered decisions are not re-asked.
+	c.Check("friend")
+	c.Check("foe")
+	if asked != 2 {
+		t.Fatalf("decider asked %d times, want 2", asked)
+	}
+	// The stranger's block persists even after a decider exists.
+	if got := c.Check("stranger"); got != Blocked {
+		t.Fatalf("Check(stranger) = %v, want remembered Blocked", got)
+	}
+}
+
+func TestExplicitAllowBlock(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, HighSecurity, 0)
+	c.Allow("sensor-1")
+	if got := c.Check("sensor-1"); got != Allowed {
+		t.Fatalf("Check = %v", got)
+	}
+	c.Block("sensor-1")
+	if got := c.Check("sensor-1"); got != Blocked {
+		t.Fatalf("Check after Block = %v", got)
+	}
+	c.Allow("sensor-1")
+	if got := c.Check("sensor-1"); got != Allowed {
+		t.Fatalf("Check after re-Allow = %v", got)
+	}
+}
+
+func TestModeSwitch(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, LowSecurity, 0)
+	if c.Mode() != LowSecurity {
+		t.Fatal("wrong initial mode")
+	}
+	c.SetMode(HighSecurity)
+	if c.Mode() != HighSecurity {
+		t.Fatal("mode not switched")
+	}
+	if got := c.Check("new-guy"); got != Blocked {
+		t.Fatalf("high security Check = %v", got)
+	}
+}
+
+func TestEvictionKeepsFrequentAndRecent(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, LowSecurity, 3)
+	// "hot" is accessed often; fillers are one-shot.
+	c.Check("hot")
+	for i := 0; i < 5; i++ {
+		c.Check("hot")
+	}
+	for i := 0; i < 5; i++ {
+		clk.Advance(1e9)
+		c.Check(fmt.Sprintf("cold-%d", i))
+	}
+	if !c.Known("hot") {
+		t.Fatal("frequently used source evicted")
+	}
+	if len(c.KnownSources()) > 3 {
+		t.Fatalf("capacity exceeded: %v", c.KnownSources())
+	}
+	// The most recent cold entry survives over older cold ones.
+	if !c.Known("cold-4") {
+		t.Fatalf("most recent source evicted: %v", c.KnownSources())
+	}
+}
+
+func TestKnownSourcesSorted(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, LowSecurity, 0)
+	c.Check("zeta")
+	c.Check("alpha")
+	got := c.KnownSources()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("KnownSources = %v", got)
+	}
+}
+
+func TestDefaultCapacityApplied(t *testing.T) {
+	clk := vclock.NewSimulator()
+	c := New(clk, LowSecurity, 0)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		c.Check(fmt.Sprintf("s-%d", i))
+	}
+	if n := len(c.KnownSources()); n != DefaultCapacity {
+		t.Fatalf("remembered %d sources, want %d", n, DefaultCapacity)
+	}
+}

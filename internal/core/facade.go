@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"contory/internal/cxt"
+	"contory/internal/provider"
+	"contory/internal/query"
+	"contory/internal/vclock"
+)
+
+// Mechanism identifies one of the three provisioning mechanisms, each
+// fronted by its own Facade module.
+type Mechanism int
+
+// Mechanisms.
+const (
+	MechanismLocal Mechanism = iota + 1
+	MechanismAdHoc
+	MechanismInfra
+)
+
+// String implements fmt.Stringer using the FROM-clause vocabulary.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismLocal:
+		return "intSensor"
+	case MechanismAdHoc:
+		return "adHocNetwork"
+	case MechanismInfra:
+		return "extInfra"
+	default:
+		return fmt.Sprintf("mechanism(%d)", int(m))
+	}
+}
+
+// providerMaker builds a provider for a (possibly merged) query; supplied
+// by the ContextFactory so the Facade stays mechanism-agnostic.
+type providerMaker func(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error)
+
+// managed is one running provider together with the original queries whose
+// results are post-extracted from its stream.
+type managed struct {
+	prov      provider.Provider
+	merged    *query.Query
+	originals map[string]*query.Query // queryID → original query
+}
+
+// Facade offers a unified interface for managing CxtProviders of one
+// provisioning mechanism (the Facade design pattern of §4.3). It performs
+// query aggregation — merging a newly submitted query with an active one
+// when possible and post-extracting each original's results — so the
+// number of active providers stays minimal.
+type Facade struct {
+	mechanism Mechanism
+	clock     vclock.Clock
+	make      providerMaker
+	deliver   func(queryID string, it cxt.Item)
+	onExpire  func(queryIDs []string)
+
+	mu       sync.Mutex
+	nextID   int
+	managed  map[string]*managed // provider id → managed
+	merges   int                 // successful merges (for the ablation bench)
+	creates  int                 // providers created
+	disabled bool                // reducePower can suspend a whole facade
+}
+
+// newFacade returns a Facade for one mechanism.
+func newFacade(m Mechanism, clock vclock.Clock, mk providerMaker,
+	deliver func(string, cxt.Item), onExpire func([]string)) *Facade {
+	return &Facade{
+		mechanism: m,
+		clock:     clock,
+		make:      mk,
+		deliver:   deliver,
+		onExpire:  onExpire,
+		managed:   make(map[string]*managed),
+	}
+}
+
+// Mechanism returns the facade's provisioning mechanism.
+func (f *Facade) Mechanism() Mechanism { return f.mechanism }
+
+// Stats returns how many providers were created and how many submissions
+// were satisfied by merging into an existing provider.
+func (f *Facade) Stats() (created, merged int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.creates, f.merges
+}
+
+// ActiveProviders returns the number of currently running providers.
+func (f *Facade) ActiveProviders() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.managed)
+}
+
+// SetDisabled suspends (true) or resumes (false) provider creation; used
+// by the reducePower enforcement.
+func (f *Facade) SetDisabled(disabled bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.disabled = disabled
+}
+
+// ErrFacadeDisabled reports submissions to a suspended facade.
+var ErrFacadeDisabled = fmt.Errorf("core: facade suspended by control policy")
+
+// Submit assigns the query to this facade: it merges into an existing
+// provider when the aggregation rules allow, otherwise it instantiates a
+// new CxtProvider. mergeEnabled=false (ablation) always creates a provider.
+func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error {
+	f.mu.Lock()
+	if f.disabled {
+		f.mu.Unlock()
+		return ErrFacadeDisabled
+	}
+	if mergeEnabled {
+		// Deterministic scan order.
+		ids := make([]string, 0, len(f.managed))
+		for id := range f.managed {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			m := f.managed[id]
+			if !query.SameCluster(m.merged, q) {
+				continue
+			}
+			mergedQ, err := query.Merge(m.merged, q)
+			if err != nil {
+				continue
+			}
+			m.merged = mergedQ
+			m.originals[queryID] = q.Clone()
+			m.prov.UpdateQuery(mergedQ)
+			f.merges++
+			f.mu.Unlock()
+			return nil
+		}
+	}
+	f.nextID++
+	provID := f.mechanism.String() + "-" + strconv.Itoa(f.nextID)
+	m := &managed{
+		merged:    q.Clone(),
+		originals: map[string]*query.Query{queryID: q.Clone()},
+	}
+	f.managed[provID] = m
+	f.creates++
+	f.mu.Unlock()
+
+	prov, err := f.make(provID, q, f.sinkFor(provID), f.doneFor(provID))
+	if err != nil {
+		f.mu.Lock()
+		delete(f.managed, provID)
+		f.mu.Unlock()
+		return fmt.Errorf("core: %s facade: %w", f.mechanism, err)
+	}
+	f.mu.Lock()
+	if cur, ok := f.managed[provID]; ok {
+		cur.prov = prov
+	}
+	f.mu.Unlock()
+	if err := prov.Start(); err != nil {
+		f.mu.Lock()
+		delete(f.managed, provID)
+		f.mu.Unlock()
+		return fmt.Errorf("core: %s facade start: %w", f.mechanism, err)
+	}
+	return nil
+}
+
+// sinkFor returns the provider sink performing post-extraction: received
+// results for the merged query are matched against each original query and
+// delivered upward per query id.
+func (f *Facade) sinkFor(provID string) provider.Sink {
+	return func(it cxt.Item) {
+		now := f.clock.Now()
+		f.mu.Lock()
+		m := f.managed[provID]
+		if m == nil {
+			f.mu.Unlock()
+			return
+		}
+		type target struct {
+			id string
+		}
+		var targets []target
+		ids := make([]string, 0, len(m.originals))
+		for id := range m.originals {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if m.originals[id].Matches(it, now) {
+				targets = append(targets, target{id: id})
+			}
+		}
+		f.mu.Unlock()
+		for _, t := range targets {
+			f.deliver(t.id, it)
+		}
+	}
+}
+
+// doneFor returns the provider-completion callback: the merged query's
+// lifetime elapsed, so every remaining original expires.
+func (f *Facade) doneFor(provID string) provider.DoneFunc {
+	return func() {
+		f.mu.Lock()
+		m := f.managed[provID]
+		if m == nil {
+			f.mu.Unlock()
+			return
+		}
+		delete(f.managed, provID)
+		ids := make([]string, 0, len(m.originals))
+		for id := range m.originals {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		f.mu.Unlock()
+		if f.onExpire != nil {
+			f.onExpire(ids)
+		}
+	}
+}
+
+// Cancel removes a query from the facade. When a provider loses its last
+// original query it is stopped; otherwise the provider's merged query is
+// re-derived from the remaining originals so over-collection stops.
+func (f *Facade) Cancel(queryID string) bool {
+	f.mu.Lock()
+	var found *managed
+	var provID string
+	for id, m := range f.managed {
+		if _, ok := m.originals[queryID]; ok {
+			found, provID = m, id
+			break
+		}
+	}
+	if found == nil {
+		f.mu.Unlock()
+		return false
+	}
+	delete(found.originals, queryID)
+	if len(found.originals) == 0 {
+		delete(f.managed, provID)
+		prov := found.prov
+		f.mu.Unlock()
+		if prov != nil {
+			prov.Stop()
+		}
+		return true
+	}
+	rest := make([]*query.Query, 0, len(found.originals))
+	ids := make([]string, 0, len(found.originals))
+	for id := range found.originals {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rest = append(rest, found.originals[id])
+	}
+	if narrowed, err := query.MergeAll(rest); err == nil {
+		found.merged = narrowed
+		if found.prov != nil {
+			found.prov.UpdateQuery(narrowed)
+		}
+	}
+	f.mu.Unlock()
+	return true
+}
+
+// Queries returns the ids of all queries currently served by this facade.
+func (f *Facade) Queries() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for _, m := range f.managed {
+		for id := range m.originals {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StopAll stops every provider (device shutdown or facade suspension).
+func (f *Facade) StopAll() {
+	f.mu.Lock()
+	ms := make([]*managed, 0, len(f.managed))
+	for _, m := range f.managed {
+		ms = append(ms, m)
+	}
+	f.managed = make(map[string]*managed)
+	f.mu.Unlock()
+	for _, m := range ms {
+		if m.prov != nil {
+			m.prov.Stop()
+		}
+	}
+}

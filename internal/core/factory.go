@@ -1,0 +1,846 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"contory/internal/access"
+	"contory/internal/cxt"
+	"contory/internal/monitor"
+	"contory/internal/policy"
+	"contory/internal/provider"
+	"contory/internal/query"
+	"contory/internal/repo"
+	"contory/internal/simnet"
+	"contory/internal/vclock"
+)
+
+// Client is the application-side interface of §4.4: applications implement
+// it to receive collected context items, error notifications, and access-
+// control decisions.
+type Client interface {
+	// ReceiveCxtItem handles the reception of a collected context item.
+	ReceiveCxtItem(item cxt.Item)
+	// InformError is called by Contory modules on malfunction or failure.
+	InformError(msg string)
+	// MakeDecision is invoked by the AccessController to grant or block
+	// interaction with an external entity (high-security mode).
+	MakeDecision(msg string) bool
+}
+
+// Factory errors.
+var (
+	ErrUnknownQuery    = errors.New("core: unknown query id")
+	ErrNoMechanism     = errors.New("core: no provisioning mechanism available for query")
+	ErrNotRegistered   = errors.New("core: client is not a registered context server")
+	ErrNilClient       = errors.New("core: nil client")
+	ErrAlreadyAssigned = errors.New("core: query already assigned")
+)
+
+// SwitchEvent records one dynamic strategy switch (Fig. 5).
+type SwitchEvent struct {
+	At      time.Time
+	QueryID string
+	From    Mechanism
+	To      Mechanism
+	Reason  string
+}
+
+// InfraOpStoreItem is the infrastructure operation used by storeCxtItem to
+// persist complete logs remotely.
+const InfraOpStoreItem = "storeCxtItem"
+
+// activeQuery is the QueryManager's record of one submitted query.
+type activeQuery struct {
+	id     string
+	q      *query.Query
+	client Client
+	// mech is the (primary) serving mechanism; extra lists additional
+	// facades the query is simultaneously assigned to (§4.3 permits
+	// CxtProviders of different Facades on the same query).
+	mech      Mechanism
+	extra     []Mechanism
+	prefs     []Mechanism
+	delivered int
+	expiry    *vclock.Timer
+	probe     *vclock.Timer
+	submitted time.Time
+}
+
+// Factory is the ContextFactory (§4.3): the core component instantiated on
+// each device and made accessible to multiple applications. It offers the
+// interface to submit context queries and lets Facade components decide
+// which CxtProvider classes to instantiate (the Factory Method pattern).
+type Factory struct {
+	dev   *Device
+	clock vclock.Clock
+
+	mu         sync.Mutex
+	nextID     int
+	queries    map[string]*activeQuery
+	facades    map[Mechanism]*Facade
+	engine     *policy.Engine
+	publishers map[Client]bool
+	cxtPub     *provider.CxtPublisher
+	switches   []SwitchEvent
+
+	mergeEnabled    bool
+	failoverEnabled bool
+	preferBTOneHop  bool
+}
+
+// gpsProbeInterval is how often a failed-over location query re-runs BT
+// discovery looking for its GPS device (the Fig. 5 power bumps of
+// 163–292 mW are dominated by these discoveries).
+const gpsProbeInterval = 30 * time.Second
+
+// NewFactory wires a ContextFactory onto a device.
+func NewFactory(dev *Device) *Factory {
+	f := &Factory{
+		dev:             dev,
+		clock:           dev.Clock,
+		queries:         make(map[string]*activeQuery),
+		facades:         make(map[Mechanism]*Facade),
+		engine:          policy.NewEngine(),
+		publishers:      make(map[Client]bool),
+		mergeEnabled:    true,
+		failoverEnabled: true,
+	}
+	f.facades[MechanismLocal] = newFacade(MechanismLocal, dev.Clock, f.makeLocal, f.deliver, f.onExpire)
+	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire)
+	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire)
+	f.cxtPub = provider.NewPublisher(dev.BT, dev.WiFi)
+	f.engine.SetEnforcer(f.enforce)
+	dev.Monitor.OnEvent(f.onMonitorEvent)
+	if dev.UMTS != nil {
+		dev.Repo.SetRemote(remoteStore{f: f})
+	}
+	return f
+}
+
+// Device returns the factory's device.
+func (f *Factory) Device() *Device { return f.dev }
+
+// Facade returns the facade for a mechanism (for experiment harnesses).
+func (f *Factory) Facade(m Mechanism) *Facade { return f.facades[m] }
+
+// SetMergeEnabled toggles query aggregation (ablation).
+func (f *Factory) SetMergeEnabled(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mergeEnabled = on
+}
+
+// SetFailoverEnabled toggles dynamic strategy switching (ablation).
+func (f *Factory) SetFailoverEnabled(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failoverEnabled = on
+}
+
+// Switches returns the strategy-switch log.
+func (f *Factory) Switches() []SwitchEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SwitchEvent, len(f.switches))
+	copy(out, f.switches)
+	return out
+}
+
+// ActiveQueries returns the ids of the active queries, sorted.
+func (f *Factory) ActiveQueries() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.queries))
+	for id := range f.queries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryMechanism reports which mechanism currently serves the query.
+func (f *Factory) QueryMechanism(queryID string) (Mechanism, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	aq, ok := f.queries[queryID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownQuery, queryID)
+	}
+	return aq.mech, nil
+}
+
+// ProcessCxtQuery submits a context query on behalf of a client and returns
+// the assigned query id. The assignment follows the FROM clause, sensor
+// availability and the active control policies (§4.3).
+func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (string, error) {
+	if client == nil {
+		return "", ErrNilClient
+	}
+	if err := query.Validate(q); err != nil {
+		return "", err
+	}
+	prefs := f.preferences(q)
+	if len(prefs) == 0 {
+		return "", fmt.Errorf("%w: %s", ErrNoMechanism, q.From.Kind)
+	}
+	f.mu.Lock()
+	f.nextID++
+	id := "q-" + strconv.Itoa(f.nextID)
+	aq := &activeQuery{
+		id:        id,
+		q:         q.Clone(),
+		client:    client,
+		prefs:     prefs,
+		submitted: f.clock.Now(),
+	}
+	aq.q.ID = id
+	mergeOn := f.mergeEnabled
+	f.mu.Unlock()
+
+	var lastErr error
+	for _, mech := range prefs {
+		if !f.mechanismHealthy(mech, aq.q) {
+			lastErr = fmt.Errorf("core: %s unavailable", mech)
+			continue
+		}
+		if err := f.facades[mech].Submit(id, aq.q, mergeOn); err != nil {
+			lastErr = err
+			continue
+		}
+		aq.mech = mech
+		f.mu.Lock()
+		f.queries[id] = aq
+		if aq.q.Duration.Time > 0 {
+			aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id) })
+		}
+		f.mu.Unlock()
+		return id, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoMechanism
+	}
+	return "", fmt.Errorf("core: assign query: %w", lastErr)
+}
+
+// ProcessCxtQueryMulti assigns one query to several provisioning
+// mechanisms simultaneously (§4.3: "CxtProviders of different Facades can
+// be assigned to the same query"). Applications use this to combine
+// results from multiple context sources — typically through a
+// CxtAggregator — to relieve the uncertainty of any single source. With no
+// explicit mechanisms, every supported one is used. Multi-assigned queries
+// do not participate in failover (they are already redundant).
+func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...Mechanism) (string, error) {
+	if client == nil {
+		return "", ErrNilClient
+	}
+	if err := query.Validate(q); err != nil {
+		return "", err
+	}
+	if len(mechs) == 0 {
+		for _, m := range []Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra} {
+			if f.mechanismSupported(m, q) {
+				mechs = append(mechs, m)
+			}
+		}
+	}
+	f.mu.Lock()
+	f.nextID++
+	id := "q-" + strconv.Itoa(f.nextID)
+	aq := &activeQuery{
+		id:        id,
+		q:         q.Clone(),
+		client:    client,
+		submitted: f.clock.Now(),
+	}
+	aq.q.ID = id
+	mergeOn := f.mergeEnabled
+	f.mu.Unlock()
+
+	var assigned []Mechanism
+	var lastErr error
+	for _, mech := range mechs {
+		if !f.mechanismHealthy(mech, aq.q) {
+			lastErr = fmt.Errorf("core: %s unavailable", mech)
+			continue
+		}
+		if err := f.facades[mech].Submit(id, aq.q, mergeOn); err != nil {
+			lastErr = err
+			continue
+		}
+		assigned = append(assigned, mech)
+	}
+	if len(assigned) == 0 {
+		if lastErr == nil {
+			lastErr = ErrNoMechanism
+		}
+		return "", fmt.Errorf("core: assign multi query: %w", lastErr)
+	}
+	f.mu.Lock()
+	aq.mech = assigned[0]
+	aq.extra = assigned[1:]
+	f.queries[id] = aq
+	if aq.q.Duration.Time > 0 {
+		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id) })
+	}
+	f.mu.Unlock()
+	return id, nil
+}
+
+// QueryMechanisms reports every mechanism currently serving the query.
+func (f *Factory) QueryMechanisms(queryID string) ([]Mechanism, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	aq, ok := f.queries[queryID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownQuery, queryID)
+	}
+	out := append([]Mechanism{aq.mech}, aq.extra...)
+	return out, nil
+}
+
+// CancelCxtQuery erases an active query.
+func (f *Factory) CancelCxtQuery(queryID string) {
+	f.finishQuery(queryID)
+}
+
+// finishQuery tears a query down (cancellation, expiry or completion).
+func (f *Factory) finishQuery(queryID string) {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	if !ok {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.queries, queryID)
+	if aq.expiry != nil {
+		aq.expiry.Stop()
+	}
+	if aq.probe != nil {
+		aq.probe.Stop()
+	}
+	mechs := append([]Mechanism{aq.mech}, aq.extra...)
+	f.mu.Unlock()
+	for _, mech := range mechs {
+		if fac := f.facades[mech]; fac != nil {
+			fac.Cancel(queryID)
+		}
+	}
+}
+
+// onExpire handles facade notifications that a provider's merged query
+// lifetime elapsed.
+func (f *Factory) onExpire(queryIDs []string) {
+	for _, id := range queryIDs {
+		f.finishQuery(id)
+	}
+}
+
+// deliver routes a post-extracted item to its query's client, stores it in
+// the local repository, and accounts sample budgets.
+func (f *Factory) deliver(queryID string, it cxt.Item) {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	if !ok {
+		f.mu.Unlock()
+		return
+	}
+	// Access control: external sources must be admitted.
+	if it.Source.Address != "" && it.Source.Kind != cxt.SourceSensor {
+		ctrl := f.dev.Access
+		f.mu.Unlock()
+		// Route high-security validations through the client.
+		ctrl.SetDecider(func(src string) bool {
+			return aq.client.MakeDecision("admit context source " + src + "?")
+		})
+		if ctrl.Check(it.Source.String()) != access.Allowed {
+			return
+		}
+		f.mu.Lock()
+		if _, still := f.queries[queryID]; !still {
+			f.mu.Unlock()
+			return
+		}
+	}
+	aq.delivered++
+	client := aq.client
+	exhausted := aq.q.Duration.IsSamples() && aq.delivered >= aq.q.Duration.Samples
+	f.mu.Unlock()
+
+	f.dev.Repo.Store(it)
+	f.dev.Monitor.SetMemory(f.dev.Repo.MemoryBytes(), 9<<20)
+	client.ReceiveCxtItem(it)
+	if exhausted {
+		f.finishQuery(queryID)
+	}
+}
+
+// Delivered reports how many items a query has received so far.
+func (f *Factory) Delivered(queryID string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if aq, ok := f.queries[queryID]; ok {
+		return aq.delivered
+	}
+	return 0
+}
+
+// preferences orders the mechanisms eligible for a query. Maximum
+// transparency (FROM omitted) lets the middleware choose: local sensors
+// first, then the ad hoc network, then the infrastructure. Explicit FROM
+// pins the mechanism; entity/region queries prefer the ad hoc network and
+// fall back to the infrastructure (the WeatherWatcher pattern).
+func (f *Factory) preferences(q *query.Query) []Mechanism {
+	var prefs []Mechanism
+	add := func(m Mechanism) {
+		if f.mechanismSupported(m, q) {
+			prefs = append(prefs, m)
+		}
+	}
+	switch q.From.Kind {
+	case query.SourceIntSensor:
+		add(MechanismLocal)
+	case query.SourceExtInfra:
+		add(MechanismInfra)
+	case query.SourceAdHoc:
+		add(MechanismAdHoc)
+	case query.SourceEntity, query.SourceRegion:
+		add(MechanismAdHoc)
+		add(MechanismInfra)
+	default: // SourceAuto
+		add(MechanismLocal)
+		add(MechanismAdHoc)
+		add(MechanismInfra)
+	}
+	return prefs
+}
+
+// mechanismSupported reports whether the device can in principle serve the
+// query with the mechanism (references and sensors present).
+func (f *Factory) mechanismSupported(m Mechanism, q *query.Query) bool {
+	switch m {
+	case MechanismLocal:
+		if f.localUsesGPS(q) {
+			return true
+		}
+		_, ok := f.dev.Internal.ByType(q.Select)
+		return ok
+	case MechanismAdHoc:
+		if q.From.NumHops > 1 {
+			return f.dev.WiFi != nil
+		}
+		return f.dev.WiFi != nil || f.dev.BT != nil
+	case MechanismInfra:
+		return f.dev.UMTS != nil
+	default:
+		return false
+	}
+}
+
+// mechanismHealthy additionally consults the ResourcesMonitor.
+func (f *Factory) mechanismHealthy(m Mechanism, q *query.Query) bool {
+	if !f.mechanismSupported(m, q) {
+		return false
+	}
+	mon := f.dev.Monitor
+	switch m {
+	case MechanismLocal:
+		if f.localUsesGPS(q) {
+			return !mon.Failed(string(f.dev.GPSDevice))
+		}
+		return true
+	case MechanismAdHoc:
+		if !mon.Failed("wifi") {
+			return true
+		}
+		// WiFi is down: BT can rescue only explicit one-hop ad hoc
+		// queries (BT supports no multi-hop routing and no region/entity
+		// targeting, §4.3).
+		return q.From.Kind == query.SourceAdHoc && q.From.NumHops <= 1 && f.dev.BT != nil
+	case MechanismInfra:
+		return !mon.Failed("umts")
+	default:
+		return false
+	}
+}
+
+func (f *Factory) localUsesGPS(q *query.Query) bool {
+	return f.dev.GPSDevice != "" &&
+		(q.Select == cxt.TypeLocation || q.Select == cxt.TypeSpeed)
+}
+
+// makeLocal is the LocalFacade's provider maker.
+func (f *Factory) makeLocal(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+	cfg := provider.LocalConfig{
+		ID: id, Clock: f.clock, Query: q, Sink: sink, OnDone: onDone,
+		Internal: f.dev.Internal,
+	}
+	if f.localUsesGPS(q) {
+		cfg.BT = f.dev.BT
+		cfg.GPSDevice = f.dev.GPSDevice
+	}
+	return provider.NewLocal(cfg)
+}
+
+// makeAdHoc is the AdHocFacade's provider maker: WiFi for multi-hop, and
+// for one-hop queries WiFi by default (no 13-s inquiry) unless the
+// reducePower policy or missing hardware selects BT.
+func (f *Factory) makeAdHoc(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+	f.mu.Lock()
+	preferBT := f.preferBTOneHop
+	f.mu.Unlock()
+	transport := provider.TransportWiFi
+	oneHop := q.From.Kind != query.SourceAdHoc || q.From.NumHops <= 1
+	switch {
+	case f.dev.WiFi == nil && oneHop && f.dev.BT != nil:
+		transport = provider.TransportBT
+	case preferBT && oneHop && f.dev.BT != nil:
+		transport = provider.TransportBT
+	case f.dev.WiFi == nil:
+		return nil, fmt.Errorf("%w: no wifi reference for multi-hop ad hoc", provider.ErrNoSource)
+	}
+	return provider.NewAdHoc(provider.AdHocConfig{
+		ID: id, Clock: f.clock, Query: q, Sink: sink, OnDone: onDone,
+		Transport: transport, BT: f.dev.BT, WiFi: f.dev.WiFi,
+	})
+}
+
+// makeInfra is the InfraFacade's provider maker.
+func (f *Factory) makeInfra(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+	return provider.NewInfra(provider.InfraConfig{
+		ID: id, Clock: f.clock, Query: q, Sink: sink, OnDone: onDone,
+		UMTS: f.dev.UMTS,
+	})
+}
+
+// onMonitorEvent reacts to resource failures and recoveries with the
+// reconfiguration strategy of §4.3: affected queries are transparently
+// moved to the next available provisioning mechanism (Fig. 5), and moved
+// back when the preferred resource recovers.
+func (f *Factory) onMonitorEvent(ev monitor.Event) {
+	switch ev.Kind {
+	case monitor.EventFailure:
+		f.reassignAffected(ev.Resource, "failure of "+ev.Resource)
+	case monitor.EventRecovery:
+		f.restorePreferred(ev.Resource)
+	case monitor.EventLowPower, monitor.EventLowMemory:
+		f.EvaluatePolicies()
+	}
+	f.evaluateAfterEvent()
+}
+
+func (f *Factory) evaluateAfterEvent() {
+	f.EvaluatePolicies()
+}
+
+// mechResource names the monitor resource a mechanism depends on for a
+// given query.
+func (f *Factory) mechResource(m Mechanism, q *query.Query) string {
+	switch m {
+	case MechanismLocal:
+		if f.localUsesGPS(q) {
+			return string(f.dev.GPSDevice)
+		}
+		return ""
+	case MechanismAdHoc:
+		return "wifi"
+	case MechanismInfra:
+		return "umts"
+	default:
+		return ""
+	}
+}
+
+// reassignAffected moves every failover-eligible query whose current
+// mechanism depends on the failed resource.
+func (f *Factory) reassignAffected(resource, reason string) {
+	f.mu.Lock()
+	if !f.failoverEnabled {
+		f.mu.Unlock()
+		return
+	}
+	var affected []*activeQuery
+	for _, aq := range f.queries {
+		if len(aq.prefs) < 2 {
+			continue
+		}
+		if f.mechResource(aq.mech, aq.q) == resource {
+			affected = append(affected, aq)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].id < affected[j].id })
+	f.mu.Unlock()
+	for _, aq := range affected {
+		f.switchQuery(aq.id, reason)
+	}
+}
+
+// restorePreferred switches queries back towards their preferred mechanism
+// once its resource recovers.
+func (f *Factory) restorePreferred(resource string) {
+	f.mu.Lock()
+	var candidates []*activeQuery
+	for _, aq := range f.queries {
+		if len(aq.prefs) < 2 || aq.mech == aq.prefs[0] {
+			continue
+		}
+		for _, m := range aq.prefs {
+			if m == aq.mech {
+				break // current mechanism reached before the recovered one
+			}
+			if f.mechResource(m, aq.q) == resource {
+				candidates = append(candidates, aq)
+				break
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].id < candidates[j].id })
+	f.mu.Unlock()
+	for _, aq := range candidates {
+		f.switchQuery(aq.id, "recovery of "+resource)
+	}
+}
+
+// switchQuery re-runs mechanism selection for one query and migrates it if
+// the choice changed.
+func (f *Factory) switchQuery(queryID, reason string) {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	if !ok {
+		f.mu.Unlock()
+		return
+	}
+	from := aq.mech
+	var to Mechanism
+	for _, m := range aq.prefs {
+		if f.mechanismHealthy(m, aq.q) {
+			to = m
+			break
+		}
+	}
+	if to == 0 || to == from {
+		f.mu.Unlock()
+		return
+	}
+	mergeOn := f.mergeEnabled
+	f.mu.Unlock()
+
+	f.facades[from].Cancel(queryID)
+	if err := f.facades[to].Submit(queryID, aq.q, mergeOn); err != nil {
+		aq.client.InformError(fmt.Sprintf("contory: switching %s to %s: %v", queryID, to, err))
+		// Try to re-submit on the old mechanism so the query is not lost.
+		if err := f.facades[from].Submit(queryID, aq.q, mergeOn); err != nil {
+			f.finishQuery(queryID)
+		}
+		return
+	}
+	f.mu.Lock()
+	aq.mech = to
+	f.switches = append(f.switches, SwitchEvent{
+		At: f.clock.Now(), QueryID: queryID, From: from, To: to, Reason: reason,
+	})
+	// A location query forced off its GPS probes for the device's return
+	// via periodic BT discovery (the Fig. 5 recovery path).
+	if from == MechanismLocal && f.localUsesGPS(aq.q) && aq.probe == nil {
+		aq.probe = f.clock.Every(gpsProbeInterval, func() { f.probeGPS(queryID) })
+	}
+	if to == MechanismLocal && aq.probe != nil {
+		aq.probe.Stop()
+		aq.probe = nil
+	}
+	f.mu.Unlock()
+}
+
+// probeGPS runs one BT discovery looking for the query's GPS device; if
+// found, the monitor recovery triggers the switch back.
+func (f *Factory) probeGPS(queryID string) {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	dev := f.dev.GPSDevice
+	f.mu.Unlock()
+	if !ok || aq.mech == MechanismLocal || dev == "" {
+		return
+	}
+	f.dev.BT.Discover(func(found []simnet.NodeID) {
+		for _, id := range found {
+			if id == dev {
+				f.dev.Monitor.ReportRecovery(string(dev))
+				return
+			}
+		}
+	})
+}
+
+// AddControlPolicy installs a contextRule; conditions are evaluated against
+// the ResourcesMonitor's attributes plus runtime counters.
+func (f *Factory) AddControlPolicy(r policy.Rule) error {
+	return f.engine.AddRule(r)
+}
+
+// RemoveControlPolicy removes a contextRule by name.
+func (f *Factory) RemoveControlPolicy(name string) {
+	f.engine.RemoveRule(name)
+}
+
+// EvaluatePolicies checks every control policy against the current device
+// state, enforcing newly firing actions.
+func (f *Factory) EvaluatePolicies() {
+	attrs := policy.Attributes(f.dev.Monitor.Attributes())
+	f.mu.Lock()
+	attrs["activeQueries"] = strconv.Itoa(len(f.queries))
+	f.mu.Unlock()
+	f.engine.Evaluate(attrs)
+}
+
+// enforce applies a fired contextRule's action (§4.3).
+func (f *Factory) enforce(r policy.Rule) {
+	switch r.Action {
+	case policy.ReducePower:
+		f.enforceReducePower(r.Name)
+	case policy.ReduceMemory:
+		f.dev.Repo.Clear()
+		f.dev.Monitor.SetMemory(0, 9<<20)
+	case policy.ReduceLoad:
+		f.enforceReduceLoad(r.Name)
+	}
+}
+
+// enforceReducePower suspends or relocates high energy-consuming queries:
+// extInfra (UMTS) queries switch to cheaper mechanisms or terminate, and
+// one-hop ad hoc provisioning moves from WiFi multi-hop to BT.
+func (f *Factory) enforceReducePower(ruleName string) {
+	f.mu.Lock()
+	f.preferBTOneHop = true
+	var onInfra []*activeQuery
+	for _, aq := range f.queries {
+		if aq.mech == MechanismInfra {
+			onInfra = append(onInfra, aq)
+		}
+	}
+	sort.Slice(onInfra, func(i, j int) bool { return onInfra[i].id < onInfra[j].id })
+	f.mu.Unlock()
+	for _, aq := range onInfra {
+		if len(aq.prefs) > 1 {
+			f.switchQuery(aq.id, "reducePower ("+ruleName+")")
+			continue
+		}
+		aq.client.InformError("contory: query " + aq.id + " terminated by reducePower policy")
+		f.finishQuery(aq.id)
+	}
+}
+
+// enforceReduceLoad terminates the most recently submitted query.
+func (f *Factory) enforceReduceLoad(ruleName string) {
+	f.mu.Lock()
+	var newest *activeQuery
+	for _, aq := range f.queries {
+		if newest == nil || aq.submitted.After(newest.submitted) ||
+			(aq.submitted.Equal(newest.submitted) && aq.id > newest.id) {
+			newest = aq
+		}
+	}
+	f.mu.Unlock()
+	if newest == nil {
+		return
+	}
+	newest.client.InformError("contory: query " + newest.id + " terminated by reduceLoad policy")
+	f.finishQuery(newest.id)
+}
+
+// PublishCxtItem makes a context item accessible to external entities in
+// the ad hoc network. The publisher must have registered as a context
+// server (§4.4).
+func (f *Factory) PublishCxtItem(client Client, item cxt.Item, opts provider.PublishOptions) error {
+	f.mu.Lock()
+	registered := f.publishers[client]
+	f.mu.Unlock()
+	if !registered {
+		return ErrNotRegistered
+	}
+	if item.Timestamp.IsZero() {
+		item.Timestamp = f.clock.Now()
+	}
+	_, err := f.cxtPub.Publish(item, opts)
+	return err
+}
+
+// EraseCxtItem withdraws a previously published item.
+func (f *Factory) EraseCxtItem(t cxt.Type, transport provider.Transport) {
+	f.cxtPub.Erase(t, transport)
+}
+
+// StoreCxtItem stores a context item locally and, when an infrastructure
+// is reachable, also in the remote repository.
+func (f *Factory) StoreCxtItem(item cxt.Item) {
+	if item.Timestamp.IsZero() {
+		item.Timestamp = f.clock.Now()
+	}
+	f.dev.Repo.StoreRemote(item, nil)
+	f.dev.Monitor.SetMemory(f.dev.Repo.MemoryBytes(), 9<<20)
+}
+
+// RegisterCxtServer registers (and authenticates) a client as eligible to
+// publish context items.
+func (f *Factory) RegisterCxtServer(client Client) error {
+	if client == nil {
+		return ErrNilClient
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.publishers[client] = true
+	return nil
+}
+
+// DeregisterCxtServer removes a publisher registration.
+func (f *Factory) DeregisterCxtServer(client Client) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.publishers, client)
+}
+
+// Close cancels every active query and stops all providers.
+func (f *Factory) Close() {
+	f.mu.Lock()
+	ids := make([]string, 0, len(f.queries))
+	for id := range f.queries {
+		ids = append(ids, id)
+	}
+	f.mu.Unlock()
+	for _, id := range ids {
+		f.finishQuery(id)
+	}
+	for _, fac := range f.facades {
+		fac.StopAll()
+	}
+}
+
+// remoteStore adapts the UMTS reference to the repository's Remote
+// interface: complete logs live in the infrastructure (§4.3).
+type remoteStore struct {
+	f *Factory
+}
+
+var _ repo.Remote = remoteStore{}
+
+// StoreRemote implements repo.Remote.
+func (r remoteStore) StoreRemote(item cxt.Item, done func(error)) {
+	if r.f.dev.UMTS == nil {
+		if done != nil {
+			done(fmt.Errorf("core: no infrastructure reference"))
+		}
+		return
+	}
+	if _, err := r.f.dev.UMTS.Publish(InfraOpStoreItem, item); err != nil {
+		if done != nil {
+			done(err)
+		}
+		return
+	}
+	if done != nil {
+		done(nil)
+	}
+}

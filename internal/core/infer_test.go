@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/infer"
+	"contory/internal/query"
+	"contory/internal/refs"
+)
+
+// TestDerivedActivityProvisioning wires the §4.3 reasoning path end to
+// end: a location query feeds speed samples into an ActivityClassifier,
+// which backs a derived internal "activity" sensor; a second context query
+// then retrieves the higher-level activity through the normal middleware.
+func TestDerivedActivityProvisioning(t *testing.T) {
+	b := newBed(t)
+
+	// Reasoning layer: classify sailing activity from GPS speed.
+	classifier := infer.NewActivityClassifier(infer.Sailing, 5)
+	b.dev.Internal.Register(refs.FuncSensor{
+		SensorName: "activity-from-gps",
+		CxtType:    cxt.TypeActivity,
+		ReadFunc: func(now time.Time) (cxt.Item, error) {
+			activity, ok := classifier.Activity()
+			if !ok {
+				return cxt.Item{}, errors.New("no speed observations yet")
+			}
+			return cxt.Item{
+				Type: cxt.TypeActivity, Value: activity, Timestamp: now,
+				Meta: cxt.Metadata{Completeness: 1},
+			}, nil
+		},
+	})
+
+	// Feeder: a location query whose client observes speeds.
+	feeder := ClientFuncs{onItem: func(it cxt.Item) {
+		if fix, ok := it.Value.(cxt.Fix); ok {
+			classifier.Observe(fix.SpeedKn)
+		}
+	}}
+	locQ := query.MustParse("SELECT location FROM intSensor DURATION 1 hour EVERY 5 sec")
+	if _, err := b.factory.ProcessCxtQuery(locQ, feeder); err != nil {
+		t.Fatal(err)
+	}
+	b.clk.Advance(time.Minute)
+
+	// Consumer: a plain context query for the derived activity.
+	consumer := &testClient{}
+	actQ := query.MustParse("SELECT activity FROM intSensor DURATION 10 min EVERY 10 sec")
+	id, err := b.factory.ProcessCxtQuery(actQ, consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+		t.Fatalf("activity served via %v", mech)
+	}
+	b.clk.Advance(time.Minute)
+	if len(consumer.items) == 0 {
+		t.Fatal("no derived activity items")
+	}
+	// The simulated GPS reports 5 kn: the classifier must say "sailing".
+	if got := consumer.items[0].Value; got != infer.ActivitySailing {
+		t.Fatalf("activity = %v, want %q", got, infer.ActivitySailing)
+	}
+
+	// Speed drops to anchored levels: the derived context follows.
+	b.gpsDev.SetFix(cxt.Fix{Lat: 60.16, Lon: 24.93, SpeedKn: 0.1})
+	b.clk.Advance(2 * time.Minute)
+	last := consumer.items[len(consumer.items)-1]
+	if last.Value != infer.ActivityAnchored {
+		t.Fatalf("activity after stopping = %v, want %q", last.Value, infer.ActivityAnchored)
+	}
+}
+
+// ClientFuncs is a local adapter for tests (the public package has its own).
+type ClientFuncs struct {
+	onItem func(cxt.Item)
+}
+
+func (c ClientFuncs) ReceiveCxtItem(it cxt.Item) {
+	if c.onItem != nil {
+		c.onItem(it)
+	}
+}
+func (c ClientFuncs) InformError(string)       {}
+func (c ClientFuncs) MakeDecision(string) bool { return true }
+
+// TestSituationFromQueryStream: the paper's §4.1 situation triplet derived
+// from live query results via the SituationClassifier.
+func TestSituationFromQueryStream(t *testing.T) {
+	b := newBed(t)
+	noise := "medium"
+	light := "natural"
+	b.dev.Internal.Register(refs.FuncSensor{
+		SensorName: "mic", CxtType: cxt.TypeNoise,
+		ReadFunc: func(now time.Time) (cxt.Item, error) {
+			return cxt.Item{Type: cxt.TypeNoise, Value: noise, Timestamp: now}, nil
+		},
+	})
+	b.dev.Internal.Register(refs.FuncSensor{
+		SensorName: "lux", CxtType: cxt.TypeLight,
+		ReadFunc: func(now time.Time) (cxt.Item, error) {
+			return cxt.Item{Type: cxt.TypeLight, Value: light, Timestamp: now}, nil
+		},
+	})
+	sc, err := infer.NewSituationClassifier(infer.Situation{
+		Name: "walking outside",
+		Conditions: []infer.Condition{
+			{Type: cxt.TypeNoise, Symbol: "medium"},
+			{Type: cxt.TypeLight, Symbol: "natural"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []cxt.Item
+	collect := ClientFuncs{onItem: func(it cxt.Item) { window = append(window, it) }}
+	for _, sel := range []string{"noise", "light"} {
+		q := query.MustParse("SELECT " + sel + " FROM intSensor DURATION 10 min EVERY 10 sec")
+		if _, err := b.factory.ProcessCxtQuery(q, collect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.clk.Advance(30 * time.Second)
+	best, ok := sc.Best(window)
+	if !ok || best.Situation != "walking outside" {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+	// Situation dissolves when the light changes.
+	light = "artificial"
+	window = nil
+	b.clk.Advance(30 * time.Second)
+	if _, ok := sc.Best(window); ok {
+		t.Fatal("situation still matched under artificial light")
+	}
+}

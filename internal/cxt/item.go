@@ -1,0 +1,276 @@
+// Package cxt defines the context data model of Contory: context items
+// (type, value, timestamp, lifetime, source, quality metadata) and the
+// CxtVocabulary of context types and metadata attributes exposed to
+// application developers (§4.1 of the paper).
+package cxt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type is a context category (SELECT clause vocabulary): spatial
+// information, temporal information, user status, environmental information
+// and resource availability.
+type Type string
+
+// Context types from the CxtVocabulary. The set is open — applications may
+// define new types — but these cover the paper's scenarios.
+const (
+	TypeLocation      Type = "location"
+	TypeSpeed         Type = "speed"
+	TypeTime          Type = "time"
+	TypeDuration      Type = "duration"
+	TypeActivity      Type = "activity"
+	TypeMood          Type = "mood"
+	TypeTemperature   Type = "temperature"
+	TypeLight         Type = "light"
+	TypeNoise         Type = "noise"
+	TypeWind          Type = "wind"
+	TypeHumidity      Type = "humidity"
+	TypePressure      Type = "pressure"
+	TypeWeather       Type = "weather"
+	TypeNearbyDevices Type = "nearbyDevices"
+	TypeBatteryLevel  Type = "batteryLevel"
+	TypeMemoryLevel   Type = "memoryLevel"
+)
+
+// wireSizes maps context types to their serialized size in bytes, as
+// reported in §6.1: a wind item is 53 bytes, a location or light item is
+// 136 bytes. Types not listed use DefaultItemBytes.
+var wireSizes = map[Type]int{
+	TypeWind:        53,
+	TypeLocation:    136,
+	TypeLight:       136,
+	TypeSpeed:       53,
+	TypeTemperature: 53,
+	TypeHumidity:    53,
+	TypePressure:    53,
+	TypeWeather:     136,
+}
+
+// DefaultItemBytes is the wire size assumed for types without a calibrated
+// measurement.
+const DefaultItemBytes = 100
+
+// WireSize returns the serialized size in bytes of an item of this type.
+func (t Type) WireSize() int {
+	if s, ok := wireSizes[t]; ok {
+		return s
+	}
+	return DefaultItemBytes
+}
+
+// SourceKind describes what produced an item.
+type SourceKind int
+
+// Source kinds.
+const (
+	SourceSensor SourceKind = iota + 1
+	SourceInfrastructure
+	SourceAdHocNode
+	SourceAggregated
+)
+
+// String implements fmt.Stringer.
+func (k SourceKind) String() string {
+	switch k {
+	case SourceSensor:
+		return "sensor"
+	case SourceInfrastructure:
+		return "infrastructure"
+	case SourceAdHocNode:
+		return "adHocNode"
+	case SourceAggregated:
+		return "aggregated"
+	default:
+		return fmt.Sprintf("sourceKind(%d)", int(k))
+	}
+}
+
+// Source identifies where a context item came from: a sensor, an external
+// infrastructure, or a device in the ad hoc network.
+type Source struct {
+	Kind    SourceKind
+	Address string // sensor name, infrastructure URL, or device address
+}
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	if s.Address == "" {
+		return s.Kind.String()
+	}
+	return s.Kind.String() + ":" + s.Address
+}
+
+// Metadata carries the quality attributes of §4.1: correctness (closeness to
+// the true state), precision, accuracy, completeness (whether any part of
+// the information remains unknown), and level of privacy and trust.
+type Metadata struct {
+	Correctness  float64 // 0..1
+	Precision    float64 // sensor-specific units
+	Accuracy     float64 // sensor-specific units (e.g. 0.2 °C)
+	Completeness float64 // 0..1
+	Privacy      Level
+	Trust        Level
+}
+
+// Level is an ordinal privacy/trust level.
+type Level int
+
+// Ordered levels.
+const (
+	LevelNone Level = iota
+	LevelLow
+	LevelMedium
+	LevelHigh
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelLow:
+		return "low"
+	case LevelMedium:
+		return "medium"
+	case LevelHigh:
+		return "high"
+	default:
+		return strconv.Itoa(int(l))
+	}
+}
+
+// ParseLevel converts a string to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return LevelNone, nil
+	case "low":
+		return LevelLow, nil
+	case "medium":
+		return LevelMedium, nil
+	case "high":
+		return LevelHigh, nil
+	default:
+		return 0, fmt.Errorf("cxt: unknown level %q", s)
+	}
+}
+
+// Attr returns the named metadata attribute as a float64 for predicate
+// evaluation. Unknown names report ok=false.
+func (m Metadata) Attr(name string) (float64, bool) {
+	switch name {
+	case "correctness":
+		return m.Correctness, true
+	case "precision":
+		return m.Precision, true
+	case "accuracy":
+		return m.Accuracy, true
+	case "completeness":
+		return m.Completeness, true
+	case "privacy":
+		return float64(m.Privacy), true
+	case "trust":
+		return float64(m.Trust), true
+	default:
+		return 0, false
+	}
+}
+
+// MetadataAttrs lists the attribute names accepted in WHERE clauses.
+func MetadataAttrs() []string {
+	return []string{"correctness", "precision", "accuracy", "completeness", "privacy", "trust"}
+}
+
+// Item is one context item (a cxtItem object in the paper): the unit of
+// exchange between providers, the middleware and applications.
+type Item struct {
+	// Type is the context category.
+	Type Type
+	// Value is the current value of the item. Numeric values use float64;
+	// symbolic values (activity=walking) use string; structured values
+	// (location) use a domain type such as Fix.
+	Value any
+	// Timestamp is when the item had this value.
+	Timestamp time.Time
+	// Lifetime is the validity duration (0 = unlimited).
+	Lifetime time.Duration
+	// Source identifies the producing sensor/infrastructure/device.
+	Source Source
+	// Meta carries the quality metadata.
+	Meta Metadata
+}
+
+// Expired reports whether the item's lifetime has elapsed at now.
+func (it Item) Expired(now time.Time) bool {
+	if it.Lifetime <= 0 {
+		return false
+	}
+	return now.Sub(it.Timestamp) > it.Lifetime
+}
+
+// FreshEnough reports whether the item is no older than maxAge at now
+// (the FRESHNESS clause). maxAge <= 0 accepts any age.
+func (it Item) FreshEnough(now time.Time, maxAge time.Duration) bool {
+	if maxAge <= 0 {
+		return true
+	}
+	return now.Sub(it.Timestamp) <= maxAge
+}
+
+// Age returns the item's age at now.
+func (it Item) Age(now time.Time) time.Duration {
+	return now.Sub(it.Timestamp)
+}
+
+// NumericValue returns the item's value as a float64 if it is numeric.
+func (it Item) NumericValue() (float64, bool) {
+	switch v := it.Value.(type) {
+	case float64:
+		return v, true
+	case float32:
+		return float64(v), true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	default:
+		return 0, false
+	}
+}
+
+// WireSize returns the serialized size of this item in bytes.
+func (it Item) WireSize() int { return it.Type.WireSize() }
+
+// String implements fmt.Stringer: <type=value @timestamp from source>.
+func (it Item) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(string(it.Type))
+	b.WriteByte('=')
+	fmt.Fprintf(&b, "%v", it.Value)
+	b.WriteString(" @")
+	b.WriteString(it.Timestamp.Format("15:04:05.000"))
+	if it.Source.Kind != 0 {
+		b.WriteString(" from ")
+		b.WriteString(it.Source.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Fix is a structured GPS position value for location items.
+type Fix struct {
+	Lat, Lon float64 // degrees
+	SpeedKn  float64 // knots
+	Course   float64 // degrees true
+}
+
+// String implements fmt.Stringer.
+func (f Fix) String() string {
+	return fmt.Sprintf("(%.5f,%.5f %.1fkn %.0f°)", f.Lat, f.Lon, f.SpeedKn, f.Course)
+}

@@ -1,0 +1,186 @@
+package cxt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var baseTime = time.Date(2005, time.June, 10, 12, 0, 0, 0, time.UTC)
+
+func TestWireSizesMatchPaper(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want int
+	}{
+		{TypeWind, 53},
+		{TypeLocation, 136},
+		{TypeLight, 136},
+		{Type("customType"), DefaultItemBytes},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.WireSize(); got != tt.want {
+			t.Errorf("WireSize(%s) = %d, want %d", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestItemExpiry(t *testing.T) {
+	it := Item{Type: TypeTemperature, Value: 14.0, Timestamp: baseTime, Lifetime: time.Minute}
+	if it.Expired(baseTime.Add(30 * time.Second)) {
+		t.Fatal("expired within lifetime")
+	}
+	if !it.Expired(baseTime.Add(2 * time.Minute)) {
+		t.Fatal("not expired after lifetime")
+	}
+	forever := Item{Type: TypeTemperature, Timestamp: baseTime}
+	if forever.Expired(baseTime.Add(100 * time.Hour)) {
+		t.Fatal("zero-lifetime item expired")
+	}
+}
+
+func TestFreshEnough(t *testing.T) {
+	it := Item{Type: TypeTemperature, Timestamp: baseTime}
+	now := baseTime.Add(25 * time.Second)
+	if !it.FreshEnough(now, 30*time.Second) {
+		t.Fatal("25s-old item rejected by 30s freshness")
+	}
+	if it.FreshEnough(now.Add(10*time.Second), 30*time.Second) {
+		t.Fatal("35s-old item accepted by 30s freshness")
+	}
+	if !it.FreshEnough(now.Add(time.Hour), 0) {
+		t.Fatal("zero freshness must accept any age")
+	}
+	if got := it.Age(now); got != 25*time.Second {
+		t.Fatalf("Age = %v", got)
+	}
+}
+
+func TestNumericValue(t *testing.T) {
+	tests := []struct {
+		val    any
+		want   float64
+		wantOK bool
+	}{
+		{25.5, 25.5, true},
+		{float32(2), 2, true},
+		{int(7), 7, true},
+		{int64(9), 9, true},
+		{"walking", 0, false},
+		{nil, 0, false},
+		{Fix{}, 0, false},
+	}
+	for _, tt := range tests {
+		it := Item{Value: tt.val}
+		got, ok := it.NumericValue()
+		if ok != tt.wantOK || got != tt.want {
+			t.Errorf("NumericValue(%v) = %v,%v; want %v,%v", tt.val, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestMetadataAttr(t *testing.T) {
+	m := Metadata{
+		Correctness:  0.9,
+		Precision:    0.5,
+		Accuracy:     0.2,
+		Completeness: 1,
+		Privacy:      LevelLow,
+		Trust:        LevelHigh,
+	}
+	for _, name := range MetadataAttrs() {
+		if _, ok := m.Attr(name); !ok {
+			t.Errorf("Attr(%q) not found", name)
+		}
+	}
+	if v, _ := m.Attr("accuracy"); v != 0.2 {
+		t.Errorf("accuracy = %v", v)
+	}
+	if v, _ := m.Attr("trust"); v != float64(LevelHigh) {
+		t.Errorf("trust = %v", v)
+	}
+	if _, ok := m.Attr("bogus"); ok {
+		t.Error("Attr(bogus) found")
+	}
+}
+
+func TestLevelRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelNone, LevelLow, LevelMedium, LevelHigh} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLevel(%s) = %v, %v", l, got, err)
+		}
+	}
+	if _, err := ParseLevel("ultra"); err == nil {
+		t.Error("ParseLevel(ultra) succeeded")
+	}
+	if s := Level(42).String(); s != "42" {
+		t.Errorf("Level(42).String() = %q", s)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	tests := []struct {
+		src  Source
+		want string
+	}{
+		{Source{Kind: SourceSensor, Address: "bt-gps-1"}, "sensor:bt-gps-1"},
+		{Source{Kind: SourceInfrastructure}, "infrastructure"},
+		{Source{Kind: SourceAdHocNode, Address: "phone-2"}, "adHocNode:phone-2"},
+		{Source{Kind: SourceAggregated}, "aggregated"},
+		{Source{Kind: SourceKind(9), Address: "x"}, "sourceKind(9):x"},
+	}
+	for _, tt := range tests {
+		if got := tt.src.String(); got != tt.want {
+			t.Errorf("Source.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestItemString(t *testing.T) {
+	it := Item{
+		Type:      TypeTemperature,
+		Value:     14.0,
+		Timestamp: baseTime,
+		Source:    Source{Kind: SourceAdHocNode, Address: "n2"},
+	}
+	s := it.String()
+	for _, want := range []string{"temperature", "14", "adHocNode:n2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFixString(t *testing.T) {
+	f := Fix{Lat: 60.16, Lon: 24.94, SpeedKn: 5.2, Course: 270}
+	s := f.String()
+	if !strings.Contains(s, "60.16") || !strings.Contains(s, "5.2kn") {
+		t.Errorf("Fix.String() = %q", s)
+	}
+}
+
+// Property: an item is always fresh at its own timestamp, and freshness is
+// monotone (fresher bound accepts implies looser bound accepts).
+func TestFreshnessMonotoneProperty(t *testing.T) {
+	prop := func(ageSec, f1Sec, f2Sec uint16) bool {
+		it := Item{Timestamp: baseTime}
+		now := baseTime.Add(time.Duration(ageSec) * time.Second)
+		if !it.FreshEnough(it.Timestamp, time.Second) {
+			return false
+		}
+		fa := time.Duration(f1Sec%3600) * time.Second
+		fb := time.Duration(f2Sec%3600) * time.Second
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		if fa > 0 && fb > 0 && it.FreshEnough(now, fa) && !it.FreshEnough(now, fb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

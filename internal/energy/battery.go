@@ -1,0 +1,132 @@
+package energy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"contory/internal/vclock"
+)
+
+// Battery models the single-cell lithium-ion battery of the paper's phones,
+// including the in-rush protection quirk the paper reports: when a WiFi
+// connection was established on a communicator wired through the multimeter,
+// the high in-rush current dropped the supply voltage (across the meter's
+// internal shunt resistance) far enough to trigger the phone's internal
+// power-management protection circuit and switch the phone off.
+type Battery struct {
+	clock vclock.Clock
+
+	mu           sync.Mutex
+	voltage      float64
+	capacity     Joules // full capacity
+	drained      Joules
+	shuntOhms    float64 // multimeter internal resistance when in circuit
+	tripPower    Milliwatts
+	tripped      bool
+	trippedAt    time.Time
+	trippedCause string
+}
+
+// BatteryConfig configures a Battery.
+type BatteryConfig struct {
+	// Voltage is the nominal cell voltage; defaults to BatteryVoltage.
+	Voltage float64
+	// CapacityJoules is the full charge; defaults to a BL-5C-class cell
+	// (~970 mAh at 3.7 V nominal ≈ 12900 J).
+	CapacityJoules Joules
+	// ShuntOhms is the multimeter's in-circuit resistance; 0 means the
+	// meter is not inserted. The paper gives a shunt voltage of
+	// 1.8 mV/mA, i.e. 1.8 Ω.
+	ShuntOhms float64
+	// TripPowerMilliwatts is the instantaneous draw above which, with the
+	// meter inserted, the protection circuit turns the phone off. Zero
+	// disables the quirk.
+	TripPowerMilliwatts Milliwatts
+}
+
+// MeterShuntOhms is the paper's multimeter shunt (1.8 mV/mA).
+const MeterShuntOhms = 1.8
+
+// NewBattery returns a Battery with the given configuration.
+func NewBattery(clock vclock.Clock, cfg BatteryConfig) *Battery {
+	if cfg.Voltage == 0 {
+		cfg.Voltage = BatteryVoltage
+	}
+	if cfg.CapacityJoules == 0 {
+		cfg.CapacityJoules = 12900
+	}
+	return &Battery{
+		clock:     clock,
+		voltage:   cfg.Voltage,
+		capacity:  cfg.CapacityJoules,
+		shuntOhms: cfg.ShuntOhms,
+		tripPower: cfg.TripPowerMilliwatts,
+	}
+}
+
+// Voltage returns the cell voltage. The paper found < 2 % deviation from
+// 4.0965 V under high load for the first hour; we model a proportional sag
+// with depth of discharge, capped at 2 %.
+func (b *Battery) Voltage() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	frac := float64(b.drained) / float64(b.capacity)
+	if frac > 1 {
+		frac = 1
+	}
+	return b.voltage * (1 - 0.02*frac)
+}
+
+// Drain removes energy from the battery.
+func (b *Battery) Drain(j Joules) {
+	if j <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drained += j
+	if b.drained > b.capacity {
+		b.drained = b.capacity
+	}
+}
+
+// Remaining returns the remaining charge fraction in [0, 1].
+func (b *Battery) Remaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return 1 - float64(b.drained)/float64(b.capacity)
+}
+
+// ObservePower informs the battery of the instantaneous draw so the in-rush
+// protection quirk can fire. It reports whether the phone just tripped off.
+func (b *Battery) ObservePower(p Milliwatts) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tripped || b.tripPower <= 0 || b.shuntOhms <= 0 {
+		return false
+	}
+	if p >= b.tripPower {
+		b.tripped = true
+		b.trippedAt = b.clock.Now()
+		b.trippedCause = fmt.Sprintf("in-rush %.0f mW with %.1f Ω meter shunt", float64(p), b.shuntOhms)
+		return true
+	}
+	return false
+}
+
+// Tripped reports whether the protection circuit has switched the phone off,
+// and if so when and why.
+func (b *Battery) Tripped() (bool, time.Time, string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped, b.trippedAt, b.trippedCause
+}
+
+// Reset clears a trip (the experimenter rebooting the phone).
+func (b *Battery) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tripped = false
+	b.trippedCause = ""
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/core"
+	"contory/internal/cxt"
+	"contory/internal/query"
+	"contory/internal/trace"
+)
+
+// MergeDemoResult reproduces the §4.3 query-merging example.
+type MergeDemoResult struct {
+	Q1, Q2, Q3 *query.Query
+}
+
+// String renders the three-column table of §4.3.
+func (r MergeDemoResult) String() string {
+	t := &trace.Table{
+		Title:   "Query merging example (§4.3, reproduced)",
+		Headers: []string{"q1", "q2", "q3 = merge(q1,q2)"},
+	}
+	l1, l2, l3 := splitLines(r.Q1.String()), splitLines(r.Q2.String()), splitLines(r.Q3.String())
+	n := len(l1)
+	if len(l2) > n {
+		n = len(l2)
+	}
+	if len(l3) > n {
+		n = len(l3)
+	}
+	get := func(ls []string, i int) string {
+		if i < len(ls) {
+			return ls[i]
+		}
+		return ""
+	}
+	for i := 0; i < n; i++ {
+		t.Add(get(l1, i), get(l2, i), get(l3, i))
+	}
+	return t.String()
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// MergeDemo runs the paper's merging example through the real merge code.
+func MergeDemo() (MergeDemoResult, error) {
+	q1 := query.MustParse("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10sec DURATION 1hour EVERY 15sec")
+	q2 := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20sec DURATION 2hour EVERY 30sec")
+	q3, err := query.Merge(q1, q2)
+	if err != nil {
+		return MergeDemoResult{}, err
+	}
+	return MergeDemoResult{Q1: q1, Q2: q2, Q3: q3}, nil
+}
+
+// AblationResult compares the middleware with a design feature disabled.
+type AblationResult struct {
+	// Merging ablation: N same-type queries with and without aggregation.
+	MergeQueries          int
+	ProvidersWithMerge    int
+	ProvidersNoMerge      int
+	FinderRoundsWithMerge int
+	FinderRoundsNoMerge   int
+
+	// Failover ablation: deliveries during a GPS outage.
+	OutageItemsWithFailover int
+	OutageItemsNoFailover   int
+}
+
+// String renders the comparison.
+func (r AblationResult) String() string {
+	t := &trace.Table{
+		Title:   "Ablations: design choices of DESIGN.md",
+		Headers: []string{"Configuration", "Metric", "Value"},
+	}
+	t.Add("query merging ON", fmt.Sprintf("providers for %d queries", r.MergeQueries), fmt.Sprintf("%d", r.ProvidersWithMerge))
+	t.Add("query merging OFF", fmt.Sprintf("providers for %d queries", r.MergeQueries), fmt.Sprintf("%d", r.ProvidersNoMerge))
+	t.Add("query merging ON", "finder rounds in 5 min", fmt.Sprintf("%d", r.FinderRoundsWithMerge))
+	t.Add("query merging OFF", "finder rounds in 5 min", fmt.Sprintf("%d", r.FinderRoundsNoMerge))
+	t.Add("strategy switching ON", "items during 3-min GPS outage", fmt.Sprintf("%d", r.OutageItemsWithFailover))
+	t.Add("strategy switching OFF", "items during 3-min GPS outage", fmt.Sprintf("%d", r.OutageItemsNoFailover))
+	return t.String()
+}
+
+// Ablation quantifies two DESIGN.md design choices: query aggregation
+// (fewer providers and radio rounds for overlapping queries) and dynamic
+// strategy switching (continuity through sensor failures).
+func Ablation(seed int64) (AblationResult, error) {
+	var res AblationResult
+	res.MergeQueries = 4
+
+	for _, mergeOn := range []bool{true, false} {
+		tb, err := NewTestbed(seed)
+		if err != nil {
+			return res, err
+		}
+		tb.Factory.SetMergeEnabled(mergeOn)
+		tb.Peer.WiFi.PublishTag("temperature", cxt.Item{
+			Type: cxt.TypeTemperature, Value: 15.0, Timestamp: tb.Clock.Now(), Lifetime: time.Hour,
+		}, 0)
+		for i := 0; i < res.MergeQueries; i++ {
+			q := query.MustParse(fmt.Sprintf(
+				"SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY %d sec", 20+10*i))
+			if _, err := tb.Factory.ProcessCxtQuery(q, &collectClient{}); err != nil {
+				return res, err
+			}
+		}
+		providers := tb.Factory.Facade(core.MechanismAdHoc).ActiveProviders()
+		delivered, _ := tb.Net.Stats()
+		tb.Clock.Advance(5 * time.Minute)
+		deliveredAfter, _ := tb.Net.Stats()
+		rounds := deliveredAfter - delivered
+		if mergeOn {
+			res.ProvidersWithMerge = providers
+			res.FinderRoundsWithMerge = rounds
+		} else {
+			res.ProvidersNoMerge = providers
+			res.FinderRoundsNoMerge = rounds
+		}
+	}
+
+	for _, failoverOn := range []bool{true, false} {
+		tb, err := NewTestbed(seed + 50)
+		if err != nil {
+			return res, err
+		}
+		tb.Factory.SetFailoverEnabled(failoverOn)
+		tb.Peer.WiFi.PublishTag("location", cxt.Item{
+			Type: cxt.TypeLocation, Value: cxt.Fix{Lat: 60.17, Lon: 24.94},
+			Timestamp: tb.Clock.Now(), Lifetime: time.Hour,
+		}, 0)
+		cli := &collectClient{}
+		q := query.MustParse("SELECT location DURATION 20 min EVERY 5 sec")
+		if _, err := tb.Factory.ProcessCxtQuery(q, cli); err != nil {
+			return res, err
+		}
+		tb.Clock.Advance(time.Minute)
+		tb.GPS.SetFailed(true)
+		before := len(cli.items)
+		tb.Clock.Advance(3 * time.Minute)
+		outage := len(cli.items) - before
+		tb.GPS.SetFailed(false)
+		if failoverOn {
+			res.OutageItemsWithFailover = outage
+		} else {
+			res.OutageItemsNoFailover = outage
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"contory/internal/core"
+	"contory/internal/cxt"
+	"contory/internal/query"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+)
+
+// TestTable1Deterministic: the whole experiment pipeline is reproducible —
+// the same seed yields the exact same table.
+func TestTable1Deterministic(t *testing.T) {
+	a, err := Table1(3, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(3, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different Table 1:\n%s\n---\n%s", a, b)
+	}
+	c, err := Table1(3, 5678)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestFigure5Deterministic: the failover trace replays identically.
+func TestFigure5Deterministic(t *testing.T) {
+	a, err := Figure5(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed, different Fig. 5 trace")
+	}
+}
+
+// TestFleetScale: the simulated testbed handles a DYNAMOS-scale fleet
+// (the field trials had ~30 users) with concurrent periodic queries,
+// deterministically and without event-queue blowup.
+func TestFleetScale(t *testing.T) {
+	run := func() (items int, events uint64) {
+		tb, err := NewTestbed(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 30 extra boats in a WiFi chain off the phone, each publishing a
+		// temperature observation in the ad hoc network.
+		prev := tb.Phone.ID
+		for i := 0; i < 30; i++ {
+			boat, err := core.NewDevice(core.DeviceConfig{
+				Network: tb.Net, ID: simnet.NodeID(fmt.Sprintf("fleet-%02d", i)),
+				SMPlatform: tb.Platform, Seed: int64(1000 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.Net.Connect(prev, boat.ID, radio.MediumWiFi); err != nil {
+				t.Fatal(err)
+			}
+			boat.WiFi.PublishTag("temperature", cxt.Item{
+				Type: cxt.TypeTemperature, Value: 10 + float64(i),
+				Timestamp: tb.Clock.Now(), Lifetime: time.Hour,
+			}, 0)
+			prev = boat.ID
+		}
+		cli := &collectClient{}
+		q := query.MustParse("SELECT temperature FROM adHocNetwork(5,3) DURATION 10 min EVERY 30 sec")
+		if _, err := tb.Factory.ProcessCxtQuery(q, cli); err != nil {
+			t.Fatal(err)
+		}
+		tb.Clock.Advance(10 * time.Minute)
+		return len(cli.items), tb.Clock.Executed()
+	}
+	i1, e1 := run()
+	i2, e2 := run()
+	if i1 != i2 || e1 != e2 {
+		t.Fatalf("fleet run not deterministic: %d/%d items, %d/%d events", i1, i2, e1, e2)
+	}
+	if i1 == 0 {
+		t.Fatal("fleet delivered nothing")
+	}
+	if e1 > 2_000_000 {
+		t.Fatalf("event blowup: %d events for a 10-minute fleet run", e1)
+	}
+}

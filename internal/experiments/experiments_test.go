@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func within(t *testing.T, what string, got, want, tolPct float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", what)
+	}
+	if math.Abs(got-want)/math.Abs(want) > tolPct/100 {
+		t.Errorf("%s = %v, want ≈ %v (±%v%%)", what, got, want, tolPct)
+	}
+}
+
+// findRow locates a Table1/Table2 row by operation substring.
+func findT1(t *testing.T, rows []Table1Row, op string) Table1Row {
+	t.Helper()
+	for _, r := range rows {
+		if strings.Contains(r.Operation, op) {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found", op)
+	return Table1Row{}
+}
+
+func findT2(t *testing.T, rows []Table2Row, op string) Table2Row {
+	t.Helper()
+	for _, r := range rows {
+		if strings.Contains(r.Method+": "+r.Operation, op) {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found", op)
+	return Table2Row{}
+}
+
+func TestTable1ReproducesPaper(t *testing.T) {
+	res, err := Table1(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows))
+	}
+	// Paper values (ms) with tolerances covering jitter.
+	within(t, "createCxtItem", findT1(t, res.Rows, "createCxtItem").Latency.Avg, 0.078, 10)
+	within(t, "BT publish", findT1(t, res.Rows, "BT-based: publishCxtItem").Latency.Avg, 140.359, 5)
+	within(t, "WiFi publish", findT1(t, res.Rows, "WiFi-based: publishCxtItem").Latency.Avg, 0.130, 15)
+	within(t, "UMTS publish", findT1(t, res.Rows, "UMTS-based: publishCxtItem").Latency.Avg, 772.728, 45)
+	within(t, "BT get", findT1(t, res.Rows, "BT-based, one hop: getCxtItem").Latency.Avg, 31.830, 10)
+	within(t, "WiFi 1-hop get", findT1(t, res.Rows, "WiFi-based, one hop").Latency.Avg, 761.280, 10)
+	within(t, "WiFi 2-hop get", findT1(t, res.Rows, "WiFi-based, two hops").Latency.Avg, 1422.5, 10)
+	within(t, "UMTS get", findT1(t, res.Rows, "UMTS-based: getCxtItem").Latency.Avg, 1473, 30)
+
+	// Extras: discovery ≈ 13 s, SDP ≈ 1.12 s, route build ≈ 2× get.
+	within(t, "BT discovery", findT1(t, res.Extras, "device discovery").Latency.Avg, 13000, 10)
+	within(t, "BT SDP", findT1(t, res.Extras, "service discovery").Latency.Avg, 1120, 15)
+	rb2 := findT1(t, res.Extras, "route build, two hops").Latency.Avg
+	get2 := findT1(t, res.Rows, "two hops").Latency.Avg
+	if rb2 < get2 || rb2 > 3.5*get2 {
+		t.Errorf("route build %v not ≈ 2× get %v", rb2, get2)
+	}
+	// Rendering sanity.
+	s := res.String()
+	for _, want := range []string{"Table 1", "createCxtItem", "two hops"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	res, err := Table1(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifiPub := findT1(t, res.Rows, "WiFi-based: publishCxtItem").Latency.Avg
+	btPub := findT1(t, res.Rows, "BT-based: publishCxtItem").Latency.Avg
+	umtsPub := findT1(t, res.Rows, "UMTS-based: publishCxtItem").Latency.Avg
+	if !(wifiPub < btPub && btPub < umtsPub) {
+		t.Errorf("publish ordering broken: %v < %v < %v expected", wifiPub, btPub, umtsPub)
+	}
+	btGet := findT1(t, res.Rows, "BT-based, one hop").Latency.Avg
+	w1 := findT1(t, res.Rows, "WiFi-based, one hop").Latency.Avg
+	w2 := findT1(t, res.Rows, "WiFi-based, two hops").Latency.Avg
+	if !(btGet < w1 && w1 < w2) {
+		t.Errorf("get ordering broken: %v < %v < %v expected", btGet, w1, w2)
+	}
+}
+
+func TestTable2ReproducesPaper(t *testing.T) {
+	res, err := Table2(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	within(t, "BT provide", findT2(t, res.Rows, "provideCxtItem").Joules.Avg, 0.133, 10)
+	within(t, "BT on-demand get", findT2(t, res.Rows, "incl. discovery").Joules.Avg, 5.270, 10)
+	within(t, "BT periodic get", findT2(t, res.Rows, "one-hop, periodic").Joules.Avg, 0.099, 10)
+	within(t, "GPS periodic", findT2(t, res.Rows, "intSensor").Joules.Avg, 0.422, 10)
+	within(t, "WiFi 1-hop", findT2(t, res.Rows, "one hop, periodic").Joules.Avg, 0.906, 15)
+	within(t, "WiFi 2-hop", findT2(t, res.Rows, "two hops, periodic").Joules.Avg, 1.693, 15)
+	within(t, "UMTS on-demand", findT2(t, res.Rows, "UMTS-based").Joules.Avg, 14.076, 10)
+
+	// Batching: per-item energy collapses with batch size.
+	if !(res.BatchPerItem[1] > res.BatchPerItem[5] && res.BatchPerItem[5] > res.BatchPerItem[20]) {
+		t.Errorf("batching effect missing: %v", res.BatchPerItem)
+	}
+	if res.BatchPerItem[20] > res.BatchPerItem[1]/3 {
+		t.Errorf("batching too weak: %v", res.BatchPerItem)
+	}
+	s := res.String()
+	if !strings.Contains(s, "Table 2") || !strings.Contains(s, "> ") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	umts := findT2(t, res.Rows, "UMTS-based").Joules.Avg
+	w2 := findT2(t, res.Rows, "two hops").Joules.Avg
+	w1 := findT2(t, res.Rows, "one hop, periodic").Joules.Avg
+	gps := findT2(t, res.Rows, "intSensor").Joules.Avg
+	bt := findT2(t, res.Rows, "one-hop, periodic").Joules.Avg
+	// The paper's qualitative story: UMTS ≫ WiFi(2) > WiFi(1) > GPS > BT.
+	if !(umts > w2 && w2 > w1 && w1 > gps && gps > bt) {
+		t.Errorf("energy ordering broken: %v > %v > %v > %v > %v expected", umts, w2, w1, gps, bt)
+	}
+}
+
+func TestBaselinePower(t *testing.T) {
+	res, err := BaselinePower(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	wants := []float64{76.20, 14.35, 5.75, 8.47, 10.11}
+	for i, w := range wants {
+		within(t, res.Rows[i].Mode, res.Rows[i].MW, w, 1)
+	}
+	if !strings.Contains(res.String(), "76.20") {
+		t.Error("String() missing measurement")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	res, err := Figure4(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesSent != 5 {
+		t.Fatalf("queries = %d, want 5", res.QueriesSent)
+	}
+	// Peak at connection open ≈ 1000 mW (plus baselines; a GSM idle burst
+	// already in flight when a connection opens can superpose briefly).
+	if res.PeakMW < 950 || res.PeakMW > 1550 {
+		t.Errorf("peak = %v mW, want ≈ 1000 mW", res.PeakMW)
+	}
+	// GSM idle peaks occur between queries (50–60 s apart over 15 min,
+	// minus the windows hidden under query bursts).
+	if res.IdlePeaks < 4 {
+		t.Errorf("idle peaks = %d, want several", res.IdlePeaks)
+	}
+	if len(res.Samples) < 1000 {
+		t.Errorf("samples = %d, want a 15-min 500-ms trace", len(res.Samples))
+	}
+	s := res.String()
+	if !strings.Contains(s, "Fig. 4") || !strings.Contains(s, "#") {
+		t.Error("plot rendering broken")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	res, err := Figure5(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	for i, p := range res.Phases {
+		if p.Items == 0 {
+			t.Errorf("phase %d (%s) delivered nothing", i, p.Name)
+		}
+	}
+	if len(res.Switches) != 2 {
+		t.Fatalf("switches = %+v", res.Switches)
+	}
+	if res.Switches[0].To.String() != "adHocNetwork" || res.Switches[1].To.String() != "intSensor" {
+		t.Errorf("switch sequence = %+v", res.Switches)
+	}
+	// All phases draw real provisioning power (tens to hundreds of mW,
+	// far above the 10 mW idle baseline), and the failover phase includes
+	// the BT discovery probes whose 163–292 mW bumps dominate the
+	// switching cost in the paper.
+	for i, p := range res.Phases {
+		if p.MeanMW < 50 {
+			t.Errorf("phase %d mean power = %v mW, suspiciously idle", i, p.MeanMW)
+		}
+	}
+	if res.ProbeEnergyJ <= 0 {
+		t.Error("no BT discovery probe energy during the outage")
+	}
+	s := res.String()
+	if !strings.Contains(s, "Fig. 5") || !strings.Contains(s, "adHocNetwork") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestMergeDemoMatchesPaper(t *testing.T) {
+	res, err := MergeDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT temperature\nFROM adHocNetwork(all,3)\nFRESHNESS 20 sec\nDURATION 2 hour\nEVERY 15 sec"
+	if res.Q3.String() != want {
+		t.Errorf("q3 =\n%s\nwant\n%s", res.Q3, want)
+	}
+	if !strings.Contains(res.String(), "merge(q1,q2)") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	res, err := Ablation(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProvidersWithMerge != 1 || res.ProvidersNoMerge != res.MergeQueries {
+		t.Errorf("merge ablation: %d vs %d providers", res.ProvidersWithMerge, res.ProvidersNoMerge)
+	}
+	if res.FinderRoundsWithMerge >= res.FinderRoundsNoMerge {
+		t.Errorf("merging did not reduce radio rounds: %d vs %d",
+			res.FinderRoundsWithMerge, res.FinderRoundsNoMerge)
+	}
+	if res.OutageItemsWithFailover == 0 {
+		t.Error("failover delivered nothing during outage")
+	}
+	if res.OutageItemsNoFailover >= res.OutageItemsWithFailover {
+		t.Errorf("failover ablation: %d (on) vs %d (off)",
+			res.OutageItemsWithFailover, res.OutageItemsNoFailover)
+	}
+	if !strings.Contains(res.String(), "strategy switching ON") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestStatComputation(t *testing.T) {
+	s := newStat([]float64{10, 10, 10})
+	if s.Avg != 10 || s.CI90 != 0 {
+		t.Fatalf("stat = %+v", s)
+	}
+	s = newStat(nil)
+	if s.N != 0 {
+		t.Fatalf("empty stat = %+v", s)
+	}
+	s = newStat([]float64{5})
+	if s.Avg != 5 || s.N != 1 {
+		t.Fatalf("single stat = %+v", s)
+	}
+	s = newStat([]float64{1, 2, 3, 4, 5})
+	if s.Avg != 3 || s.CI90 <= 0 {
+		t.Fatalf("stat = %+v", s)
+	}
+}
+
+func TestFieldTrial(t *testing.T) {
+	res, err := FieldTrial(2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strategy switching keeps location flowing through GPS outages.
+	if res.ContinuityWithSwitching < 0.9 {
+		t.Errorf("continuity with switching = %v, want ≥ 0.9", res.ContinuityWithSwitching)
+	}
+	if res.ContinuityWithoutSwitching >= res.ContinuityWithSwitching {
+		t.Errorf("switching did not help: %v vs %v",
+			res.ContinuityWithSwitching, res.ContinuityWithoutSwitching)
+	}
+	// Every mixed-mode handover during a connection switches the phone
+	// off; none do in 2G-only mode (the field-trial fix).
+	if res.SwitchOffs3G != res.Handovers || res.Handovers == 0 {
+		t.Errorf("3G switch-offs = %d of %d", res.SwitchOffs3G, res.Handovers)
+	}
+	if res.SwitchOffs2GOnly != 0 {
+		t.Errorf("2G-only switch-offs = %d, want 0", res.SwitchOffs2GOnly)
+	}
+	if !strings.Contains(res.String(), "location continuity") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestHopSweep(t *testing.T) {
+	res, err := HopSweep(5, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Latency and energy grow monotonically with hops (≈ linear).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].LatencyMs.Avg <= res.Rows[i-1].LatencyMs.Avg {
+			t.Errorf("latency not monotone at %d hops: %v → %v",
+				res.Rows[i].Hops, res.Rows[i-1].LatencyMs.Avg, res.Rows[i].LatencyMs.Avg)
+		}
+		if res.Rows[i].EnergyJ.Avg <= res.Rows[i-1].EnergyJ.Avg {
+			t.Errorf("energy not monotone at %d hops", res.Rows[i].Hops)
+		}
+	}
+	// Per-hop marginal latency ≈ 661 ms (Table 1 extrapolated).
+	marginal := (res.Rows[4].LatencyMs.Avg - res.Rows[0].LatencyMs.Avg) / 4
+	within(t, "marginal hop latency", marginal, 661.22, 10)
+	// Crossovers: UMTS ≈ 1473 ms is beaten by WiFi through 2 hops and
+	// loses at 3; energy crossover is far beyond 5 hops (14 J vs ≈ 0.9/hop).
+	if res.LatencyCrossoverHops != 3 {
+		t.Errorf("latency crossover = %d hops, want 3", res.LatencyCrossoverHops)
+	}
+	if res.EnergyCrossoverHops != 0 {
+		t.Errorf("energy crossover = %d hops, want beyond the sweep", res.EnergyCrossoverHops)
+	}
+	if !strings.Contains(res.String(), "crossover") {
+		t.Error("rendering broken")
+	}
+}

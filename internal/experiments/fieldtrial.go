@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/query"
+	"contory/internal/trace"
+)
+
+// FieldTrialResult reproduces the §3 field-trial findings that motivated
+// Contory's design: BT-GPS disconnections (≈ 1/hour) fragment location
+// traces unless provisioning can switch strategies, and 2G/3G handovers
+// during active UMTS connections switch the phone off unless it is pinned
+// to 2G mode.
+type FieldTrialResult struct {
+	// Hours is the simulated sail duration.
+	Hours int
+	// GPSOutages is the number of injected BT-GPS disconnections.
+	GPSOutages int
+	// ContinuityWithSwitching / WithoutSwitching is the fraction of
+	// 30-second reporting slots that produced a location item.
+	ContinuityWithSwitching    float64
+	ContinuityWithoutSwitching float64
+	// Handovers is the number of injected 2G/3G handovers while a UMTS
+	// connection was active.
+	Handovers int
+	// SwitchOffs3G is how many of them switched the phone off in mixed
+	// 2G/3G mode; SwitchOffs2GOnly the same with the radio pinned to 2G.
+	SwitchOffs3G     int
+	SwitchOffs2GOnly int
+}
+
+// String renders the findings.
+func (r FieldTrialResult) String() string {
+	t := &trace.Table{
+		Title:   fmt.Sprintf("Field-trial findings reproduced (§3): %d-hour sail, %d GPS outages", r.Hours, r.GPSOutages),
+		Headers: []string{"Finding", "Configuration", "Result"},
+	}
+	t.Add("location continuity", "strategy switching ON",
+		fmt.Sprintf("%.0f%% of slots", 100*r.ContinuityWithSwitching))
+	t.Add("location continuity", "strategy switching OFF",
+		fmt.Sprintf("%.0f%% of slots", 100*r.ContinuityWithoutSwitching))
+	t.Add("handover switch-offs", "mixed 2G/3G mode",
+		fmt.Sprintf("%d of %d handovers", r.SwitchOffs3G, r.Handovers))
+	t.Add("handover switch-offs", "2G-only mode",
+		fmt.Sprintf("%d of %d handovers", r.SwitchOffs2GOnly, r.Handovers))
+	return t.String()
+}
+
+// FieldTrial simulates the DYNAMOS regatta conditions: a boat reporting
+// location every 30 s for several hours while its BT-GPS disconnects about
+// once per hour (for a few minutes each time), with and without Contory's
+// dynamic strategy switching; plus a handover study in both radio modes.
+func FieldTrial(hours int, seed int64) (FieldTrialResult, error) {
+	if hours <= 0 {
+		hours = 2
+	}
+	res := FieldTrialResult{Hours: hours, GPSOutages: hours}
+
+	// Location continuity with and without strategy switching.
+	for _, switching := range []bool{true, false} {
+		tb, err := NewTestbed(seed)
+		if err != nil {
+			return res, err
+		}
+		tb.Factory.SetFailoverEnabled(switching)
+		// The buddy boat's position is available in the ad hoc network.
+		tb.Peer.WiFi.PublishTag("location", cxt.Item{
+			Type: cxt.TypeLocation, Value: cxt.Fix{Lat: 60.17, Lon: 24.94},
+			Timestamp: tb.Clock.Now(), Lifetime: 24 * time.Hour,
+		}, 0)
+		cli := &collectClient{}
+		q := query.MustParse(fmt.Sprintf("SELECT location DURATION %d hour EVERY 30 sec", hours+1))
+		if _, err := tb.Factory.ProcessCxtQuery(q, cli); err != nil {
+			return res, err
+		}
+		// One ~4-minute GPS outage per hour, mid-hour.
+		for h := 0; h < hours; h++ {
+			at := time.Duration(h)*time.Hour + 30*time.Minute
+			tb.Clock.After(at, func() { tb.GPS.SetFailed(true) })
+			tb.Clock.After(at+4*time.Minute, func() { tb.GPS.SetFailed(false) })
+		}
+		tb.Clock.Advance(time.Duration(hours) * time.Hour)
+		slots := hours * 120 // 30-second slots
+		continuity := float64(len(cli.items)) / float64(slots)
+		if continuity > 1 {
+			continuity = 1
+		}
+		if switching {
+			res.ContinuityWithSwitching = continuity
+		} else {
+			res.ContinuityWithoutSwitching = continuity
+		}
+	}
+
+	// Handover study: one handover during an active UMTS connection per
+	// hour, with the radio in mixed mode and pinned to 2G.
+	for _, twoGOnly := range []bool{false, true} {
+		tb, err := NewTestbed(seed + 7)
+		if err != nil {
+			return res, err
+		}
+		tb.Phone.UMTS.SetGSMRadio(true)
+		tb.Phone.UMTS.Set2GOnly(twoGOnly)
+		handovers := 0
+		for h := 0; h < hours; h++ {
+			// Open a connection (location upload) and hand over mid-cycle.
+			if _, err := tb.Phone.UMTS.Publish("location", cxt.Item{
+				Type: cxt.TypeLocation, Value: cxt.Fix{Lat: 60.1}, Timestamp: tb.Clock.Now(),
+			}); err != nil {
+				return res, err
+			}
+			tb.Clock.Advance(time.Second)
+			tb.Phone.UMTS.Handover()
+			handovers++
+			tb.Clock.Advance(10 * time.Minute) // reboot + idle
+		}
+		if twoGOnly {
+			res.SwitchOffs2GOnly = tb.Phone.UMTS.SwitchOffs()
+		} else {
+			res.SwitchOffs3G = tb.Phone.UMTS.SwitchOffs()
+			res.Handovers = handovers
+		}
+	}
+	return res, nil
+}

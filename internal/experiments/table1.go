@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/infra"
+	"contory/internal/provider"
+	"contory/internal/radio"
+	"contory/internal/refs"
+	"contory/internal/simnet"
+	"contory/internal/sm"
+	"contory/internal/trace"
+)
+
+// Table1Row is one latency measurement of Table 1.
+type Table1Row struct {
+	Entity    string
+	Operation string
+	Latency   Stat // milliseconds
+}
+
+// Table1Result is the reproduced Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+	// Extras reports the auxiliary §6.1 measurements: BT device/service
+	// discovery and WiFi route building.
+	Extras []Table1Row
+	// Breakdown is the SM latency break-up for a one-hop get.
+	Breakdown radio.Breakdown
+}
+
+// String renders the table in the paper's layout.
+func (r Table1Result) String() string {
+	t := &trace.Table{
+		Title:   "Table 1. Latency times of basic Contory operations (reproduced)",
+		Headers: []string{"Entity acts as", "Operation", "Elapsed time (msec) Avg [90% Conf]"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Entity, row.Operation, row.Latency.String())
+	}
+	out := t.String()
+	t2 := &trace.Table{
+		Title:   "\nAuxiliary measurements (§6.1)",
+		Headers: []string{"", "Operation", "Elapsed time (msec) Avg [90% Conf]"},
+	}
+	for _, row := range r.Extras {
+		t2.Add(row.Entity, row.Operation, row.Latency.String())
+	}
+	out += t2.String()
+	out += fmt.Sprintf("\nSM one-hop latency break-up: connection %.0f ms, serialization %.0f ms,\n"+
+		"thread switching %.0f ms, transfer %.0f ms (SM overhead negligible)\n",
+		float64(r.Breakdown.Connection)/1e6, float64(r.Breakdown.Serialize)/1e6,
+		float64(r.Breakdown.Thread)/1e6, float64(r.Breakdown.Transfer)/1e6)
+	return out
+}
+
+// Table1 measures the latency of createCxtItem, publishCxtItem (BT, WiFi,
+// UMTS), createCxtQuery and getCxtItem (BT one hop; WiFi one and two hops;
+// UMTS) over `rounds` repetitions, end to end through the middleware stack.
+func Table1(rounds int, seed int64) (Table1Result, error) {
+	if rounds <= 0 {
+		rounds = 10
+	}
+	tb, err := NewTestbed(seed)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	clk := tb.Clock
+	var res Table1Result
+
+	item := cxt.Item{Type: cxt.TypeLight, Value: 420.0, Timestamp: clk.Now()} // 136-byte lightItem
+
+	// Local CPU operations: sampled from the calibrated model.
+	cpu := radio.NewSampler(seed + 1)
+	var createItem, createQuery []time.Duration
+	for i := 0; i < rounds; i++ {
+		createItem = append(createItem, cpu.Jittered(radio.CreateItemLatency, radio.CreateItemJitter))
+		createQuery = append(createQuery, cpu.Jittered(radio.CreateQueryLatency, radio.CreateQueryJitter))
+	}
+
+	// publishCxtItem over BT: SDDB service registration on the provider.
+	var btPub []time.Duration
+	for i := 0; i < rounds; i++ {
+		d := tb.Peer.BT.RegisterService(refs.ServiceRecord{Name: "light", Item: item}, nil)
+		btPub = append(btPub, d)
+		clk.Advance(time.Second)
+		tb.Peer.BT.UnregisterService("light")
+	}
+
+	// publishCxtItem over WiFi: SM tag creation.
+	var wifiPub []time.Duration
+	for i := 0; i < rounds; i++ {
+		wifiPub = append(wifiPub, tb.Peer.WiFi.PublishTag("light", item, 0))
+	}
+
+	// publishCxtItem to the infrastructure over UMTS.
+	var umtsPub []time.Duration
+	for i := 0; i < rounds; i++ {
+		d, err := tb.Peer.UMTS.Publish(infra.ChannelWeather, item)
+		if err != nil {
+			return res, fmt.Errorf("experiments: umts publish: %v", err)
+		}
+		umtsPub = append(umtsPub, d)
+		clk.Advance(time.Minute)
+	}
+
+	// getCxtItem over BT, one hop (discovery already done).
+	tb.Peer.BT.RegisterService(refs.ServiceRecord{Name: "light", Item: item}, nil)
+	clk.Advance(time.Second)
+	var btGet []time.Duration
+	for i := 0; i < rounds; i++ {
+		start := clk.Now()
+		var done time.Time
+		tb.Phone.BT.Get("peer", "light", func(cxt.Item, error) { done = clk.Now() })
+		clk.Advance(5 * time.Second)
+		if done.IsZero() {
+			return res, fmt.Errorf("experiments: bt get %d did not finish", i)
+		}
+		btGet = append(btGet, done.Sub(start))
+	}
+
+	// getCxtItem over WiFi: one and two hops (routes pre-built; the paper
+	// reports post-route latency and route build separately).
+	tb.Peer.WiFi.PublishTag("light1", item, 0)
+	tb.Far.WiFi.PublishTag("light2", item, 0)
+	oneHop, routeBuild1, err := wifiGetSeries(tb, "light1", 1, rounds)
+	if err != nil {
+		return res, err
+	}
+	twoHop, routeBuild2, err := wifiGetSeries(tb, "light2", 2, rounds)
+	if err != nil {
+		return res, err
+	}
+
+	// getCxtItem over UMTS (on-demand extInfra).
+	if _, err := tb.Peer.UMTS.Publish(infra.ChannelWeather, item); err != nil {
+		return res, err
+	}
+	clk.Advance(30 * time.Second)
+	var umtsGet []time.Duration
+	for i := 0; i < rounds; i++ {
+		start := clk.Now()
+		var done time.Time
+		tb.Phone.UMTS.Request(provider.InfraOpGetItem,
+			provider.InfraQuery{Select: cxt.TypeLight}, 0,
+			func(any, error) { done = clk.Now() })
+		clk.Advance(10 * time.Second)
+		if done.IsZero() {
+			return res, fmt.Errorf("experiments: umts get %d did not finish", i)
+		}
+		umtsGet = append(umtsGet, done.Sub(start))
+		clk.Advance(time.Minute)
+	}
+
+	// BT discovery extras.
+	var btDisc, btSDP []time.Duration
+	for i := 0; i < rounds; i++ {
+		start := clk.Now()
+		var done time.Time
+		tb.Phone.BT.Discover(func([]simnet.NodeID) { done = clk.Now() })
+		clk.Advance(30 * time.Second)
+		btDisc = append(btDisc, done.Sub(start))
+		start = clk.Now()
+		var sdpDone time.Time
+		tb.Phone.BT.DiscoverServices("peer", func([]string, error) { sdpDone = clk.Now() })
+		clk.Advance(10 * time.Second)
+		btSDP = append(btSDP, sdpDone.Sub(start))
+	}
+
+	mk := func(entity, op string, ds []time.Duration) Table1Row {
+		return Table1Row{Entity: entity, Operation: op, Latency: newStat(durationsToMs(ds))}
+	}
+	res.Rows = []Table1Row{
+		mk("ContextProvider", "createCxtItem", createItem),
+		mk("", "adHocNetwork, BT-based: publishCxtItem", btPub),
+		mk("", "adHocNetwork, WiFi-based: publishCxtItem", wifiPub),
+		mk("", "extInfra, UMTS-based: publishCxtItem", umtsPub),
+		mk("ContextRequester", "createCxtQuery", createQuery),
+		mk("", "adHocNetwork, BT-based, one hop: getCxtItem", btGet),
+		mk("", "adHocNetwork, WiFi-based, one hop: getCxtItem", oneHop),
+		mk("", "adHocNetwork, WiFi-based, two hops: getCxtItem", twoHop),
+		mk("", "extInfra, UMTS-based: getCxtItem", umtsGet),
+	}
+	res.Extras = []Table1Row{
+		mk("", "BT device discovery", btDisc),
+		mk("", "BT service discovery", btSDP),
+		mk("", "WiFi route build, one hop", routeBuild1),
+		mk("", "WiFi route build, two hops", routeBuild2),
+	}
+	res.Breakdown = tb.Phone.RadioWiFi.Split(avgDur(oneHop))
+	return res, nil
+}
+
+// wifiGetSeries measures `rounds` SM-FINDER round trips at the given hop
+// count, separating the first round's route-building cost.
+func wifiGetSeries(tb *Testbed, tag string, hops, rounds int) (gets, routeBuilds []time.Duration, err error) {
+	clk := tb.Clock
+	// First query pays route building: measure it as (first - typical).
+	var first time.Duration
+	for i := 0; i < rounds+1; i++ {
+		start := clk.Now()
+		var done time.Time
+		tb.Phone.WiFi.Query(sm.FinderSpec{TagName: tag, MaxHops: hops}, func([]sm.Result, error) {
+			done = clk.Now()
+		})
+		clk.Advance(time.Minute)
+		if done.IsZero() {
+			return nil, nil, fmt.Errorf("experiments: wifi get (%d hops) round %d did not finish", hops, i)
+		}
+		d := done.Sub(start)
+		if i == 0 {
+			first = d
+			continue
+		}
+		gets = append(gets, d)
+	}
+	routeBuilds = append(routeBuilds, first-avgDur(gets))
+	return gets, routeBuilds, nil
+}
+
+func avgDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}

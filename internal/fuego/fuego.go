@@ -1,0 +1,422 @@
+// Package fuego re-implements the event-based communication layer the
+// paper's 2G/3GReference builds on: the Fuego middleware — a distributed
+// event framework with an XML-based messaging service — running between
+// phones and a remote infrastructure server over the simulated UMTS medium.
+//
+// Context items and queries travelling this path are encapsulated in event
+// notifications of 1696 bytes (§6.1), pay UMTS's highly variable latency
+// (703–2766 ms), and charge the phone the full connection-open / transfer /
+// radio-tail power cycle of Fig. 4.
+package fuego
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"contory/internal/energy"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+)
+
+// Message kinds on the UMTS medium.
+const (
+	kindNotify    = "fuego-notify"
+	kindPublish   = "fuego-publish"
+	kindSubscribe = "fuego-subscribe"
+	kindUnsub     = "fuego-unsubscribe"
+	kindRequest   = "fuego-request"
+	kindReply     = "fuego-reply"
+)
+
+// Errors returned by the event layer.
+var (
+	ErrNoServer       = errors.New("fuego: server unreachable")
+	ErrRequestTimeout = errors.New("fuego: request timed out")
+	ErrNoHandler      = errors.New("fuego: no request handler registered")
+)
+
+// Notification is one event delivered to subscribers.
+type Notification struct {
+	Channel string
+	Payload any
+	// At is the virtual delivery time.
+	At time.Time
+}
+
+// WireSize is the serialized size of an event notification (1696 B, §6.1).
+func (n Notification) WireSize() int { return radio.UMTSEventBytes }
+
+// Request is an on-demand query sent to the infrastructure.
+type Request struct {
+	ID      string
+	From    simnet.NodeID
+	Op      string // operation name, dispatched by the server's handler
+	Payload any
+}
+
+// Server is the infrastructure-side event broker: channels, subscriptions
+// and request dispatch. It lives on an infrastructure node that phones
+// reach over UMTS.
+type Server struct {
+	net  *simnet.Network
+	node *simnet.Node
+	umts *radio.UMTS
+
+	mu        sync.Mutex
+	subs      map[string]map[simnet.NodeID]bool // channel → subscribers
+	handlers  map[string]func(Request) (any, error)
+	consumers map[string]func(simnet.NodeID, any) // server-side channel taps
+	events    int
+}
+
+// NewServer installs the event broker on the given (existing) node.
+func NewServer(nw *simnet.Network, id simnet.NodeID, umts *radio.UMTS) (*Server, error) {
+	node := nw.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("fuego: %w: %s", simnet.ErrUnknownNode, id)
+	}
+	s := &Server{
+		net:       nw,
+		node:      node,
+		umts:      umts,
+		subs:      make(map[string]map[simnet.NodeID]bool),
+		handlers:  make(map[string]func(Request) (any, error)),
+		consumers: make(map[string]func(simnet.NodeID, any)),
+	}
+	node.Handle(kindSubscribe, s.onSubscribe)
+	node.Handle(kindUnsub, s.onUnsubscribe)
+	node.Handle(kindPublish, s.onPublish)
+	node.Handle(kindRequest, s.onRequest)
+	return s, nil
+}
+
+// ID returns the server's node id.
+func (s *Server) ID() simnet.NodeID { return s.node.ID() }
+
+// HandleRequest registers the handler for an on-demand operation.
+func (s *Server) HandleRequest(op string, h func(Request) (any, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[op] = h
+}
+
+// HandleChannel installs a server-side consumer for events published on a
+// channel (e.g. the infrastructure storing every incoming context item).
+// Consumers run in addition to subscriber fan-out.
+func (s *Server) HandleChannel(channel string, h func(from simnet.NodeID, payload any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consumers[channel] = h
+}
+
+// Subscribers returns the subscriber ids of a channel, sorted.
+func (s *Server) Subscribers(channel string) []simnet.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []simnet.NodeID
+	for id := range s.subs[channel] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Events returns the number of events routed through the broker.
+func (s *Server) Events() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+func (s *Server) onSubscribe(m simnet.Message) {
+	ch, ok := m.Payload.(string)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subs[ch] == nil {
+		s.subs[ch] = make(map[simnet.NodeID]bool)
+	}
+	s.subs[ch][m.From] = true
+}
+
+func (s *Server) onUnsubscribe(m simnet.Message) {
+	ch, ok := m.Payload.(string)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs[ch], m.From)
+}
+
+// publishEnvelope is the wire form of a published event.
+type publishEnvelope struct {
+	Channel string
+	Payload any
+}
+
+func (s *Server) onPublish(m simnet.Message) {
+	env, ok := m.Payload.(publishEnvelope)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.events++
+	consumer := s.consumers[env.Channel]
+	var targets []simnet.NodeID
+	for id := range s.subs[env.Channel] {
+		if id != m.From {
+			targets = append(targets, id)
+		}
+	}
+	s.mu.Unlock()
+	if consumer != nil {
+		consumer(m.From, env.Payload)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, to := range targets {
+		n := Notification{Channel: env.Channel, Payload: env.Payload}
+		// Downlink notification: half a UMTS round trip.
+		_ = s.net.Send(simnet.Message{
+			From:    s.node.ID(),
+			To:      to,
+			Medium:  radio.MediumUMTS,
+			Kind:    kindNotify,
+			Payload: n,
+			Bytes:   n.WireSize(),
+		}, s.umts.GetLatency()/2)
+	}
+}
+
+// replyEnvelope carries a request's answer back to the client.
+type replyEnvelope struct {
+	ID      string
+	Payload any
+	Err     string
+}
+
+func (s *Server) onRequest(m simnet.Message) {
+	req, ok := m.Payload.(Request)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	h := s.handlers[req.Op]
+	s.events++
+	s.mu.Unlock()
+	rep := replyEnvelope{ID: req.ID}
+	if h == nil {
+		rep.Err = ErrNoHandler.Error() + ": " + req.Op
+	} else {
+		out, err := h(req)
+		if err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Payload = out
+		}
+	}
+	_ = s.net.Send(simnet.Message{
+		From:    s.node.ID(),
+		To:      req.From,
+		Medium:  radio.MediumUMTS,
+		Kind:    kindReply,
+		Payload: rep,
+		Bytes:   radio.UMTSEventBytes,
+	}, s.umts.GetLatency()/2)
+}
+
+// Client is the phone-side endpoint of the event framework.
+type Client struct {
+	net    *simnet.Network
+	node   *simnet.Node
+	server simnet.NodeID
+	umts   *radio.UMTS
+
+	mu      sync.Mutex
+	nextID  int
+	pending map[string]func(any, error)
+	subs    map[string]func(Notification)
+}
+
+// NewClient installs the event client on the given node, pointed at the
+// server.
+func NewClient(nw *simnet.Network, id, server simnet.NodeID, umts *radio.UMTS) (*Client, error) {
+	node := nw.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("fuego: %w: %s", simnet.ErrUnknownNode, id)
+	}
+	c := &Client{
+		net:     nw,
+		node:    node,
+		server:  server,
+		umts:    umts,
+		pending: make(map[string]func(any, error)),
+		subs:    make(map[string]func(Notification)),
+	}
+	node.Handle(kindNotify, c.onNotify)
+	node.Handle(kindReply, c.onReply)
+	return c, nil
+}
+
+// chargeConnection applies one UMTS connection power cycle (connection-open
+// peak, transfer, radio tail) to the phone for a transfer of duration d.
+func (c *Client) chargeConnection(d time.Duration) {
+	ws := []radio.PowerWindow{
+		{Label: "umts-conn-open", MW: energy.Milliwatts(radio.UMTSConnOpenPower), Dur: radio.UMTSConnOpenWindow},
+		{Label: "umts-transfer", MW: energy.Milliwatts(radio.UMTSTransferPower), Offset: radio.UMTSConnOpenWindow, Dur: d},
+		{Label: "umts-tail", MW: energy.Milliwatts(radio.UMTSTailPower), Offset: radio.UMTSConnOpenWindow + d, Dur: radio.UMTSTailWindow},
+	}
+	radio.ApplyWindows(c.node.Timeline(), c.net.Clock().Now(), ws)
+}
+
+// Publish pushes an event-encapsulated payload to the infrastructure
+// (772.7 ms average uplink, Table 1) and returns the sampled uplink latency.
+func (c *Client) Publish(channel string, payload any) (time.Duration, error) {
+	d := c.umts.PublishLatency()
+	err := c.net.Send(simnet.Message{
+		From:    c.node.ID(),
+		To:      c.server,
+		Medium:  radio.MediumUMTS,
+		Kind:    kindPublish,
+		Payload: publishEnvelope{Channel: channel, Payload: payload},
+		Bytes:   radio.UMTSEventBytes,
+	}, d)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoServer, err)
+	}
+	c.chargeConnection(d)
+	return d, nil
+}
+
+// Subscribe registers for a channel's notifications.
+func (c *Client) Subscribe(channel string, h func(Notification)) error {
+	c.mu.Lock()
+	c.subs[channel] = h
+	c.mu.Unlock()
+	d := c.umts.PublishLatency()
+	err := c.net.Send(simnet.Message{
+		From:    c.node.ID(),
+		To:      c.server,
+		Medium:  radio.MediumUMTS,
+		Kind:    kindSubscribe,
+		Payload: channel,
+		Bytes:   radio.QueryBytes,
+	}, d)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoServer, err)
+	}
+	c.chargeConnection(d)
+	return nil
+}
+
+// Unsubscribe cancels a channel subscription.
+func (c *Client) Unsubscribe(channel string) error {
+	c.mu.Lock()
+	delete(c.subs, channel)
+	c.mu.Unlock()
+	err := c.net.Send(simnet.Message{
+		From:    c.node.ID(),
+		To:      c.server,
+		Medium:  radio.MediumUMTS,
+		Kind:    kindUnsub,
+		Payload: channel,
+		Bytes:   radio.QueryBytes,
+	}, c.umts.PublishLatency())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoServer, err)
+	}
+	return nil
+}
+
+// Request performs an on-demand operation against the infrastructure. The
+// callback receives the reply payload or an error; timeout 0 uses a default
+// of twice the worst-case UMTS round trip.
+func (c *Client) Request(op string, payload any, timeout time.Duration, done func(any, error)) error {
+	c.mu.Lock()
+	c.nextID++
+	id := fmt.Sprintf("%s-req-%d", c.node.ID(), c.nextID)
+	completed := false
+	finish := func(v any, err error) {
+		if completed {
+			return
+		}
+		completed = true
+		done(v, err)
+	}
+	c.pending[id] = finish
+	c.mu.Unlock()
+
+	if timeout <= 0 {
+		timeout = 2 * radio.UMTSGetLatencyMax
+	}
+	c.net.Clock().After(timeout, func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		finish(nil, ErrRequestTimeout)
+	})
+
+	// Uplink: half a sampled round trip; the reply pays the other half.
+	d := c.umts.GetLatency() / 2
+	err := c.net.Send(simnet.Message{
+		From:    c.node.ID(),
+		To:      c.server,
+		Medium:  radio.MediumUMTS,
+		Kind:    kindRequest,
+		Payload: Request{ID: id, From: c.node.ID(), Op: op, Payload: payload},
+		Bytes:   radio.UMTSEventBytes,
+	}, d)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		finish(nil, fmt.Errorf("%w: %v", ErrNoServer, err))
+		return nil
+	}
+	c.chargeConnection(2 * d)
+	return nil
+}
+
+func (c *Client) onNotify(m simnet.Message) {
+	n, ok := m.Payload.(Notification)
+	if !ok {
+		return
+	}
+	n.At = c.net.Clock().Now()
+	c.mu.Lock()
+	h := c.subs[n.Channel]
+	c.mu.Unlock()
+	if h != nil {
+		// Receiving a notification wakes the radio briefly.
+		c.node.Timeline().AddWindow("umts-notify",
+			energy.Milliwatts(radio.UMTSTransferPower), 500*time.Millisecond)
+		h(n)
+	}
+}
+
+func (c *Client) onReply(m simnet.Message) {
+	rep, ok := m.Payload.(replyEnvelope)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	finish := c.pending[rep.ID]
+	delete(c.pending, rep.ID)
+	c.mu.Unlock()
+	if finish == nil {
+		return // late reply after timeout
+	}
+	if rep.Err != "" {
+		finish(nil, errors.New(rep.Err))
+		return
+	}
+	finish(rep.Payload, nil)
+}
+
+// Node returns the client's simnet node.
+func (c *Client) Node() *simnet.Node { return c.node }

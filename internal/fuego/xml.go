@@ -1,0 +1,69 @@
+package fuego
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+)
+
+// Envelope is the XML wire form of an event notification, mirroring Fuego's
+// XML-based messaging service. Payloads crossing the UMTS link are
+// marshalled into this envelope and padded to the measured 1696-byte
+// notification size.
+type Envelope struct {
+	XMLName xml.Name `xml:"event"`
+	Channel string   `xml:"channel"`
+	Type    string   `xml:"type"`
+	Value   string   `xml:"value"`
+	Time    string   `xml:"time"`
+	Padding string   `xml:"padding,omitempty"`
+}
+
+// EncodeEnvelope marshals an event into its padded XML form.
+func EncodeEnvelope(channel, typ, value string, at time.Time) ([]byte, error) {
+	env := Envelope{
+		Channel: channel,
+		Type:    typ,
+		Value:   value,
+		Time:    at.Format(time.RFC3339Nano),
+	}
+	raw, err := xml.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("fuego: marshal envelope: %v", err)
+	}
+	if pad := 1696 - len(raw); pad > 0 {
+		env.Padding = makePadding(pad)
+		raw, err = xml.Marshal(env)
+		if err != nil {
+			return nil, fmt.Errorf("fuego: marshal padded envelope: %v", err)
+		}
+		// The padding element adds its own tags; trim the pad content so
+		// the total lands exactly on the wire size.
+		overshoot := len(raw) - 1696
+		if overshoot > 0 && len(env.Padding) > overshoot {
+			env.Padding = env.Padding[:len(env.Padding)-overshoot]
+			raw, err = xml.Marshal(env)
+			if err != nil {
+				return nil, fmt.Errorf("fuego: marshal trimmed envelope: %v", err)
+			}
+		}
+	}
+	return raw, nil
+}
+
+// DecodeEnvelope unmarshals an event envelope.
+func DecodeEnvelope(raw []byte) (Envelope, error) {
+	var env Envelope
+	if err := xml.Unmarshal(raw, &env); err != nil {
+		return Envelope{}, fmt.Errorf("fuego: unmarshal envelope: %v", err)
+	}
+	return env, nil
+}
+
+func makePadding(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'x'
+	}
+	return string(b)
+}

@@ -1,0 +1,186 @@
+// Package gps simulates the Bluetooth GPS receiver of the paper's testbed
+// (an InsSirf III): NMEA 0183 sentence generation and parsing, and a
+// simulated device that streams position bursts at 1 Hz over the BT medium
+// with scriptable failures (the field trials saw roughly one BT
+// disconnection per hour).
+package gps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"contory/internal/cxt"
+)
+
+// ErrBadSentence reports an unparsable or checksum-failing NMEA sentence.
+var ErrBadSentence = errors.New("gps: bad NMEA sentence")
+
+// Checksum computes the NMEA checksum (XOR of all bytes between '$' and
+// '*').
+func Checksum(body string) byte {
+	var cs byte
+	for i := 0; i < len(body); i++ {
+		cs ^= body[i]
+	}
+	return cs
+}
+
+// FormatRMC renders a $GPRMC sentence for the fix at the given time.
+func FormatRMC(fix cxt.Fix, at time.Time) string {
+	body := fmt.Sprintf("GPRMC,%s,A,%s,%s,%06.2f,%06.2f,%s,,",
+		at.Format("150405"),
+		formatLat(fix.Lat), formatLon(fix.Lon),
+		fix.SpeedKn, fix.Course,
+		at.Format("020106"))
+	return fmt.Sprintf("$%s*%02X", body, Checksum(body))
+}
+
+// FormatGGA renders a $GPGGA sentence for the fix at the given time.
+func FormatGGA(fix cxt.Fix, at time.Time) string {
+	body := fmt.Sprintf("GPGGA,%s,%s,%s,1,08,0.9,5.0,M,0.0,M,,",
+		at.Format("150405"),
+		formatLat(fix.Lat), formatLon(fix.Lon))
+	return fmt.Sprintf("$%s*%02X", body, Checksum(body))
+}
+
+// Burst renders the per-second NMEA burst the receiver ships over BT. The
+// paper measures GPS-NMEA data at 340 bytes per sample; the burst is padded
+// with $GPGSV filler sentences to that size.
+func Burst(fix cxt.Fix, at time.Time) string {
+	var b strings.Builder
+	b.WriteString(FormatRMC(fix, at))
+	b.WriteString("\r\n")
+	b.WriteString(FormatGGA(fix, at))
+	b.WriteString("\r\n")
+	// Pad with satellite-in-view filler to the measured burst size.
+	for b.Len() < BurstBytes {
+		body := "GPGSV,3,1,12,02,45,120,40,05,30,200,35,12,60,050,42,25,15,310,30"
+		s := fmt.Sprintf("$%s*%02X\r\n", body, Checksum(body))
+		remaining := BurstBytes - b.Len()
+		if remaining < len(s) {
+			b.WriteString(s[:remaining])
+			break
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// BurstBytes is the size of one GPS-NMEA sample (340 B in §6.1).
+const BurstBytes = 340
+
+// ParseRMC parses a $GPRMC sentence back into a fix, verifying the
+// checksum.
+func ParseRMC(sentence string) (cxt.Fix, error) {
+	body, err := checkFrame(sentence)
+	if err != nil {
+		return cxt.Fix{}, err
+	}
+	fields := strings.Split(body, ",")
+	if len(fields) < 10 || fields[0] != "GPRMC" {
+		return cxt.Fix{}, fmt.Errorf("%w: not a GPRMC sentence", ErrBadSentence)
+	}
+	if fields[2] != "A" {
+		return cxt.Fix{}, fmt.Errorf("%w: fix not valid (status %q)", ErrBadSentence, fields[2])
+	}
+	lat, err := parseCoord(fields[3], fields[4], 2)
+	if err != nil {
+		return cxt.Fix{}, err
+	}
+	lon, err := parseCoord(fields[5], fields[6], 3)
+	if err != nil {
+		return cxt.Fix{}, err
+	}
+	speed, err := strconv.ParseFloat(fields[7], 64)
+	if err != nil {
+		return cxt.Fix{}, fmt.Errorf("%w: speed: %v", ErrBadSentence, err)
+	}
+	course, err := strconv.ParseFloat(fields[8], 64)
+	if err != nil {
+		return cxt.Fix{}, fmt.Errorf("%w: course: %v", ErrBadSentence, err)
+	}
+	return cxt.Fix{Lat: lat, Lon: lon, SpeedKn: speed, Course: course}, nil
+}
+
+// ParseBurst extracts the fix from a burst (its RMC sentence).
+func ParseBurst(burst string) (cxt.Fix, error) {
+	for _, line := range strings.Split(burst, "\r\n") {
+		if strings.HasPrefix(line, "$GPRMC") {
+			return ParseRMC(line)
+		}
+	}
+	return cxt.Fix{}, fmt.Errorf("%w: burst has no GPRMC sentence", ErrBadSentence)
+}
+
+// checkFrame strips $...*CS framing and validates the checksum.
+func checkFrame(sentence string) (string, error) {
+	if len(sentence) < 4 || sentence[0] != '$' {
+		return "", fmt.Errorf("%w: missing frame", ErrBadSentence)
+	}
+	star := strings.LastIndexByte(sentence, '*')
+	if star < 0 || star+3 > len(sentence) {
+		return "", fmt.Errorf("%w: missing checksum", ErrBadSentence)
+	}
+	body := sentence[1:star]
+	want, err := strconv.ParseUint(sentence[star+1:star+3], 16, 8)
+	if err != nil {
+		return "", fmt.Errorf("%w: checksum: %v", ErrBadSentence, err)
+	}
+	if Checksum(body) != byte(want) {
+		return "", fmt.Errorf("%w: checksum mismatch", ErrBadSentence)
+	}
+	return body, nil
+}
+
+// formatLat renders ddmm.mmmm,N/S.
+func formatLat(deg float64) string {
+	hemi := "N"
+	if deg < 0 {
+		hemi = "S"
+		deg = -deg
+	}
+	d := math.Floor(deg)
+	m := (deg - d) * 60
+	return fmt.Sprintf("%02.0f%07.4f,%s", d, m, hemi)
+}
+
+// formatLon renders dddmm.mmmm,E/W.
+func formatLon(deg float64) string {
+	hemi := "E"
+	if deg < 0 {
+		hemi = "W"
+		deg = -deg
+	}
+	d := math.Floor(deg)
+	m := (deg - d) * 60
+	return fmt.Sprintf("%03.0f%07.4f,%s", d, m, hemi)
+}
+
+// parseCoord converts ddmm.mmmm (+ hemisphere) back to decimal degrees;
+// degDigits is 2 for latitude, 3 for longitude.
+func parseCoord(val, hemi string, degDigits int) (float64, error) {
+	if len(val) <= degDigits {
+		return 0, fmt.Errorf("%w: coordinate %q", ErrBadSentence, val)
+	}
+	d, err := strconv.ParseFloat(val[:degDigits], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: coordinate degrees: %v", ErrBadSentence, err)
+	}
+	m, err := strconv.ParseFloat(val[degDigits:], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: coordinate minutes: %v", ErrBadSentence, err)
+	}
+	deg := d + m/60
+	switch hemi {
+	case "N", "E":
+		return deg, nil
+	case "S", "W":
+		return -deg, nil
+	default:
+		return 0, fmt.Errorf("%w: hemisphere %q", ErrBadSentence, hemi)
+	}
+}

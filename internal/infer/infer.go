@@ -1,0 +1,275 @@
+// Package infer provides the reasoning mechanisms §4.3 allows CxtProviders
+// to incorporate: deriving higher-level context data from raw items.
+//
+// Two reasoners are provided:
+//
+//   - ActivityClassifier: derives the user's activity from a window of
+//     speed observations (GPS), for both pedestrian and sailing profiles.
+//   - SituationClassifier: matches a set of context items against
+//     rule-based situation definitions — the paper's example being
+//     <noise=medium, light=natural, activity=walking> ⇒ "walking outside".
+//
+// Both are deterministic and allocation-light so they can run inside a
+// provider on every sample.
+package infer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"contory/internal/cxt"
+)
+
+// Activity labels produced by the ActivityClassifier.
+const (
+	ActivityStill    = "still"
+	ActivityWalking  = "walking"
+	ActivityRunning  = "running"
+	ActivityDriving  = "driving"
+	ActivityAnchored = "anchored"
+	ActivityDrifting = "drifting"
+	ActivitySailing  = "sailing"
+	ActivityMotoring = "motoring"
+)
+
+// Profile selects the speed-to-activity mapping.
+type Profile int
+
+// Profiles.
+const (
+	// Pedestrian maps speeds (in km/h) to still/walking/running/driving.
+	Pedestrian Profile = iota + 1
+	// Sailing maps speeds (in knots) to anchored/drifting/sailing/motoring
+	// (the DYNAMOS domain).
+	Sailing
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	if p == Sailing {
+		return "sailing"
+	}
+	return "pedestrian"
+}
+
+// ActivityClassifier smooths speed observations over a sliding window and
+// classifies the current activity. The window suppresses GPS speed jitter
+// (single-sample classification flip-flops).
+type ActivityClassifier struct {
+	profile Profile
+
+	mu     sync.Mutex
+	window []float64
+	size   int
+}
+
+// NewActivityClassifier returns a classifier smoothing over windowSize
+// observations (minimum 1).
+func NewActivityClassifier(profile Profile, windowSize int) *ActivityClassifier {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	return &ActivityClassifier{profile: profile, size: windowSize}
+}
+
+// Observe adds a speed sample (km/h for Pedestrian, knots for Sailing).
+func (c *ActivityClassifier) Observe(speed float64) {
+	if speed < 0 {
+		speed = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.window = append(c.window, speed)
+	if len(c.window) > c.size {
+		c.window = c.window[len(c.window)-c.size:]
+	}
+}
+
+// Activity classifies the smoothed speed; ok is false before any
+// observation.
+func (c *ActivityClassifier) Activity() (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.window) == 0 {
+		return "", false
+	}
+	var sum float64
+	for _, v := range c.window {
+		sum += v
+	}
+	mean := sum / float64(len(c.window))
+	return classify(c.profile, mean), true
+}
+
+// Classify maps a single (already smoothed) speed to an activity label.
+func Classify(profile Profile, speed float64) string {
+	if speed < 0 {
+		speed = 0
+	}
+	return classify(profile, speed)
+}
+
+func classify(profile Profile, speed float64) string {
+	if profile == Sailing {
+		switch {
+		case speed < 0.5:
+			return ActivityAnchored
+		case speed < 2:
+			return ActivityDrifting
+		case speed < 8:
+			return ActivitySailing
+		default:
+			return ActivityMotoring
+		}
+	}
+	switch {
+	case speed < 0.5:
+		return ActivityStill
+	case speed < 7:
+		return ActivityWalking
+	case speed < 14:
+		return ActivityRunning
+	default:
+		return ActivityDriving
+	}
+}
+
+// Condition constrains one context type's value within a situation
+// definition. Exactly one of Symbol or the numeric range is used: Symbol
+// matches string values; otherwise the numeric value must fall in
+// [Min, Max] (use ±Inf-like wide bounds for one-sided constraints).
+type Condition struct {
+	Type   cxt.Type
+	Symbol string
+	Min    float64
+	Max    float64
+	// Optional marks conditions that raise confidence when satisfied but
+	// do not veto the situation when the item is missing.
+	Optional bool
+}
+
+// matches evaluates the condition against an item's value.
+func (c Condition) matches(it cxt.Item) bool {
+	if c.Symbol != "" {
+		s, ok := it.Value.(string)
+		return ok && s == c.Symbol
+	}
+	v, ok := it.NumericValue()
+	if !ok {
+		return false
+	}
+	return v >= c.Min && v <= c.Max
+}
+
+// Situation is a rule-based definition of a higher-level context: a label
+// plus the item conditions that characterize it.
+type Situation struct {
+	Name       string
+	Conditions []Condition
+}
+
+// Match is the result of classifying a set of items against a situation.
+type Match struct {
+	Situation string
+	// Confidence is the fraction of conditions satisfied (mandatory
+	// conditions must all hold; optional ones raise the score).
+	Confidence float64
+}
+
+// SituationClassifier matches item sets against situation definitions.
+type SituationClassifier struct {
+	mu         sync.Mutex
+	situations []Situation
+}
+
+// NewSituationClassifier returns a classifier with the given definitions.
+func NewSituationClassifier(defs ...Situation) (*SituationClassifier, error) {
+	seen := map[string]bool{}
+	for _, d := range defs {
+		if d.Name == "" {
+			return nil, fmt.Errorf("infer: situation needs a name")
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("infer: duplicate situation %q", d.Name)
+		}
+		if len(d.Conditions) == 0 {
+			return nil, fmt.Errorf("infer: situation %q needs conditions", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	sc := &SituationClassifier{situations: make([]Situation, len(defs))}
+	copy(sc.situations, defs)
+	return sc, nil
+}
+
+// Add installs another situation definition.
+func (sc *SituationClassifier) Add(s Situation) error {
+	if s.Name == "" || len(s.Conditions) == 0 {
+		return fmt.Errorf("infer: invalid situation definition")
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for _, existing := range sc.situations {
+		if existing.Name == s.Name {
+			return fmt.Errorf("infer: duplicate situation %q", s.Name)
+		}
+	}
+	sc.situations = append(sc.situations, s)
+	return nil
+}
+
+// Infer evaluates the items against every situation and returns matches
+// sorted by confidence (ties broken by name). Situations whose mandatory
+// conditions are not all satisfied are omitted.
+func (sc *SituationClassifier) Infer(items []cxt.Item) []Match {
+	byType := make(map[cxt.Type]cxt.Item, len(items))
+	for _, it := range items {
+		// Newest item per type wins.
+		if prev, ok := byType[it.Type]; !ok || it.Timestamp.After(prev.Timestamp) {
+			byType[it.Type] = it
+		}
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var out []Match
+	for _, s := range sc.situations {
+		satisfied, total := 0, len(s.Conditions)
+		ok := true
+		for _, c := range s.Conditions {
+			it, present := byType[c.Type]
+			holds := present && c.matches(it)
+			if holds {
+				satisfied++
+				continue
+			}
+			if !c.Optional {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Match{
+			Situation:  s.Name,
+			Confidence: float64(satisfied) / float64(total),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Situation < out[j].Situation
+	})
+	return out
+}
+
+// Best returns the highest-confidence match, if any.
+func (sc *SituationClassifier) Best(items []cxt.Item) (Match, bool) {
+	ms := sc.Infer(items)
+	if len(ms) == 0 {
+		return Match{}, false
+	}
+	return ms[0], true
+}

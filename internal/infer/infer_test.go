@@ -1,0 +1,250 @@
+package infer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"contory/internal/cxt"
+)
+
+var t0 = time.Date(2005, time.June, 10, 12, 0, 0, 0, time.UTC)
+
+func TestClassifyPedestrian(t *testing.T) {
+	tests := []struct {
+		speed float64
+		want  string
+	}{
+		{0, ActivityStill},
+		{0.4, ActivityStill},
+		{3, ActivityWalking},
+		{10, ActivityRunning},
+		{50, ActivityDriving},
+		{-5, ActivityStill}, // clamped
+	}
+	for _, tt := range tests {
+		if got := Classify(Pedestrian, tt.speed); got != tt.want {
+			t.Errorf("Classify(ped, %v) = %q, want %q", tt.speed, got, tt.want)
+		}
+	}
+}
+
+func TestClassifySailing(t *testing.T) {
+	tests := []struct {
+		speed float64
+		want  string
+	}{
+		{0.1, ActivityAnchored},
+		{1, ActivityDrifting},
+		{5, ActivitySailing},
+		{12, ActivityMotoring},
+	}
+	for _, tt := range tests {
+		if got := Classify(Sailing, tt.speed); got != tt.want {
+			t.Errorf("Classify(sail, %v) = %q, want %q", tt.speed, got, tt.want)
+		}
+	}
+}
+
+func TestActivityClassifierSmoothing(t *testing.T) {
+	c := NewActivityClassifier(Sailing, 5)
+	if _, ok := c.Activity(); ok {
+		t.Fatal("activity before any observation")
+	}
+	// Steady sailing with one GPS glitch to 12 kn: the window absorbs it.
+	for _, v := range []float64{5, 5.2, 12, 5.1, 4.9} {
+		c.Observe(v)
+	}
+	got, ok := c.Activity()
+	if !ok || got != ActivitySailing {
+		t.Fatalf("Activity = %q, %v; want sailing despite the glitch", got, ok)
+	}
+	// Sustained change wins through.
+	for _, v := range []float64{12, 13, 12.5, 12.8, 13.1} {
+		c.Observe(v)
+	}
+	if got, _ := c.Activity(); got != ActivityMotoring {
+		t.Fatalf("Activity = %q, want motoring", got)
+	}
+}
+
+func TestActivityClassifierWindowBound(t *testing.T) {
+	c := NewActivityClassifier(Pedestrian, 0) // clamped to 1
+	c.Observe(3)
+	c.Observe(100)
+	got, _ := c.Activity()
+	if got != ActivityDriving {
+		t.Fatalf("Activity = %q, want latest-only window", got)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if Pedestrian.String() != "pedestrian" || Sailing.String() != "sailing" {
+		t.Fatal("Profile strings broken")
+	}
+}
+
+// walkingOutside is the paper's §4.1 example situation.
+func walkingOutside() Situation {
+	return Situation{
+		Name: "walking outside",
+		Conditions: []Condition{
+			{Type: cxt.TypeNoise, Symbol: "medium"},
+			{Type: cxt.TypeLight, Symbol: "natural"},
+			{Type: cxt.TypeActivity, Symbol: ActivityWalking},
+		},
+	}
+}
+
+func item(typ cxt.Type, v any, age time.Duration) cxt.Item {
+	return cxt.Item{Type: typ, Value: v, Timestamp: t0.Add(age)}
+}
+
+func TestSituationPaperExample(t *testing.T) {
+	sc, err := NewSituationClassifier(walkingOutside())
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []cxt.Item{
+		item(cxt.TypeNoise, "medium", 0),
+		item(cxt.TypeLight, "natural", 0),
+		item(cxt.TypeActivity, ActivityWalking, 0),
+	}
+	best, ok := sc.Best(items)
+	if !ok || best.Situation != "walking outside" || best.Confidence != 1 {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+	// One mandatory condition off: no match.
+	items[2] = item(cxt.TypeActivity, ActivityDriving, 0)
+	if _, ok := sc.Best(items); ok {
+		t.Fatal("matched with wrong activity")
+	}
+}
+
+func TestSituationNumericRangesAndOptional(t *testing.T) {
+	sc, err := NewSituationClassifier(Situation{
+		Name: "good sailing weather",
+		Conditions: []Condition{
+			{Type: cxt.TypeWind, Min: 6, Max: 18},
+			{Type: cxt.TypeTemperature, Min: 10, Max: 30},
+			{Type: cxt.TypePressure, Min: 1000, Max: 1040, Optional: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mandatory conditions hold; the optional one is missing: matches with
+	// reduced confidence.
+	items := []cxt.Item{
+		item(cxt.TypeWind, 10.0, 0),
+		item(cxt.TypeTemperature, 18.0, 0),
+	}
+	best, ok := sc.Best(items)
+	if !ok || best.Confidence <= 0.6 || best.Confidence >= 1 {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+	// With the optional condition satisfied: full confidence.
+	items = append(items, item(cxt.TypePressure, 1015.0, 0))
+	best, _ = sc.Best(items)
+	if best.Confidence != 1 {
+		t.Fatalf("confidence = %v", best.Confidence)
+	}
+	// Out-of-range mandatory value vetoes.
+	items[0] = item(cxt.TypeWind, 30.0, 0)
+	if _, ok := sc.Best(items); ok {
+		t.Fatal("matched in a gale")
+	}
+	// Non-numeric value for a numeric condition vetoes.
+	items[0] = item(cxt.TypeWind, "breezy", 0)
+	if _, ok := sc.Best(items); ok {
+		t.Fatal("matched a symbolic wind against a numeric range")
+	}
+}
+
+func TestSituationNewestItemPerTypeWins(t *testing.T) {
+	sc, err := NewSituationClassifier(walkingOutside())
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []cxt.Item{
+		item(cxt.TypeNoise, "medium", 0),
+		item(cxt.TypeLight, "natural", 0),
+		item(cxt.TypeActivity, ActivityDriving, 0),           // stale
+		item(cxt.TypeActivity, ActivityWalking, time.Minute), // fresh
+	}
+	if _, ok := sc.Best(items); !ok {
+		t.Fatal("fresh activity item did not supersede the stale one")
+	}
+}
+
+func TestSituationRanking(t *testing.T) {
+	sc, err := NewSituationClassifier(
+		Situation{Name: "b-partial", Conditions: []Condition{
+			{Type: cxt.TypeNoise, Symbol: "medium"},
+			{Type: cxt.TypeLight, Symbol: "artificial", Optional: true},
+		}},
+		Situation{Name: "a-full", Conditions: []Condition{
+			{Type: cxt.TypeNoise, Symbol: "medium"},
+			{Type: cxt.TypeLight, Symbol: "natural", Optional: true},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []cxt.Item{
+		item(cxt.TypeNoise, "medium", 0),
+		item(cxt.TypeLight, "natural", 0),
+	}
+	ms := sc.Infer(items)
+	if len(ms) != 2 || ms[0].Situation != "a-full" || ms[1].Situation != "b-partial" {
+		t.Fatalf("Infer = %+v", ms)
+	}
+	if ms[0].Confidence <= ms[1].Confidence {
+		t.Fatalf("confidence ordering broken: %+v", ms)
+	}
+}
+
+func TestSituationValidation(t *testing.T) {
+	if _, err := NewSituationClassifier(Situation{}); err == nil {
+		t.Error("unnamed situation accepted")
+	}
+	if _, err := NewSituationClassifier(Situation{Name: "x"}); err == nil {
+		t.Error("condition-less situation accepted")
+	}
+	if _, err := NewSituationClassifier(walkingOutside(), walkingOutside()); err == nil {
+		t.Error("duplicate situation accepted")
+	}
+	sc, err := NewSituationClassifier(walkingOutside())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Add(walkingOutside()); err == nil {
+		t.Error("Add duplicate accepted")
+	}
+	if err := sc.Add(Situation{Name: "other", Conditions: []Condition{{Type: cxt.TypeWind, Min: 0, Max: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classification is monotone in speed — higher speed never maps
+// to a "slower" activity class.
+func TestClassifyMonotoneProperty(t *testing.T) {
+	rank := map[string]int{
+		ActivityStill: 0, ActivityWalking: 1, ActivityRunning: 2, ActivityDriving: 3,
+		ActivityAnchored: 0, ActivityDrifting: 1, ActivitySailing: 2, ActivityMotoring: 3,
+	}
+	prop := func(a, b uint16, sail bool) bool {
+		p := Pedestrian
+		if sail {
+			p = Sailing
+		}
+		s1, s2 := float64(a%300)/10, float64(b%300)/10
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return rank[Classify(p, s1)] <= rank[Classify(p, s2)]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

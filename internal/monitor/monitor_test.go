@@ -1,0 +1,151 @@
+package monitor
+
+import (
+	"testing"
+
+	"contory/internal/vclock"
+)
+
+func TestFailureRecoveryEvents(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	var events []Event
+	m.OnEvent(func(e Event) { events = append(events, e) })
+
+	m.ReportFailure("bt-gps-1", "link lost")
+	if !m.Failed("bt-gps-1") {
+		t.Fatal("resource not marked failed")
+	}
+	m.ReportFailure("bt-gps-1", "still down") // duplicate: no second event
+	m.ReportRecovery("bt-gps-1")
+	if m.Failed("bt-gps-1") {
+		t.Fatal("resource still failed after recovery")
+	}
+	m.ReportRecovery("bt-gps-1") // not failed: no event
+
+	if len(events) != 2 {
+		t.Fatalf("events = %d (%v), want 2", len(events), events)
+	}
+	if events[0].Kind != EventFailure || events[0].Resource != "bt-gps-1" || events[0].Reason != "link lost" {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != EventRecovery {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+	if !events[0].At.Equal(vclock.Epoch) {
+		t.Fatalf("event time = %v", events[0].At)
+	}
+}
+
+func TestFailedResourcesSorted(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	m.ReportFailure("wifi", "")
+	m.ReportFailure("bt-gps-1", "")
+	got := m.FailedResources()
+	if len(got) != 2 || got[0] != "bt-gps-1" || got[1] != "wifi" {
+		t.Fatalf("FailedResources = %v", got)
+	}
+}
+
+func TestBatteryLevelsAndLowPowerEvent(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	var events []Event
+	m.OnEvent(func(e Event) { events = append(events, e) })
+
+	if m.BatteryLevel() != LevelHigh {
+		t.Fatalf("fresh battery level = %v", m.BatteryLevel())
+	}
+	m.SetBattery(0.5)
+	if m.BatteryLevel() != LevelMedium {
+		t.Fatalf("level at 0.5 = %v", m.BatteryLevel())
+	}
+	m.SetBattery(0.1)
+	if m.BatteryLevel() != LevelLow {
+		t.Fatalf("level at 0.1 = %v", m.BatteryLevel())
+	}
+	if len(events) != 1 || events[0].Kind != EventLowPower {
+		t.Fatalf("events = %v, want one EventLowPower", events)
+	}
+	// Staying below the threshold does not re-emit.
+	m.SetBattery(0.05)
+	if len(events) != 1 {
+		t.Fatalf("events re-emitted: %v", events)
+	}
+	// Clamping.
+	m.SetBattery(-1)
+	m.SetBattery(2)
+	if m.BatteryLevel() != LevelHigh {
+		t.Fatalf("clamped level = %v", m.BatteryLevel())
+	}
+}
+
+func TestMemoryLevelsAndEvent(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	var events []Event
+	m.OnEvent(func(e Event) { events = append(events, e) })
+
+	if m.MemoryLevel() != LevelHigh {
+		t.Fatalf("fresh memory level = %v", m.MemoryLevel())
+	}
+	m.SetMemory(6<<20, 9<<20) // ~67 %
+	if m.MemoryLevel() != LevelMedium {
+		t.Fatalf("level = %v", m.MemoryLevel())
+	}
+	m.SetMemory(8<<20, 9<<20) // ~89 %
+	if m.MemoryLevel() != LevelLow {
+		t.Fatalf("level = %v", m.MemoryLevel())
+	}
+	if len(events) != 1 || events[0].Kind != EventLowMemory {
+		t.Fatalf("events = %v", events)
+	}
+	m.SetMemory(1, 0) // ignored
+}
+
+func TestAttributesSnapshot(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	m.SetBattery(0.1)
+	m.ReportFailure("bt-gps-1", "x")
+	attrs := m.Attributes()
+	if attrs["batteryLevel"] != "low" {
+		t.Fatalf("batteryLevel = %q", attrs["batteryLevel"])
+	}
+	if attrs["memoryLevel"] != "high" {
+		t.Fatalf("memoryLevel = %q", attrs["memoryLevel"])
+	}
+	if attrs["failed:bt-gps-1"] != "true" {
+		t.Fatalf("failed attr missing: %v", attrs)
+	}
+}
+
+func TestEventsHistoryCopied(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	m.ReportFailure("x", "")
+	evs := m.Events()
+	if len(evs) != 1 {
+		t.Fatalf("history = %v", evs)
+	}
+	evs[0].Resource = "mutated"
+	if m.Events()[0].Resource != "x" {
+		t.Fatal("Events exposes internal slice")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		EventFailure:   "failure",
+		EventRecovery:  "recovery",
+		EventLowPower:  "lowPower",
+		EventLowMemory: "lowMemory",
+		EventKind(99):  "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package policy implements Contory's control policies (§4.3):
+// contextRules consisting of a condition and an action. Conditions are
+// Boolean expressions over device attributes using the CxtRulesVocabulary
+// operators (equal, notEqual, moreThan, lessThan), combinable with and/or.
+// Whenever a condition is positively verified at runtime, the associated
+// action (reducePower, reduceMemory, reduceLoad) becomes active and is
+// enforced by the ContextFactory — e.g. suspending high energy-consuming
+// queries or replacing WiFi-based multi-hop provisioning with BT-based
+// one-hop provisioning.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Operator is a CxtRulesVocabulary comparison operator.
+type Operator int
+
+// Operators.
+const (
+	OpEqual Operator = iota + 1
+	OpNotEqual
+	OpMoreThan
+	OpLessThan
+)
+
+// String implements fmt.Stringer using the vocabulary spellings.
+func (o Operator) String() string {
+	switch o {
+	case OpEqual:
+		return "equal"
+	case OpNotEqual:
+		return "notEqual"
+	case OpMoreThan:
+		return "moreThan"
+	case OpLessThan:
+		return "lessThan"
+	default:
+		return fmt.Sprintf("operator(%d)", int(o))
+	}
+}
+
+// ParseOperator converts a vocabulary spelling to an Operator.
+func ParseOperator(s string) (Operator, error) {
+	switch strings.ToLower(s) {
+	case "equal":
+		return OpEqual, nil
+	case "notequal":
+		return OpNotEqual, nil
+	case "morethan":
+		return OpMoreThan, nil
+	case "lessthan":
+		return OpLessThan, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown operator %q", s)
+	}
+}
+
+// Action is what a fired rule enforces.
+type Action int
+
+// Actions from the CxtRulesVocabulary.
+const (
+	ReducePower Action = iota + 1
+	ReduceMemory
+	ReduceLoad
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ReducePower:
+		return "reducePower"
+	case ReduceMemory:
+		return "reduceMemory"
+	case ReduceLoad:
+		return "reduceLoad"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Attributes is the runtime snapshot a condition is evaluated against
+// (e.g. batteryLevel → "low"). Numeric comparisons parse the value.
+type Attributes map[string]string
+
+// Condition is a Boolean expression over attributes.
+type Condition interface {
+	Eval(attrs Attributes) bool
+	String() string
+}
+
+// cmp is an elementary condition: <attribute, operator, value>.
+type cmp struct {
+	attr  string
+	op    Operator
+	value string
+}
+
+// Cond returns the elementary condition <attr, op, value>, e.g.
+// Cond("batteryLevel", OpEqual, "low").
+func Cond(attr string, op Operator, value string) Condition {
+	return cmp{attr: attr, op: op, value: value}
+}
+
+// Eval implements Condition. Equality compares strings (case-insensitive);
+// ordering compares numerically when both sides parse as numbers, and
+// lexically otherwise. Missing attributes never satisfy a condition.
+func (c cmp) Eval(attrs Attributes) bool {
+	got, ok := attrs[c.attr]
+	if !ok {
+		return false
+	}
+	switch c.op {
+	case OpEqual:
+		return strings.EqualFold(got, c.value)
+	case OpNotEqual:
+		return !strings.EqualFold(got, c.value)
+	case OpMoreThan, OpLessThan:
+		gn, gerr := strconv.ParseFloat(got, 64)
+		wn, werr := strconv.ParseFloat(c.value, 64)
+		if gerr == nil && werr == nil {
+			if c.op == OpMoreThan {
+				return gn > wn
+			}
+			return gn < wn
+		}
+		if c.op == OpMoreThan {
+			return got > c.value
+		}
+		return got < c.value
+	default:
+		return false
+	}
+}
+
+// String implements Condition.
+func (c cmp) String() string {
+	return fmt.Sprintf("<%s, %s, %s>", c.attr, c.op, c.value)
+}
+
+// junction combines conditions with and/or.
+type junction struct {
+	or    bool
+	parts []Condition
+}
+
+// And combines conditions conjunctively.
+func And(parts ...Condition) Condition { return junction{parts: parts} }
+
+// Or combines conditions disjunctively.
+func Or(parts ...Condition) Condition { return junction{or: true, parts: parts} }
+
+// Eval implements Condition.
+func (j junction) Eval(attrs Attributes) bool {
+	if len(j.parts) == 0 {
+		return false
+	}
+	for _, p := range j.parts {
+		ok := p.Eval(attrs)
+		if j.or && ok {
+			return true
+		}
+		if !j.or && !ok {
+			return false
+		}
+	}
+	return !j.or
+}
+
+// String implements Condition.
+func (j junction) String() string {
+	word := " and "
+	if j.or {
+		word = " or "
+	}
+	parts := make([]string, len(j.parts))
+	for i, p := range j.parts {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, word) + ")"
+}
+
+// Rule is one contextRule: when Condition holds, Action is enforced.
+type Rule struct {
+	Name      string
+	Condition Condition
+	Action    Action
+}
+
+// Enforcer receives fired actions together with the rule that fired them.
+type Enforcer func(Rule)
+
+// Engine evaluates the active rule set against attribute snapshots.
+type Engine struct {
+	mu       sync.Mutex
+	rules    []Rule
+	enforcer Enforcer
+	active   map[string]bool // rule name → currently firing
+}
+
+// NewEngine returns an empty rule engine.
+func NewEngine() *Engine {
+	return &Engine{active: make(map[string]bool)}
+}
+
+// SetEnforcer installs the callback invoked when a rule transitions from
+// not-firing to firing.
+func (e *Engine) SetEnforcer(f Enforcer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enforcer = f
+}
+
+// AddRule installs a rule. Rules are evaluated in insertion order.
+func (e *Engine) AddRule(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("policy: rule needs a name")
+	}
+	if r.Condition == nil {
+		return fmt.Errorf("policy: rule %q needs a condition", r.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, existing := range e.rules {
+		if existing.Name == r.Name {
+			return fmt.Errorf("policy: duplicate rule %q", r.Name)
+		}
+	}
+	e.rules = append(e.rules, r)
+	return nil
+}
+
+// RemoveRule deletes a rule by name (idempotent).
+func (e *Engine) RemoveRule(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.rules[:0]
+	for _, r := range e.rules {
+		if r.Name != name {
+			out = append(out, r)
+		}
+	}
+	e.rules = out
+	delete(e.active, name)
+}
+
+// Rules returns a copy of the installed rules.
+func (e *Engine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
+
+// Evaluate checks every rule against the attributes. Rules transitioning
+// from inactive to active fire the enforcer and are returned; rules whose
+// condition no longer holds become inactive (and can fire again later).
+func (e *Engine) Evaluate(attrs Attributes) []Rule {
+	e.mu.Lock()
+	rules := make([]Rule, len(e.rules))
+	copy(rules, e.rules)
+	enforcer := e.enforcer
+	e.mu.Unlock()
+
+	var fired []Rule
+	for _, r := range rules {
+		holds := r.Condition.Eval(attrs)
+		e.mu.Lock()
+		wasActive := e.active[r.Name]
+		e.active[r.Name] = holds
+		e.mu.Unlock()
+		if holds && !wasActive {
+			fired = append(fired, r)
+			if enforcer != nil {
+				enforcer(r)
+			}
+		}
+	}
+	return fired
+}
+
+// Active reports whether the named rule is currently firing.
+func (e *Engine) Active(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.active[name]
+}

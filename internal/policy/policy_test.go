@@ -1,0 +1,174 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCondEval(t *testing.T) {
+	attrs := Attributes{"batteryLevel": "low", "memoryLevel": "high", "activeQueries": "7"}
+	tests := []struct {
+		cond Condition
+		want bool
+	}{
+		{Cond("batteryLevel", OpEqual, "low"), true},
+		{Cond("batteryLevel", OpEqual, "LOW"), true}, // case-insensitive
+		{Cond("batteryLevel", OpEqual, "high"), false},
+		{Cond("batteryLevel", OpNotEqual, "high"), true},
+		{Cond("activeQueries", OpMoreThan, "5"), true},
+		{Cond("activeQueries", OpLessThan, "5"), false},
+		{Cond("activeQueries", OpMoreThan, "10"), false},
+		{Cond("missing", OpEqual, "x"), false},
+		{Cond("missing", OpNotEqual, "x"), false}, // absent attr never satisfies
+		// Lexical fallback for non-numeric ordering.
+		{Cond("batteryLevel", OpLessThan, "zzz"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.cond.String(), func(t *testing.T) {
+			if got := tt.cond.Eval(attrs); got != tt.want {
+				t.Fatalf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJunctions(t *testing.T) {
+	attrs := Attributes{"a": "1", "b": "2"}
+	aTrue := Cond("a", OpEqual, "1")
+	aFalse := Cond("a", OpEqual, "9")
+	bTrue := Cond("b", OpEqual, "2")
+	if !And(aTrue, bTrue).Eval(attrs) {
+		t.Error("And(true,true) = false")
+	}
+	if And(aTrue, aFalse).Eval(attrs) {
+		t.Error("And(true,false) = true")
+	}
+	if !Or(aFalse, bTrue).Eval(attrs) {
+		t.Error("Or(false,true) = false")
+	}
+	if Or(aFalse, aFalse).Eval(attrs) {
+		t.Error("Or(false,false) = true")
+	}
+	if And().Eval(attrs) || Or().Eval(attrs) {
+		t.Error("empty junction evaluated true")
+	}
+	// Nested: (a=1 and b=2) or a=9.
+	nested := Or(And(aTrue, bTrue), aFalse)
+	if !nested.Eval(attrs) {
+		t.Error("nested = false")
+	}
+	if s := nested.String(); !strings.Contains(s, "or") || !strings.Contains(s, "and") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestParseOperator(t *testing.T) {
+	for _, op := range []Operator{OpEqual, OpNotEqual, OpMoreThan, OpLessThan} {
+		got, err := ParseOperator(op.String())
+		if err != nil || got != op {
+			t.Errorf("ParseOperator(%s) = %v, %v", op, got, err)
+		}
+	}
+	if _, err := ParseOperator("approximately"); err == nil {
+		t.Error("ParseOperator(approximately) succeeded")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	tests := map[Action]string{
+		ReducePower:  "reducePower",
+		ReduceMemory: "reduceMemory",
+		ReduceLoad:   "reduceLoad",
+	}
+	for a, want := range tests {
+		if got := a.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEngineFiresOnTransition(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.SetEnforcer(func(r Rule) { fired = append(fired, r.Name) })
+	// The paper's example: <batteryLevel, equal, low> → reducePower.
+	err := e.AddRule(Rule{
+		Name:      "low-battery",
+		Condition: Cond("batteryLevel", OpEqual, "low"),
+		Action:    ReducePower,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e.Evaluate(Attributes{"batteryLevel": "high"})
+	if len(fired) != 0 {
+		t.Fatalf("fired prematurely: %v", fired)
+	}
+	out := e.Evaluate(Attributes{"batteryLevel": "low"})
+	if len(out) != 1 || out[0].Action != ReducePower {
+		t.Fatalf("Evaluate = %v", out)
+	}
+	if !e.Active("low-battery") {
+		t.Fatal("rule not active")
+	}
+	// Still low: no re-fire.
+	e.Evaluate(Attributes{"batteryLevel": "low"})
+	if len(fired) != 1 {
+		t.Fatalf("re-fired while active: %v", fired)
+	}
+	// Recovers, then drops again: fires a second time.
+	e.Evaluate(Attributes{"batteryLevel": "high"})
+	if e.Active("low-battery") {
+		t.Fatal("rule still active after recovery")
+	}
+	e.Evaluate(Attributes{"batteryLevel": "low"})
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want 2 firings", fired)
+	}
+}
+
+func TestEngineRuleValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.AddRule(Rule{Condition: Cond("a", OpEqual, "1")}); err == nil {
+		t.Error("unnamed rule accepted")
+	}
+	if err := e.AddRule(Rule{Name: "r"}); err == nil {
+		t.Error("condition-less rule accepted")
+	}
+	if err := e.AddRule(Rule{Name: "r", Condition: Cond("a", OpEqual, "1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(Rule{Name: "r", Condition: Cond("a", OpEqual, "2")}); err == nil {
+		t.Error("duplicate rule accepted")
+	}
+}
+
+func TestEngineRemoveRule(t *testing.T) {
+	e := NewEngine()
+	if err := e.AddRule(Rule{Name: "r", Condition: Cond("a", OpEqual, "1"), Action: ReduceLoad}); err != nil {
+		t.Fatal(err)
+	}
+	e.Evaluate(Attributes{"a": "1"})
+	e.RemoveRule("r")
+	if len(e.Rules()) != 0 || e.Active("r") {
+		t.Fatal("rule not removed")
+	}
+	e.RemoveRule("r") // idempotent
+}
+
+func TestEngineMultipleRulesOrder(t *testing.T) {
+	e := NewEngine()
+	for _, r := range []Rule{
+		{Name: "mem", Condition: Cond("memoryLevel", OpEqual, "low"), Action: ReduceMemory},
+		{Name: "load", Condition: Cond("activeQueries", OpMoreThan, "10"), Action: ReduceLoad},
+	} {
+		if err := e.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := e.Evaluate(Attributes{"memoryLevel": "low", "activeQueries": "20"})
+	if len(out) != 2 || out[0].Name != "mem" || out[1].Name != "load" {
+		t.Fatalf("Evaluate = %v", out)
+	}
+}

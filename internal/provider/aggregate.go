@@ -1,0 +1,127 @@
+package provider
+
+import (
+	"sync"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/vclock"
+)
+
+// AggregateFunc combines a batch of context items into one. Returning
+// ok=false suppresses emission (e.g. no numeric inputs).
+type AggregateFunc func(items []cxt.Item, now time.Time) (cxt.Item, bool)
+
+// CxtAggregator combines context items collected from single or multiple
+// CxtProviders (§4.3): it buffers items flowing through it and emits one
+// aggregated item per flush interval. Applications use it to relieve the
+// uncertainty of single context sources and infer higher-level context.
+type CxtAggregator struct {
+	clock vclock.Clock
+	fn    AggregateFunc
+	sink  Sink
+
+	mu     sync.Mutex
+	buf    []cxt.Item
+	ticker *vclock.Timer
+}
+
+// NewAggregator returns an aggregator that flushes every interval into
+// sink using fn. Call Stop when done.
+func NewAggregator(clock vclock.Clock, interval time.Duration, fn AggregateFunc, sink Sink) *CxtAggregator {
+	a := &CxtAggregator{clock: clock, fn: fn, sink: sink}
+	a.ticker = clock.Every(interval, a.flush)
+	return a
+}
+
+// Offer feeds one item into the aggregation window. It is itself a Sink,
+// so providers can deliver straight into the aggregator.
+func (a *CxtAggregator) Offer(it cxt.Item) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.buf = append(a.buf, it)
+}
+
+// Pending returns the number of buffered items.
+func (a *CxtAggregator) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buf)
+}
+
+// Stop halts the flush ticker.
+func (a *CxtAggregator) Stop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ticker != nil {
+		a.ticker.Stop()
+		a.ticker = nil
+	}
+}
+
+func (a *CxtAggregator) flush() {
+	a.mu.Lock()
+	items := a.buf
+	a.buf = nil
+	a.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	out, ok := a.fn(items, a.clock.Now())
+	if !ok {
+		return
+	}
+	if a.sink != nil {
+		a.sink(out)
+	}
+}
+
+// MeanAggregate averages numeric item values, propagating the type of the
+// first item and marking the source as aggregated.
+func MeanAggregate(items []cxt.Item, now time.Time) (cxt.Item, bool) {
+	var sum float64
+	n := 0
+	for _, it := range items {
+		if v, ok := it.NumericValue(); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return cxt.Item{}, false
+	}
+	return cxt.Item{
+		Type:      items[0].Type,
+		Value:     sum / float64(n),
+		Timestamp: now,
+		Source:    cxt.Source{Kind: cxt.SourceAggregated},
+		Meta:      cxt.Metadata{Completeness: float64(n) / float64(len(items))},
+	}, true
+}
+
+// NewestAggregate keeps the most recent item of the batch.
+func NewestAggregate(items []cxt.Item, now time.Time) (cxt.Item, bool) {
+	if len(items) == 0 {
+		return cxt.Item{}, false
+	}
+	best := items[0]
+	for _, it := range items[1:] {
+		if it.Timestamp.After(best.Timestamp) {
+			best = it
+		}
+	}
+	return best, true
+}
+
+// MaxAggregate keeps the numerically largest item of the batch.
+func MaxAggregate(items []cxt.Item, now time.Time) (cxt.Item, bool) {
+	var best cxt.Item
+	bestV := 0.0
+	found := false
+	for _, it := range items {
+		if v, ok := it.NumericValue(); ok && (!found || v > bestV) {
+			best, bestV, found = it, v, true
+		}
+	}
+	return best, found
+}

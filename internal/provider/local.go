@@ -1,0 +1,216 @@
+package provider
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/query"
+	"contory/internal/refs"
+	"contory/internal/simnet"
+	"contory/internal/vclock"
+)
+
+// LocalCxtProvider manages access to local sensors, which can be integrated
+// in the device (InternalReference) or accessible via BT (a BT-GPS
+// receiver). It periodically pulls sensor devices and reports values that
+// match the query's WHERE and FRESHNESS requirements.
+type LocalCxtProvider struct {
+	base
+	internal *refs.InternalReference
+	bt       *refs.BTReference
+	gpsDev   simnet.NodeID // non-empty when the source is a BT-GPS stream
+
+	window      *query.EventWindow
+	lastFix     *cxt.Item
+	lastEmitted time.Time
+}
+
+// LocalConfig configures a LocalCxtProvider.
+type LocalConfig struct {
+	ID    string
+	Clock vclock.Clock
+	Query *query.Query
+	Sink  Sink
+	// OnDone fires when the query lifetime elapses.
+	OnDone DoneFunc
+	// Internal provides integrated sensors (optional).
+	Internal *refs.InternalReference
+	// BT and GPSDevice select a BT-GPS stream source for location queries
+	// (optional).
+	BT        *refs.BTReference
+	GPSDevice simnet.NodeID
+}
+
+// NewLocal returns a LocalCxtProvider.
+func NewLocal(cfg LocalConfig) (*LocalCxtProvider, error) {
+	if cfg.Query == nil {
+		return nil, fmt.Errorf("provider: local: nil query")
+	}
+	if cfg.Internal == nil && cfg.BT == nil {
+		return nil, fmt.Errorf("%w: local provider needs a sensor reference", ErrNoSource)
+	}
+	p := &LocalCxtProvider{
+		base:     newBase(cfg.ID, cfg.Clock, cfg.Query, cfg.Sink, cfg.OnDone),
+		internal: cfg.Internal,
+		bt:       cfg.BT,
+		gpsDev:   cfg.GPSDevice,
+		window:   query.NewEventWindow(defaultEventWindow),
+	}
+	return p, nil
+}
+
+// defaultEventWindow is the sliding-window size for EVENT aggregates.
+const defaultEventWindow = 16
+
+// UpdateQuery implements Provider.
+func (p *LocalCxtProvider) UpdateQuery(q *query.Query) { p.setQuery(q) }
+
+// Start implements Provider.
+func (p *LocalCxtProvider) Start() error {
+	if p.isStopped() {
+		return ErrStopped
+	}
+	p.armDuration()
+	q := p.Query()
+
+	if p.usesGPS(q) {
+		return p.startGPS(q)
+	}
+	switch q.Mode() {
+	case query.ModeOnDemand:
+		p.track(p.clock.After(0, func() { p.sample(true) }))
+	case query.ModePeriodic:
+		p.track(p.clock.Every(q.Every, func() { p.sample(true) }))
+	case query.ModeEvent:
+		// Sample at the sensor's natural rate; deliver when the event
+		// condition holds.
+		p.track(p.clock.Every(defaultSensorPoll, func() { p.sample(false) }))
+	}
+	return nil
+}
+
+// defaultSensorPoll is the pull rate used for event-based local queries.
+const defaultSensorPoll = time.Second
+
+// usesGPS reports whether the query should be served from the BT-GPS
+// stream.
+func (p *LocalCxtProvider) usesGPS(q *query.Query) bool {
+	if p.bt == nil || p.gpsDev == "" {
+		return false
+	}
+	return q.Select == cxt.TypeLocation || q.Select == cxt.TypeSpeed
+}
+
+// startGPS serves location/speed queries from the NMEA stream: fixes arrive
+// at 1 Hz and are re-emitted at the query's rate.
+func (p *LocalCxtProvider) startGPS(q *query.Query) error {
+	err := p.bt.ConnectGPS(p.gpsDev, p.onFix, nil)
+	if err != nil {
+		return fmt.Errorf("provider: local gps: %w", err)
+	}
+	switch q.Mode() {
+	case query.ModeOnDemand:
+		// Deliver the first fix that arrives; onFix handles it.
+	case query.ModePeriodic:
+		p.track(p.clock.Every(q.Every, p.emitLastFix))
+	case query.ModeEvent:
+		// onFix evaluates the event window per sample.
+	}
+	return nil
+}
+
+// Stop implements Provider, also detaching from the GPS stream.
+func (p *LocalCxtProvider) Stop() {
+	if p.bt != nil && p.gpsDev != "" {
+		p.bt.DisconnectGPS(p.gpsDev)
+	}
+	p.base.Stop()
+}
+
+func (p *LocalCxtProvider) onFix(fix cxt.Fix) {
+	if p.isStopped() {
+		return
+	}
+	q := p.Query()
+	it := cxt.Item{
+		Type:      cxt.TypeLocation,
+		Value:     fix,
+		Timestamp: p.clock.Now(),
+		Source:    cxt.Source{Kind: cxt.SourceSensor, Address: string(p.gpsDev)},
+		Meta:      cxt.Metadata{Accuracy: 5, Correctness: 0.98, Completeness: 1},
+	}
+	if q.Select == cxt.TypeSpeed {
+		it.Type = cxt.TypeSpeed
+		it.Value = fix.SpeedKn
+	}
+	p.mu.Lock()
+	p.lastFix = &it
+	p.mu.Unlock()
+	switch q.Mode() {
+	case query.ModeOnDemand:
+		if p.accepts(it) {
+			p.emit(it)
+			p.finish()
+		}
+	case query.ModeEvent:
+		p.window.Observe(fix.SpeedKn)
+		if query.EvalEvent(q.Event, p.window) && p.accepts(it) {
+			p.emit(it)
+		}
+	case query.ModePeriodic:
+		// emitLastFix drains on the query's own timer.
+	}
+}
+
+// emitLastFix re-emits the most recent fix at the query's rate. A fix is
+// emitted at most once: if the GPS stream stalls, no fresh samples arrive
+// and the provider goes quiet (rather than replaying stale positions).
+func (p *LocalCxtProvider) emitLastFix() {
+	p.mu.Lock()
+	it := p.lastFix
+	if it == nil || !it.Timestamp.After(p.lastEmitted) {
+		p.mu.Unlock()
+		return
+	}
+	p.lastEmitted = it.Timestamp
+	p.mu.Unlock()
+	if p.accepts(*it) {
+		p.emit(*it)
+	}
+}
+
+// sample pulls the matching integrated sensor once. When deliver is false
+// (event mode) the observation feeds the event window and is emitted only
+// if the EVENT predicate holds.
+func (p *LocalCxtProvider) sample(deliver bool) {
+	if p.internal == nil {
+		return
+	}
+	q := p.Query()
+	s, ok := p.internal.ByType(q.Select)
+	if !ok {
+		return
+	}
+	it, err := p.internal.Read(s.Name())
+	if err != nil {
+		return // the reference reported the failure to the monitor
+	}
+	if v, numeric := it.NumericValue(); numeric {
+		p.window.Observe(v)
+	}
+	if !deliver {
+		if !query.EvalEvent(q.Event, p.window) {
+			return
+		}
+	}
+	if !p.accepts(it) {
+		return
+	}
+	p.emit(it)
+	if q.Mode() == query.ModeOnDemand {
+		p.finish()
+	}
+}
+
+var _ Provider = (*LocalCxtProvider)(nil)

@@ -1,0 +1,145 @@
+package query
+
+import (
+	"time"
+
+	"contory/internal/cxt"
+)
+
+// EvalWhere evaluates a WHERE predicate against an item's metadata.
+// Conditions over unknown attributes are false; aggregates are not
+// meaningful in WHERE clauses and evaluate to false. A nil predicate
+// accepts everything.
+func EvalWhere(p *Predicate, meta cxt.Metadata) bool {
+	if p == nil {
+		return true
+	}
+	if p.Leaf != nil {
+		if p.Leaf.Agg != AggNone {
+			return false
+		}
+		v, ok := meta.Attr(p.Leaf.Attr)
+		if !ok {
+			return false
+		}
+		return p.Leaf.Op.Apply(v, p.Leaf.Value)
+	}
+	if p.Logic == LogicOr {
+		return EvalWhere(p.Left, meta) || EvalWhere(p.Right, meta)
+	}
+	return EvalWhere(p.Left, meta) && EvalWhere(p.Right, meta)
+}
+
+// EventWindow is the sliding window of recent numeric observations an
+// event-based provider keeps per context type to evaluate aggregate
+// conditions (e.g. AVG(temperature)>25).
+type EventWindow struct {
+	size   int
+	values []float64
+}
+
+// NewEventWindow returns a window keeping the last size observations
+// (minimum 1).
+func NewEventWindow(size int) *EventWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &EventWindow{size: size}
+}
+
+// Observe appends a value, evicting the oldest when full.
+func (w *EventWindow) Observe(v float64) {
+	w.values = append(w.values, v)
+	if len(w.values) > w.size {
+		w.values = w.values[len(w.values)-w.size:]
+	}
+}
+
+// Len returns the number of buffered observations.
+func (w *EventWindow) Len() int { return len(w.values) }
+
+// Values returns a copy of the buffered observations.
+func (w *EventWindow) Values() []float64 {
+	out := make([]float64, len(w.values))
+	copy(out, w.values)
+	return out
+}
+
+// aggregate computes the aggregate over the window; ok=false when the
+// window is empty (except COUNT, which is always defined).
+func (w *EventWindow) aggregate(a Agg) (float64, bool) {
+	if a == AggCount {
+		return float64(len(w.values)), true
+	}
+	if len(w.values) == 0 {
+		return 0, false
+	}
+	switch a {
+	case AggAvg:
+		var sum float64
+		for _, v := range w.values {
+			sum += v
+		}
+		return sum / float64(len(w.values)), true
+	case AggMin:
+		m := w.values[0]
+		for _, v := range w.values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, true
+	case AggMax:
+		m := w.values[0]
+		for _, v := range w.values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, true
+	case AggSum:
+		var sum float64
+		for _, v := range w.values {
+			sum += v
+		}
+		return sum, true
+	default: // AggNone: the latest observation
+		return w.values[len(w.values)-1], true
+	}
+}
+
+// EvalEvent evaluates an EVENT predicate at the context provider's node.
+// Plain conditions (temperature>25) use the most recent observation;
+// aggregate conditions use the whole window. A nil predicate never fires.
+func EvalEvent(p *Predicate, w *EventWindow) bool {
+	if p == nil || w == nil {
+		return false
+	}
+	if p.Leaf != nil {
+		v, ok := w.aggregate(p.Leaf.Agg)
+		if !ok {
+			return false
+		}
+		return p.Leaf.Op.Apply(v, p.Leaf.Value)
+	}
+	if p.Logic == LogicOr {
+		return EvalEvent(p.Left, w) || EvalEvent(p.Right, w)
+	}
+	return EvalEvent(p.Left, w) && EvalEvent(p.Right, w)
+}
+
+// Matches reports whether an item satisfies the query's WHERE and FRESHNESS
+// clauses at the given time. This is also the post-extraction filter applied
+// to merged-query results (§4.3).
+func (q *Query) Matches(it cxt.Item, now time.Time) bool {
+	if q.Select != "*" && it.Type != q.Select {
+		return false
+	}
+	if !it.FreshEnough(now, q.Freshness) {
+		return false
+	}
+	if it.Expired(now) {
+		return false
+	}
+	return EvalWhere(q.Where, it.Meta)
+}

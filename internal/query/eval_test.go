@@ -1,0 +1,253 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"contory/internal/cxt"
+)
+
+var evalBase = time.Date(2005, time.June, 10, 12, 0, 0, 0, time.UTC)
+
+func TestEvalWhere(t *testing.T) {
+	meta := cxt.Metadata{Accuracy: 0.2, Trust: cxt.LevelHigh, Correctness: 0.8}
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"accuracy=0.2", true},
+		{"accuracy=0.3", false},
+		{"accuracy<=0.5", true},
+		{"accuracy>0.1 AND trust>=3", true},
+		{"accuracy>0.5 OR correctness>0.5", true},
+		{"accuracy>0.5 AND correctness>0.5", false},
+		{"accuracy>0.5 OR correctness>0.9", false},
+		{"privacy=0", true},
+		{"unknownAttr=1", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			q := MustParse("SELECT wind WHERE " + tt.expr + " DURATION 1 min")
+			if got := EvalWhere(q.Where, meta); got != tt.want {
+				t.Fatalf("EvalWhere(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalWhereNilAcceptsAll(t *testing.T) {
+	if !EvalWhere(nil, cxt.Metadata{}) {
+		t.Fatal("nil WHERE rejected an item")
+	}
+}
+
+func TestEvalWhereAggregateIsFalse(t *testing.T) {
+	p := NewCond(AggAvg, "accuracy", OpGt, 0)
+	if EvalWhere(p, cxt.Metadata{Accuracy: 1}) {
+		t.Fatal("aggregate in WHERE evaluated true")
+	}
+}
+
+func TestEventWindowObserveEvict(t *testing.T) {
+	w := NewEventWindow(3)
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Observe(v)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	vals := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+	// Returned slice is a copy.
+	vals[0] = 99
+	if w.Values()[0] == 99 {
+		t.Fatal("Values exposes internal slice")
+	}
+}
+
+func TestEventWindowMinSize(t *testing.T) {
+	w := NewEventWindow(0)
+	w.Observe(1)
+	w.Observe(2)
+	if w.Len() != 1 || w.Values()[0] != 2 {
+		t.Fatalf("window = %v", w.Values())
+	}
+}
+
+func TestEvalEventAggregates(t *testing.T) {
+	w := NewEventWindow(10)
+	for _, v := range []float64{20, 24, 28, 32} { // avg=26, min=20, max=32, sum=104
+		w.Observe(v)
+	}
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"AVG(temperature)>25", true},
+		{"AVG(temperature)>26", false},
+		{"MIN(temperature)<21", true},
+		{"MAX(temperature)>=32", true},
+		{"SUM(temperature)=104", true},
+		{"COUNT(temperature)=4", true},
+		{"temperature>30", true},  // plain condition: latest value 32
+		{"temperature<30", false}, // latest value 32
+		{"AVG(temperature)>25 AND MIN(temperature)>25", false},
+		{"AVG(temperature)>25 OR MIN(temperature)>25", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			q := MustParse("SELECT temperature DURATION 1 hour EVENT " + tt.expr)
+			if got := EvalEvent(q.Event, w); got != tt.want {
+				t.Fatalf("EvalEvent(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalEventEmptyWindow(t *testing.T) {
+	w := NewEventWindow(5)
+	q := MustParse("SELECT temperature DURATION 1 hour EVENT AVG(temperature)>0")
+	if EvalEvent(q.Event, w) {
+		t.Fatal("aggregate over empty window fired")
+	}
+	count := MustParse("SELECT temperature DURATION 1 hour EVENT COUNT(temperature)=0")
+	if !EvalEvent(count.Event, w) {
+		t.Fatal("COUNT over empty window should be 0")
+	}
+	if EvalEvent(nil, w) {
+		t.Fatal("nil EVENT fired")
+	}
+	if EvalEvent(q.Event, nil) {
+		t.Fatal("nil window fired")
+	}
+}
+
+func TestQueryMatches(t *testing.T) {
+	q := MustParse("SELECT temperature WHERE accuracy<=0.5 FRESHNESS 30 sec DURATION 1 hour")
+	now := evalBase.Add(10 * time.Second)
+	ok := cxt.Item{
+		Type:      cxt.TypeTemperature,
+		Value:     22.0,
+		Timestamp: evalBase,
+		Meta:      cxt.Metadata{Accuracy: 0.2},
+	}
+	if !q.Matches(ok, now) {
+		t.Fatal("matching item rejected")
+	}
+	wrongType := ok
+	wrongType.Type = cxt.TypeWind
+	if q.Matches(wrongType, now) {
+		t.Fatal("wrong type accepted")
+	}
+	stale := ok
+	stale.Timestamp = evalBase.Add(-time.Minute)
+	if q.Matches(stale, now) {
+		t.Fatal("stale item accepted")
+	}
+	badMeta := ok
+	badMeta.Meta.Accuracy = 0.9
+	if q.Matches(badMeta, now) {
+		t.Fatal("low-quality item accepted")
+	}
+	expired := ok
+	expired.Lifetime = time.Second
+	if q.Matches(expired, now) {
+		t.Fatal("expired item accepted")
+	}
+}
+
+func TestQueryMatchesWildcard(t *testing.T) {
+	q := &Query{Select: "*", Duration: Duration{Time: time.Hour}}
+	it := cxt.Item{Type: cxt.TypeWind, Timestamp: evalBase}
+	if !q.Matches(it, evalBase) {
+		t.Fatal("wildcard SELECT rejected an item")
+	}
+}
+
+// Property: post-extraction is sound — every item accepted by an original
+// query is accepted by the merged query too (merged is a superset filter).
+func TestPostExtractionSoundnessProperty(t *testing.T) {
+	q1 := MustParse("SELECT temperature FROM adHocNetwork(all,3) WHERE accuracy<=0.4 FRESHNESS 10 sec DURATION 1 hour EVERY 15 sec")
+	q2 := MustParse("SELECT temperature FROM adHocNetwork(all,1) WHERE accuracy<=0.8 FRESHNESS 20 sec DURATION 2 hour EVERY 30 sec")
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(ageSec uint8, acc10 uint8) bool {
+		it := cxt.Item{
+			Type:      cxt.TypeTemperature,
+			Value:     20.0,
+			Timestamp: evalBase,
+			Meta:      cxt.Metadata{Accuracy: float64(acc10%12) / 10},
+		}
+		now := evalBase.Add(time.Duration(ageSec%40) * time.Second)
+		for _, q := range []*Query{q1, q2} {
+			if q.Matches(it, now) && !m.Matches(it, now) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b float64
+		want bool
+	}{
+		{OpEq, 0.2, 0.2, true},
+		{OpEq, 0.2, 0.3, false},
+		{OpNe, 1, 2, true},
+		{OpNe, 1, 1, false},
+		{OpLt, 1, 2, true},
+		{OpGt, 2, 1, true},
+		{OpLe, 2, 2, true},
+		{OpGe, 2, 2, true},
+		{Op(99), 1, 1, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Apply(tt.a, tt.b); got != tt.want {
+			t.Errorf("%v.Apply(%v,%v) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPredicateStringAndEqual(t *testing.T) {
+	p := And(NewCond(AggNone, "accuracy", OpLe, 0.5),
+		Or(NewCond(AggNone, "trust", OpGe, 2), NewCond(AggNone, "correctness", OpGt, 0.9)))
+	s := p.String()
+	reparsed := MustParse("SELECT wind WHERE " + s + " DURATION 1 min")
+	if !p.Equal(reparsed.Where) {
+		t.Fatalf("predicate round trip failed: %q vs %q", s, reparsed.Where)
+	}
+	if p.Equal(nil) {
+		t.Fatal("Equal(nil) = true")
+	}
+	var nilP *Predicate
+	if !nilP.Equal(nil) {
+		t.Fatal("nil.Equal(nil) = false")
+	}
+	if nilP.String() != "" {
+		t.Fatal("nil predicate String not empty")
+	}
+}
+
+func TestAndOrNilPassThrough(t *testing.T) {
+	c := NewCond(AggNone, "accuracy", OpEq, 1)
+	if And(nil, c) != c || And(c, nil) != c {
+		t.Fatal("And nil pass-through broken")
+	}
+	if Or(nil, c) != c || Or(c, nil) != c {
+		t.Fatal("Or nil pass-through broken")
+	}
+}

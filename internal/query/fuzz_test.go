@@ -1,0 +1,141 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: Parse never panics, whatever the input; it either returns a
+// valid query or an error.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	prop := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		q, err := Parse(input)
+		if err == nil && q == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse never panics on near-miss inputs assembled from real
+// query fragments (more likely to reach deep parser states than random
+// unicode).
+func TestParseFragmentsNeverPanic(t *testing.T) {
+	fragments := []string{
+		"SELECT", "FROM", "WHERE", "FRESHNESS", "DURATION", "EVERY", "EVENT",
+		"temperature", "adHocNetwork", "(", ")", ",", "all", "3", "10",
+		"sec", "hour", "samples", "AVG", ">", "=", "<=", "0.2", "25",
+		"AND", "OR", "intSensor", "extInfra", "entity", "region", "\"x\"",
+		"equal", "moreThan", "!", "*",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(12) + 1
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+			b.WriteByte(' ')
+		}
+		input := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// Property: every successfully parsed query re-parses from its canonical
+// form, and the two are Equal (full round-trip stability over generated
+// queries).
+func TestGeneratedQueryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() *Query {
+		q := &Query{Select: "temperature"}
+		switch rng.Intn(6) {
+		case 0:
+			q.From = Source{Kind: SourceAuto}
+		case 1:
+			q.From = Source{Kind: SourceIntSensor, Address: "gps-1"}
+		case 2:
+			q.From = Source{Kind: SourceExtInfra}
+		case 3:
+			q.From = Source{Kind: SourceAdHoc, NumNodes: rng.Intn(5), NumHops: 1 + rng.Intn(4)}
+		case 4:
+			q.From = Source{Kind: SourceEntity, Entity: "friend1"}
+		default:
+			q.From = Source{Kind: SourceRegion, Region: Region{X: 60.5, Y: 24.25, Radius: 2}}
+		}
+		if rng.Intn(2) == 0 {
+			q.Where = NewCond(AggNone, "accuracy", OpLe, float64(rng.Intn(100))/100)
+		}
+		if rng.Intn(2) == 0 {
+			q.Freshness = time.Duration(1+rng.Intn(120)) * time.Second
+		}
+		if rng.Intn(2) == 0 {
+			q.Duration = Duration{Time: time.Duration(1+rng.Intn(10)) * time.Minute}
+		} else {
+			q.Duration = Duration{Samples: 1 + rng.Intn(100)}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			q.Every = time.Duration(1+rng.Intn(60)) * time.Second
+		case 1:
+			q.Event = NewCond(AggAvg, "temperature", OpGt, float64(rng.Intn(40)))
+		}
+		return q
+	}
+	for i := 0; i < 500; i++ {
+		q := gen()
+		if err := Validate(q); err != nil {
+			t.Fatalf("generated invalid query: %v\n%s", err, q)
+		}
+		reparsed, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q.String(), err)
+		}
+		if !q.Equal(reparsed) {
+			t.Fatalf("round trip changed query:\n%s\n---\n%s", q, reparsed)
+		}
+	}
+}
+
+// Property: the lexer terminates and tokenizes deterministically.
+func TestLexerDeterministicProperty(t *testing.T) {
+	prop := func(input string) bool {
+		t1, err1 := newLexer(input).lex()
+		t2, err2 := newLexer(input).lex()
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

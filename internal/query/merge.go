@@ -1,0 +1,252 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Query aggregation (§4.3): to avoid redundancy and keep the number of
+// active queries minimal, a Facade merges a newly submitted query q1 with an
+// active query q2 when possible, producing q3 = merge(q1, q2) whose result
+// stream is a superset of both; post-extraction (Query.Matches) then filters
+// the received results back to each original query.
+//
+// The clustering step follows the paper's simplification of the Crespo et
+// al. algorithm: queries with the same SELECT clause fall in the same
+// cluster (Distance exposes the underlying metric). The merge step applies
+// clause-specific rules, exemplified in the paper:
+//
+//	q1: adHocNetwork(all,3) FRESHNESS 10s DURATION 1h EVERY 15s
+//	q2: adHocNetwork(all,1) FRESHNESS 20s DURATION 2h EVERY 30s
+//	q3: adHocNetwork(all,3) FRESHNESS 20s DURATION 2h EVERY 15s
+
+// ErrNotMergeable reports that two queries cannot be merged into a single
+// provider-level query.
+var ErrNotMergeable = errors.New("query: not mergeable")
+
+// Distance is the inter-query distance metric used for clustering. Queries
+// with different SELECT clauses are maximally distant (1.0); queries with
+// the same SELECT accumulate small contributions for differing clauses, so
+// identical queries are at distance 0.
+func Distance(a, b *Query) float64 {
+	if a.Select != b.Select {
+		return 1.0
+	}
+	var d float64
+	if a.From.Kind != b.From.Kind {
+		d += 0.4
+	} else if a.From != b.From {
+		d += 0.15
+	}
+	if !a.Where.Equal(b.Where) {
+		d += 0.1
+	}
+	if a.Freshness != b.Freshness {
+		d += 0.1
+	}
+	if a.Duration != b.Duration {
+		d += 0.1
+	}
+	if a.Every != b.Every {
+		d += 0.1
+	}
+	if !a.Event.Equal(b.Event) {
+		d += 0.1
+	}
+	return d
+}
+
+// DefaultClusterThreshold is the distance below which two queries share a
+// cluster. Same-SELECT queries are always below it, matching the paper's
+// simplification.
+const DefaultClusterThreshold = 0.99
+
+// SameCluster reports whether two queries belong to the same merge cluster.
+func SameCluster(a, b *Query) bool {
+	return Distance(a, b) < DefaultClusterThreshold
+}
+
+// Mergeable reports whether Merge(a, b) would succeed.
+func Mergeable(a, b *Query) bool {
+	_, err := Merge(a, b)
+	return err == nil
+}
+
+// Merge combines two queries into one whose results cover both, applying
+// the clause-wise rules of §4.3. It fails with ErrNotMergeable when no
+// single covering query exists (different SELECT or source kinds, mixed
+// time/sample durations, or mixed periodic/event modes).
+func Merge(a, b *Query) (*Query, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("%w: nil query", ErrNotMergeable)
+	}
+	if a.Select != b.Select {
+		return nil, fmt.Errorf("%w: different SELECT (%s vs %s)", ErrNotMergeable, a.Select, b.Select)
+	}
+	src, err := mergeSource(a.From, b.From)
+	if err != nil {
+		return nil, err
+	}
+	dur, err := mergeDuration(a.Duration, b.Duration)
+	if err != nil {
+		return nil, err
+	}
+	every, event, err := mergeMode(a, b)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Query{
+		Select:   a.Select,
+		From:     src,
+		Where:    mergeWhere(a.Where, b.Where),
+		Duration: dur,
+		Every:    every,
+		Event:    event,
+	}
+	// FRESHNESS: the loosest bound covers both (0 = unbounded is loosest).
+	if a.Freshness == 0 || b.Freshness == 0 {
+		m.Freshness = 0
+	} else {
+		m.Freshness = maxDur(a.Freshness, b.Freshness)
+	}
+	return m, nil
+}
+
+// mergeSource widens the FROM clause: max hops, max node multiplicity
+// (AllNodes dominates). Only same-kind sources merge — each Facade manages
+// one provisioning mechanism.
+func mergeSource(a, b Source) (Source, error) {
+	if a.Kind != b.Kind {
+		return Source{}, fmt.Errorf("%w: different sources (%s vs %s)", ErrNotMergeable, a.Kind, b.Kind)
+	}
+	switch a.Kind {
+	case SourceAdHoc:
+		out := Source{Kind: SourceAdHoc}
+		if a.NumNodes == AllNodes || b.NumNodes == AllNodes {
+			out.NumNodes = AllNodes
+		} else {
+			out.NumNodes = maxInt(a.NumNodes, b.NumNodes)
+		}
+		out.NumHops = maxInt(a.NumHops, b.NumHops)
+		return out, nil
+	case SourceEntity:
+		if a.Entity != b.Entity {
+			return Source{}, fmt.Errorf("%w: different entities", ErrNotMergeable)
+		}
+		return a, nil
+	case SourceRegion:
+		if a.Region != b.Region {
+			return Source{}, fmt.Errorf("%w: different regions", ErrNotMergeable)
+		}
+		return a, nil
+	default:
+		if a.Address != b.Address {
+			return Source{}, fmt.Errorf("%w: different source addresses", ErrNotMergeable)
+		}
+		return a, nil
+	}
+}
+
+// mergeWhere returns a predicate whose acceptance set covers both inputs:
+// identical predicates pass through; otherwise the filter is dropped from
+// the merged query (accept-all) and post-extraction re-applies each
+// original WHERE.
+func mergeWhere(a, b *Predicate) *Predicate {
+	if a.Equal(b) {
+		return clonePred(a)
+	}
+	return nil
+}
+
+// mergeDuration keeps the longer lifetime; time-based and sample-based
+// durations do not merge.
+func mergeDuration(a, b Duration) (Duration, error) {
+	if a.IsSamples() != b.IsSamples() {
+		return Duration{}, fmt.Errorf("%w: time-based vs sample-based DURATION", ErrNotMergeable)
+	}
+	if a.IsSamples() {
+		return Duration{Samples: maxInt(a.Samples, b.Samples)}, nil
+	}
+	return Duration{Time: maxDur(a.Time, b.Time)}, nil
+}
+
+// mergeMode combines EVERY/EVENT: two periodic queries take the fastest
+// rate; two event queries take the disjunction of their predicates; two
+// on-demand queries stay on-demand; anything else is not mergeable.
+func mergeMode(a, b *Query) (every time.Duration, event *Predicate, err error) {
+	am, bm := a.Mode(), b.Mode()
+	if am != bm {
+		return 0, nil, fmt.Errorf("%w: different modes (%s vs %s)", ErrNotMergeable, am, bm)
+	}
+	switch am {
+	case ModePeriodic:
+		return minDur(a.Every, b.Every), nil, nil
+	case ModeEvent:
+		if a.Event.Equal(b.Event) {
+			return 0, clonePred(a.Event), nil
+		}
+		return 0, Or(clonePred(a.Event), clonePred(b.Event)), nil
+	default:
+		return 0, nil, nil
+	}
+}
+
+// MergeAll folds Merge over a cluster of queries, returning the single
+// covering query. It fails if any pair is not mergeable.
+func MergeAll(qs []*Query) (*Query, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("%w: empty cluster", ErrNotMergeable)
+	}
+	acc := qs[0].Clone()
+	for _, q := range qs[1:] {
+		m, err := Merge(acc, q)
+		if err != nil {
+			return nil, err
+		}
+		acc = m
+	}
+	return acc, nil
+}
+
+// Cluster groups queries by merge cluster (same SELECT under the default
+// threshold), preserving input order within each cluster.
+func Cluster(qs []*Query) [][]*Query {
+	var clusters [][]*Query
+	for _, q := range qs {
+		placed := false
+		for i, c := range clusters {
+			if SameCluster(c[0], q) {
+				clusters[i] = append(clusters[i], q)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, []*Query{q})
+		}
+	}
+	return clusters
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

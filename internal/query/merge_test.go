@@ -1,0 +1,347 @@
+package query
+
+import (
+	"contory/internal/cxt"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestMergePaperExample reproduces the q1+q2 → q3 table of §4.3 verbatim.
+func TestMergePaperExample(t *testing.T) {
+	q1 := MustParse("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10sec DURATION 1hour EVERY 15sec")
+	q2 := MustParse("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20sec DURATION 2hour EVERY 30sec")
+	q3, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	want := MustParse("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 20sec DURATION 2hour EVERY 15sec")
+	if !q3.Equal(want) {
+		t.Fatalf("merged query:\n%s\nwant:\n%s", q3, want)
+	}
+}
+
+func TestMergeDifferentSelectFails(t *testing.T) {
+	q1 := MustParse("SELECT temperature DURATION 1 hour")
+	q2 := MustParse("SELECT wind DURATION 1 hour")
+	if _, err := Merge(q1, q2); !errors.Is(err, ErrNotMergeable) {
+		t.Fatalf("Merge = %v, want ErrNotMergeable", err)
+	}
+	if Mergeable(q1, q2) {
+		t.Fatal("Mergeable = true")
+	}
+}
+
+func TestMergeDifferentSourceKindsFails(t *testing.T) {
+	q1 := MustParse("SELECT wind FROM intSensor DURATION 1 hour")
+	q2 := MustParse("SELECT wind FROM extInfra DURATION 1 hour")
+	if _, err := Merge(q1, q2); !errors.Is(err, ErrNotMergeable) {
+		t.Fatalf("Merge = %v", err)
+	}
+}
+
+func TestMergeNumNodes(t *testing.T) {
+	q1 := MustParse("SELECT wind FROM adHocNetwork(5,2) DURATION 1 hour EVERY 10 sec")
+	q2 := MustParse("SELECT wind FROM adHocNetwork(10,1) DURATION 1 hour EVERY 10 sec")
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From.NumNodes != 10 || m.From.NumHops != 2 {
+		t.Fatalf("From = %+v, want (10,2)", m.From)
+	}
+	// all dominates any k.
+	q3 := MustParse("SELECT wind FROM adHocNetwork(all,1) DURATION 1 hour EVERY 10 sec")
+	m, err = Merge(q1, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From.NumNodes != AllNodes {
+		t.Fatalf("NumNodes = %d, want all", m.From.NumNodes)
+	}
+}
+
+func TestMergeWhereIdenticalKept(t *testing.T) {
+	q1 := MustParse("SELECT wind WHERE accuracy=0.2 DURATION 1 hour EVERY 10 sec")
+	q2 := MustParse("SELECT wind WHERE accuracy=0.2 DURATION 2 hour EVERY 20 sec")
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Where.Equal(q1.Where) {
+		t.Fatalf("merged WHERE = %v", m.Where)
+	}
+}
+
+func TestMergeWhereDifferentDropped(t *testing.T) {
+	q1 := MustParse("SELECT wind WHERE accuracy=0.2 DURATION 1 hour EVERY 10 sec")
+	q2 := MustParse("SELECT wind WHERE accuracy=0.5 DURATION 1 hour EVERY 10 sec")
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Where != nil {
+		t.Fatalf("merged WHERE = %v, want nil (covering superset)", m.Where)
+	}
+}
+
+func TestMergeFreshnessZeroIsLoosest(t *testing.T) {
+	q1 := MustParse("SELECT wind FRESHNESS 10 sec DURATION 1 hour EVERY 10 sec")
+	q2 := MustParse("SELECT wind DURATION 1 hour EVERY 10 sec") // no freshness bound
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Freshness != 0 {
+		t.Fatalf("Freshness = %v, want 0 (unbounded)", m.Freshness)
+	}
+}
+
+func TestMergeSampleDurations(t *testing.T) {
+	q1 := MustParse("SELECT wind DURATION 50 samples EVERY 10 sec")
+	q2 := MustParse("SELECT wind DURATION 100 samples EVERY 10 sec")
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Duration.Samples != 100 {
+		t.Fatalf("Samples = %d", m.Duration.Samples)
+	}
+	q3 := MustParse("SELECT wind DURATION 1 hour EVERY 10 sec")
+	if _, err := Merge(q1, q3); !errors.Is(err, ErrNotMergeable) {
+		t.Fatalf("mixed durations merged: %v", err)
+	}
+}
+
+func TestMergeModes(t *testing.T) {
+	per := MustParse("SELECT wind DURATION 1 hour EVERY 10 sec")
+	evt := MustParse("SELECT wind DURATION 1 hour EVENT wind>10")
+	ond := MustParse("SELECT wind DURATION 1 hour")
+	if _, err := Merge(per, evt); !errors.Is(err, ErrNotMergeable) {
+		t.Errorf("periodic+event merged: %v", err)
+	}
+	if _, err := Merge(per, ond); !errors.Is(err, ErrNotMergeable) {
+		t.Errorf("periodic+on-demand merged: %v", err)
+	}
+	m, err := Merge(ond, ond.Clone())
+	if err != nil || m.Mode() != ModeOnDemand {
+		t.Errorf("on-demand merge: %v %v", m, err)
+	}
+}
+
+func TestMergeEventPredicatesDisjunction(t *testing.T) {
+	q1 := MustParse("SELECT temperature DURATION 1 hour EVENT AVG(temperature)>25")
+	q2 := MustParse("SELECT temperature DURATION 1 hour EVENT temperature<0")
+	m, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Event == nil || m.Event.Logic != LogicOr {
+		t.Fatalf("merged EVENT = %v, want disjunction", m.Event)
+	}
+	// Identical events pass through unchanged.
+	m2, err := Merge(q1, q1.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Event.Equal(q1.Event) {
+		t.Fatalf("identical EVENT merge = %v", m2.Event)
+	}
+}
+
+func TestMergeEntityAndRegion(t *testing.T) {
+	e1 := MustParse("SELECT location FROM entity(friend1) DURATION 1 hour EVERY 10 sec")
+	e2 := MustParse("SELECT location FROM entity(friend2) DURATION 1 hour EVERY 10 sec")
+	if _, err := Merge(e1, e2); !errors.Is(err, ErrNotMergeable) {
+		t.Errorf("different entities merged: %v", err)
+	}
+	if m, err := Merge(e1, e1.Clone()); err != nil || m.From.Entity != "friend1" {
+		t.Errorf("same entity merge: %v %v", m, err)
+	}
+	r1 := MustParse("SELECT weather FROM region(60,24,500) DURATION 1 hour EVERY 10 sec")
+	r2 := MustParse("SELECT weather FROM region(61,25,500) DURATION 1 hour EVERY 10 sec")
+	if _, err := Merge(r1, r2); !errors.Is(err, ErrNotMergeable) {
+		t.Errorf("different regions merged: %v", err)
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	q := MustParse("SELECT wind DURATION 1 hour")
+	if _, err := Merge(nil, q); !errors.Is(err, ErrNotMergeable) {
+		t.Fatalf("Merge(nil, q) = %v", err)
+	}
+}
+
+func TestDistanceMetric(t *testing.T) {
+	q1 := MustParse("SELECT temperature FROM adHocNetwork(all,3) DURATION 1 hour EVERY 15 sec")
+	if d := Distance(q1, q1); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	other := MustParse("SELECT wind DURATION 1 hour")
+	if d := Distance(q1, other); d != 1.0 {
+		t.Fatalf("cross-select distance = %v", d)
+	}
+	near := MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 15 sec")
+	d := Distance(q1, near)
+	if d <= 0 || d >= 1 {
+		t.Fatalf("near distance = %v, want in (0,1)", d)
+	}
+	if !SameCluster(q1, near) || SameCluster(q1, other) {
+		t.Fatal("clustering disagrees with the SELECT-clause rule")
+	}
+}
+
+func TestClusterGrouping(t *testing.T) {
+	qs := []*Query{
+		MustParse("SELECT temperature DURATION 1 hour EVERY 10 sec"),
+		MustParse("SELECT wind DURATION 1 hour"),
+		MustParse("SELECT temperature DURATION 2 hour EVERY 20 sec"),
+		MustParse("SELECT location DURATION 50 samples"),
+	}
+	clusters := Cluster(qs)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	if len(clusters[0]) != 2 || clusters[0][0].Select != "temperature" {
+		t.Fatalf("temperature cluster = %v", clusters[0])
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	qs := []*Query{
+		MustParse("SELECT temperature FROM adHocNetwork(2,1) FRESHNESS 5 sec DURATION 1 hour EVERY 30 sec"),
+		MustParse("SELECT temperature FROM adHocNetwork(4,2) FRESHNESS 10 sec DURATION 2 hour EVERY 20 sec"),
+		MustParse("SELECT temperature FROM adHocNetwork(3,3) FRESHNESS 15 sec DURATION 3 hour EVERY 10 sec"),
+	}
+	m, err := MergeAll(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse("SELECT temperature FROM adHocNetwork(4,3) FRESHNESS 15 sec DURATION 3 hour EVERY 10 sec")
+	if !m.Equal(want) {
+		t.Fatalf("MergeAll:\n%s\nwant:\n%s", m, want)
+	}
+	if _, err := MergeAll(nil); !errors.Is(err, ErrNotMergeable) {
+		t.Fatalf("MergeAll(nil) = %v", err)
+	}
+}
+
+// genPeriodic builds a random periodic ad hoc temperature query.
+func genPeriodic(rng *rand.Rand) *Query {
+	q := &Query{
+		Select:    "temperature",
+		From:      Source{Kind: SourceAdHoc, NumNodes: rng.Intn(5), NumHops: 1 + rng.Intn(4)},
+		Freshness: time.Duration(1+rng.Intn(30)) * time.Second,
+		Duration:  Duration{Time: time.Duration(1+rng.Intn(5)) * time.Hour},
+		Every:     time.Duration(5+rng.Intn(60)) * time.Second,
+	}
+	if rng.Intn(2) == 0 {
+		q.Where = NewCond(AggNone, "accuracy", OpLe, float64(rng.Intn(10))/10)
+	}
+	return q
+}
+
+// Property: merge is commutative (up to Equal) for mergeable periodic
+// queries.
+func TestMergeCommutativeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := genPeriodic(rng), genPeriodic(rng)
+		m1, err1 := Merge(a, b)
+		m2, err2 := Merge(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return m1.Equal(m2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging a query with itself is the identity.
+func TestMergeIdempotentProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := genPeriodic(rng)
+		m, err := Merge(q, q.Clone())
+		if err != nil {
+			return false
+		}
+		return m.Equal(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (containment): the merged query covers both originals — any item
+// acceptable to an original (by freshness) is acceptable to the merge, the
+// merged rate is at least as fast, and the merged lifetime at least as long.
+func TestMergeCoversProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := genPeriodic(rng), genPeriodic(rng)
+		m, err := Merge(a, b)
+		if err != nil {
+			return false
+		}
+		for _, q := range []*Query{a, b} {
+			if m.Freshness != 0 && m.Freshness < q.Freshness {
+				return false
+			}
+			if m.Every > q.Every {
+				return false
+			}
+			if m.Duration.Time < q.Duration.Time {
+				return false
+			}
+			if q.From.NumHops > m.From.NumHops {
+				return false
+			}
+			if m.From.NumNodes != AllNodes && q.From.NumNodes > m.From.NumNodes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cluster partitions its input (every query appears exactly once,
+// and never in a cluster with a different SELECT).
+func TestClusterPartitionProperty(t *testing.T) {
+	types := []cxt.Type{"temperature", "wind", "location"}
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var qs []*Query
+		for i := 0; i < int(n%25)+1; i++ {
+			q := genPeriodic(rng)
+			q.Select = types[rng.Intn(len(types))]
+			qs = append(qs, q)
+		}
+		clusters := Cluster(qs)
+		total := 0
+		seen := map[*Query]bool{}
+		for _, c := range clusters {
+			for _, q := range c {
+				if seen[q] || q.Select != c[0].Select {
+					return false
+				}
+				seen[q] = true
+				total++
+			}
+		}
+		return total == len(qs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"contory/internal/cxt"
+)
+
+// Validation errors returned by Parse and Validate.
+var (
+	ErrMissingSelect   = errors.New("query: SELECT clause is mandatory")
+	ErrMissingDuration = errors.New("query: DURATION clause is mandatory")
+	ErrEveryAndEvent   = errors.New("query: EVERY and EVENT are mutually exclusive")
+	ErrBadClauseOrder  = errors.New("query: clause out of order or duplicated")
+)
+
+// Parse parses a context query in the §4.2 template syntax.
+func Parse(src string) (*Query, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples with
+// constant query text.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks the structural rules of the query template.
+func Validate(q *Query) error {
+	if q.Select == "" {
+		return ErrMissingSelect
+	}
+	if q.Duration.Time <= 0 && q.Duration.Samples <= 0 {
+		return ErrMissingDuration
+	}
+	if q.Every > 0 && q.Event != nil {
+		return ErrEveryAndEvent
+	}
+	if q.From.Kind == SourceAdHoc {
+		if q.From.NumNodes < 0 {
+			return fmt.Errorf("query: adHocNetwork numNodes must be ≥ 0, got %d", q.From.NumNodes)
+		}
+		if q.From.NumHops < 1 {
+			return fmt.Errorf("query: adHocNetwork numHops must be ≥ 1, got %d", q.From.NumHops)
+		}
+	}
+	return nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword checks whether the next token is the given case-insensitive
+// keyword and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.advance()
+	if t.kind != kind {
+		return t, syntaxErrf(t.pos, t.text, "expected %s, found %s", kind, t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{From: Source{Kind: SourceAuto}}
+
+	if !p.keyword("SELECT") {
+		return nil, ErrMissingSelect
+	}
+	sel, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q.Select = cxt.Type(sel.text)
+
+	if p.keyword("FROM") {
+		src, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		q.From = src
+	}
+	if p.keyword("WHERE") {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if p.keyword("FRESHNESS") {
+		d, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		q.Freshness = d
+	}
+	if p.keyword("DURATION") {
+		dur, err := p.parseDurationClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Duration = dur
+	} else {
+		return nil, ErrMissingDuration
+	}
+	hasEvery := p.keyword("EVERY")
+	if hasEvery {
+		d, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		q.Every = d
+	}
+	if p.keyword("EVENT") {
+		if hasEvery {
+			return nil, ErrEveryAndEvent
+		}
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		q.Event = pred
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, syntaxErrf(t.pos, t.text, "unexpected trailing input")
+	}
+	return q, nil
+}
+
+// parseSource parses the FROM clause:
+//
+//	intSensor [ '(' address ')' ]
+//	extInfra  [ '(' address ')' ]
+//	adHocNetwork [ '(' (all|k) ',' j ')' ]
+//	entity '(' id ')'
+//	region '(' x ',' y ',' r ')'
+func (p *parser) parseSource() (Source, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return Source{}, err
+	}
+	switch {
+	case strings.EqualFold(t.text, "intSensor"):
+		addr, err := p.optionalAddress()
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{Kind: SourceIntSensor, Address: addr}, nil
+	case strings.EqualFold(t.text, "extInfra"):
+		addr, err := p.optionalAddress()
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{Kind: SourceExtInfra, Address: addr}, nil
+	case strings.EqualFold(t.text, "adHocNetwork"):
+		return p.parseAdHoc()
+	case strings.EqualFold(t.text, "entity"):
+		if _, err := p.expect(tokLParen); err != nil {
+			return Source{}, err
+		}
+		id := p.advance()
+		if id.kind != tokIdent && id.kind != tokString {
+			return Source{}, syntaxErrf(id.pos, id.text, "expected entity identifier")
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Source{}, err
+		}
+		return Source{Kind: SourceEntity, Entity: id.text}, nil
+	case strings.EqualFold(t.text, "region"):
+		if _, err := p.expect(tokLParen); err != nil {
+			return Source{}, err
+		}
+		x, err := p.expect(tokNumber)
+		if err != nil {
+			return Source{}, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return Source{}, err
+		}
+		y, err := p.expect(tokNumber)
+		if err != nil {
+			return Source{}, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return Source{}, err
+		}
+		r, err := p.expect(tokNumber)
+		if err != nil {
+			return Source{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Source{}, err
+		}
+		return Source{Kind: SourceRegion, Region: Region{X: x.num, Y: y.num, Radius: r.num}}, nil
+	default:
+		return Source{}, syntaxErrf(t.pos, t.text, "unknown context source")
+	}
+}
+
+func (p *parser) optionalAddress() (string, error) {
+	if p.peek().kind != tokLParen {
+		return "", nil
+	}
+	p.advance()
+	t := p.advance()
+	if t.kind != tokIdent && t.kind != tokString {
+		return "", syntaxErrf(t.pos, t.text, "expected source address")
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseAdHoc() (Source, error) {
+	src := Source{Kind: SourceAdHoc, NumNodes: AllNodes, NumHops: 1}
+	if p.peek().kind != tokLParen {
+		return src, nil
+	}
+	p.advance()
+	// numNodes: "all" or an integer.
+	t := p.advance()
+	switch {
+	case t.kind == tokIdent && strings.EqualFold(t.text, "all"):
+		src.NumNodes = AllNodes
+	case t.kind == tokNumber:
+		src.NumNodes = int(t.num)
+		if src.NumNodes < 1 {
+			return src, syntaxErrf(t.pos, t.text, "numNodes must be 'all' or ≥ 1")
+		}
+	default:
+		return src, syntaxErrf(t.pos, t.text, "expected 'all' or node count")
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return src, err
+	}
+	h, err := p.expect(tokNumber)
+	if err != nil {
+		return src, err
+	}
+	src.NumHops = int(h.num)
+	if _, err := p.expect(tokRParen); err != nil {
+		return src, err
+	}
+	return src, nil
+}
+
+// parsePredicate parses "cond (AND|OR cond)*" left-associatively, with
+// parenthesised sub-expressions.
+func (p *parser) parsePredicate() (*Predicate, error) {
+	left, err := p.parsePredTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.keyword("AND"):
+			right, err := p.parsePredTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = And(left, right)
+		case p.keyword("OR"):
+			right, err := p.parsePredTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = Or(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parsePredTerm() (*Predicate, error) {
+	if p.peek().kind == tokLParen {
+		p.advance()
+		inner, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseCond()
+}
+
+// parseCond parses "[AGG(]attr[)] op number".
+func (p *parser) parseCond() (*Predicate, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	agg := AggNone
+	attr := t.text
+	if a, ok := parseAgg(t.text); ok && p.peek().kind == tokLParen {
+		agg = a
+		p.advance()
+		at, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		attr = at.text
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	return NewCond(agg, attr, op, v.num), nil
+}
+
+func parseAgg(s string) (Agg, bool) {
+	switch strings.ToUpper(s) {
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	case "SUM":
+		return AggSum, true
+	case "COUNT":
+		return AggCount, true
+	default:
+		return AggNone, false
+	}
+}
+
+func (p *parser) parseOp() (Op, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokEq:
+		return OpEq, nil
+	case tokNe:
+		return OpNe, nil
+	case tokLt:
+		return OpLt, nil
+	case tokGt:
+		return OpGt, nil
+	case tokLe:
+		return OpLe, nil
+	case tokGe:
+		return OpGe, nil
+	case tokIdent:
+		// CxtRulesVocabulary spellings.
+		switch strings.ToLower(t.text) {
+		case "equal":
+			return OpEq, nil
+		case "notequal":
+			return OpNe, nil
+		case "morethan":
+			return OpGt, nil
+		case "lessthan":
+			return OpLt, nil
+		}
+	}
+	return 0, syntaxErrf(t.pos, t.text, "expected comparison operator")
+}
+
+// parseDuration parses "<number> <unit>" where unit ∈ {msec, ms, sec, s,
+// min, m, hour, h} (the number and unit may be adjacent, e.g. "15sec"
+// lexes as two tokens).
+func (p *parser) parseDuration() (time.Duration, error) {
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	u, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, err
+	}
+	unit, err := parseUnit(u.text)
+	if err != nil {
+		return 0, syntaxErrf(u.pos, u.text, "%v", err)
+	}
+	return time.Duration(n.num * float64(unit)), nil
+}
+
+// parseDurationClause parses the DURATION operand: a time span or
+// "<n> samples".
+func (p *parser) parseDurationClause() (Duration, error) {
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return Duration{}, err
+	}
+	u, err := p.expect(tokIdent)
+	if err != nil {
+		return Duration{}, err
+	}
+	if strings.EqualFold(u.text, "samples") || strings.EqualFold(u.text, "sample") {
+		if n.num < 1 {
+			return Duration{}, syntaxErrf(n.pos, n.text, "sample count must be ≥ 1")
+		}
+		return Duration{Samples: int(n.num)}, nil
+	}
+	unit, err := parseUnit(u.text)
+	if err != nil {
+		return Duration{}, syntaxErrf(u.pos, u.text, "%v", err)
+	}
+	return Duration{Time: time.Duration(n.num * float64(unit))}, nil
+}
+
+func parseUnit(s string) (time.Duration, error) {
+	switch strings.ToLower(s) {
+	case "msec", "ms", "millisecond", "milliseconds":
+		return time.Millisecond, nil
+	case "sec", "s", "second", "seconds":
+		return time.Second, nil
+	case "min", "minute", "minutes":
+		return time.Minute, nil
+	case "hour", "h", "hours":
+		return time.Hour, nil
+	default:
+		return 0, fmt.Errorf("unknown time unit %q", s)
+	}
+}

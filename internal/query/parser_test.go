@@ -1,0 +1,310 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"contory/internal/cxt"
+)
+
+// paperQuery is the full example query from §4.2 of the paper.
+const paperQuery = `SELECT temperature
+FROM adHocNetwork(10,3)
+WHERE accuracy=0.2
+FRESHNESS 30 sec
+DURATION 1 hour
+EVENT AVG(temperature)>25`
+
+func TestParsePaperExample(t *testing.T) {
+	q, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Select != cxt.TypeTemperature {
+		t.Errorf("Select = %q", q.Select)
+	}
+	want := Source{Kind: SourceAdHoc, NumNodes: 10, NumHops: 3}
+	if q.From != want {
+		t.Errorf("From = %+v, want %+v", q.From, want)
+	}
+	if q.Where == nil || q.Where.Leaf == nil {
+		t.Fatalf("Where = %v", q.Where)
+	}
+	if c := q.Where.Leaf; c.Attr != "accuracy" || c.Op != OpEq || c.Value != 0.2 {
+		t.Errorf("Where leaf = %+v", c)
+	}
+	if q.Freshness != 30*time.Second {
+		t.Errorf("Freshness = %v", q.Freshness)
+	}
+	if q.Duration.Time != time.Hour {
+		t.Errorf("Duration = %+v", q.Duration)
+	}
+	if q.Event == nil || q.Event.Leaf == nil {
+		t.Fatalf("Event = %v", q.Event)
+	}
+	if c := q.Event.Leaf; c.Agg != AggAvg || c.Attr != "temperature" || c.Op != OpGt || c.Value != 25 {
+		t.Errorf("Event leaf = %+v", c)
+	}
+	if q.Mode() != ModeEvent {
+		t.Errorf("Mode = %v", q.Mode())
+	}
+}
+
+func TestParseMergeExampleQueries(t *testing.T) {
+	// The q1/q2 pair from the §4.3 merging example.
+	q1, err := Parse("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10sec DURATION 1hour EVERY 15sec")
+	if err != nil {
+		t.Fatalf("q1: %v", err)
+	}
+	q2, err := Parse("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20sec DURATION 2hour EVERY 30sec")
+	if err != nil {
+		t.Fatalf("q2: %v", err)
+	}
+	if q1.From.NumNodes != AllNodes || q1.From.NumHops != 3 {
+		t.Errorf("q1.From = %+v", q1.From)
+	}
+	if q1.Every != 15*time.Second || q2.Every != 30*time.Second {
+		t.Errorf("Every = %v / %v", q1.Every, q2.Every)
+	}
+	if q1.Mode() != ModePeriodic {
+		t.Errorf("q1.Mode = %v", q1.Mode())
+	}
+}
+
+func TestParseMinimalQuery(t *testing.T) {
+	q, err := Parse("SELECT location DURATION 50 samples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From.Kind != SourceAuto {
+		t.Errorf("From = %+v, want auto", q.From)
+	}
+	if !q.Duration.IsSamples() || q.Duration.Samples != 50 {
+		t.Errorf("Duration = %+v", q.Duration)
+	}
+	if q.Mode() != ModeOnDemand {
+		t.Errorf("Mode = %v", q.Mode())
+	}
+}
+
+func TestParseSources(t *testing.T) {
+	tests := []struct {
+		src  string
+		want Source
+	}{
+		{"intSensor", Source{Kind: SourceIntSensor}},
+		{"intSensor(bt-gps-1)", Source{Kind: SourceIntSensor, Address: "bt-gps-1"}},
+		{"extInfra", Source{Kind: SourceExtInfra}},
+		{"extInfra(infra-main)", Source{Kind: SourceExtInfra, Address: "infra-main"}},
+		{"adHocNetwork", Source{Kind: SourceAdHoc, NumNodes: AllNodes, NumHops: 1}},
+		{"adHocNetwork(all,3)", Source{Kind: SourceAdHoc, NumNodes: AllNodes, NumHops: 3}},
+		{"adHocNetwork(5,2)", Source{Kind: SourceAdHoc, NumNodes: 5, NumHops: 2}},
+		{"entity(friend1)", Source{Kind: SourceEntity, Entity: "friend1"}},
+		{`entity("boat 7")`, Source{Kind: SourceEntity, Entity: "boat 7"}},
+		{"region(60.1,24.9,500)", Source{Kind: SourceRegion, Region: Region{X: 60.1, Y: 24.9, Radius: 500}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			q, err := Parse("SELECT wind FROM " + tt.src + " DURATION 1 min")
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if q.From != tt.want {
+				t.Errorf("From = %+v, want %+v", q.From, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCompoundWhere(t *testing.T) {
+	q, err := Parse("SELECT wind WHERE accuracy<=0.5 AND trust>=2 OR correctness>0.9 DURATION 1 min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left-associative: (accuracy<=0.5 AND trust>=2) OR correctness>0.9.
+	if q.Where.Logic != LogicOr {
+		t.Fatalf("top logic = %v", q.Where.Logic)
+	}
+	if q.Where.Left.Logic != LogicAnd {
+		t.Fatalf("left logic = %v", q.Where.Left.Logic)
+	}
+}
+
+func TestParseParenthesizedWhere(t *testing.T) {
+	q, err := Parse("SELECT wind WHERE accuracy<=0.5 AND (trust>=2 OR correctness>0.9) DURATION 1 min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.Logic != LogicAnd || q.Where.Right.Logic != LogicOr {
+		t.Fatalf("Where = %s", q.Where)
+	}
+}
+
+func TestParseRulesVocabularyOperators(t *testing.T) {
+	q, err := Parse("SELECT wind WHERE accuracy equal 0.2 AND trust moreThan 1 DURATION 1 min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.Left.Leaf.Op != OpEq || q.Where.Right.Leaf.Op != OpGt {
+		t.Fatalf("ops = %v, %v", q.Where.Left.Leaf.Op, q.Where.Right.Leaf.Op)
+	}
+}
+
+func TestParseDurationUnits(t *testing.T) {
+	tests := []struct {
+		text string
+		want time.Duration
+	}{
+		{"500 msec", 500 * time.Millisecond},
+		{"30 sec", 30 * time.Second},
+		{"30sec", 30 * time.Second},
+		{"5 min", 5 * time.Minute},
+		{"2 hour", 2 * time.Hour},
+		{"1.5 hour", 90 * time.Minute},
+	}
+	for _, tt := range tests {
+		q, err := Parse("SELECT wind DURATION " + tt.text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.text, err)
+			continue
+		}
+		if q.Duration.Time != tt.want {
+			t.Errorf("Duration %q = %v, want %v", tt.text, q.Duration.Time, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		err  error
+	}{
+		{"empty", "", ErrMissingSelect},
+		{"no select", "DURATION 1 hour", ErrMissingSelect},
+		{"no duration", "SELECT wind", ErrMissingDuration},
+		{"every and event", "SELECT wind DURATION 1 hour EVERY 5 sec EVENT wind>10", ErrEveryAndEvent},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if !errors.Is(err, tt.err) {
+				t.Fatalf("Parse = %v, want %v", err, tt.err)
+			}
+		})
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"SELECT wind FROM adHocNetwork(0,1) DURATION 1 hour",
+		"SELECT wind FROM adHocNetwork(all) DURATION 1 hour",
+		"SELECT wind FROM spaceStation DURATION 1 hour",
+		"SELECT wind WHERE accuracy ~ 3 DURATION 1 hour",
+		"SELECT wind DURATION 1 fortnight",
+		"SELECT wind DURATION 0 samples",
+		"SELECT wind DURATION 1 hour EXTRA",
+		"SELECT wind WHERE accuracy=0.2 AND DURATION 1 hour",
+		"SELECT wind DURATION 1 hour EVENT",
+		`SELECT wind FROM entity("unterminated DURATION 1 hour`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+	var serr *SyntaxError
+	_, err := Parse("SELECT wind DURATION 1 hour ???")
+	if !errors.As(err, &serr) {
+		t.Fatalf("error type = %T (%v), want *SyntaxError", err, err)
+	}
+	if !strings.Contains(serr.Error(), "offset") {
+		t.Errorf("SyntaxError message %q lacks position", serr.Error())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		paperQuery,
+		"SELECT location DURATION 50 samples",
+		"SELECT wind FROM intSensor(anemometer-1) FRESHNESS 5 sec DURATION 10 min EVERY 1 sec",
+		"SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10 sec DURATION 1 hour EVERY 15 sec",
+		"SELECT weather FROM region(60.1,24.9,500) DURATION 30 min EVERY 5 min",
+		"SELECT location FROM entity(friend1) DURATION 1 hour EVENT speed>6",
+		"SELECT wind WHERE accuracy<=0.5 AND (trust>=2 OR correctness>0.9) DURATION 1 min",
+		"SELECT nearbyDevices FROM extInfra DURATION 2 hour EVERY 30 sec",
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q1.String(), err)
+		}
+		if !q1.Equal(q2) {
+			t.Errorf("round trip changed query:\n%s\n---\n%s", q1, q2)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select wind from adhocnetwork(all,2) where accuracy=0.5 freshness 5 sec duration 1 min every 10 sec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From.Kind != SourceAdHoc || q.From.NumHops != 2 {
+		t.Fatalf("From = %+v", q.From)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	q := MustParse("SELECT wind DURATION 1 min")
+	if got := q.WireSize(); got != 205 {
+		t.Fatalf("WireSize = %d, want 205 (paper §6.1)", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse(paperQuery)
+	c := q.Clone()
+	if !q.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Where.Leaf.Value = 99
+	if q.Where.Leaf.Value == 99 {
+		t.Fatal("clone shares WHERE predicate")
+	}
+	c.Event.Leaf.Value = 99
+	if q.Event.Leaf.Value == 99 {
+		t.Fatal("clone shares EVENT predicate")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		m    Mode
+		want string
+	}{
+		{ModeOnDemand, "on-demand"},
+		{ModePeriodic, "periodic"},
+		{ModeEvent, "event-based"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("Mode.String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package query implements Contory's SQL-like context query language
+// (§4.2 of the paper):
+//
+//	SELECT <context name>                      (mandatory)
+//	FROM <source>                              (optional; omitted = Auto)
+//	WHERE <predicate clause>                   (optional)
+//	FRESHNESS <time>                           (optional)
+//	DURATION <duration> | <n> samples          (mandatory)
+//	EVERY <time> | EVENT <predicate clause>    (optional, mutually exclusive)
+//
+// plus the query-merging algorithm of §4.3 (clustering by SELECT clause and
+// clause-wise merging rules) and predicate evaluation for WHERE (over item
+// metadata) and EVENT (over item values with aggregates).
+package query
+
+import "fmt"
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq // =
+	tokNe // != or <>
+	tokLt // <
+	tokGt // >
+	tokLe // <=
+	tokGe // >=
+	tokStar
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokEq:
+		return "="
+	case tokNe:
+		return "!="
+	case tokLt:
+		return "<"
+	case tokGt:
+		return ">"
+	case tokLe:
+		return "<="
+	case tokGe:
+		return ">="
+	case tokStar:
+		return "*"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokIdent || t.kind == tokNumber || t.kind == tokString {
+		return fmt.Sprintf("%s(%q)", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+// SyntaxError reports a parse failure with position context.
+type SyntaxError struct {
+	Pos  int
+	Msg  string
+	Near string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	if e.Near != "" {
+		return fmt.Sprintf("query: syntax error at offset %d near %q: %s", e.Pos, e.Near, e.Msg)
+	}
+	return fmt.Sprintf("query: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func syntaxErrf(pos int, near, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Near: near, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,50 @@
+package query
+
+import "contory/internal/cxt"
+
+// The three vocabularies of §4.4, exposed for application developers and
+// tooling (editor completion, query builders):
+//
+//   - CxtVocabulary: context types, context values and metadata types for
+//     specifying context items and device resources (in package cxt).
+//   - QueryVocabulary: parameters for specifying context queries (here).
+//   - CxtRulesVocabulary: operators and actions for specifying control
+//     policies (in package policy).
+
+// Keywords returns the query language's clause keywords in template order.
+func Keywords() []string {
+	return []string{"SELECT", "FROM", "WHERE", "FRESHNESS", "DURATION", "EVERY", "EVENT"}
+}
+
+// SourceKinds returns the FROM-clause source spellings.
+func SourceKinds() []string {
+	return []string{"intSensor", "extInfra", "adHocNetwork", "entity", "region"}
+}
+
+// Aggregates returns the aggregate function names usable in EVENT clauses.
+func Aggregates() []string {
+	return []string{"AVG", "MIN", "MAX", "SUM", "COUNT"}
+}
+
+// TimeUnits returns the duration unit spellings.
+func TimeUnits() []string {
+	return []string{"msec", "sec", "min", "hour", "samples"}
+}
+
+// Operators returns the comparison operator spellings (symbolic and the
+// CxtRulesVocabulary words).
+func Operators() []string {
+	return []string{"=", "!=", "<", ">", "<=", ">=", "equal", "notEqual", "moreThan", "lessThan"}
+}
+
+// ContextTypes returns the known CxtVocabulary context types. The set is
+// open; these are the types with calibrated wire sizes and testbed sensors.
+func ContextTypes() []cxt.Type {
+	return []cxt.Type{
+		cxt.TypeLocation, cxt.TypeSpeed, cxt.TypeTime, cxt.TypeDuration,
+		cxt.TypeActivity, cxt.TypeMood, cxt.TypeTemperature, cxt.TypeLight,
+		cxt.TypeNoise, cxt.TypeWind, cxt.TypeHumidity, cxt.TypePressure,
+		cxt.TypeWeather, cxt.TypeNearbyDevices, cxt.TypeBatteryLevel,
+		cxt.TypeMemoryLevel,
+	}
+}

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestVocabularyKeywordsParse: every keyword in the QueryVocabulary is
+// actually accepted by the parser where the template allows it.
+func TestVocabularyKeywordsParse(t *testing.T) {
+	want := []string{"SELECT", "FROM", "WHERE", "FRESHNESS", "DURATION", "EVERY", "EVENT"}
+	got := Keywords()
+	if len(got) != len(want) {
+		t.Fatalf("Keywords = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keywords = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestVocabularySourceKindsParse: each listed source kind round-trips
+// through a FROM clause.
+func TestVocabularySourceKindsParse(t *testing.T) {
+	forms := map[string]string{
+		"intSensor":    "intSensor",
+		"extInfra":     "extInfra",
+		"adHocNetwork": "adHocNetwork(all,2)",
+		"entity":       "entity(friend1)",
+		"region":       "region(60,24,1)",
+	}
+	for _, kind := range SourceKinds() {
+		form, ok := forms[kind]
+		if !ok {
+			t.Fatalf("no parse form for source kind %q", kind)
+		}
+		if _, err := Parse("SELECT wind FROM " + form + " DURATION 1 min"); err != nil {
+			t.Errorf("source %q does not parse: %v", kind, err)
+		}
+	}
+}
+
+// TestVocabularyAggregatesParse: each aggregate is accepted in an EVENT
+// clause.
+func TestVocabularyAggregatesParse(t *testing.T) {
+	for _, agg := range Aggregates() {
+		src := fmt.Sprintf("SELECT wind DURATION 1 hour EVENT %s(wind)>5", agg)
+		if _, err := Parse(src); err != nil {
+			t.Errorf("aggregate %q does not parse: %v", agg, err)
+		}
+	}
+}
+
+// TestVocabularyTimeUnitsParse: each duration unit is accepted.
+func TestVocabularyTimeUnitsParse(t *testing.T) {
+	for _, unit := range TimeUnits() {
+		if _, err := Parse("SELECT wind DURATION 5 " + unit); err != nil {
+			t.Errorf("unit %q does not parse in DURATION: %v", unit, err)
+		}
+	}
+}
+
+// TestVocabularyOperatorsParse: each operator spelling is accepted in a
+// WHERE clause.
+func TestVocabularyOperatorsParse(t *testing.T) {
+	for _, op := range Operators() {
+		src := fmt.Sprintf("SELECT wind WHERE accuracy %s 0.5 DURATION 1 min", op)
+		if _, err := Parse(src); err != nil {
+			t.Errorf("operator %q does not parse: %v", op, err)
+		}
+	}
+}
+
+// TestVocabularyContextTypesUsable: each context type is a valid SELECT
+// operand with a positive wire size.
+func TestVocabularyContextTypesUsable(t *testing.T) {
+	types := ContextTypes()
+	if len(types) < 10 {
+		t.Fatalf("ContextTypes = %d entries", len(types))
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		name := string(typ)
+		if seen[name] {
+			t.Errorf("duplicate context type %q", name)
+		}
+		seen[name] = true
+		if strings.ContainsAny(name, " \t\n") {
+			t.Errorf("context type %q not a single token", name)
+		}
+		q, err := Parse("SELECT " + name + " DURATION 1 min")
+		if err != nil {
+			t.Errorf("type %q does not parse: %v", name, err)
+			continue
+		}
+		if q.Select.WireSize() <= 0 {
+			t.Errorf("type %q has nonpositive wire size", name)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package radio
+
+import "time"
+
+// Calibration constants. Every value is taken from, or derived to reproduce,
+// a measurement in §6.1 of the paper (Tables 1 and 2, Figs. 4–5). Latencies
+// are the Table 1 averages; the bracketed 90 % confidence half-widths drive
+// the jitter model. Power windows are chosen so that the integral of the
+// power timeline reproduces the Table 2 energies (see DESIGN.md §4).
+
+// Payload sizes reported in §6.1.
+const (
+	// QueryBytes is the serialized size of a context query object (205 B).
+	QueryBytes = 205
+	// ItemBytesMin is the smallest context item (a wind item, 53 B).
+	ItemBytesMin = 53
+	// ItemBytesMax is the largest context item (a location/light item, 136 B).
+	ItemBytesMax = 136
+	// UMTSEventBytes is the size of an event notification carrying an item
+	// or query over the event-based platform (1696 B).
+	UMTSEventBytes = 1696
+	// GPSNMEABytes is one GPS-NMEA sample (340 B).
+	GPSNMEABytes = 340
+)
+
+// Local CPU operations (Table 1).
+const (
+	// CreateItemLatency is createCxtItem: 0.078 ms [0.001].
+	CreateItemLatency = 78 * time.Microsecond
+	// CreateItemJitter is the associated confidence half-width.
+	CreateItemJitter = 1 * time.Microsecond
+	// CreateQueryLatency is createCxtQuery; the paper leaves the cell
+	// blank — a local object construction comparable to createCxtItem but
+	// for the larger 205-byte query object.
+	CreateQueryLatency = 118 * time.Microsecond
+	// CreateQueryJitter is the modelled jitter for createCxtQuery.
+	CreateQueryJitter = 2 * time.Microsecond
+)
+
+// Bluetooth (JSR-82) model.
+const (
+	// BTDeviceDiscoveryLatency is the BT inquiry duration (≈ 13 s).
+	BTDeviceDiscoveryLatency = 13 * time.Second
+	// BTDeviceDiscoveryJitter spreads the inquiry duration between runs.
+	BTDeviceDiscoveryJitter = 400 * time.Millisecond
+	// BTServiceDiscoveryLatency is SDP service discovery (≈ 1.12 s).
+	BTServiceDiscoveryLatency = 1120 * time.Millisecond
+	// BTServiceDiscoveryJitter spreads service discovery between runs.
+	BTServiceDiscoveryJitter = 40 * time.Millisecond
+	// BTPublishLatency is publishCxtItem over BT: DataElement encapsulation
+	// plus ServiceRecord registration in the SDDB (140.359 ms [0.337]).
+	BTPublishLatency = 140359 * time.Microsecond
+	// BTPublishJitter is the associated confidence half-width.
+	BTPublishJitter = 337 * time.Microsecond
+	// BTGetLatency is one-hop getCxtItem for a 136-byte item once
+	// discovery has completed (31.830 ms [0.151]).
+	BTGetLatency = 31830 * time.Microsecond
+	// BTGetJitter is the associated confidence half-width.
+	BTGetJitter = 151 * time.Microsecond
+	// BTPayloadBytes is the L2CAP-style payload granularity used for
+	// packet segmentation; larger items keep the radio active longer.
+	BTPayloadBytes = 136
+)
+
+// Bluetooth power windows (derived; see DESIGN.md §4).
+const (
+	// BTInquiryPower is the radio draw during inquiry/service discovery.
+	// 14.12 s of discovery at this level plus one transfer reproduces the
+	// 5.270 J on-demand get of Table 2 (5.270-0.099 ≈ 5.17 J / 14.12 s).
+	BTInquiryPower = 366.0 // mW
+	// BTActivePower is the radio draw while a data exchange keeps the
+	// radio in active mode.
+	BTActivePower = 300.0 // mW
+	// BTGetActiveWindow is the active-mode window per one-hop periodic
+	// item exchange: 0.330 s × 300 mW = 0.099 J (Table 2).
+	BTGetActiveWindow = 330 * time.Millisecond
+	// BTProvideActiveWindow is the server-side window per provided item:
+	// 0.4433 s × 300 mW ≈ 0.133 J (Table 2).
+	BTProvideActiveWindow = 443300 * time.Microsecond
+	// BTGPSSampleWindow is the active window per 340-byte GPS-NMEA sample
+	// including BT packet segmentation: 1.4067 s × 300 mW ≈ 0.422 J
+	// (Table 2, intSensor periodic).
+	BTGPSSampleWindow = 1406700 * time.Microsecond
+)
+
+// WiFi / Smart Messages model. One-hop getCxtItem is 761.280 ms [28.940],
+// two hops 1422.500 ms [60.001]; the difference gives the per-hop cost and
+// the remainder the fixed cost.
+const (
+	// WiFiPublishLatency is publishCxtItem over SM: creating a tag and
+	// storing it in the tag-space hashtable (0.130 ms [0.006]).
+	WiFiPublishLatency = 130 * time.Microsecond
+	// WiFiPublishJitter is the associated confidence half-width.
+	WiFiPublishJitter = 6 * time.Microsecond
+	// WiFiPerHopLatency is the marginal cost of each hop
+	// (1422.5 − 761.28 = 661.22 ms).
+	WiFiPerHopLatency = 661220 * time.Microsecond
+	// WiFiFixedLatency is the hop-independent remainder
+	// (761.28 − 661.22 = 100.06 ms).
+	WiFiFixedLatency = 100060 * time.Microsecond
+	// WiFiGetJitterPerHop spreads multi-hop latency (≈ 29 ms per hop,
+	// from the one-hop confidence half-width).
+	WiFiGetJitterPerHop = 29 * time.Millisecond
+	// WiFiConnectedPower is the draw while WiFi is connected at full
+	// signal with back-light on: 300 mA × ~3.97 V ≈ 1190 mW. Energy per
+	// get is this power times the get latency, which reproduces the
+	// > 0.906 J (1 hop) and > 1.693 J (2 hops) bounds of Table 2.
+	WiFiConnectedPower = 1190.0 // mW
+	// WiFiRouteBuildFactor: building the route costs approximately twice
+	// the corresponding get latency (§6.1).
+	WiFiRouteBuildFactor = 2.0
+)
+
+// Smart Messages latency break-up fractions (§6.1): connection
+// establishment 4–5 %, serialization 26–33 %, thread switching 12–14 %,
+// transfer 51–54 %. Mid-points are used; the SM overhead is negligible.
+const (
+	SMFracConnection = 0.045
+	SMFracSerialize  = 0.295
+	SMFracThread     = 0.13
+	SMFracTransfer   = 0.525
+	SMFracSMOverhead = 0.005
+)
+
+// UMTS / event-based infrastructure model.
+const (
+	// UMTSPublishLatency is publishCxtItem to the remote infrastructure
+	// (772.728 ms [158.924]).
+	UMTSPublishLatency = 772728 * time.Microsecond
+	// UMTSPublishJitter is the associated confidence half-width.
+	UMTSPublishJitter = 158924 * time.Microsecond
+	// UMTSGetLatency is on-demand getCxtItem over UMTS
+	// (1473 ms [275]).
+	UMTSGetLatency = 1473 * time.Millisecond
+	// UMTSGetJitter is the associated confidence half-width.
+	UMTSGetJitter = 275 * time.Millisecond
+	// UMTSGetLatencyMin / Max bound the extreme variability the paper
+	// reports (703–2766 ms).
+	UMTSGetLatencyMin = 703 * time.Millisecond
+	UMTSGetLatencyMax = 2766 * time.Millisecond
+
+	// UMTSConnOpenPower is the peak draw when the connection is opened
+	// and the request sent (1000 mW, Fig. 4).
+	UMTSConnOpenPower = 1000.0 // mW
+	// UMTSConnOpenWindow is the duration of the connection-open peak.
+	UMTSConnOpenWindow = 3 * time.Second
+	// UMTSTransferPower is the draw during the data exchange itself.
+	UMTSTransferPower = 800.0 // mW
+	// UMTSTailPower is the post-transfer radio tail draw.
+	UMTSTailPower = 600.0 // mW
+	// UMTSTailWindow is the radio tail duration. 3 s × 1000 mW + 1.473 s ×
+	// 800 mW + 16.5 s × 600 mW ≈ 14.08 J, the Table 2 on-demand figure.
+	UMTSTailWindow = 16500 * time.Millisecond
+
+	// GSMIdlePeakPowerMin/Max: with the GSM radio on, idle signalling
+	// produces peaks of 450–481 mW (Fig. 4).
+	GSMIdlePeakPowerMin = 450.0 // mW
+	GSMIdlePeakPowerMax = 481.0 // mW
+	// GSMIdlePeakEveryMin/Max: the peaks recur every 50–60 s.
+	GSMIdlePeakEveryMin = 50 * time.Second
+	GSMIdlePeakEveryMax = 60 * time.Second
+	// GSMIdlePeakWindow is the duration of one idle signalling burst.
+	GSMIdlePeakWindow = 1500 * time.Millisecond
+)
+
+// Failover (Fig. 5) constants.
+const (
+	// FailoverSwitchPowerMin/Max: the power cost of switching provisioning
+	// mechanism is dominated by BT device discovery and varies between
+	// 163 mW and 292 mW (§6.1).
+	FailoverSwitchPowerMin = 163.0 // mW
+	FailoverSwitchPowerMax = 292.0 // mW
+)

@@ -1,0 +1,425 @@
+package refs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/energy"
+	"contory/internal/gps"
+	"contory/internal/monitor"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+	"contory/internal/vclock"
+)
+
+// BT message kinds.
+const (
+	kindSDPQuery = "bt-sdp-query"
+	kindSDPReply = "bt-sdp-reply"
+	kindBTGet    = "bt-get"
+	kindBTReply  = "bt-get-reply"
+)
+
+// BT errors.
+var (
+	ErrBTTimeout   = errors.New("refs: bt operation timed out")
+	ErrNoService   = errors.New("refs: bt service not found")
+	ErrGPSNoSignal = errors.New("refs: gps stream lost")
+)
+
+// ServiceRecord is an entry in the device's Service Discovery Database
+// (SDDB): a context item encapsulated in a DataElement and made visible to
+// external BT entities.
+type ServiceRecord struct {
+	Name string // service name; by convention the context type
+	Item cxt.Item
+}
+
+// BTReference provides JSR-82-style discovery (device discovery, service
+// discovery, service registration), communication, and device management
+// over the simulated Bluetooth medium.
+type BTReference struct {
+	clock vclock.Clock
+	net   *simnet.Network
+	node  *simnet.Node
+	bt    *radio.BT
+	mon   *monitor.Monitor
+
+	mu       sync.Mutex
+	sddb     map[string]ServiceRecord
+	pending  map[string]func(any, error) // request id → callback
+	nextID   int
+	gpsWatch map[simnet.NodeID]*gpsWatch
+}
+
+type gpsWatch struct {
+	onFix     func(cxt.Fix)
+	onFailure func()
+	watchdog  *vclock.Timer
+	failed    bool
+}
+
+// NewBTReference installs the BT reference on the node.
+func NewBTReference(nw *simnet.Network, id simnet.NodeID, bt *radio.BT, mon *monitor.Monitor) (*BTReference, error) {
+	node := nw.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("refs: bt: %w: %s", simnet.ErrUnknownNode, id)
+	}
+	r := &BTReference{
+		clock:    nw.Clock(),
+		net:      nw,
+		node:     node,
+		bt:       bt,
+		mon:      mon,
+		sddb:     make(map[string]ServiceRecord),
+		pending:  make(map[string]func(any, error)),
+		gpsWatch: make(map[simnet.NodeID]*gpsWatch),
+	}
+	node.Handle(kindSDPQuery, r.onSDPQuery)
+	node.Handle(kindSDPReply, r.onReply)
+	node.Handle(kindBTGet, r.onGet)
+	node.Handle(kindBTReply, r.onReply)
+	node.Handle(gps.KindNMEA, r.onNMEA)
+	// BT page/inquiry-scan baseline while the reference is active.
+	node.Timeline().SetState("bt-scan", energy.BTScan)
+	return r, nil
+}
+
+// Close releases the BT reference's continuous power state and watchdogs.
+func (r *BTReference) Close() {
+	r.node.Timeline().SetState("bt-scan", 0)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.gpsWatch {
+		if w.watchdog != nil {
+			w.watchdog.Stop()
+		}
+	}
+	r.gpsWatch = make(map[simnet.NodeID]*gpsWatch)
+}
+
+// Discover runs a BT inquiry (≈ 13 s) and reports the discoverable BT
+// devices in range.
+func (r *BTReference) Discover(done func([]simnet.NodeID)) {
+	d, ws := r.bt.DeviceDiscovery()
+	applyWindows(r.node, ws, r.clock.Now())
+	r.clock.After(d, func() {
+		found := r.net.Neighbors(r.node.ID(), radio.MediumBT)
+		sort.Slice(found, func(i, j int) bool { return found[i] < found[j] })
+		done(found)
+	})
+}
+
+// RegisterService creates a service record describing an offered context
+// service and adds it to the SDDB (the slow BT publish path of Table 1:
+// DataElement encapsulation plus ServiceRecord registration, ≈ 140 ms).
+// done fires when the registration completes.
+func (r *BTReference) RegisterService(rec ServiceRecord, done func()) time.Duration {
+	d, ws := r.bt.Publish(rec.Item.WireSize())
+	applyWindows(r.node, ws, r.clock.Now())
+	r.clock.After(d, func() {
+		r.mu.Lock()
+		r.sddb[rec.Name] = rec
+		r.mu.Unlock()
+		if done != nil {
+			done()
+		}
+	})
+	return d
+}
+
+// UnregisterService removes a service record (idempotent, immediate).
+func (r *BTReference) UnregisterService(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sddb, name)
+}
+
+// Services returns the local SDDB service names, sorted.
+func (r *BTReference) Services() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.sddb))
+	for n := range r.sddb {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiscoverServices performs SDP service discovery against a remote device
+// (≈ 1.12 s), reporting the remote SDDB's service names.
+func (r *BTReference) DiscoverServices(dev simnet.NodeID, done func([]string, error)) {
+	d, ws := r.bt.ServiceDiscovery()
+	applyWindows(r.node, ws, r.clock.Now())
+	id := r.newRequest(func(v any, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		names, ok := v.([]string)
+		if !ok {
+			done(nil, fmt.Errorf("refs: bt: bad sdp reply type %T", v))
+			return
+		}
+		done(names, nil)
+	}, 30*time.Second)
+	err := r.net.Send(simnet.Message{
+		From:    r.node.ID(),
+		To:      dev,
+		Medium:  radio.MediumBT,
+		Kind:    kindSDPQuery,
+		Payload: id,
+		Bytes:   64,
+	}, d)
+	if err != nil {
+		r.fail(id, fmt.Errorf("refs: bt sdp: %w", err), string(dev))
+	}
+}
+
+// Get retrieves the value of a named context service from a discovered
+// device: the one-hop BT data exchange of Table 1 (≈ 31.8 ms, 0.099 J).
+func (r *BTReference) Get(dev simnet.NodeID, service string, done func(cxt.Item, error)) {
+	d, ws := r.bt.Get(radio.ItemBytesMax)
+	applyWindows(r.node, ws, r.clock.Now())
+	id := r.newRequest(func(v any, err error) {
+		if err != nil {
+			done(cxt.Item{}, err)
+			return
+		}
+		it, ok := v.(cxt.Item)
+		if !ok {
+			done(cxt.Item{}, fmt.Errorf("refs: bt: bad get reply type %T", v))
+			return
+		}
+		done(it, nil)
+	}, 30*time.Second)
+	err := r.net.Send(simnet.Message{
+		From:    r.node.ID(),
+		To:      dev,
+		Medium:  radio.MediumBT,
+		Kind:    kindBTGet,
+		Payload: getRequest{ID: id, Service: service},
+		Bytes:   radio.QueryBytes,
+	}, d/2)
+	if err != nil {
+		r.fail(id, fmt.Errorf("refs: bt get: %w", err), string(dev))
+	}
+}
+
+type getRequest struct {
+	ID      string
+	Service string
+}
+
+type reply struct {
+	ID      string
+	Payload any
+	Err     string
+}
+
+func (r *BTReference) newRequest(done func(any, error), timeout time.Duration) string {
+	r.mu.Lock()
+	r.nextID++
+	id := fmt.Sprintf("%s-bt-%d", r.node.ID(), r.nextID)
+	completed := false
+	finish := func(v any, err error) {
+		if completed {
+			return
+		}
+		completed = true
+		done(v, err)
+	}
+	r.pending[id] = finish
+	r.mu.Unlock()
+	r.clock.After(timeout, func() {
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+		finish(nil, ErrBTTimeout)
+	})
+	return id
+}
+
+// fail completes a pending request with an error and reports the failure.
+func (r *BTReference) fail(id string, err error, resource string) {
+	r.mu.Lock()
+	finish := r.pending[id]
+	delete(r.pending, id)
+	r.mu.Unlock()
+	if r.mon != nil && resource != "" {
+		r.mon.ReportFailure(resource, err.Error())
+	}
+	if finish != nil {
+		finish(nil, err)
+	}
+}
+
+func (r *BTReference) onSDPQuery(m simnet.Message) {
+	id, ok := m.Payload.(string)
+	if !ok {
+		return
+	}
+	names := r.Services()
+	_ = r.net.Send(simnet.Message{
+		From:    r.node.ID(),
+		To:      m.From,
+		Medium:  radio.MediumBT,
+		Kind:    kindSDPReply,
+		Payload: reply{ID: id, Payload: names},
+		Bytes:   64 * (len(names) + 1),
+	}, 100*time.Millisecond)
+}
+
+func (r *BTReference) onGet(m simnet.Message) {
+	req, ok := m.Payload.(getRequest)
+	if !ok {
+		return
+	}
+	// Server-side provide cost (Table 2: 0.133 J per provided item).
+	d, ws := r.bt.Provide(radio.ItemBytesMax)
+	applyWindows(r.node, ws, r.clock.Now())
+	rep := reply{ID: req.ID}
+	r.mu.Lock()
+	rec, found := r.sddb[req.Service]
+	r.mu.Unlock()
+	if !found {
+		rep.Err = ErrNoService.Error() + ": " + req.Service
+	} else {
+		rep.Payload = rec.Item
+	}
+	_ = r.net.Send(simnet.Message{
+		From:    r.node.ID(),
+		To:      m.From,
+		Medium:  radio.MediumBT,
+		Kind:    kindBTReply,
+		Payload: rep,
+		Bytes:   radio.ItemBytesMax,
+	}, d/2)
+}
+
+func (r *BTReference) onReply(m simnet.Message) {
+	rep, ok := m.Payload.(reply)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	finish := r.pending[rep.ID]
+	delete(r.pending, rep.ID)
+	r.mu.Unlock()
+	if finish == nil {
+		return
+	}
+	if rep.Err != "" {
+		finish(nil, errors.New(rep.Err))
+		return
+	}
+	finish(rep.Payload, nil)
+}
+
+// gpsWatchdogGrace is how long the stream may stall before the reference
+// declares the GPS lost (the field trials saw ~1 BT disconnection/hour).
+const gpsWatchdogGrace = 3500 * time.Millisecond
+
+// ConnectGPS subscribes to a BT-GPS device's NMEA stream. onFix receives
+// each parsed fix (paying the 0.422 J per-sample cost of Table 2); if the
+// stream stalls, the failure is reported to the monitor and onFailure
+// fires once.
+func (r *BTReference) ConnectGPS(dev simnet.NodeID, onFix func(cxt.Fix), onFailure func()) error {
+	err := r.net.Send(simnet.Message{
+		From:   r.node.ID(),
+		To:     dev,
+		Medium: radio.MediumBT,
+		Kind:   gps.KindSubscribe,
+		Bytes:  32,
+	}, 50*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("refs: connect gps %s: %w", dev, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := &gpsWatch{onFix: onFix, onFailure: onFailure}
+	r.gpsWatch[dev] = w
+	w.watchdog = r.clock.After(gpsWatchdogGrace, func() { r.gpsLost(dev) })
+	return nil
+}
+
+// DisconnectGPS stops watching the device's stream.
+func (r *BTReference) DisconnectGPS(dev simnet.NodeID) {
+	_ = r.net.Send(simnet.Message{
+		From:   r.node.ID(),
+		To:     dev,
+		Medium: radio.MediumBT,
+		Kind:   gps.KindUnsubscribe,
+		Bytes:  32,
+	}, 50*time.Millisecond)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.gpsWatch[dev]; w != nil && w.watchdog != nil {
+		w.watchdog.Stop()
+	}
+	delete(r.gpsWatch, dev)
+}
+
+func (r *BTReference) gpsLost(dev simnet.NodeID) {
+	r.mu.Lock()
+	w := r.gpsWatch[dev]
+	if w == nil || w.failed {
+		r.mu.Unlock()
+		return
+	}
+	w.failed = true
+	onFailure := w.onFailure
+	r.mu.Unlock()
+	if r.mon != nil {
+		r.mon.ReportFailure(string(dev), ErrGPSNoSignal.Error())
+	}
+	if onFailure != nil {
+		onFailure()
+	}
+}
+
+func (r *BTReference) onNMEA(m simnet.Message) {
+	burst, ok := m.Payload.(string)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	w := r.gpsWatch[m.From]
+	if w == nil {
+		r.mu.Unlock()
+		return
+	}
+	// Stream alive: rewind the watchdog; a recovered stream clears the
+	// failure.
+	if w.watchdog != nil {
+		w.watchdog.Stop()
+	}
+	wasFailed := w.failed
+	w.failed = false
+	dev := m.From
+	w.watchdog = r.clock.After(gpsWatchdogGrace, func() { r.gpsLost(dev) })
+	onFix := w.onFix
+	r.mu.Unlock()
+
+	if wasFailed && r.mon != nil {
+		r.mon.ReportRecovery(string(dev))
+	}
+	// Per-sample energy: 340-byte NMEA burst with BT segmentation.
+	_, ws := r.bt.GPSSample()
+	applyWindows(r.node, ws, r.clock.Now())
+	fix, err := gps.ParseBurst(burst)
+	if err != nil {
+		return
+	}
+	if onFix != nil {
+		onFix(fix)
+	}
+}
+
+// Node returns the underlying simnet node.
+func (r *BTReference) Node() *simnet.Node { return r.node }

@@ -1,0 +1,192 @@
+package refs
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/energy"
+	"contory/internal/fuego"
+	"contory/internal/monitor"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+	"contory/internal/vclock"
+)
+
+// UMTSReference is the paper's 2G/3GReference: it manages communication
+// with remote entities over the cellular network and offers an event-based
+// interface via the Fuego middleware. Turning the GSM radio on also brings
+// the periodic idle-signalling power peaks of Fig. 4 (450–481 mW every
+// 50–60 s).
+type UMTSReference struct {
+	clock  vclock.Clock
+	client *fuego.Client
+	node   *simnet.Node
+	umts   *radio.UMTS
+	mon    *monitor.Monitor
+
+	idleStop *vclock.Timer
+	gsmOn    bool
+	// busyUntil marks the end of the current connection cycle (open +
+	// transfer + radio tail); idle signalling is subsumed until then.
+	busyUntil time.Time
+	// twoGOnly pins the radio to 2G. The field trials found that a 2G/3G
+	// handover during an active UMTS connection switched the phone off —
+	// unless it was set to operate only in 2G mode (§3).
+	twoGOnly  bool
+	switchOff int
+}
+
+// Set2GOnly pins (true) or unpins (false) the radio to 2G mode.
+func (r *UMTSReference) Set2GOnly(on bool) { r.twoGOnly = on }
+
+// TwoGOnly reports whether the radio is pinned to 2G.
+func (r *UMTSReference) TwoGOnly() bool { return r.twoGOnly }
+
+// SwitchOffs returns how many times the handover bug has switched the
+// phone off.
+func (r *UMTSReference) SwitchOffs() int { return r.switchOff }
+
+// handoverRebootDelay is how long the phone stays off after the handover
+// bug bites before the (simulated) user reboots it.
+const handoverRebootDelay = 60 * time.Second
+
+// Handover simulates the phone moving through a 2G/3G handover. With an
+// active UMTS connection and the radio not pinned to 2G, the phone
+// switches off (the §3 field-trial bug) and reboots after a minute. It
+// reports whether the phone went down.
+func (r *UMTSReference) Handover() bool {
+	if r.twoGOnly || !r.gsmOn {
+		return false
+	}
+	if r.clock.Now().After(r.busyUntil) {
+		return false // no active connection: handover is harmless
+	}
+	r.switchOff++
+	r.node.SetDown(true)
+	if r.mon != nil {
+		r.mon.ReportFailure("phone", "switched off during 2G/3G handover")
+	}
+	r.clock.After(handoverRebootDelay, func() {
+		r.node.SetDown(false)
+		if r.mon != nil {
+			r.mon.ReportRecovery("phone")
+		}
+	})
+	return true
+}
+
+// markBusy records a connection cycle carrying a transfer of duration d.
+func (r *UMTSReference) markBusy(d time.Duration) {
+	until := r.clock.Now().Add(radio.UMTSConnOpenWindow + d + radio.UMTSTailWindow)
+	if until.After(r.busyUntil) {
+		r.busyUntil = until
+	}
+}
+
+// NewUMTSReference installs the reference on the node, pointed at the
+// infrastructure server. The GSM radio starts off (the paper runs all
+// non-UMTS experiments with the GSM radio off).
+func NewUMTSReference(nw *simnet.Network, id, server simnet.NodeID, umts *radio.UMTS, mon *monitor.Monitor) (*UMTSReference, error) {
+	client, err := fuego.NewClient(nw, id, server, umts)
+	if err != nil {
+		return nil, fmt.Errorf("refs: umts: %w", err)
+	}
+	return &UMTSReference{
+		clock:  nw.Clock(),
+		client: client,
+		node:   client.Node(),
+		umts:   umts,
+		mon:    mon,
+	}, nil
+}
+
+// SetGSMRadio powers the cellular radio on or off. While on, GSM idle
+// signalling bursts are charged to the power timeline at the measured
+// cadence.
+func (r *UMTSReference) SetGSMRadio(on bool) {
+	if on == r.gsmOn {
+		return
+	}
+	r.gsmOn = on
+	if on {
+		r.scheduleIdlePeak()
+		return
+	}
+	if r.idleStop != nil {
+		r.idleStop.Stop()
+		r.idleStop = nil
+	}
+}
+
+// GSMOn reports whether the cellular radio is on.
+func (r *UMTSReference) GSMOn() bool { return r.gsmOn }
+
+func (r *UMTSReference) scheduleIdlePeak() {
+	mw, dur, next := r.umts.IdlePeak()
+	r.idleStop = r.clock.After(next, func() {
+		if !r.gsmOn {
+			return
+		}
+		// Idle signalling only happens while the radio is otherwise idle;
+		// during a data connection cycle it is subsumed by the transfer.
+		if r.clock.Now().After(r.busyUntil) {
+			r.node.Timeline().AddWindow("gsm-idle-peak", energy.Milliwatts(mw), dur)
+		}
+		r.scheduleIdlePeak()
+	})
+}
+
+// Publish pushes an event-encapsulated context item or query to the
+// infrastructure; failures are reported to the monitor.
+func (r *UMTSReference) Publish(channel string, payload any) (time.Duration, error) {
+	d, err := r.client.Publish(channel, payload)
+	if err == nil {
+		r.markBusy(d)
+	}
+	if err != nil {
+		if r.mon != nil {
+			r.mon.ReportFailure("umts", err.Error())
+		}
+		return 0, err
+	}
+	if r.mon != nil {
+		r.mon.ReportRecovery("umts")
+	}
+	return d, nil
+}
+
+// Subscribe registers for infrastructure notifications on a channel.
+func (r *UMTSReference) Subscribe(channel string, h func(fuego.Notification)) error {
+	if err := r.client.Subscribe(channel, h); err != nil {
+		if r.mon != nil {
+			r.mon.ReportFailure("umts", err.Error())
+		}
+		return err
+	}
+	return nil
+}
+
+// Unsubscribe cancels a channel subscription.
+func (r *UMTSReference) Unsubscribe(channel string) error {
+	return r.client.Unsubscribe(channel)
+}
+
+// Request performs an on-demand infrastructure operation.
+func (r *UMTSReference) Request(op string, payload any, timeout time.Duration, done func(any, error)) {
+	r.markBusy(radio.UMTSGetLatency)
+	err := r.client.Request(op, payload, timeout, func(v any, err error) {
+		if err != nil && r.mon != nil {
+			r.mon.ReportFailure("umts", err.Error())
+		}
+		if err == nil && r.mon != nil {
+			r.mon.ReportRecovery("umts")
+		}
+		done(v, err)
+	})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+// Node returns the underlying simnet node.
+func (r *UMTSReference) Node() *simnet.Node { return r.node }

@@ -1,0 +1,174 @@
+// Package repo implements the CxtRepository of §4.3: gathered context
+// information is stored locally or remotely. Only a few recent context data
+// are stored locally (the paper's phones have 9 MB of RAM and the field
+// trials showed memory exhaustion switching phones off); complete logs can
+// be stored in remote repositories of context infrastructures.
+package repo
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/vclock"
+)
+
+// Remote is the interface to a remote context repository (implemented by
+// the infrastructure over UMTS). StoreRemote is asynchronous; failures are
+// reported through the callback.
+type Remote interface {
+	StoreRemote(item cxt.Item, done func(error))
+}
+
+// DefaultLocalCap bounds how many items are kept locally per context type.
+const DefaultLocalCap = 16
+
+// Repository is the per-device context store.
+type Repository struct {
+	clock vclock.Clock
+
+	mu     sync.Mutex
+	cap    int
+	byType map[cxt.Type][]cxt.Item // newest last
+	remote Remote
+	stored int
+}
+
+// New returns a Repository keeping at most cap recent items per type
+// (0 = DefaultLocalCap).
+func New(clock vclock.Clock, cap int) *Repository {
+	if cap <= 0 {
+		cap = DefaultLocalCap
+	}
+	return &Repository{
+		clock:  clock,
+		cap:    cap,
+		byType: make(map[cxt.Type][]cxt.Item),
+	}
+}
+
+// SetRemote installs the remote repository used by StoreRemote.
+func (r *Repository) SetRemote(remote Remote) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.remote = remote
+}
+
+// Store keeps the item locally, evicting the oldest item of its type when
+// the per-type capacity is exceeded.
+func (r *Repository) Store(item cxt.Item) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	items := append(r.byType[item.Type], item)
+	if len(items) > r.cap {
+		items = items[len(items)-r.cap:]
+	}
+	r.byType[item.Type] = items
+	r.stored++
+}
+
+// StoreRemote forwards the item to the remote repository, if configured,
+// and also keeps it locally. ok reports whether a remote was configured.
+func (r *Repository) StoreRemote(item cxt.Item, done func(error)) (ok bool) {
+	r.Store(item)
+	r.mu.Lock()
+	remote := r.remote
+	r.mu.Unlock()
+	if remote == nil {
+		return false
+	}
+	remote.StoreRemote(item, done)
+	return true
+}
+
+// Latest returns the most recent item of the given type.
+func (r *Repository) Latest(t cxt.Type) (cxt.Item, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	items := r.byType[t]
+	if len(items) == 0 {
+		return cxt.Item{}, false
+	}
+	return items[len(items)-1], true
+}
+
+// Recent returns up to n most recent items of the given type, newest first.
+func (r *Repository) Recent(t cxt.Type, n int) []cxt.Item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	items := r.byType[t]
+	if n <= 0 || n > len(items) {
+		n = len(items)
+	}
+	out := make([]cxt.Item, 0, n)
+	for i := len(items) - 1; i >= len(items)-n; i-- {
+		out = append(out, items[i])
+	}
+	return out
+}
+
+// Fresh returns items of the given type no older than maxAge, newest first.
+func (r *Repository) Fresh(t cxt.Type, maxAge time.Duration) []cxt.Item {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []cxt.Item
+	items := r.byType[t]
+	for i := len(items) - 1; i >= 0; i-- {
+		if items[i].FreshEnough(now, maxAge) && !items[i].Expired(now) {
+			out = append(out, items[i])
+		}
+	}
+	return out
+}
+
+// Types returns the context types with stored items, sorted.
+func (r *Repository) Types() []cxt.Type {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]cxt.Type, 0, len(r.byType))
+	for t, items := range r.byType {
+		if len(items) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of locally stored items of the given type.
+func (r *Repository) Len(t cxt.Type) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byType[t])
+}
+
+// TotalStored returns the cumulative number of Store calls (eviction does
+// not decrement it).
+func (r *Repository) TotalStored() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stored
+}
+
+// MemoryBytes estimates the current local memory footprint using item wire
+// sizes, for the ResourcesMonitor.
+func (r *Repository) MemoryBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, items := range r.byType {
+		for _, it := range items {
+			total += it.WireSize()
+		}
+	}
+	return total
+}
+
+// Clear drops all locally stored items (the reduceMemory action).
+func (r *Repository) Clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byType = make(map[cxt.Type][]cxt.Item)
+}

@@ -1,0 +1,180 @@
+package repo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/vclock"
+)
+
+func item(t cxt.Type, v float64, ts time.Time) cxt.Item {
+	return cxt.Item{Type: t, Value: v, Timestamp: ts}
+}
+
+func TestStoreAndLatest(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	if _, ok := r.Latest(cxt.TypeTemperature); ok {
+		t.Fatal("Latest on empty repo reported ok")
+	}
+	r.Store(item(cxt.TypeTemperature, 14, clk.Now()))
+	clk.Advance(time.Second)
+	r.Store(item(cxt.TypeTemperature, 15, clk.Now()))
+	got, ok := r.Latest(cxt.TypeTemperature)
+	if !ok || got.Value != 15.0 {
+		t.Fatalf("Latest = %+v, %v", got, ok)
+	}
+	if r.Len(cxt.TypeTemperature) != 2 || r.TotalStored() != 2 {
+		t.Fatalf("Len/Total = %d/%d", r.Len(cxt.TypeTemperature), r.TotalStored())
+	}
+}
+
+func TestRecentNewestFirst(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	for i := 0; i < 5; i++ {
+		r.Store(item(cxt.TypeWind, float64(i), clk.Now()))
+		clk.Advance(time.Second)
+	}
+	got := r.Recent(cxt.TypeWind, 3)
+	if len(got) != 3 || got[0].Value != 4.0 || got[2].Value != 2.0 {
+		t.Fatalf("Recent = %+v", got)
+	}
+	all := r.Recent(cxt.TypeWind, 0)
+	if len(all) != 5 {
+		t.Fatalf("Recent(0) = %d items", len(all))
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 3)
+	for i := 0; i < 10; i++ {
+		r.Store(item(cxt.TypeLight, float64(i), clk.Now()))
+	}
+	if r.Len(cxt.TypeLight) != 3 {
+		t.Fatalf("Len = %d, want cap 3", r.Len(cxt.TypeLight))
+	}
+	got := r.Recent(cxt.TypeLight, 0)
+	if got[0].Value != 9.0 || got[2].Value != 7.0 {
+		t.Fatalf("Recent after eviction = %+v", got)
+	}
+	if r.TotalStored() != 10 {
+		t.Fatalf("TotalStored = %d", r.TotalStored())
+	}
+}
+
+func TestFreshFiltersAge(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	r.Store(item(cxt.TypeTemperature, 1, clk.Now()))
+	clk.Advance(time.Minute)
+	r.Store(item(cxt.TypeTemperature, 2, clk.Now()))
+	clk.Advance(10 * time.Second)
+	fresh := r.Fresh(cxt.TypeTemperature, 30*time.Second)
+	if len(fresh) != 1 || fresh[0].Value != 2.0 {
+		t.Fatalf("Fresh = %+v", fresh)
+	}
+	// Expired lifetimes are excluded too.
+	it := item(cxt.TypeTemperature, 3, clk.Now())
+	it.Lifetime = time.Second
+	r.Store(it)
+	clk.Advance(5 * time.Second)
+	fresh = r.Fresh(cxt.TypeTemperature, time.Hour)
+	for _, f := range fresh {
+		if f.Value == 3.0 {
+			t.Fatal("expired item returned by Fresh")
+		}
+	}
+}
+
+func TestTypesSorted(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	r.Store(item(cxt.TypeWind, 1, clk.Now()))
+	r.Store(item(cxt.TypeLight, 1, clk.Now()))
+	got := r.Types()
+	if len(got) != 2 || got[0] != cxt.TypeLight || got[1] != cxt.TypeWind {
+		t.Fatalf("Types = %v", got)
+	}
+}
+
+type fakeRemote struct {
+	items []cxt.Item
+	err   error
+}
+
+func (f *fakeRemote) StoreRemote(it cxt.Item, done func(error)) {
+	f.items = append(f.items, it)
+	if done != nil {
+		done(f.err)
+	}
+}
+
+func TestStoreRemote(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	// Without a remote, StoreRemote still stores locally and reports false.
+	if ok := r.StoreRemote(item(cxt.TypeWind, 1, clk.Now()), nil); ok {
+		t.Fatal("StoreRemote without remote reported true")
+	}
+	if r.Len(cxt.TypeWind) != 1 {
+		t.Fatal("item not stored locally")
+	}
+	remote := &fakeRemote{err: errors.New("umts down")}
+	r.SetRemote(remote)
+	var gotErr error
+	if ok := r.StoreRemote(item(cxt.TypeWind, 2, clk.Now()), func(err error) { gotErr = err }); !ok {
+		t.Fatal("StoreRemote with remote reported false")
+	}
+	if len(remote.items) != 1 || remote.items[0].Value != 2.0 {
+		t.Fatalf("remote items = %+v", remote.items)
+	}
+	if gotErr == nil {
+		t.Fatal("remote error not propagated")
+	}
+}
+
+func TestMemoryBytesAndClear(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	r.Store(item(cxt.TypeWind, 1, clk.Now()))     // 53 B
+	r.Store(item(cxt.TypeLocation, 1, clk.Now())) // 136 B
+	if got := r.MemoryBytes(); got != 53+136 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 53+136)
+	}
+	r.Clear()
+	if r.MemoryBytes() != 0 || r.Len(cxt.TypeWind) != 0 {
+		t.Fatal("Clear left items behind")
+	}
+}
+
+// Property: the per-type length never exceeds capacity, and Latest is
+// always the most recently stored item of that type.
+func TestCapacityInvariantProperty(t *testing.T) {
+	prop := func(vals []uint8, capRaw uint8) bool {
+		clk := vclock.NewSimulator()
+		capacity := int(capRaw%10) + 1
+		r := New(clk, capacity)
+		var last float64
+		for _, v := range vals {
+			last = float64(v)
+			r.Store(item(cxt.TypeNoise, last, clk.Now()))
+			clk.Advance(time.Second)
+			if r.Len(cxt.TypeNoise) > capacity {
+				return false
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		got, ok := r.Latest(cxt.TypeNoise)
+		return ok && got.Value == last
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,526 @@
+// Package simnet is the discrete-event network simulator underpinning the
+// Contory testbed. It models a set of devices (smart phones, communicators,
+// BT peripherals, infrastructure servers) connected by per-medium links
+// (Bluetooth, WiFi ad hoc, UMTS), with explicit or range-based connectivity,
+// link/node failure injection, node mobility, and per-node power timelines.
+//
+// Message delivery is scheduled on the shared virtual clock; callers supply
+// the latency (sampled from the radio models), so simnet stays a pure
+// transport.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"contory/internal/energy"
+	"contory/internal/radio"
+	"contory/internal/vclock"
+)
+
+// NodeID identifies a device in the network.
+type NodeID string
+
+// Position is a 2-D location in metres.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to other.
+func (p Position) Distance(other Position) float64 {
+	dx, dy := p.X-other.X, p.Y-other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Message is a unit of delivery between two nodes over one medium.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Medium  radio.Medium
+	Kind    string // application-level dispatch key
+	Payload any
+	Bytes   int
+	SentAt  time.Time
+}
+
+// Handler processes a delivered message on the receiving node.
+type Handler func(msg Message)
+
+// Errors returned by network operations.
+var (
+	ErrUnknownNode  = errors.New("simnet: unknown node")
+	ErrNotLinked    = errors.New("simnet: nodes not linked on medium")
+	ErrNodeDown     = errors.New("simnet: node is down")
+	ErrNoHandler    = errors.New("simnet: no handler registered for message kind")
+	ErrDuplicateID  = errors.New("simnet: duplicate node id")
+	ErrNoPath       = errors.New("simnet: no path between nodes")
+	ErrRadioOff     = errors.New("simnet: radio is off")
+	ErrSelfDelivery = errors.New("simnet: cannot send to self")
+)
+
+type linkKey struct {
+	a, b   NodeID
+	medium radio.Medium
+}
+
+func newLinkKey(a, b NodeID, m radio.Medium) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b, medium: m}
+}
+
+// Node is one device in the simulated testbed.
+type Node struct {
+	id  NodeID
+	net *Network
+
+	mu       sync.Mutex
+	pos      Position
+	vel      Position // metres/second, applied by mobility ticks
+	down     bool
+	radios   map[radio.Medium]bool // on/off per medium
+	handlers map[string]Handler
+
+	timeline *energy.Timeline
+	battery  *energy.Battery
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Timeline returns the node's power timeline.
+func (n *Node) Timeline() *energy.Timeline { return n.timeline }
+
+// Battery returns the node's battery model.
+func (n *Node) Battery() *energy.Battery { return n.battery }
+
+// Position returns the node's current location.
+func (n *Node) Position() Position {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pos
+}
+
+// SetPosition teleports the node.
+func (n *Node) SetPosition(p Position) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pos = p
+}
+
+// SetVelocity sets the node's velocity vector in metres/second; the network
+// mobility ticker integrates it.
+func (n *Node) SetVelocity(v Position) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.vel = v
+}
+
+// SetRadio switches a medium's radio on or off. Turning a radio off fails
+// in-flight deliveries to this node on that medium.
+func (n *Node) SetRadio(m radio.Medium, on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.radios[m] = on
+}
+
+// RadioOn reports whether the given radio is on.
+func (n *Node) RadioOn(m radio.Medium) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.radios[m]
+}
+
+// SetDown marks the node as failed (true) or recovered (false).
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = down
+}
+
+// Down reports whether the node is failed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// Handle registers the handler for a message kind, replacing any previous
+// registration.
+func (n *Node) Handle(kind string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[kind] = h
+}
+
+func (n *Node) handler(kind string) (Handler, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.handlers[kind]
+	return h, ok
+}
+
+// Network is the simulated testbed fabric.
+type Network struct {
+	clock *vclock.Simulator
+
+	mu       sync.Mutex
+	nodes    map[NodeID]*Node
+	links    map[linkKey]bool
+	failed   map[linkKey]bool
+	ranges   map[radio.Medium]float64 // 0 = explicit links only
+	loss     map[linkKey]float64      // per-link drop probability
+	rng      *rand.Rand
+	dropped  int
+	delivers int
+
+	mobility *vclock.Timer
+}
+
+// New returns an empty Network on the given simulator clock.
+func New(clock *vclock.Simulator) *Network {
+	return &Network{
+		clock:  clock,
+		nodes:  make(map[NodeID]*Node),
+		links:  make(map[linkKey]bool),
+		failed: make(map[linkKey]bool),
+		ranges: make(map[radio.Medium]float64),
+		loss:   make(map[linkKey]float64),
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed re-seeds the network's loss model for deterministic runs.
+func (nw *Network) Seed(seed int64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetLoss makes the link between a and b on m lossy: each delivery is
+// dropped with probability p (0 ≤ p ≤ 1). The field trials saw roughly one
+// BT disconnection per hour; lossy links model this radio unreliability.
+func (nw *Network) SetLoss(a, b NodeID, m radio.Medium, p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	key := newLinkKey(a, b, m)
+	if p == 0 {
+		delete(nw.loss, key)
+		return
+	}
+	nw.loss[key] = p
+}
+
+// lossDrop reports whether a delivery on the link should be lost.
+func (nw *Network) lossDrop(a, b NodeID, m radio.Medium) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	p, lossy := nw.loss[newLinkKey(a, b, m)]
+	if !lossy {
+		return false
+	}
+	return nw.rng.Float64() < p
+}
+
+// Clock returns the network's simulator.
+func (nw *Network) Clock() *vclock.Simulator { return nw.clock }
+
+// AddNode creates a node at the given position with all radios on.
+func (nw *Network) AddNode(id NodeID, pos Position) (*Node, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, exists := nw.nodes[id]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	n := &Node{
+		id:  id,
+		net: nw,
+		pos: pos,
+		radios: map[radio.Medium]bool{
+			radio.MediumInternal: true,
+			radio.MediumBT:       true,
+			radio.MediumWiFi:     true,
+			radio.MediumUMTS:     true,
+		},
+		handlers: make(map[string]Handler),
+		timeline: energy.NewTimeline(nw.clock),
+		battery:  energy.NewBattery(nw.clock, energy.BatteryConfig{}),
+	}
+	nw.nodes[id] = n
+	return n, nil
+}
+
+// Node returns the node with the given id, or nil.
+func (nw *Network) Node(id NodeID) *Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nodes[id]
+}
+
+// Nodes returns all node IDs in stable (sorted) order.
+func (nw *Network) Nodes() []NodeID {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ids := make([]NodeID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Connect creates an explicit bidirectional link between a and b on medium m.
+func (nw *Network) Connect(a, b NodeID, m radio.Medium) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.nodes[a] == nil || nw.nodes[b] == nil {
+		return fmt.Errorf("%w: %s-%s", ErrUnknownNode, a, b)
+	}
+	nw.links[newLinkKey(a, b, m)] = true
+	return nil
+}
+
+// Disconnect removes an explicit link.
+func (nw *Network) Disconnect(a, b NodeID, m radio.Medium) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	delete(nw.links, newLinkKey(a, b, m))
+}
+
+// FailLink marks the link (explicit or range-based) as failed until
+// RestoreLink is called.
+func (nw *Network) FailLink(a, b NodeID, m radio.Medium) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.failed[newLinkKey(a, b, m)] = true
+}
+
+// RestoreLink clears a link failure.
+func (nw *Network) RestoreLink(a, b NodeID, m radio.Medium) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	delete(nw.failed, newLinkKey(a, b, m))
+}
+
+// SetRange enables range-based connectivity on a medium: any two nodes
+// within metres of each other are linked (unless the link is failed).
+// A range of 0 disables range-based linking for the medium.
+func (nw *Network) SetRange(m radio.Medium, metres float64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.ranges[m] = metres
+}
+
+// Linked reports whether a and b can currently communicate over m.
+func (nw *Network) Linked(a, b NodeID, m radio.Medium) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.linkedLocked(a, b, m)
+}
+
+func (nw *Network) linkedLocked(a, b NodeID, m radio.Medium) bool {
+	na, nb := nw.nodes[a], nw.nodes[b]
+	if na == nil || nb == nil || a == b {
+		return false
+	}
+	if na.Down() || nb.Down() || !na.RadioOn(m) || !nb.RadioOn(m) {
+		return false
+	}
+	key := newLinkKey(a, b, m)
+	if nw.failed[key] {
+		return false
+	}
+	if nw.links[key] {
+		return true
+	}
+	if r := nw.ranges[m]; r > 0 {
+		return na.Position().Distance(nb.Position()) <= r
+	}
+	return false
+}
+
+// Neighbors returns the IDs of all nodes currently linked to id over m, in
+// stable order.
+func (nw *Network) Neighbors(id NodeID, m radio.Medium) []NodeID {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	var out []NodeID
+	for other := range nw.nodes {
+		if other == id {
+			continue
+		}
+		if nw.linkedLocked(id, other, m) {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HopDistance returns the minimum hop count between a and b over m using
+// BFS over the current topology, or ErrNoPath.
+func (nw *Network) HopDistance(a, b NodeID, m radio.Medium) (int, error) {
+	if a == b {
+		return 0, nil
+	}
+	visited := map[NodeID]bool{a: true}
+	frontier := []NodeID{a}
+	hops := 0
+	for len(frontier) > 0 {
+		hops++
+		var next []NodeID
+		for _, cur := range frontier {
+			for _, nb := range nw.Neighbors(cur, m) {
+				if visited[nb] {
+					continue
+				}
+				if nb == b {
+					return hops, nil
+				}
+				visited[nb] = true
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return 0, fmt.Errorf("%w: %s→%s over %s", ErrNoPath, a, b, m)
+}
+
+// ShortestPath returns the node sequence (excluding a, including b) of a
+// minimum-hop path from a to b over m.
+func (nw *Network) ShortestPath(a, b NodeID, m radio.Medium) ([]NodeID, error) {
+	if a == b {
+		return nil, nil
+	}
+	prev := map[NodeID]NodeID{}
+	visited := map[NodeID]bool{a: true}
+	frontier := []NodeID{a}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, cur := range frontier {
+			for _, nb := range nw.Neighbors(cur, m) {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				prev[nb] = cur
+				if nb == b {
+					// Reconstruct.
+					var path []NodeID
+					for at := b; at != a; at = prev[at] {
+						path = append(path, at)
+					}
+					// Reverse.
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path, nil
+				}
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return nil, fmt.Errorf("%w: %s→%s over %s", ErrNoPath, a, b, m)
+}
+
+// Send schedules delivery of a message after the given latency. The link is
+// checked both at send time and at delivery time; a link or node failure in
+// between drops the message silently (as radio losses do), incrementing the
+// drop counter.
+func (nw *Network) Send(msg Message, latency time.Duration) error {
+	from := nw.Node(msg.From)
+	if from == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, msg.From)
+	}
+	if msg.From == msg.To {
+		return ErrSelfDelivery
+	}
+	if from.Down() {
+		return fmt.Errorf("%w: %s", ErrNodeDown, msg.From)
+	}
+	if !from.RadioOn(msg.Medium) {
+		return fmt.Errorf("%w: %s %s", ErrRadioOff, msg.From, msg.Medium)
+	}
+	if !nw.Linked(msg.From, msg.To, msg.Medium) {
+		return fmt.Errorf("%w: %s→%s over %s", ErrNotLinked, msg.From, msg.To, msg.Medium)
+	}
+	msg.SentAt = nw.clock.Now()
+	nw.clock.After(latency, func() { nw.deliver(msg) })
+	return nil
+}
+
+func (nw *Network) deliver(msg Message) {
+	to := nw.Node(msg.To)
+	if nw.lossDrop(msg.From, msg.To, msg.Medium) {
+		nw.mu.Lock()
+		nw.dropped++
+		nw.mu.Unlock()
+		return
+	}
+	if to == nil || to.Down() || !to.RadioOn(msg.Medium) ||
+		!nw.Linked(msg.From, msg.To, msg.Medium) {
+		nw.mu.Lock()
+		nw.dropped++
+		nw.mu.Unlock()
+		return
+	}
+	h, ok := to.handler(msg.Kind)
+	if !ok {
+		nw.mu.Lock()
+		nw.dropped++
+		nw.mu.Unlock()
+		return
+	}
+	nw.mu.Lock()
+	nw.delivers++
+	nw.mu.Unlock()
+	h(msg)
+}
+
+// Stats returns cumulative delivered and dropped message counts.
+func (nw *Network) Stats() (delivered, dropped int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.delivers, nw.dropped
+}
+
+// StartMobility begins integrating node velocities every interval.
+func (nw *Network) StartMobility(interval time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.mobility != nil {
+		return
+	}
+	nw.mobility = nw.clock.Every(interval, func() {
+		for _, id := range nw.Nodes() {
+			n := nw.Node(id)
+			n.mu.Lock()
+			n.pos.X += n.vel.X * interval.Seconds()
+			n.pos.Y += n.vel.Y * interval.Seconds()
+			n.mu.Unlock()
+		}
+	})
+}
+
+// StopMobility halts the mobility ticker.
+func (nw *Network) StopMobility() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.mobility != nil {
+		nw.mobility.Stop()
+		nw.mobility = nil
+	}
+}

@@ -1,0 +1,391 @@
+package sm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"contory/internal/energy"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+)
+
+// CodeBrick is the executable part of a Smart Message. The runtime invokes
+// it when the SM arrives at (or is launched on) a node; the brick inspects
+// and mutates the SM's data bricks and asks the platform to migrate it
+// onward.
+type CodeBrick func(rt *Runtime, m *Message)
+
+// finderCodeID is the code brick identifier of the built-in SM-FINDER.
+const finderCodeID = "sm-finder"
+
+// RegisterCode installs a custom code brick under the given identifier.
+// The built-in SM-FINDER is pre-registered.
+func (p *Platform) RegisterCode(codeID string, code CodeBrick) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.code == nil {
+		p.code = make(map[string]CodeBrick)
+	}
+	p.code[codeID] = code
+}
+
+// execute dispatches an SM to its code brick on the current node.
+func (p *Platform) execute(rt *Runtime, m *Message) {
+	p.mu.Lock()
+	code := p.code[m.CodeID]
+	p.mu.Unlock()
+	if code == nil {
+		return // unknown code brick: the SM dies; timeouts cover the loss
+	}
+	code(rt, m)
+}
+
+// FinderSpec describes one SM-FINDER round (§5.2): route towards nodes
+// exposing the desired context tag, evaluate the carried query there, and
+// bring matching values back to the issuer.
+type FinderSpec struct {
+	// TagName is the context tag to search for (matches the query's
+	// SELECT clause).
+	TagName string
+	// MaxNodes caps how many provider nodes to collect from (0 = all
+	// discoverable).
+	MaxNodes int
+	// MaxHops is the query's numHops: results collected farther away are
+	// discarded by the receiver.
+	MaxHops int
+	// Filter evaluates the query's WHERE/FRESHNESS/EVENT requirements at
+	// the provider node (nil accepts every value).
+	Filter func(value any) bool
+	// Timeout cancels the query if no valid result arrives in time
+	// (0 = a default derived from MaxHops).
+	Timeout time.Duration
+	// Targets optionally pins the destination nodes (entity-addressed
+	// queries); when set, tag discovery is skipped.
+	Targets []simnet.NodeID
+	// Region optionally restricts discovery to provider nodes positioned
+	// inside a circle of the simulated coordinate space (geographically
+	// routed queries: "the coordinates of a region to be monitored").
+	Region *RegionSpec
+	// QueryBytes is the carried query size (defaults to 205 B).
+	QueryBytes int
+}
+
+// RegionSpec is a circular region in simnet coordinates (metres).
+type RegionSpec struct {
+	X, Y, Radius float64
+}
+
+// contains reports whether a position falls inside the region.
+func (r RegionSpec) contains(p simnet.Position) bool {
+	dx, dy := p.X-r.X, p.Y-r.Y
+	return dx*dx+dy*dy <= r.Radius*r.Radius
+}
+
+func (s FinderSpec) timeout() time.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	hops := s.MaxHops
+	if hops < 1 {
+		hops = 1
+	}
+	// Generous default: route build (≈ 2×) plus the tour itself.
+	return time.Duration(4*(hops+1)) * radio.WiFiPerHopLatency
+}
+
+// finderState is the SM-FINDER's data brick.
+type finderState struct {
+	spec      FinderSpec
+	finderID  string
+	remaining []simnet.NodeID
+	results   []Result
+	returning bool
+	departed  bool
+}
+
+// LaunchFinder injects an SM-FINDER at origin. done is invoked exactly once
+// on the origin node's timeline: with the collected (hop-filtered) results,
+// or with ErrFinderTimeout. The origin's WiFi radio stays connected for the
+// whole operation, which is what makes WiFi provisioning cost
+// 1190 mW × latency (Table 2).
+func (p *Platform) LaunchFinder(origin simnet.NodeID, spec FinderSpec, done func([]Result, error)) error {
+	rt := p.Runtime(origin)
+	if rt == nil {
+		return fmt.Errorf("%w: %s", ErrNoRuntime, origin)
+	}
+	if !rt.Participating() {
+		return fmt.Errorf("%w: %s", ErrNotParticipnt, origin)
+	}
+	targets := spec.Targets
+	if len(targets) == 0 {
+		targets = p.discoverTargets(origin, spec)
+	}
+	m := &Message{
+		ID:     p.nextMsgID(),
+		CodeID: finderCodeID,
+		Origin: origin,
+		Data:   map[string]any{},
+	}
+	st := &finderState{spec: spec, finderID: m.ID, remaining: targets}
+	m.Data["state"] = st
+	m.Data["queryBytes"] = queryBytesOrDefault(spec.QueryBytes)
+
+	// Requester radio connected for the duration of the operation.
+	stateKey := "wifi-finder-" + m.ID
+	if n := p.net.Node(origin); n != nil {
+		n.Timeline().SetState(stateKey, energy.Milliwatts(radio.WiFiConnectedPower))
+	}
+	completed := false
+	finish := func(rs []Result, err error) {
+		if completed {
+			return
+		}
+		completed = true
+		if n := p.net.Node(origin); n != nil {
+			n.Timeline().SetState(stateKey, 0)
+		}
+		done(rs, err)
+	}
+	p.mu.Lock()
+	if p.finders == nil {
+		p.finders = make(map[string]func([]Result, error))
+	}
+	p.finders[m.ID] = finish
+	p.mu.Unlock()
+
+	p.net.Clock().After(spec.timeout(), func() { finish(nil, ErrFinderTimeout) })
+
+	// No reachable provider: let the timeout cancel the query, as the
+	// paper specifies for finders that find nothing.
+	p.net.Clock().After(0, func() {
+		if rtNow := p.Runtime(origin); rtNow != nil {
+			p.finderStep(rtNow, m)
+		}
+	})
+	return nil
+}
+
+func queryBytesOrDefault(b int) int {
+	if b <= 0 {
+		return radio.QueryBytes
+	}
+	return b
+}
+
+// discoverTargets simulates content-based routing state: participant nodes
+// exposing the desired tag within MaxHops of origin, nearest first, capped
+// at MaxNodes.
+func (p *Platform) discoverTargets(origin simnet.NodeID, spec FinderSpec) []simnet.NodeID {
+	type cand struct {
+		id   simnet.NodeID
+		dist int
+	}
+	var cands []cand
+	for _, id := range p.participants() {
+		if id == origin {
+			continue
+		}
+		rt := p.Runtime(id)
+		if rt == nil || !rt.Tags().Has(spec.TagName) {
+			continue
+		}
+		if spec.Region != nil {
+			node := p.net.Node(id)
+			if node == nil || !spec.Region.contains(node.Position()) {
+				continue
+			}
+		}
+		d, ok := p.hopDistance(origin, id)
+		if !ok || (spec.MaxHops > 0 && d > spec.MaxHops) {
+			continue
+		}
+		cands = append(cands, cand{id: id, dist: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	max := spec.MaxNodes
+	if max <= 0 || max > len(cands) {
+		max = len(cands)
+	}
+	out := make([]simnet.NodeID, 0, max)
+	for _, c := range cands[:max] {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// hopDistance runs BFS over WiFi links restricted to participant nodes
+// (only nodes exposing the contory tag collaborate in forwarding, §5.2).
+func (p *Platform) hopDistance(a, b simnet.NodeID) (int, bool) {
+	path, ok := p.shortestPath(a, b)
+	if !ok {
+		return 0, false
+	}
+	return len(path), true
+}
+
+// shortestPath returns the participant-only path from a to b, excluding a
+// and including b.
+func (p *Platform) shortestPath(a, b simnet.NodeID) ([]simnet.NodeID, bool) {
+	if a == b {
+		return nil, true
+	}
+	allowed := map[simnet.NodeID]bool{a: true, b: true}
+	for _, id := range p.participants() {
+		allowed[id] = true
+	}
+	prev := map[simnet.NodeID]simnet.NodeID{}
+	visited := map[simnet.NodeID]bool{a: true}
+	frontier := []simnet.NodeID{a}
+	for len(frontier) > 0 {
+		var next []simnet.NodeID
+		for _, cur := range frontier {
+			for _, nb := range p.net.Neighbors(cur, radio.MediumWiFi) {
+				if visited[nb] || !allowed[nb] {
+					continue
+				}
+				visited[nb] = true
+				prev[nb] = cur
+				if nb == b {
+					var path []simnet.NodeID
+					for at := b; at != a; at = prev[at] {
+						path = append(path, at)
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path, true
+				}
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+// finderStep is the SM-FINDER code brick body, executed each time the SM
+// lands on a node.
+func (p *Platform) finderStep(rt *Runtime, m *Message) {
+	st, ok := m.Data["state"].(*finderState)
+	if !ok {
+		return
+	}
+	here := rt.Node().ID()
+
+	// Back at the issuer with results: deliver, discarding results whose
+	// hopCnt exceeds numHops (§5.2).
+	if here == m.Origin && st.returning {
+		p.deliver(st)
+		return
+	}
+
+	// Collect from a provider node — only nodes still on the visit plan,
+	// so forwarding through an already-visited provider on the way home
+	// does not duplicate its result.
+	if here != m.Origin && containsID(st.remaining, here) {
+		if tag, err := rt.Tags().Read(st.spec.TagName); err == nil {
+			if st.spec.Filter == nil || st.spec.Filter(tag.Value) {
+				dist := 0
+				if d, ok := p.hopDistance(m.Origin, here); ok {
+					dist = d
+				}
+				st.results = append(st.results, Result{
+					Node:   here,
+					Value:  tag.Value,
+					HopCnt: dist,
+					At:     p.net.Clock().Now(),
+				})
+			}
+		}
+		// Drop this node from the remaining plan.
+		st.remaining = dropID(st.remaining, here)
+	}
+
+	// Choose the next destination: the nearest remaining target, else home.
+	for {
+		if len(st.remaining) == 0 {
+			st.returning = true
+			p.routeToward(rt, m, st, m.Origin)
+			return
+		}
+		target := st.remaining[0]
+		if _, ok := p.shortestPath(here, target); ok {
+			p.routeToward(rt, m, st, target)
+			return
+		}
+		// Unreachable (partition/mobility): skip it.
+		st.remaining = st.remaining[1:]
+	}
+}
+
+// routeToward migrates the SM one hop along the participant path to dest.
+func (p *Platform) routeToward(rt *Runtime, m *Message, st *finderState, dest simnet.NodeID) {
+	here := rt.Node().ID()
+	if here == dest {
+		// Already there. A finder that never departed found no provider
+		// to visit: per §5.2 the query is cancelled by its timeout rather
+		// than answered with an empty result.
+		if dest == m.Origin && st.returning && st.departed {
+			p.deliver(st)
+		}
+		return
+	}
+	path, ok := p.shortestPath(here, dest)
+	if !ok || len(path) == 0 {
+		// Origin unreachable: the SM dies; the timeout cancels the query.
+		return
+	}
+	next := path[0]
+	departOrigin := !st.departed
+	st.departed = true
+	arriveOrigin := st.returning && next == m.Origin && len(path) == 1
+	if err := p.migrate(m, here, next, departOrigin, arriveOrigin); err != nil {
+		// Link vanished between path computation and send: let the SM die.
+		return
+	}
+}
+
+// deliver hands results to the registered callback, applying the hopCnt
+// filter.
+func (p *Platform) deliver(st *finderState) {
+	p.mu.Lock()
+	finish := p.finders[st.finderID]
+	delete(p.finders, st.finderID)
+	p.mu.Unlock()
+	if finish == nil {
+		return
+	}
+	kept := make([]Result, 0, len(st.results))
+	for _, r := range st.results {
+		if st.spec.MaxHops > 0 && r.HopCnt > st.spec.MaxHops {
+			continue // publisher out of the range of interest
+		}
+		kept = append(kept, r)
+	}
+	finish(kept, nil)
+}
+
+func containsID(ids []simnet.NodeID, id simnet.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func dropID(ids []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

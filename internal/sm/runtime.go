@@ -1,0 +1,324 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"contory/internal/energy"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+	"contory/internal/vclock"
+)
+
+// msgKindSM is the simnet message kind carrying a migrating SM.
+const msgKindSM = "sm-migrate"
+
+// Errors returned by the SM platform.
+var (
+	ErrNoRuntime     = errors.New("sm: node has no SM runtime")
+	ErrAdmission     = errors.New("sm: admission manager rejected SM")
+	ErrFinderTimeout = errors.New("sm: finder timed out")
+	ErrNotParticipnt = errors.New("sm: node does not expose the contory tag")
+)
+
+// Admission configures the per-node admission manager, which performs
+// admission control and prevents excessive use of node resources by
+// incoming SMs.
+type Admission struct {
+	// MaxResident caps concurrently resident SMs (0 = default 32).
+	MaxResident int
+	// MaxHopCnt rejects SMs that have travelled too far (0 = default 16).
+	MaxHopCnt int
+}
+
+func (a Admission) maxResident() int {
+	if a.MaxResident <= 0 {
+		return 32
+	}
+	return a.MaxResident
+}
+
+func (a Admission) maxHopCnt() int {
+	if a.MaxHopCnt <= 0 {
+		return 16
+	}
+	return a.MaxHopCnt
+}
+
+// Message is a migrating Smart Message: code identified by CodeID (the code
+// brick, cached by the code cache), data bricks, and execution control
+// state (hop counter, visit plan, collected results).
+type Message struct {
+	ID     string
+	CodeID string
+	Origin simnet.NodeID
+	HopCnt int
+	// Data bricks: mobile data explicitly identified in the program.
+	Data map[string]any
+}
+
+// Result is one value collected by an SM-FINDER at a provider node.
+type Result struct {
+	Node  simnet.NodeID
+	Value any
+	// HopCnt is the hop distance travelled when the value was collected;
+	// the receiver discards results with HopCnt > numHops (§5.2).
+	HopCnt int
+	// At is the virtual time of collection.
+	At time.Time
+}
+
+// Platform owns the SM runtimes of all participating nodes and the WiFi
+// latency model they share. One Platform per simulated testbed.
+type Platform struct {
+	net  *simnet.Network
+	wifi *radio.WiFi
+
+	mu       sync.Mutex
+	runtimes map[simnet.NodeID]*Runtime
+	nextID   int
+	code     map[string]CodeBrick
+	finders  map[string]func([]Result, error)
+}
+
+// NewPlatform returns an SM platform over the given network with the
+// built-in SM-FINDER code brick registered.
+func NewPlatform(nw *simnet.Network, wifi *radio.WiFi) *Platform {
+	p := &Platform{
+		net:      nw,
+		wifi:     wifi,
+		runtimes: make(map[simnet.NodeID]*Runtime),
+		code:     make(map[string]CodeBrick),
+	}
+	p.code[finderCodeID] = func(rt *Runtime, m *Message) { p.finderStep(rt, m) }
+	return p
+}
+
+// Clock returns the platform's shared virtual clock.
+func (p *Platform) Clock() *vclock.Simulator { return p.net.Clock() }
+
+// Install creates the SM runtime on a node and exposes the participation
+// tag, joining the Contory ad hoc network.
+func (p *Platform) Install(id simnet.NodeID, adm Admission) (*Runtime, error) {
+	node := p.net.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("sm: install: %w: %s", simnet.ErrUnknownNode, id)
+	}
+	rt := &Runtime{
+		platform:  p,
+		node:      node,
+		tags:      NewTagSpace(p.net.Clock()),
+		admission: adm,
+		codeCache: make(map[string]bool),
+	}
+	if err := rt.tags.Create(Tag{Name: ParticipationTag, Owner: "sm"}); err != nil {
+		return nil, fmt.Errorf("sm: participation tag: %w", err)
+	}
+	node.Handle(msgKindSM, rt.onArrive)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.runtimes[id] = rt
+	return rt, nil
+}
+
+// Runtime returns the runtime installed on a node, or nil.
+func (p *Platform) Runtime(id simnet.NodeID) *Runtime {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runtimes[id]
+}
+
+// nextMsgID allocates a unique SM identifier ("to disambiguate between
+// multiple messages, a unique identifier is associated with each query and
+// with each result").
+func (p *Platform) nextMsgID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	return fmt.Sprintf("sm-%d", p.nextID)
+}
+
+// participants returns the IDs of nodes whose runtime exposes the
+// participation tag and whose WiFi radio is reachable.
+func (p *Platform) participants() []simnet.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []simnet.NodeID
+	for id, rt := range p.runtimes {
+		if rt.tags.Has(ParticipationTag) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Runtime is the per-node SM runtime system: tag space, admission manager,
+// code cache and scheduler (execution is dispatched on the shared virtual
+// clock).
+type Runtime struct {
+	platform  *Platform
+	node      *simnet.Node
+	tags      *TagSpace
+	admission Admission
+
+	mu        sync.Mutex
+	resident  int
+	codeCache map[string]bool
+	accepted  int
+	rejected  int
+}
+
+// Tags returns the node's tag space.
+func (rt *Runtime) Tags() *TagSpace { return rt.tags }
+
+// Node returns the underlying simnet node.
+func (rt *Runtime) Node() *simnet.Node { return rt.node }
+
+// Stats returns how many SMs the admission manager accepted and rejected.
+func (rt *Runtime) Stats() (accepted, rejected int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.accepted, rt.rejected
+}
+
+// Leave withdraws the node from the Contory ad hoc network by deleting the
+// participation tag; Join re-adds it.
+func (rt *Runtime) Leave() { rt.tags.Delete(ParticipationTag) }
+
+// Join re-exposes the participation tag.
+func (rt *Runtime) Join() { rt.tags.Update(Tag{Name: ParticipationTag, Owner: "sm"}) }
+
+// Participating reports whether the node is part of the SM ad hoc network.
+func (rt *Runtime) Participating() bool { return rt.tags.Has(ParticipationTag) }
+
+// admit runs admission control on an arriving SM.
+func (rt *Runtime) admit(m *Message) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m.HopCnt > rt.admission.maxHopCnt() {
+		rt.rejected++
+		return fmt.Errorf("%w: hopCnt %d exceeds cap", ErrAdmission, m.HopCnt)
+	}
+	if rt.resident >= rt.admission.maxResident() {
+		rt.rejected++
+		return fmt.Errorf("%w: %d resident SMs", ErrAdmission, rt.resident)
+	}
+	rt.accepted++
+	rt.resident++
+	return nil
+}
+
+func (rt *Runtime) release() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.resident--
+}
+
+// cacheCode records a code brick in the node's code cache and reports
+// whether it was already present (a hit skips part of the code transfer on
+// future migrations).
+func (rt *Runtime) cacheCode(codeID string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	hit := rt.codeCache[codeID]
+	rt.codeCache[codeID] = true
+	return hit
+}
+
+// onArrive handles an SM delivered to this node.
+func (rt *Runtime) onArrive(msg simnet.Message) {
+	m, ok := msg.Payload.(*Message)
+	if !ok {
+		return
+	}
+	if err := rt.admit(m); err != nil {
+		return // rejected SMs vanish; the finder's timeout covers the loss
+	}
+	defer rt.release()
+	rt.cacheCode(m.CodeID)
+	rt.platform.execute(rt, m)
+}
+
+// hopLatency samples the one-way cost of one SM migration. Per DESIGN.md,
+// each traversed hop costs half the calibrated per-hop round-trip cost, and
+// journeys departing from or arriving at the finder's origin carry half the
+// fixed cost each, so a j-hop query round trip totals fixed + j·perHop —
+// exactly Table 1's 761 ms (1 hop) and 1422 ms (2 hops) in steady state.
+// The steady state assumes the receiver's code cache holds the (frequently
+// executed) finder code brick; a cache miss must additionally transfer and
+// deserialize the code, adding a share of the serialization component.
+func (p *Platform) hopLatency(departOrigin, arriveOrigin, codeCached bool) time.Duration {
+	half := p.wifi.PerHopLatency() / 2
+	d := p.wifi.HopLatency(false) / 2 // jittered per-hop half-cost
+	if d <= 0 {
+		d = half
+	}
+	if departOrigin {
+		d += radio.WiFiFixedLatency / 2
+	}
+	if arriveOrigin {
+		d += radio.WiFiFixedLatency / 2
+	}
+	if !codeCached {
+		// Cold code cache: the code brick travels with the SM and is
+		// deserialized on arrival.
+		d += time.Duration(radio.SMFracSerialize / 3 * float64(d))
+	}
+	return d
+}
+
+// migrate ships an SM one hop and accounts WiFi power on both endpoints for
+// the transfer duration.
+func (p *Platform) migrate(m *Message, from, to simnet.NodeID, departOrigin, arriveOrigin bool) error {
+	toRt := p.Runtime(to)
+	cached := false
+	if toRt != nil {
+		toRt.mu.Lock()
+		cached = toRt.codeCache[m.CodeID]
+		toRt.mu.Unlock()
+	}
+	d := p.hopLatency(departOrigin, arriveOrigin, cached)
+	m.HopCnt++
+	err := p.net.Send(simnet.Message{
+		From:    from,
+		To:      to,
+		Medium:  radio.MediumWiFi,
+		Kind:    msgKindSM,
+		Payload: m,
+		Bytes:   smWireBytes(m),
+	}, d)
+	if err != nil {
+		return fmt.Errorf("sm: migrate %s→%s: %w", from, to, err)
+	}
+	// Both endpoints keep their WiFi radio active for the transfer — except
+	// the SM's origin, whose radio is already held connected for the whole
+	// operation by LaunchFinder (avoiding double counting).
+	for _, id := range []simnet.NodeID{from, to} {
+		if id == m.Origin {
+			continue
+		}
+		if n := p.net.Node(id); n != nil {
+			n.Timeline().AddWindow("sm-hop", energy.Milliwatts(radio.WiFiConnectedPower), d)
+		}
+	}
+	return nil
+}
+
+// smWireBytes estimates the serialized SM size: control state plus data
+// bricks (queries are 205 B; collected items add their wire size).
+func smWireBytes(m *Message) int {
+	size := 64 // code id + control state
+	for _, v := range m.Data {
+		switch vv := v.(type) {
+		case int:
+			size += 8
+		case string:
+			size += len(vv)
+		default:
+			size += 100
+		}
+	}
+	return size
+}

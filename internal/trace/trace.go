@@ -1,0 +1,157 @@
+// Package trace renders experiment output: ASCII time-series plots of
+// power traces (for the Fig. 4 / Fig. 5 reproductions) and aligned text
+// tables (for the Table 1 / Table 2 reproductions).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"contory/internal/energy"
+)
+
+// Plot renders a power trace as an ASCII chart: time on the X axis,
+// milliwatts on the Y axis. Samples are bucketed to the requested width;
+// each bucket plots its maximum (power peaks are the interesting feature).
+func Plot(samples []energy.Sample, width, height int, title string) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(samples) == 0 {
+		b.WriteString("(no samples)\n")
+		return b.String()
+	}
+
+	// Bucket samples by time.
+	span := samples[len(samples)-1].Since - samples[0].Since
+	if span <= 0 {
+		span = time.Second
+	}
+	buckets := make([]float64, width)
+	for _, s := range samples {
+		idx := int(float64(s.Since-samples[0].Since) / float64(span) * float64(width-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= width {
+			idx = width - 1
+		}
+		if p := float64(s.Power); p > buckets[idx] {
+			buckets[idx] = p
+		}
+	}
+	var maxP float64
+	for _, p := range buckets {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP == 0 {
+		maxP = 1
+	}
+
+	// Rows from the top down.
+	for row := height; row >= 1; row-- {
+		threshold := maxP * float64(row) / float64(height)
+		label := fmt.Sprintf("%7.0f mW |", threshold)
+		b.WriteString(label)
+		for _, p := range buckets {
+			if p >= threshold {
+				b.WriteByte('#')
+			} else if p >= threshold-maxP/float64(2*height) {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("%12s0%*s\n", "", width-1,
+		formatDur(span)))
+	return b.String()
+}
+
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.0f min", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.0f s", d.Seconds())
+	default:
+		return fmt.Sprintf("%d ms", d.Milliseconds())
+	}
+}
+
+// Table renders rows as an aligned text table with a header.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

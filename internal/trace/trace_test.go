@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"contory/internal/energy"
+)
+
+func samplesFor(powers []float64) []energy.Sample {
+	out := make([]energy.Sample, len(powers))
+	for i, p := range powers {
+		out[i] = energy.Sample{
+			Since: time.Duration(i) * 500 * time.Millisecond,
+			Power: energy.Milliwatts(p),
+		}
+	}
+	return out
+}
+
+func TestPlotRendersPeaks(t *testing.T) {
+	powers := make([]float64, 100)
+	for i := range powers {
+		powers[i] = 10
+	}
+	powers[50] = 1000 // one tall peak in the middle
+	s := Plot(samplesFor(powers), 50, 8, "test trace")
+	if !strings.Contains(s, "test trace") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("no marks")
+	}
+	lines := strings.Split(s, "\n")
+	// Top row should contain exactly one mark column (the peak).
+	top := lines[1]
+	if strings.Count(top, "#") != 1 {
+		t.Errorf("top row = %q, want a single peak mark", top)
+	}
+	if !strings.Contains(s, "1000 mW") {
+		t.Errorf("missing y-axis max label:\n%s", s)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	s := Plot(nil, 40, 8, "empty")
+	if !strings.Contains(s, "no samples") {
+		t.Errorf("Plot(nil) = %q", s)
+	}
+}
+
+func TestPlotSingleSample(t *testing.T) {
+	s := Plot(samplesFor([]float64{42}), 40, 8, "")
+	if !strings.Contains(s, "#") {
+		t.Errorf("single sample not plotted:\n%s", s)
+	}
+}
+
+func TestPlotMinimumDimensions(t *testing.T) {
+	// Degenerate dimensions are clamped, not crashed.
+	s := Plot(samplesFor([]float64{1, 2, 3}), 1, 1, "")
+	if s == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestPlotZeroPower(t *testing.T) {
+	s := Plot(samplesFor([]float64{0, 0, 0}), 20, 4, "")
+	if strings.Contains(s, "#") {
+		t.Errorf("flat-zero trace shows marks:\n%s", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Headers: []string{"col-a", "column-bee"},
+	}
+	tab.Add("x", "1")
+	tab.Add("longer-value", "2")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	// The second column must start at the same offset in both data rows.
+	i1 := strings.Index(lines[3], "1")
+	i2 := strings.Index(lines[4], "2")
+	if i1 != i2 {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("missing rule: %q", lines[2])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.Add("only-one")
+	tab.Add("x", "y", "extra")
+	s := tab.String()
+	if !strings.Contains(s, "only-one") || !strings.Contains(s, "extra") {
+		t.Errorf("ragged rows mangled:\n%s", s)
+	}
+}
+
+func TestFormatDur(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{90 * time.Second, "2 min"},
+		{5 * time.Second, "5 s"},
+		{300 * time.Millisecond, "300 ms"},
+	}
+	for _, tt := range tests {
+		if got := formatDur(tt.d); got != tt.want {
+			t.Errorf("formatDur(%v) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}

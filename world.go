@@ -1,0 +1,236 @@
+package contory
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/core"
+	"contory/internal/cxt"
+	"contory/internal/gps"
+	"contory/internal/infra"
+	"contory/internal/radio"
+	"contory/internal/simnet"
+	"contory/internal/sm"
+	"contory/internal/vclock"
+)
+
+// World is a simulated testbed: a virtual clock, a network of phones, BT
+// peripherals and an optional context infrastructure. All middleware time
+// flows through the world's clock, so experiments covering hours complete
+// in milliseconds and are fully deterministic for a given seed.
+type World struct {
+	clock    *vclock.Simulator
+	net      *simnet.Network
+	platform *sm.Platform
+	infraSrv *infra.Infrastructure
+	seed     int64
+	nextSeed int64
+	phones   map[string]*Phone
+	gpsDevs  map[string]*gps.Device
+}
+
+// Phone is one Contory-equipped device in the world.
+type Phone struct {
+	// Device exposes the phone's references, monitor and repository.
+	Device *Device
+	// Factory is the phone's ContextFactory (the §4.4 API).
+	Factory *Factory
+	world   *World
+}
+
+// NewWorld creates an empty world with an infrastructure server
+// ("infra") and a Smart Messages platform, seeded for determinism.
+func NewWorld(seed int64) (*World, error) {
+	clk := vclock.NewSimulator()
+	nw := simnet.New(clk)
+	inf, err := infra.New(infra.Config{Network: nw, NodeID: "infra", UMTS: radio.NewUMTS(seed + 1)})
+	if err != nil {
+		return nil, fmt.Errorf("contory: world infra: %w", err)
+	}
+	return &World{
+		clock:    clk,
+		net:      nw,
+		platform: sm.NewPlatform(nw, radio.NewWiFi(seed+2)),
+		infraSrv: inf,
+		seed:     seed,
+		nextSeed: seed + 100,
+		phones:   make(map[string]*Phone),
+		gpsDevs:  make(map[string]*gps.Device),
+	}, nil
+}
+
+// Infrastructure returns the world's context infrastructure (for attaching
+// services such as the RegattaClassifier).
+func (w *World) Infrastructure() *infra.Infrastructure { return w.infraSrv }
+
+// Now returns the current virtual time.
+func (w *World) Now() time.Time { return w.clock.Now() }
+
+// Run advances virtual time by d, executing all scheduled middleware work.
+func (w *World) Run(d time.Duration) { w.clock.Advance(d) }
+
+// After schedules fn to run once d of virtual time from now (for scripted
+// scenarios: failure injection, mobility scripts, staged workloads).
+func (w *World) After(d time.Duration, fn func()) { w.clock.After(d, fn) }
+
+// Every schedules fn to run every d of virtual time until the returned
+// stop function is called.
+func (w *World) Every(d time.Duration, fn func()) (stop func()) {
+	t := w.clock.Every(d, fn)
+	return func() { t.Stop() }
+}
+
+// RunUntilIdle executes pending events until the event queue drains or
+// maxEvents have run; it returns the number executed. Useful after one-shot
+// operations; avoid it while periodic providers are active.
+func (w *World) RunUntilIdle(maxEvents int) int { return w.clock.Run(maxEvents) }
+
+// PhoneConfig configures a phone added to the world.
+type PhoneConfig struct {
+	// ID names the phone (required, unique).
+	ID string
+	// Position is the initial location in metres.
+	X, Y float64
+	// GPS attaches a dedicated BT-GPS receiver streaming from this fix.
+	GPS *Fix
+	// NoInfra disconnects the phone from the infrastructure.
+	NoInfra bool
+}
+
+// AddPhone creates a phone with BT, WiFi (ad hoc) and — unless disabled —
+// UMTS connectivity to the infrastructure.
+func (w *World) AddPhone(cfg PhoneConfig) (*Phone, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("contory: phone needs an id")
+	}
+	if _, dup := w.phones[cfg.ID]; dup {
+		return nil, fmt.Errorf("contory: duplicate phone %q", cfg.ID)
+	}
+	w.nextSeed += 10
+	dcfg := core.DeviceConfig{
+		Network:    w.net,
+		ID:         simnet.NodeID(cfg.ID),
+		Position:   simnet.Position{X: cfg.X, Y: cfg.Y},
+		SMPlatform: w.platform,
+		Seed:       w.nextSeed,
+	}
+	if !cfg.NoInfra {
+		dcfg.InfraServer = w.infraSrv.ID()
+	}
+	var gpsDev *gps.Device
+	if cfg.GPS != nil {
+		gpsID := simnet.NodeID(cfg.ID + "-gps")
+		var err error
+		gpsDev, err = gps.NewDevice(w.net, gpsID, *cfg.GPS)
+		if err != nil {
+			return nil, fmt.Errorf("contory: gps: %w", err)
+		}
+		dcfg.GPSDevice = gpsID
+	}
+	dev, err := core.NewDevice(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("contory: phone: %w", err)
+	}
+	if gpsDev != nil {
+		if err := w.net.Connect(dev.ID, gpsDev.ID(), radio.MediumBT); err != nil {
+			return nil, fmt.Errorf("contory: pair gps: %w", err)
+		}
+		w.gpsDevs[cfg.ID] = gpsDev
+	}
+	if !cfg.NoInfra {
+		if err := w.net.Connect(dev.ID, w.infraSrv.ID(), radio.MediumUMTS); err != nil {
+			return nil, fmt.Errorf("contory: umts link: %w", err)
+		}
+	}
+	p := &Phone{Device: dev, Factory: core.NewFactory(dev), world: w}
+	w.phones[cfg.ID] = p
+	return p, nil
+}
+
+// Phone returns a phone by id, or nil.
+func (w *World) Phone(id string) *Phone { return w.phones[id] }
+
+// GPSOf returns a phone's GPS device (to move it or inject failures).
+func (w *World) GPSOf(phoneID string) *gps.Device { return w.gpsDevs[phoneID] }
+
+// Link connects two phones on a medium ("bt", "wifi" or "umts").
+func (w *World) Link(a, b, medium string) error {
+	m, err := radio.ParseMedium(medium)
+	if err != nil {
+		return fmt.Errorf("contory: %w", err)
+	}
+	if err := w.net.Connect(simnet.NodeID(a), simnet.NodeID(b), m); err != nil {
+		return fmt.Errorf("contory: link: %w", err)
+	}
+	return nil
+}
+
+// Unlink removes a link between two phones on a medium.
+func (w *World) Unlink(a, b, medium string) error {
+	m, err := radio.ParseMedium(medium)
+	if err != nil {
+		return fmt.Errorf("contory: %w", err)
+	}
+	w.net.Disconnect(simnet.NodeID(a), simnet.NodeID(b), m)
+	return nil
+}
+
+// SetRange enables range-based connectivity on a medium: nodes within
+// metres of each other link automatically.
+func (w *World) SetRange(medium string, metres float64) error {
+	m, err := radio.ParseMedium(medium)
+	if err != nil {
+		return fmt.Errorf("contory: %w", err)
+	}
+	w.net.SetRange(m, metres)
+	return nil
+}
+
+// StartMobility integrates phone velocities every interval.
+func (w *World) StartMobility(interval time.Duration) { w.net.StartMobility(interval) }
+
+// ID returns the phone's identifier.
+func (p *Phone) ID() string { return string(p.Device.ID) }
+
+// PublishTag publishes a context value in the ad hoc network under the
+// given type; the phone registers as a context server automatically.
+func (p *Phone) PublishTag(typ Type, value any) {
+	p.Device.WiFi.PublishTag(string(typ), cxt.Item{
+		Type:      typ,
+		Value:     value,
+		Timestamp: p.world.Now(),
+	}, 0)
+}
+
+// SetVelocity sets the phone's velocity vector in metres/second.
+func (p *Phone) SetVelocity(vx, vy float64) {
+	p.Device.Node.SetVelocity(simnet.Position{X: vx, Y: vy})
+}
+
+// SetPosition teleports the phone.
+func (p *Phone) SetPosition(x, y float64) {
+	p.Device.Node.SetPosition(simnet.Position{X: x, Y: y})
+}
+
+// ReportLocation publishes the phone's location to the infrastructure
+// (boats in the sailing scenario do this periodically).
+func (p *Phone) ReportLocation(fix Fix) error {
+	if p.Device.UMTS == nil {
+		return fmt.Errorf("contory: phone %s has no infrastructure link", p.ID())
+	}
+	_, err := p.Device.UMTS.Publish(infra.ChannelLocation, cxt.Item{
+		Type: TypeLocation, Value: fix, Timestamp: p.world.Now(),
+	})
+	return err
+}
+
+// ReportWeather publishes a weather observation to the infrastructure.
+func (p *Phone) ReportWeather(typ Type, value float64) error {
+	if p.Device.UMTS == nil {
+		return fmt.Errorf("contory: phone %s has no infrastructure link", p.ID())
+	}
+	_, err := p.Device.UMTS.Publish(infra.ChannelWeather, cxt.Item{
+		Type: typ, Value: value, Timestamp: p.world.Now(),
+	})
+	return err
+}

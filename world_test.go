@@ -1,0 +1,282 @@
+package contory
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorldEndToEndAdHoc(t *testing.T) {
+	w, err := NewWorld(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := w.AddPhone(PhoneConfig{ID: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := w.AddPhone(PhoneConfig{ID: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Link("alice", "bob", "wifi"); err != nil {
+		t.Fatal(err)
+	}
+	bob.PublishTag(TypeTemperature, 14.0)
+
+	var items []Item
+	cli := ClientFuncs{OnItem: func(it Item) { items = append(items, it) }}
+	q := MustParseQuery("SELECT temperature FROM adHocNetwork(all,1) DURATION 5 min EVERY 30 sec")
+	id, err := alice.Factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(2 * time.Minute)
+	if len(items) < 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Value != 14.0 || items[0].Type != TypeTemperature {
+		t.Fatalf("item = %+v", items[0])
+	}
+	alice.Factory.CancelCxtQuery(id)
+}
+
+func TestWorldGPSPhone(t *testing.T) {
+	w, err := NewWorld(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boat, err := w.AddPhone(PhoneConfig{ID: "boat", GPS: &Fix{Lat: 60.1, Lon: 24.9, SpeedKn: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	cli := ClientFuncs{OnItem: func(it Item) { items = append(items, it) }}
+	q := MustParseQuery("SELECT location FROM intSensor DURATION 1 min EVERY 5 sec")
+	if _, err := boat.Factory.ProcessCxtQuery(q, cli); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(30 * time.Second)
+	if len(items) < 4 {
+		t.Fatalf("fixes = %d", len(items))
+	}
+	fix, ok := items[0].Value.(Fix)
+	if !ok || fix.Lat == 0 {
+		t.Fatalf("value = %+v", items[0].Value)
+	}
+	// The GPS device handle supports failure injection.
+	if w.GPSOf("boat") == nil {
+		t.Fatal("no GPS handle")
+	}
+}
+
+func TestWorldInfraPath(t *testing.T) {
+	w, err := NewWorld(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reporter, err := w.AddPhone(PhoneConfig{ID: "reporter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asker, err := w.AddPhone(PhoneConfig{ID: "asker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reporter.ReportLocation(Fix{Lat: 60.1, Lon: 24.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reporter.ReportWeather(TypeTemperature, 13.5); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(time.Minute)
+	if w.Infrastructure().Stored() != 2 {
+		t.Fatalf("infra stored = %d", w.Infrastructure().Stored())
+	}
+	var items []Item
+	cli := ClientFuncs{OnItem: func(it Item) { items = append(items, it) }}
+	q := MustParseQuery("SELECT temperature FROM extInfra DURATION 1 min")
+	if _, err := asker.Factory.ProcessCxtQuery(q, cli); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(time.Minute)
+	if len(items) != 1 || items[0].Value != 13.5 {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestWorldErrors(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddPhone(PhoneConfig{}); err == nil {
+		t.Error("phone without id accepted")
+	}
+	if _, err := w.AddPhone(PhoneConfig{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddPhone(PhoneConfig{ID: "a"}); err == nil {
+		t.Error("duplicate phone accepted")
+	}
+	if err := w.Link("a", "ghost", "wifi"); err == nil {
+		t.Error("link to ghost accepted")
+	}
+	if err := w.Link("a", "a", "zigbee"); err == nil {
+		t.Error("bad medium accepted")
+	}
+	if w.Phone("ghost") != nil {
+		t.Error("ghost phone found")
+	}
+	phone, _ := w.AddPhone(PhoneConfig{ID: "nolink", NoInfra: true})
+	if err := phone.ReportLocation(Fix{}); err == nil {
+		t.Error("ReportLocation without infra succeeded")
+	}
+	if err := phone.ReportWeather(TypeWind, 1); err == nil {
+		t.Error("ReportWeather without infra succeeded")
+	}
+}
+
+func TestWorldMobilityAndRange(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.AddPhone(PhoneConfig{ID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.AddPhone(PhoneConfig{ID: "b", X: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetRange("wifi", 100); err != nil {
+		t.Fatal(err)
+	}
+	b.PublishTag(TypeWind, 8.0)
+	w.StartMobility(time.Second)
+	b.SetVelocity(-10, 0) // approaching at 10 m/s
+
+	var items []Item
+	cli := ClientFuncs{OnItem: func(it Item) { items = append(items, it) }}
+	q := MustParseQuery("SELECT wind FROM adHocNetwork(all,1) DURATION 10 min EVERY 20 sec")
+	if _, err := a.Factory.ProcessCxtQuery(q, cli); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(15 * time.Second) // still out of range
+	if len(items) != 0 {
+		t.Fatalf("items while out of range: %d", len(items))
+	}
+	w.Run(2 * time.Minute) // b arrives within 100 m after ~20 s
+	if len(items) == 0 {
+		t.Fatal("no items after b moved into range")
+	}
+	_ = b
+}
+
+func TestClientFuncsDefaults(t *testing.T) {
+	var c ClientFuncs
+	c.ReceiveCxtItem(Item{}) // no panic
+	c.InformError("x")
+	if !c.MakeDecision("y") {
+		t.Fatal("default decision should grant")
+	}
+	denied := ClientFuncs{OnDecision: func(string) bool { return false }}
+	if denied.MakeDecision("z") {
+		t.Fatal("custom decision ignored")
+	}
+}
+
+func TestMergeQueriesPublicAPI(t *testing.T) {
+	q1 := MustParseQuery("SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10 sec DURATION 1 hour EVERY 15 sec")
+	q2 := MustParseQuery("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20 sec DURATION 2 hour EVERY 30 sec")
+	q3, err := MergeQueries(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.From.NumHops != 3 || q3.Every != 15*time.Second {
+		t.Fatalf("q3 = %s", q3)
+	}
+}
+
+func TestWorldSchedulingHelpers(t *testing.T) {
+	w, err := NewWorld(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	w.After(10*time.Second, func() { fired++ })
+	stop := w.Every(5*time.Second, func() { fired += 10 })
+	w.Run(12 * time.Second) // After at 10s; Every at 5s, 10s
+	if fired != 21 {
+		t.Fatalf("fired = %d, want 21", fired)
+	}
+	stop()
+	w.Run(time.Minute)
+	if fired != 21 {
+		t.Fatalf("Every kept firing after stop: %d", fired)
+	}
+}
+
+func TestWorldRunUntilIdle(t *testing.T) {
+	w, err := NewWorld(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	w.After(time.Second, func() { done = true })
+	if n := w.RunUntilIdle(100); n == 0 || !done {
+		t.Fatalf("RunUntilIdle ran %d events, done=%v", n, done)
+	}
+}
+
+func TestWorldUnlinkAndPosition(t *testing.T) {
+	w, err := NewWorld(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.AddPhone(PhoneConfig{ID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.AddPhone(PhoneConfig{ID: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Link("a", "b", "wifi"); err != nil {
+		t.Fatal(err)
+	}
+	b.PublishTag(TypeWind, 8.0)
+	if err := w.Unlink("a", "b", "wifi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Unlink("a", "b", "zigbee"); err == nil {
+		t.Fatal("Unlink with bad medium succeeded")
+	}
+	if err := w.SetRange("zigbee", 10); err == nil {
+		t.Fatal("SetRange with bad medium succeeded")
+	}
+	var items []Item
+	cli := ClientFuncs{OnItem: func(it Item) { items = append(items, it) }}
+	q := MustParseQuery("SELECT wind FROM adHocNetwork(all,1) DURATION 2 min EVERY 20 sec")
+	if _, err := a.Factory.ProcessCxtQuery(q, cli); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(90 * time.Second)
+	if len(items) != 0 {
+		t.Fatalf("items over unlinked medium: %d", len(items))
+	}
+	a.SetPosition(3, 4)
+	if got := a.Device.Node.Position(); got.X != 3 || got.Y != 4 {
+		t.Fatalf("position = %+v", got)
+	}
+}
+
+func TestParseQueryPublicAPI(t *testing.T) {
+	q, err := ParseQuery("SELECT wind DURATION 1 min")
+	if err != nil || q.Select != TypeWind {
+		t.Fatalf("ParseQuery = %+v, %v", q, err)
+	}
+	if _, err := ParseQuery("garbage"); err == nil {
+		t.Fatal("ParseQuery(garbage) succeeded")
+	}
+}
