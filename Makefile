@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples cover clean
+.PHONY: all check build fmt-check vet test race bench experiments examples cover clean
 
-all: build vet test
+all: check
+
+# check is the full pre-merge gate: formatting, build, vet, tests and the
+# race detector.
+check: fmt-check build vet test race
 
 build:
 	$(GO) build ./...
+
+# fmt-check fails when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

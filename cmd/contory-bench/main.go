@@ -32,6 +32,8 @@ func main() {
 	rounds := flag.Int("rounds", 10, "repetitions per measurement")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace-out", "", "write fig4/fig5 power samples as CSV to this file")
+	stats := flag.Bool("stats", false, "dump a metrics snapshot of the instrumented reference workload")
+	statsOut := flag.String("stats-out", "", "write the reference-workload snapshot as JSON (e.g. BENCH_metrics.json) for cross-PR diffing")
 	flag.Parse()
 	if err := run(*exp, *rounds, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "contory-bench:", err)
@@ -44,6 +46,36 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "trace CSV written to", *traceOut)
 	}
+	if *stats || *statsOut != "" {
+		if err := writeStats(*statsOut, *stats, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "contory-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeStats runs the instrumented reference workload and dumps its metrics
+// snapshot: text to stdout when show is set, JSON to path when given.
+func writeStats(path string, show bool, seed int64) error {
+	snap, err := experiments.MetricsRun(seed)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if show {
+		fmt.Println("metrics snapshot (reference workload):")
+		fmt.Print(snap.String())
+	}
+	if path != "" {
+		data, err := snap.MarshalJSONIndent()
+		if err != nil {
+			return fmt.Errorf("stats json: %w", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write stats: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "metrics JSON written to", path)
+	}
+	return nil
 }
 
 // writeTraces re-runs the figure experiments and dumps their multimeter

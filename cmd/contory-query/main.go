@@ -89,12 +89,12 @@ func run(qText string, runFor time.Duration, parseOnly bool, seed int64) error {
 		},
 		OnError: func(msg string) { fmt.Println("  error:", msg) },
 	}
-	id, err := phone.Factory.ProcessCxtQuery(q, cli)
+	sub, err := phone.Factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		return err
 	}
-	mech, _ := phone.Factory.QueryMechanism(id)
-	fmt.Printf("assigned %s via %s\nitems:\n", id, mech)
+	mech, _ := sub.Mechanism()
+	fmt.Printf("assigned %s via %s\nitems:\n", sub.ID(), mech)
 
 	if runFor <= 0 {
 		runFor = q.Duration.Time + 30*time.Second

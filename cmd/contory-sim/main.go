@@ -24,14 +24,15 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Minute, "virtual race duration")
 	failGPS := flag.Duration("fail-gps", 5*time.Minute, "when boat-1's GPS fails (0 = never)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	stats := flag.Bool("stats", false, "dump the middleware metrics snapshot after the race")
 	flag.Parse()
-	if err := run(*boats, *duration, *failGPS, *seed); err != nil {
+	if err := run(*boats, *duration, *failGPS, *seed, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "contory-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(boats int, duration, failGPS time.Duration, seed int64) error {
+func run(boats int, duration, failGPS time.Duration, seed int64, stats bool) error {
 	if boats < 2 {
 		boats = 2
 	}
@@ -132,6 +133,10 @@ func run(boats int, duration, failGPS time.Duration, seed int64) error {
 		for _, s := range sw {
 			fmt.Printf("  %8s  %s → %s (%s)\n", s.At.Format("15:04:05"), s.From, s.To, s.Reason)
 		}
+	}
+	if stats {
+		fmt.Println("\nmetrics snapshot:")
+		fmt.Print(w.Metrics().Snapshot().String())
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package contory
 import (
 	"contory/internal/core"
 	"contory/internal/cxt"
+	"contory/internal/metrics"
 	"contory/internal/provider"
 	"contory/internal/query"
 )
@@ -70,7 +71,44 @@ type (
 	Mechanism = core.Mechanism
 	// SwitchEvent records one dynamic strategy switch.
 	SwitchEvent = core.SwitchEvent
+	// Subscription is the handle returned by ProcessCxtQuery: the query id
+	// plus methods to inspect the serving mechanism, count deliveries and
+	// cancel the query.
+	Subscription = core.Subscription
+	// Option configures a Factory at construction time.
+	Option = core.Option
 )
+
+// Factory construction options.
+var (
+	// WithMerging enables or disables query aggregation (default on).
+	WithMerging = core.WithMerging
+	// WithFailover enables or disables dynamic strategy switching
+	// (default on).
+	WithFailover = core.WithFailover
+	// WithPreferBTOneHop makes one-hop ad hoc queries prefer Bluetooth.
+	WithPreferBTOneHop = core.WithPreferBTOneHop
+	// WithMetrics shares a metrics registry with the factory.
+	WithMetrics = core.WithMetrics
+)
+
+// NewFactory wires a ContextFactory onto a device.
+func NewFactory(dev *Device, opts ...Option) *Factory {
+	return core.NewFactory(dev, opts...)
+}
+
+// Observability (middleware-wide metrics and query-lifecycle events).
+type (
+	// MetricsRegistry is a named set of counters, gauges, histograms and a
+	// bounded query-lifecycle event ring.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a deterministic point-in-time view of a registry.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry, for sharing across
+// factories via WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // Provisioning mechanisms.
 const (

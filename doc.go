@@ -37,9 +37,9 @@
 //	    FROM adHocNetwork(all,1)
 //	    DURATION 1 hour
 //	    EVERY 15 sec`)
-//	id, _ := alice.Factory.ProcessCxtQuery(q, client) // client: your Client impl
-//	w.Run(time.Minute)                                // advance virtual time
-//	_ = id
+//	sub, _ := alice.Factory.ProcessCxtQuery(q, client) // client: your Client impl
+//	w.Run(time.Minute)                                 // advance virtual time
+//	sub.Cancel()
 //
 // See examples/ for complete programs, including the paper's sailing
 // scenario (WeatherWatcher and RegattaClassifier).

@@ -61,7 +61,7 @@ func run() error {
 	defer agg.Stop()
 
 	q := contory.MustParseQuery("SELECT temperature DURATION 3 min EVERY 30 sec")
-	id, err := me.Factory.ProcessCxtQueryMulti(q, contory.ClientFuncs{
+	sub, err := me.Factory.ProcessCxtQueryMulti(q, contory.ClientFuncs{
 		OnItem: func(it contory.Item) {
 			fmt.Printf("  raw: %.1f °C from %s\n", it.Value, it.Source)
 			agg.Offer(it)
@@ -70,11 +70,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mechs, err := me.Factory.QueryMechanisms(id)
+	mechs, err := sub.Mechanisms()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query %s running on %d mechanisms: %v\n", id, len(mechs), mechs)
+	fmt.Printf("query %s running on %d mechanisms: %v\n", sub.ID(), len(mechs), mechs)
 
 	world.Run(2 * time.Minute)
 	return nil

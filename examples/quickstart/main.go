@@ -56,15 +56,15 @@ func run() error {
 			fmt.Println("alice error:", msg)
 		},
 	}
-	id, err := alice.Factory.ProcessCxtQuery(q, client)
+	sub, err := alice.Factory.ProcessCxtQuery(q, client)
 	if err != nil {
 		return err
 	}
-	mech, err := alice.Factory.QueryMechanism(id)
+	mech, err := sub.Mechanism()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query %s assigned to the %s mechanism\n", id, mech)
+	fmt.Printf("query %s assigned to the %s mechanism\n", sub.ID(), mech)
 
 	// Advance virtual time: 2 minutes of provisioning happen instantly.
 	world.Run(2*time.Minute + 10*time.Second)

@@ -93,12 +93,12 @@ func run() error {
 			},
 			OnError: func(msg string) { fmt.Println("  error:", msg) },
 		}
-		id, err := me.Factory.ProcessCxtQuery(q, client)
+		sub, err := me.Factory.ProcessCxtQuery(q, client)
 		if err != nil {
 			return err
 		}
-		mech, _ := me.Factory.QueryMechanism(id)
-		fmt.Printf("  [%s served via %s]\n", id, mech)
+		mech, _ := sub.Mechanism()
+		fmt.Printf("  [%s served via %s]\n", sub.ID(), mech)
 		world.Run(90 * time.Second)
 	}
 	return nil

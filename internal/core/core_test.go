@@ -134,11 +134,11 @@ func TestQueryViaAdHoc(t *testing.T) {
 	b.publishPeerTemp(14.0)
 	cli := &testClient{}
 	q := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 2 min EVERY 20 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mech, err := b.factory.QueryMechanism(id)
+	mech, err := sub.Mechanism()
 	if err != nil || mech != MechanismAdHoc {
 		t.Fatalf("mechanism = %v, %v", mech, err)
 	}
@@ -153,7 +153,7 @@ func TestQueryViaAdHoc(t *testing.T) {
 	if got, ok := b.dev.Repo.Latest(cxt.TypeTemperature); !ok || got.Value != 14.0 {
 		t.Fatalf("repo latest = %+v, %v", got, ok)
 	}
-	b.factory.CancelCxtQuery(id)
+	sub.Cancel()
 	b.clk.Advance(time.Minute)
 	after := len(cli.items)
 	b.clk.Advance(time.Minute)
@@ -167,11 +167,11 @@ func TestQueryViaInfra(t *testing.T) {
 	b.store = append(b.store, cxt.Item{Type: cxt.TypeWeather, Value: "sunny", Timestamp: b.clk.Now()})
 	cli := &testClient{}
 	q := query.MustParse("SELECT weather FROM extInfra DURATION 1 min")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismInfra {
+	if mech, _ := sub.Mechanism(); mech != MechanismInfra {
 		t.Fatalf("mechanism = %v", mech)
 	}
 	b.clk.Advance(30 * time.Second)
@@ -184,11 +184,11 @@ func TestQueryViaLocalGPS(t *testing.T) {
 	b := newBed(t)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location FROM intSensor DURATION 1 min EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("mechanism = %v", mech)
 	}
 	b.clk.Advance(30 * time.Second)
@@ -210,12 +210,12 @@ func TestAutoSelectsLocalFirst(t *testing.T) {
 		},
 	})
 	cli := &testClient{}
-	id, err := b.factory.ProcessCxtQuery(
+	sub, err := b.factory.ProcessCxtQuery(
 		query.MustParse("SELECT temperature DURATION 1 min EVERY 10 sec"), cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("auto mechanism = %v, want local", mech)
 	}
 }
@@ -225,12 +225,12 @@ func TestAutoFallsBackToAdHoc(t *testing.T) {
 	// No integrated temperature sensor: auto must pick the ad hoc network.
 	b.publishPeerTemp(16.0)
 	cli := &testClient{}
-	id, err := b.factory.ProcessCxtQuery(
+	sub, err := b.factory.ProcessCxtQuery(
 		query.MustParse("SELECT temperature DURATION 1 min EVERY 10 sec"), cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismAdHoc {
+	if mech, _ := sub.Mechanism(); mech != MechanismAdHoc {
 		t.Fatalf("auto mechanism = %v, want adHocNetwork", mech)
 	}
 	b.clk.Advance(45 * time.Second)
@@ -309,7 +309,7 @@ func TestCancelRenarrowsMergedQuery(t *testing.T) {
 	b.publishPeerTemp(15.0)
 	q1 := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 15 sec")
 	q2 := query.MustParse("SELECT temperature FROM adHocNetwork(all,2) DURATION 2 hour EVERY 60 sec")
-	id1, err := b.factory.ProcessCxtQuery(q1, &testClient{})
+	sub1, err := b.factory.ProcessCxtQuery(q1, &testClient{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestCancelRenarrowsMergedQuery(t *testing.T) {
 	if fac.ActiveProviders() != 1 {
 		t.Fatalf("providers = %d", fac.ActiveProviders())
 	}
-	b.factory.CancelCxtQuery(id1)
+	sub1.Cancel()
 	// Provider survives for q2.
 	if fac.ActiveProviders() != 1 {
 		t.Fatalf("providers after cancel = %d", fac.ActiveProviders())
@@ -334,7 +334,7 @@ func TestSampleBudgetCompletesQuery(t *testing.T) {
 	b := newBed(t)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location FROM intSensor DURATION 3 samples EVERY 2 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestSampleBudgetCompletesQuery(t *testing.T) {
 	if len(cli.items) != 3 {
 		t.Fatalf("items = %d, want exactly 3", len(cli.items))
 	}
-	if _, err := b.factory.QueryMechanism(id); !errors.Is(err, ErrUnknownQuery) {
+	if _, err := sub.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
 		t.Fatal("query still active after sample budget")
 	}
 }
@@ -351,12 +351,12 @@ func TestDurationExpiryRemovesQuery(t *testing.T) {
 	b := newBed(t)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location FROM intSensor DURATION 30 sec EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b.clk.Advance(2 * time.Minute)
-	if _, err := b.factory.QueryMechanism(id); !errors.Is(err, ErrUnknownQuery) {
+	if _, err := sub.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
 		t.Fatal("query still active after its DURATION")
 	}
 	if len(b.factory.ActiveQueries()) != 0 {
@@ -377,11 +377,11 @@ func TestGPSFailoverFig5(t *testing.T) {
 	cli := &testClient{}
 	// FROM unspecified: the middleware may switch strategies transparently.
 	q := query.MustParse("SELECT location DURATION 20 min EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("initial mechanism = %v", mech)
 	}
 	// Phase 1: GPS healthy for 155 s.
@@ -393,7 +393,7 @@ func TestGPSFailoverFig5(t *testing.T) {
 	// GPS switched off (the paper kills it at t=155 s).
 	b.gpsDev.SetFailed(true)
 	b.clk.Advance(time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismAdHoc {
+	if mech, _ := sub.Mechanism(); mech != MechanismAdHoc {
 		t.Fatalf("mechanism after GPS failure = %v, want adHocNetwork", mech)
 	}
 	sw := b.factory.Switches()
@@ -410,7 +410,7 @@ func TestGPSFailoverFig5(t *testing.T) {
 	// switches back.
 	b.gpsDev.SetFailed(false)
 	b.clk.Advance(3 * time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("mechanism after GPS recovery = %v, want intSensor", mech)
 	}
 	sw = b.factory.Switches()
@@ -428,14 +428,14 @@ func TestFailoverDisabledAblation(t *testing.T) {
 	b.factory.SetFailoverEnabled(false)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location DURATION 20 min EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b.clk.Advance(30 * time.Second)
 	b.gpsDev.SetFailed(true)
 	b.clk.Advance(2 * time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("mechanism = %v, want stuck on intSensor without failover", mech)
 	}
 	if len(b.factory.Switches()) != 0 {
@@ -447,14 +447,14 @@ func TestExplicitSourceDoesNotFailover(t *testing.T) {
 	b := newBed(t)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location FROM intSensor DURATION 20 min EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b.clk.Advance(10 * time.Second)
 	b.gpsDev.SetFailed(true)
 	b.clk.Advance(time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("explicit FROM intSensor switched to %v", mech)
 	}
 }
@@ -465,7 +465,7 @@ func TestReducePowerPolicy(t *testing.T) {
 	cli := &testClient{}
 	// An explicit extInfra periodic query: high energy consumer.
 	q := query.MustParse("SELECT weather FROM extInfra DURATION 1 hour EVERY 1 min")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +480,7 @@ func TestReducePowerPolicy(t *testing.T) {
 	// Battery drops: the rule fires; the extInfra-only query terminates.
 	b.dev.Monitor.SetBattery(0.1)
 	b.clk.Advance(time.Second)
-	if _, err := b.factory.QueryMechanism(id); !errors.Is(err, ErrUnknownQuery) {
+	if _, err := sub.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
 		t.Fatal("high-energy query survived reducePower")
 	}
 	if len(cli.errs) == 0 {
@@ -509,13 +509,13 @@ func TestReduceMemoryPolicy(t *testing.T) {
 func TestReduceLoadPolicy(t *testing.T) {
 	b := newBed(t)
 	c1, c2 := &testClient{}, &testClient{}
-	id1, err := b.factory.ProcessCxtQuery(
+	sub1, err := b.factory.ProcessCxtQuery(
 		query.MustParse("SELECT location FROM intSensor DURATION 1 hour EVERY 10 sec"), c1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b.clk.Advance(time.Second)
-	id2, err := b.factory.ProcessCxtQuery(
+	sub2, err := b.factory.ProcessCxtQuery(
 		query.MustParse("SELECT speed FROM intSensor DURATION 1 hour EVERY 10 sec"), c2)
 	if err != nil {
 		t.Fatal(err)
@@ -528,11 +528,11 @@ func TestReduceLoadPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.factory.EvaluatePolicies()
-	// The newest query (id2) terminates; id1 survives.
-	if _, err := b.factory.QueryMechanism(id2); !errors.Is(err, ErrUnknownQuery) {
+	// The newest query (sub2) terminates; sub1 survives.
+	if _, err := sub2.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
 		t.Fatal("newest query survived reduceLoad")
 	}
-	if _, err := b.factory.QueryMechanism(id1); err != nil {
+	if _, err := sub1.Mechanism(); err != nil {
 		t.Fatal("oldest query was terminated instead")
 	}
 	if len(c2.errs) == 0 {

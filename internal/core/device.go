@@ -11,6 +11,7 @@ import (
 
 	"contory/internal/access"
 	"contory/internal/energy"
+	"contory/internal/metrics"
 	"contory/internal/monitor"
 	"contory/internal/radio"
 	"contory/internal/refs"
@@ -116,6 +117,25 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	tl.SetState("base", energy.BaseIdle)
 	tl.SetState("contory", energy.ContoryOn)
 	return d, nil
+}
+
+// attachMetrics points the device's references and power timeline at the
+// factory's registry (references are created before the factory, so the
+// registry arrives after construction).
+func (d *Device) attachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	d.Node.Timeline().SetMetrics(reg)
+	if d.BT != nil {
+		d.BT.SetMetrics(reg)
+	}
+	if d.WiFi != nil {
+		d.WiFi.SetMetrics(reg)
+	}
+	if d.UMTS != nil {
+		d.UMTS.SetMetrics(reg)
+	}
 }
 
 // StartBatteryAccounting begins draining the device battery from the power

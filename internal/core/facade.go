@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"contory/internal/cxt"
+	"contory/internal/metrics"
 	"contory/internal/provider"
 	"contory/internal/query"
 	"contory/internal/vclock"
@@ -67,11 +68,15 @@ type Facade struct {
 	merges   int                 // successful merges (for the ablation bench)
 	creates  int                 // providers created
 	disabled bool                // reducePower can suspend a whole facade
+
+	mMerges  *metrics.Counter
+	mCreates *metrics.Counter
+	mActive  *metrics.Gauge
 }
 
 // newFacade returns a Facade for one mechanism.
 func newFacade(m Mechanism, clock vclock.Clock, mk providerMaker,
-	deliver func(string, cxt.Item), onExpire func([]string)) *Facade {
+	deliver func(string, cxt.Item), onExpire func([]string), reg *metrics.Registry) *Facade {
 	return &Facade{
 		mechanism: m,
 		clock:     clock,
@@ -79,6 +84,9 @@ func newFacade(m Mechanism, clock vclock.Clock, mk providerMaker,
 		deliver:   deliver,
 		onExpire:  onExpire,
 		managed:   make(map[string]*managed),
+		mMerges:   reg.Counter("core.facade.merges." + m.String()),
+		mCreates:  reg.Counter("core.facade.providers_created." + m.String()),
+		mActive:   reg.Gauge("core.facade.active_providers." + m.String()),
 	}
 }
 
@@ -118,7 +126,7 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 	f.mu.Lock()
 	if f.disabled {
 		f.mu.Unlock()
-		return ErrFacadeDisabled
+		return fmt.Errorf("core: %s %s: %w", f.mechanism, queryID, ErrFacadeDisabled)
 	}
 	if mergeEnabled {
 		// Deterministic scan order.
@@ -141,6 +149,7 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 			m.prov.UpdateQuery(mergedQ)
 			f.merges++
 			f.mu.Unlock()
+			f.mMerges.Inc()
 			return nil
 		}
 	}
@@ -153,12 +162,15 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 	f.managed[provID] = m
 	f.creates++
 	f.mu.Unlock()
+	f.mCreates.Inc()
+	f.mActive.Add(1)
 
 	prov, err := f.make(provID, q, f.sinkFor(provID), f.doneFor(provID))
 	if err != nil {
 		f.mu.Lock()
 		delete(f.managed, provID)
 		f.mu.Unlock()
+		f.mActive.Add(-1)
 		return fmt.Errorf("core: %s facade: %w", f.mechanism, err)
 	}
 	f.mu.Lock()
@@ -170,6 +182,7 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 		f.mu.Lock()
 		delete(f.managed, provID)
 		f.mu.Unlock()
+		f.mActive.Add(-1)
 		return fmt.Errorf("core: %s facade start: %w", f.mechanism, err)
 	}
 	return nil
@@ -225,6 +238,7 @@ func (f *Facade) doneFor(provID string) provider.DoneFunc {
 		}
 		sort.Strings(ids)
 		f.mu.Unlock()
+		f.mActive.Add(-1)
 		if f.onExpire != nil {
 			f.onExpire(ids)
 		}
@@ -253,6 +267,7 @@ func (f *Facade) Cancel(queryID string) bool {
 		delete(f.managed, provID)
 		prov := found.prov
 		f.mu.Unlock()
+		f.mActive.Add(-1)
 		if prov != nil {
 			prov.Stop()
 		}
@@ -300,6 +315,7 @@ func (f *Facade) StopAll() {
 	}
 	f.managed = make(map[string]*managed)
 	f.mu.Unlock()
+	f.mActive.Add(-float64(len(ms)))
 	for _, m := range ms {
 		if m.prov != nil {
 			m.prov.Stop()

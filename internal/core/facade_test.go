@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"contory/internal/cxt"
+	"contory/internal/metrics"
 	"contory/internal/provider"
 	"contory/internal/query"
 	"contory/internal/vclock"
@@ -79,6 +80,7 @@ func newFacadeRig(t *testing.T) *facadeRig {
 		},
 		func(qid string, it cxt.Item) { r.delivered[qid] = append(r.delivered[qid], it) },
 		func(ids []string) { r.expired = append(r.expired, ids...) },
+		metrics.NewRegistry(),
 	)
 	return r
 }

@@ -10,6 +10,7 @@ import (
 
 	"contory/internal/access"
 	"contory/internal/cxt"
+	"contory/internal/metrics"
 	"contory/internal/monitor"
 	"contory/internal/policy"
 	"contory/internal/provider"
@@ -91,6 +92,9 @@ type Factory struct {
 	mergeEnabled    bool
 	failoverEnabled bool
 	preferBTOneHop  bool
+
+	metrics *metrics.Registry
+	instr   *instruments
 }
 
 // gpsProbeInterval is how often a failed-over location query re-runs BT
@@ -98,8 +102,14 @@ type Factory struct {
 // 163–292 mW are dominated by these discoveries).
 const gpsProbeInterval = 30 * time.Second
 
-// NewFactory wires a ContextFactory onto a device.
-func NewFactory(dev *Device) *Factory {
+// NewFactory wires a ContextFactory onto a device. Behaviour toggles and
+// the metrics registry are supplied as functional options:
+//
+//	core.NewFactory(dev, core.WithMerging(false), core.WithMetrics(reg))
+//
+// Without WithMetrics the factory instruments into a private registry,
+// available via Metrics().
+func NewFactory(dev *Device, opts ...Option) *Factory {
 	f := &Factory{
 		dev:             dev,
 		clock:           dev.Clock,
@@ -110,12 +120,22 @@ func NewFactory(dev *Device) *Factory {
 		mergeEnabled:    true,
 		failoverEnabled: true,
 	}
-	f.facades[MechanismLocal] = newFacade(MechanismLocal, dev.Clock, f.makeLocal, f.deliver, f.onExpire)
-	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire)
-	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire)
+	for _, opt := range opts {
+		if opt != nil {
+			opt(f)
+		}
+	}
+	if f.metrics == nil {
+		f.metrics = metrics.NewRegistry()
+	}
+	f.instr = newInstruments(f.metrics, string(dev.ID))
+	f.facades[MechanismLocal] = newFacade(MechanismLocal, dev.Clock, f.makeLocal, f.deliver, f.onExpire, f.metrics)
+	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire, f.metrics)
+	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire, f.metrics)
 	f.cxtPub = provider.NewPublisher(dev.BT, dev.WiFi)
 	f.engine.SetEnforcer(f.enforce)
 	dev.Monitor.OnEvent(f.onMonitorEvent)
+	dev.attachMetrics(f.metrics)
 	if dev.UMTS != nil {
 		dev.Repo.SetRemote(remoteStore{f: f})
 	}
@@ -125,10 +145,16 @@ func NewFactory(dev *Device) *Factory {
 // Device returns the factory's device.
 func (f *Factory) Device() *Device { return f.dev }
 
+// Metrics returns the registry the factory instruments into.
+func (f *Factory) Metrics() *metrics.Registry { return f.metrics }
+
 // Facade returns the facade for a mechanism (for experiment harnesses).
 func (f *Factory) Facade(m Mechanism) *Facade { return f.facades[m] }
 
 // SetMergeEnabled toggles query aggregation (ablation).
+//
+// Deprecated: pass WithMerging to NewFactory; this setter remains for
+// harnesses that flip aggregation mid-run.
 func (f *Factory) SetMergeEnabled(on bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -136,6 +162,9 @@ func (f *Factory) SetMergeEnabled(on bool) {
 }
 
 // SetFailoverEnabled toggles dynamic strategy switching (ablation).
+//
+// Deprecated: pass WithFailover to NewFactory; this setter remains for
+// harnesses that flip switching mid-run.
 func (f *Factory) SetFailoverEnabled(on bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -175,18 +204,18 @@ func (f *Factory) QueryMechanism(queryID string) (Mechanism, error) {
 }
 
 // ProcessCxtQuery submits a context query on behalf of a client and returns
-// the assigned query id. The assignment follows the FROM clause, sensor
-// availability and the active control policies (§4.3).
-func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (string, error) {
+// a Subscription handle for it. The assignment follows the FROM clause,
+// sensor availability and the active control policies (§4.3).
+func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription, error) {
 	if client == nil {
-		return "", ErrNilClient
+		return nil, fmt.Errorf("core: process query: %w", ErrNilClient)
 	}
 	if err := query.Validate(q); err != nil {
-		return "", err
+		return nil, err
 	}
 	prefs := f.preferences(q)
 	if len(prefs) == 0 {
-		return "", fmt.Errorf("%w: %s", ErrNoMechanism, q.From.Kind)
+		return nil, fmt.Errorf("%w: %s", ErrNoMechanism, q.From.Kind)
 	}
 	f.mu.Lock()
 	f.nextID++
@@ -201,6 +230,8 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (string, error)
 	aq.q.ID = id
 	mergeOn := f.mergeEnabled
 	f.mu.Unlock()
+	f.instr.submitted.Inc()
+	f.instr.event(aq.submitted, id, metrics.EventSubmitted, "", string(aq.q.Select))
 
 	var lastErr error
 	for _, mech := range prefs {
@@ -216,15 +247,19 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (string, error)
 		f.mu.Lock()
 		f.queries[id] = aq
 		if aq.q.Duration.Time > 0 {
-			aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id) })
+			aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 		}
 		f.mu.Unlock()
-		return id, nil
+		f.instr.assigned[mech].Inc()
+		f.instr.active.Add(1)
+		f.instr.event(f.clock.Now(), id, metrics.EventAssigned, mech.String(), "")
+		return &Subscription{f: f, id: id}, nil
 	}
 	if lastErr == nil {
 		lastErr = ErrNoMechanism
 	}
-	return "", fmt.Errorf("core: assign query: %w", lastErr)
+	f.instr.rejected.Inc()
+	return nil, fmt.Errorf("core: assign query: %w", lastErr)
 }
 
 // ProcessCxtQueryMulti assigns one query to several provisioning
@@ -234,15 +269,15 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (string, error)
 // CxtAggregator — to relieve the uncertainty of any single source. With no
 // explicit mechanisms, every supported one is used. Multi-assigned queries
 // do not participate in failover (they are already redundant).
-func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...Mechanism) (string, error) {
+func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...Mechanism) (*Subscription, error) {
 	if client == nil {
-		return "", ErrNilClient
+		return nil, fmt.Errorf("core: process multi query: %w", ErrNilClient)
 	}
 	if err := query.Validate(q); err != nil {
-		return "", err
+		return nil, err
 	}
 	if len(mechs) == 0 {
-		for _, m := range []Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra} {
+		for _, m := range allMechanisms {
 			if f.mechanismSupported(m, q) {
 				mechs = append(mechs, m)
 			}
@@ -260,6 +295,8 @@ func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...M
 	aq.q.ID = id
 	mergeOn := f.mergeEnabled
 	f.mu.Unlock()
+	f.instr.submitted.Inc()
+	f.instr.event(aq.submitted, id, metrics.EventSubmitted, "", string(aq.q.Select))
 
 	var assigned []Mechanism
 	var lastErr error
@@ -278,17 +315,23 @@ func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...M
 		if lastErr == nil {
 			lastErr = ErrNoMechanism
 		}
-		return "", fmt.Errorf("core: assign multi query: %w", lastErr)
+		f.instr.rejected.Inc()
+		return nil, fmt.Errorf("core: assign multi query: %w", lastErr)
 	}
 	f.mu.Lock()
 	aq.mech = assigned[0]
 	aq.extra = assigned[1:]
 	f.queries[id] = aq
 	if aq.q.Duration.Time > 0 {
-		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id) })
+		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 	}
 	f.mu.Unlock()
-	return id, nil
+	f.instr.active.Add(1)
+	for _, mech := range assigned {
+		f.instr.assigned[mech].Inc()
+		f.instr.event(f.clock.Now(), id, metrics.EventAssigned, mech.String(), "")
+	}
+	return &Subscription{f: f, id: id}, nil
 }
 
 // QueryMechanisms reports every mechanism currently serving the query.
@@ -305,11 +348,12 @@ func (f *Factory) QueryMechanisms(queryID string) ([]Mechanism, error) {
 
 // CancelCxtQuery erases an active query.
 func (f *Factory) CancelCxtQuery(queryID string) {
-	f.finishQuery(queryID)
+	f.finishQuery(queryID, metrics.EventCancelled)
 }
 
-// finishQuery tears a query down (cancellation, expiry or completion).
-func (f *Factory) finishQuery(queryID string) {
+// finishQuery tears a query down; kind records why (expiry/exhaustion →
+// EventExpired, everything else → EventCancelled) in the lifecycle ring.
+func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	f.mu.Lock()
 	aq, ok := f.queries[queryID]
 	if !ok {
@@ -330,13 +374,22 @@ func (f *Factory) finishQuery(queryID string) {
 			fac.Cancel(queryID)
 		}
 	}
+	f.instr.active.Add(-1)
+	switch kind {
+	case metrics.EventExpired:
+		f.instr.expired.Inc()
+	default:
+		kind = metrics.EventCancelled
+		f.instr.cancelled.Inc()
+	}
+	f.instr.event(f.clock.Now(), queryID, kind, aq.mech.String(), "")
 }
 
 // onExpire handles facade notifications that a provider's merged query
 // lifetime elapsed.
 func (f *Factory) onExpire(queryIDs []string) {
 	for _, id := range queryIDs {
-		f.finishQuery(id)
+		f.finishQuery(id, metrics.EventExpired)
 	}
 }
 
@@ -368,14 +421,24 @@ func (f *Factory) deliver(queryID string, it cxt.Item) {
 	}
 	aq.delivered++
 	client := aq.client
+	first := aq.delivered == 1
+	mech := aq.mech
+	submitted := aq.submitted
 	exhausted := aq.q.Duration.IsSamples() && aq.delivered >= aq.q.Duration.Samples
 	f.mu.Unlock()
+
+	now := f.clock.Now()
+	f.instr.delivered.Inc()
+	f.instr.event(now, queryID, metrics.EventDelivered, mech.String(), string(it.Type))
+	if first {
+		f.instr.observeFirstItem(mech, now.Sub(submitted))
+	}
 
 	f.dev.Repo.Store(it)
 	f.dev.Monitor.SetMemory(f.dev.Repo.MemoryBytes(), 9<<20)
 	client.ReceiveCxtItem(it)
 	if exhausted {
-		f.finishQuery(queryID)
+		f.finishQuery(queryID, metrics.EventExpired)
 	}
 }
 
@@ -634,10 +697,13 @@ func (f *Factory) switchQuery(queryID, reason string) {
 		aq.client.InformError(fmt.Sprintf("contory: switching %s to %s: %v", queryID, to, err))
 		// Try to re-submit on the old mechanism so the query is not lost.
 		if err := f.facades[from].Submit(queryID, aq.q, mergeOn); err != nil {
-			f.finishQuery(queryID)
+			f.finishQuery(queryID, metrics.EventCancelled)
 		}
 		return
 	}
+	f.instr.switched.Inc()
+	f.instr.event(f.clock.Now(), queryID, metrics.EventSwitched, to.String(),
+		"from "+from.String()+": "+reason)
 	f.mu.Lock()
 	aq.mech = to
 	f.switches = append(f.switches, SwitchEvent{
@@ -729,7 +795,7 @@ func (f *Factory) enforceReducePower(ruleName string) {
 			continue
 		}
 		aq.client.InformError("contory: query " + aq.id + " terminated by reducePower policy")
-		f.finishQuery(aq.id)
+		f.finishQuery(aq.id, metrics.EventCancelled)
 	}
 }
 
@@ -748,7 +814,7 @@ func (f *Factory) enforceReduceLoad(ruleName string) {
 		return
 	}
 	newest.client.InformError("contory: query " + newest.id + " terminated by reduceLoad policy")
-	f.finishQuery(newest.id)
+	f.finishQuery(newest.id, metrics.EventCancelled)
 }
 
 // PublishCxtItem makes a context item accessible to external entities in
@@ -759,7 +825,7 @@ func (f *Factory) PublishCxtItem(client Client, item cxt.Item, opts provider.Pub
 	registered := f.publishers[client]
 	f.mu.Unlock()
 	if !registered {
-		return ErrNotRegistered
+		return fmt.Errorf("core: publish item: %w", ErrNotRegistered)
 	}
 	if item.Timestamp.IsZero() {
 		item.Timestamp = f.clock.Now()
@@ -787,7 +853,7 @@ func (f *Factory) StoreCxtItem(item cxt.Item) {
 // publish context items.
 func (f *Factory) RegisterCxtServer(client Client) error {
 	if client == nil {
-		return ErrNilClient
+		return fmt.Errorf("core: register server: %w", ErrNilClient)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -811,7 +877,7 @@ func (f *Factory) Close() {
 	}
 	f.mu.Unlock()
 	for _, id := range ids {
-		f.finishQuery(id)
+		f.finishQuery(id, metrics.EventCancelled)
 	}
 	for _, fac := range f.facades {
 		fac.StopAll()

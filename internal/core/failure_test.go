@@ -47,7 +47,7 @@ func TestInfraFailureFailsOverAutoQuery(t *testing.T) {
 	b.store = append(b.store, cxt.Item{Type: cxt.TypeNoise, Value: 40.0, Timestamp: b.clk.Now()})
 	cli := &testClient{}
 	q := query.MustParse("SELECT noise FROM extInfra DURATION 20 min EVERY 1 min")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestInfraFailureFailsOverAutoQuery(t *testing.T) {
 	// Explicit FROM extInfra: no failover (single-entry preferences).
 	b.nw.FailLink("phone", "infra", radio.MediumUMTS)
 	b.clk.Advance(3 * time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismInfra {
+	if mech, _ := sub.Mechanism(); mech != MechanismInfra {
 		t.Fatalf("explicit extInfra query moved to %v", mech)
 	}
 }
@@ -72,11 +72,11 @@ func TestAutoQueryInfraToAdHocFailover(t *testing.T) {
 	b.store = append(b.store, cxt.Item{Type: cxt.TypeTemperature, Value: 15.0, Timestamp: b.clk.Now()})
 	cli := &testClient{}
 	q := query.MustParse("SELECT temperature DURATION 30 min EVERY 30 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismAdHoc {
+	if mech, _ := sub.Mechanism(); mech != MechanismAdHoc {
 		t.Fatalf("initial mechanism = %v", mech)
 	}
 	b.clk.Advance(2 * time.Minute)
@@ -89,7 +89,7 @@ func TestAutoQueryInfraToAdHocFailover(t *testing.T) {
 	// the factory reassigns the query to the infrastructure.
 	b.nw.FailLink("phone", "peer", radio.MediumWiFi)
 	b.clk.Advance(3 * time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismInfra {
+	if mech, _ := sub.Mechanism(); mech != MechanismInfra {
 		t.Fatalf("mechanism after WiFi death = %v, want extInfra", mech)
 	}
 	// Keep the infra store fresh so deliveries continue.
@@ -109,7 +109,7 @@ func TestAutoQueryInfraToAdHocFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.clk.Advance(2 * time.Minute)
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismAdHoc {
+	if mech, _ := sub.Mechanism(); mech != MechanismAdHoc {
 		t.Fatalf("mechanism after WiFi recovery = %v, want adHocNetwork", mech)
 	}
 	if len(b.factory.Switches()) < 2 {
@@ -139,7 +139,7 @@ func TestGPSFlappingStaysConsistent(t *testing.T) {
 	}, 0)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location DURATION 1 hour EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestGPSFlappingStaysConsistent(t *testing.T) {
 		b.gpsDev.SetFailed(false)
 		b.clk.Advance(2 * time.Minute)
 	}
-	mech, err := b.factory.QueryMechanism(id)
+	mech, err := sub.Mechanism()
 	if err != nil {
 		t.Fatalf("query lost during flapping: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestGPSFlappingStaysConsistent(t *testing.T) {
 	assigned := 0
 	for _, m := range []Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra} {
 		for _, qid := range b.factory.Facade(m).Queries() {
-			if qid == id {
+			if qid == sub.ID() {
 				assigned++
 			}
 		}
@@ -220,7 +220,7 @@ func TestRegionQueryServedByAdHoc(t *testing.T) {
 	}, 0)
 	cli := &testClient{}
 	q := query.MustParse("SELECT temperature FROM region(100,100,200) DURATION 2 min")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestRegionQueryServedByAdHoc(t *testing.T) {
 	if cli.items[0].Source.Kind != cxt.SourceAdHocNode {
 		t.Fatalf("source = %+v, want ad hoc", cli.items[0].Source)
 	}
-	_ = id
+	_ = sub
 }
 
 // TestEntityQueryServedByAdHoc: FROM entity(peer) routes straight to the

@@ -50,11 +50,11 @@ func TestDerivedActivityProvisioning(t *testing.T) {
 	// Consumer: a plain context query for the derived activity.
 	consumer := &testClient{}
 	actQ := query.MustParse("SELECT activity FROM intSensor DURATION 10 min EVERY 10 sec")
-	id, err := b.factory.ProcessCxtQuery(actQ, consumer)
+	sub, err := b.factory.ProcessCxtQuery(actQ, consumer)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mech, _ := b.factory.QueryMechanism(id); mech != MechanismLocal {
+	if mech, _ := sub.Mechanism(); mech != MechanismLocal {
 		t.Fatalf("activity served via %v", mech)
 	}
 	b.clk.Advance(time.Minute)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"time"
+
+	"contory/internal/metrics"
+)
+
+// instruments caches the Factory's hot-path metric handles so submitting,
+// delivering and switching never pay a registry map lookup.
+type instruments struct {
+	reg *metrics.Registry
+	// owner prefixes lifecycle-event query ids ("boat-1/q-3"): factories
+	// number queries locally, so a shared world registry needs the device
+	// id to keep event streams unambiguous.
+	owner string
+
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+	delivered *metrics.Counter
+	switched  *metrics.Counter
+	expired   *metrics.Counter
+	cancelled *metrics.Counter
+	active    *metrics.Gauge
+
+	assigned   map[Mechanism]*metrics.Counter
+	firstLatMs map[Mechanism]*metrics.Histogram
+}
+
+// allMechanisms is the fixed instrumentation domain.
+var allMechanisms = []Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra}
+
+func newInstruments(reg *metrics.Registry, owner string) *instruments {
+	in := &instruments{
+		reg:        reg,
+		owner:      owner,
+		submitted:  reg.Counter("core.query.submitted"),
+		rejected:   reg.Counter("core.query.rejected"),
+		delivered:  reg.Counter("core.query.items_delivered"),
+		switched:   reg.Counter("core.query.switched"),
+		expired:    reg.Counter("core.query.expired"),
+		cancelled:  reg.Counter("core.query.cancelled"),
+		active:     reg.Gauge("core.query.active"),
+		assigned:   make(map[Mechanism]*metrics.Counter, len(allMechanisms)),
+		firstLatMs: make(map[Mechanism]*metrics.Histogram, len(allMechanisms)),
+	}
+	for _, m := range allMechanisms {
+		in.assigned[m] = reg.Counter("core.query.assigned." + m.String())
+		in.firstLatMs[m] = reg.Histogram(
+			"core.query.first_item_latency_ms."+m.String(), metrics.DefaultLatencyBucketsMs)
+	}
+	return in
+}
+
+// event stamps one lifecycle transition into the registry's bounded ring.
+func (in *instruments) event(at time.Time, queryID string, kind metrics.EventKind, mech, detail string) {
+	if in.owner != "" {
+		queryID = in.owner + "/" + queryID
+	}
+	in.reg.Record(metrics.Event{
+		At: at, Query: queryID, Kind: kind, Mechanism: mech, Detail: detail,
+	})
+}
+
+// observeFirstItem records the submission→first-delivery latency for the
+// serving mechanism (the per-mechanism query latency of Table 1).
+func (in *instruments) observeFirstItem(mech Mechanism, lat time.Duration) {
+	if h := in.firstLatMs[mech]; h != nil {
+		h.Observe(float64(lat) / float64(time.Millisecond))
+	}
+}

@@ -27,11 +27,11 @@ func TestMultiMechanismQuery(t *testing.T) {
 
 	cli := &testClient{}
 	q := query.MustParse("SELECT temperature DURATION 5 min EVERY 20 sec")
-	id, err := b.factory.ProcessCxtQueryMulti(q, cli, MechanismLocal, MechanismAdHoc)
+	sub, err := b.factory.ProcessCxtQueryMulti(q, cli, MechanismLocal, MechanismAdHoc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mechs, err := b.factory.QueryMechanisms(id)
+	mechs, err := sub.Mechanisms()
 	if err != nil || len(mechs) != 2 {
 		t.Fatalf("mechanisms = %v, %v", mechs, err)
 	}
@@ -50,7 +50,7 @@ func TestMultiMechanismQuery(t *testing.T) {
 		t.Fatalf("local=%v adhoc=%v items=%d", sawLocal, sawAdHoc, len(cli.items))
 	}
 	// Cancellation tears providers down on every facade.
-	b.factory.CancelCxtQuery(id)
+	sub.Cancel()
 	n := len(cli.items)
 	b.clk.Advance(time.Minute)
 	if len(cli.items) != n {
@@ -68,11 +68,11 @@ func TestMultiMechanismDefaultsToAllSupported(t *testing.T) {
 	b.store = append(b.store, cxt.Item{Type: cxt.TypeTemperature, Value: 19.0, Timestamp: b.clk.Now()})
 	cli := &testClient{}
 	q := query.MustParse("SELECT temperature DURATION 5 min EVERY 30 sec")
-	id, err := b.factory.ProcessCxtQueryMulti(q, cli)
+	sub, err := b.factory.ProcessCxtQueryMulti(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mechs, err := b.factory.QueryMechanisms(id)
+	mechs, err := sub.Mechanisms()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestMultiMechanismNoFailover(t *testing.T) {
 	}, 0)
 	cli := &testClient{}
 	q := query.MustParse("SELECT location DURATION 20 min EVERY 5 sec")
-	id, err := b.factory.ProcessCxtQueryMulti(q, cli, MechanismLocal, MechanismAdHoc)
+	sub, err := b.factory.ProcessCxtQueryMulti(q, cli, MechanismLocal, MechanismAdHoc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestMultiMechanismNoFailover(t *testing.T) {
 		t.Fatalf("switches = %v", b.factory.Switches())
 	}
 	// Ad hoc keeps delivering through the outage.
-	mechs, _ := b.factory.QueryMechanisms(id)
+	mechs, _ := sub.Mechanisms()
 	if len(mechs) != 2 {
 		t.Fatalf("mechs = %v", mechs)
 	}
@@ -144,7 +144,7 @@ func TestBatteryAccountingDrivesPolicies(t *testing.T) {
 	b.store = append(b.store, cxt.Item{Type: cxt.TypeWeather, Value: "x", Timestamp: b.clk.Now()})
 	cli := &testClient{}
 	q := query.MustParse("SELECT weather FROM extInfra DURATION 2 hour EVERY 30 sec")
-	id, err := b.factory.ProcessCxtQuery(q, cli)
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestBatteryAccountingDrivesPolicies(t *testing.T) {
 		t.Fatalf("battery level = %v, want low", b.dev.Monitor.BatteryLevel())
 	}
 	// The reducePower policy terminated the UMTS-only query.
-	if _, err := b.factory.QueryMechanism(id); !errors.Is(err, ErrUnknownQuery) {
+	if _, err := sub.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
 		t.Fatal("high-energy query survived battery-driven reducePower")
 	}
 	if len(cli.errs) == 0 {
@@ -225,13 +225,13 @@ func TestFactorySmallAccessors(t *testing.T) {
 		t.Fatal("Device accessor broken")
 	}
 	cli := &testClient{}
-	id, err := b.factory.ProcessCxtQuery(
+	sub, err := b.factory.ProcessCxtQuery(
 		query.MustParse("SELECT location FROM intSensor DURATION 5 min EVERY 5 sec"), cli)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b.clk.Advance(30 * time.Second)
-	if got := b.factory.Delivered(id); got == 0 || got != len(cli.items) {
+	if got := sub.Delivered(); got == 0 || got != len(cli.items) {
 		t.Fatalf("Delivered = %d, items = %d", got, len(cli.items))
 	}
 	if got := b.factory.Delivered("q-404"); got != 0 {

@@ -1,0 +1,40 @@
+package core
+
+import "contory/internal/metrics"
+
+// Option configures a Factory at construction time. Options replace the
+// old mutate-after-construction setters: behaviour toggles are fixed when
+// the factory is wired, so a factory's configuration is visible at the
+// construction site and safe to read on hot paths.
+type Option func(*Factory)
+
+// WithMerging enables or disables query aggregation (§4.3). Merging is on
+// by default; ablation harnesses switch it off to measure the provider
+// population without aggregation.
+func WithMerging(on bool) Option {
+	return func(f *Factory) { f.mergeEnabled = on }
+}
+
+// WithFailover enables or disables dynamic strategy switching (Fig. 5).
+// Failover is on by default.
+func WithFailover(on bool) Option {
+	return func(f *Factory) { f.failoverEnabled = on }
+}
+
+// WithPreferBTOneHop makes one-hop ad hoc queries prefer Bluetooth over
+// WiFi from the start (the reducePower policy enforces the same preference
+// at runtime when battery runs low).
+func WithPreferBTOneHop(on bool) Option {
+	return func(f *Factory) { f.preferBTOneHop = on }
+}
+
+// WithMetrics shares a metrics registry with the factory instead of the
+// private one it creates by default. A World passes its own registry so
+// every phone's middleware reports into one snapshot.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(f *Factory) {
+		if reg != nil {
+			f.metrics = reg
+		}
+	}
+}

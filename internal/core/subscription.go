@@ -1,0 +1,42 @@
+package core
+
+// Subscription is the typed handle to one submitted context query. It
+// replaces the bare string ids the old API forced callers to thread back
+// into QueryMechanism/CancelCxtQuery/Delivered: the handle carries its
+// factory, so applications hold one value and call methods on it.
+type Subscription struct {
+	f  *Factory
+	id string
+}
+
+// ID returns the middleware-assigned query id (also usable with the
+// string-keyed Factory methods).
+func (s *Subscription) ID() string { return s.id }
+
+// Mechanism reports the provisioning mechanism currently serving the
+// query; it errs once the query has finished or been cancelled.
+func (s *Subscription) Mechanism() (Mechanism, error) {
+	return s.f.QueryMechanism(s.id)
+}
+
+// Mechanisms reports every mechanism currently serving the query (more
+// than one for multi-mechanism submissions).
+func (s *Subscription) Mechanisms() ([]Mechanism, error) {
+	return s.f.QueryMechanisms(s.id)
+}
+
+// Delivered reports how many items the query has received so far.
+func (s *Subscription) Delivered() int {
+	return s.f.Delivered(s.id)
+}
+
+// Active reports whether the query is still running.
+func (s *Subscription) Active() bool {
+	_, err := s.f.QueryMechanism(s.id)
+	return err == nil
+}
+
+// Cancel erases the query; idempotent.
+func (s *Subscription) Cancel() {
+	s.f.CancelCxtQuery(s.id)
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"contory/internal/metrics"
 	"contory/internal/vclock"
 )
 
@@ -74,6 +75,9 @@ type Timeline struct {
 	windows   []window
 	compacted time.Time
 	folded    Joules // energy of history dropped by Compact
+
+	metrics      *metrics.Registry
+	joulesGauges map[string]*metrics.Gauge // window label → accumulated gauge
 }
 
 // NewTimeline returns an empty Timeline bound to the given clock.
@@ -82,6 +86,31 @@ func NewTimeline(clock vclock.Clock) *Timeline {
 		clock:  clock,
 		states: make(map[string][]changePoint),
 	}
+}
+
+// SetMetrics attaches a metrics registry: from now on every transient power
+// window (BT inquiry, WiFi transfer, UMTS connection, GPS sample, …)
+// accumulates its exact energy into an "energy.joules.<label>" gauge, the
+// per-operation energy accounting of the paper's Table 2.
+func (tl *Timeline) SetMetrics(reg *metrics.Registry) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.metrics = reg
+	tl.joulesGauges = make(map[string]*metrics.Gauge)
+}
+
+// accountWindowLocked adds a window's exact energy (piecewise-constant
+// power × duration) to its label's gauge. Callers hold tl.mu.
+func (tl *Timeline) accountWindowLocked(label string, mw Milliwatts, d time.Duration) {
+	if tl.metrics == nil {
+		return
+	}
+	g := tl.joulesGauges[label]
+	if g == nil {
+		g = tl.metrics.Gauge("energy.joules." + label)
+		tl.joulesGauges[label] = g
+	}
+	g.Add(float64(mw) / 1000.0 * d.Seconds())
 }
 
 // SetState sets the named continuous power state to mw starting now. Setting
@@ -129,6 +158,7 @@ func (tl *Timeline) AddWindow(label string, mw Milliwatts, d time.Duration) {
 		mw:    mw,
 		label: label,
 	})
+	tl.accountWindowLocked(label, mw, d)
 }
 
 // AddWindowAt is AddWindow with an explicit start time; used by radio models
@@ -146,6 +176,7 @@ func (tl *Timeline) AddWindowAt(label string, mw Milliwatts, start time.Time, d 
 		mw:    mw,
 		label: label,
 	})
+	tl.accountWindowLocked(label, mw, d)
 }
 
 // PowerAt returns the total power draw at time t.

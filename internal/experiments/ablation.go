@@ -104,11 +104,10 @@ func Ablation(seed int64) (AblationResult, error) {
 	res.MergeQueries = 4
 
 	for _, mergeOn := range []bool{true, false} {
-		tb, err := NewTestbed(seed)
+		tb, err := NewTestbed(seed, core.WithMerging(mergeOn))
 		if err != nil {
 			return res, err
 		}
-		tb.Factory.SetMergeEnabled(mergeOn)
 		tb.Peer.WiFi.PublishTag("temperature", cxt.Item{
 			Type: cxt.TypeTemperature, Value: 15.0, Timestamp: tb.Clock.Now(), Lifetime: time.Hour,
 		}, 0)
@@ -134,11 +133,10 @@ func Ablation(seed int64) (AblationResult, error) {
 	}
 
 	for _, failoverOn := range []bool{true, false} {
-		tb, err := NewTestbed(seed + 50)
+		tb, err := NewTestbed(seed+50, core.WithFailover(failoverOn))
 		if err != nil {
 			return res, err
 		}
-		tb.Factory.SetFailoverEnabled(failoverOn)
 		tb.Peer.WiFi.PublishTag("location", cxt.Item{
 			Type: cxt.TypeLocation, Value: cxt.Fix{Lat: 60.17, Lon: 24.94},
 			Timestamp: tb.Clock.Now(), Lifetime: time.Hour,

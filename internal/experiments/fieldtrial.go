@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"contory/internal/core"
 	"contory/internal/cxt"
 	"contory/internal/query"
 	"contory/internal/trace"
@@ -61,11 +62,10 @@ func FieldTrial(hours int, seed int64) (FieldTrialResult, error) {
 
 	// Location continuity with and without strategy switching.
 	for _, switching := range []bool{true, false} {
-		tb, err := NewTestbed(seed)
+		tb, err := NewTestbed(seed, core.WithFailover(switching))
 		if err != nil {
 			return res, err
 		}
-		tb.Factory.SetFailoverEnabled(switching)
 		// The buddy boat's position is available in the ad hoc network.
 		tb.Peer.WiFi.PublishTag("location", cxt.Item{
 			Type: cxt.TypeLocation, Value: cxt.Fix{Lat: 60.17, Lon: 24.94},

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/metrics"
+	"contory/internal/query"
+)
+
+// MetricsRun exercises all three provisioning mechanisms on one testbed —
+// a local GPS query, an ad hoc temperature query, an infrastructure weather
+// query plus one injected GPS outage — and returns the middleware-wide
+// metrics snapshot. contory-bench -stats dumps it, and the JSON form is
+// what BENCH_*.json files diff across PRs.
+func MetricsRun(seed int64) (metrics.Snapshot, error) {
+	tb, err := NewTestbed(seed)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	clk := tb.Clock
+
+	// Context the peers offer: an ad hoc temperature tag and a remote
+	// weather item.
+	tb.Peer.WiFi.PublishTag("temperature", cxt.Item{
+		Type: cxt.TypeTemperature, Value: 15.0, Timestamp: clk.Now(), Lifetime: time.Hour,
+	}, 0)
+	if _, err := tb.Peer.UMTS.Publish("weather", cxt.Item{
+		Type: cxt.TypeWeather, Value: "sunny", Timestamp: clk.Now(),
+	}); err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("experiments: seed weather: %w", err)
+	}
+	clk.Advance(time.Minute)
+
+	tb.Phone.UMTS.SetGSMRadio(true)
+	for _, text := range []string{
+		"SELECT location DURATION 10 min EVERY 15 sec",
+		"SELECT temperature FROM adHocNetwork(all,1) DURATION 10 min EVERY 30 sec",
+		"SELECT weather FROM extInfra DURATION 2 min",
+	} {
+		q := query.MustParse(text)
+		if _, err := tb.Factory.ProcessCxtQuery(q, &collectClient{}); err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("experiments: metrics run: %w", err)
+		}
+	}
+	clk.Advance(3 * time.Minute)
+	// One GPS outage so the snapshot includes switch events.
+	tb.GPS.SetFailed(true)
+	clk.Advance(3 * time.Minute)
+	tb.GPS.SetFailed(false)
+	clk.Advance(5 * time.Minute)
+	tb.Phone.UMTS.SetGSMRadio(false)
+
+	return tb.Metrics.Snapshot(), nil
+}

@@ -23,6 +23,7 @@ import (
 	"contory/internal/cxt"
 	"contory/internal/gps"
 	"contory/internal/infra"
+	"contory/internal/metrics"
 	"contory/internal/radio"
 	"contory/internal/simnet"
 	"contory/internal/sm"
@@ -45,13 +46,20 @@ type Testbed struct {
 	Far   *core.Device // two WiFi hops away
 
 	Factory *core.Factory
+
+	// Metrics collects middleware-wide instrumentation for the whole
+	// testbed (network, energy timelines and the phone's factory).
+	Metrics *metrics.Registry
 }
 
 // NewTestbed builds the standard testbed with a deterministic seed.
-func NewTestbed(seed int64) (*Testbed, error) {
+// Options are forwarded to the phone's factory (ablation harnesses pass
+// WithMerging/WithFailover here).
+func NewTestbed(seed int64, opts ...core.Option) (*Testbed, error) {
 	clk := vclock.NewSimulator()
 	nw := simnet.New(clk)
-	tb := &Testbed{Clock: clk, Net: nw}
+	tb := &Testbed{Clock: clk, Net: nw, Metrics: metrics.NewRegistry()}
+	nw.SetMetrics(tb.Metrics)
 
 	var err error
 	tb.Infra, err = infra.New(infra.Config{Network: nw, NodeID: "infra", UMTS: radio.NewUMTS(seed + 90)})
@@ -99,7 +107,7 @@ func NewTestbed(seed int64) (*Testbed, error) {
 			return nil, fmt.Errorf("experiments: link: %w", err)
 		}
 	}
-	tb.Factory = core.NewFactory(tb.Phone)
+	tb.Factory = core.NewFactory(tb.Phone, append([]core.Option{core.WithMetrics(tb.Metrics)}, opts...)...)
 	return tb, nil
 }
 

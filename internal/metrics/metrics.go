@@ -1,0 +1,351 @@
+// Package metrics is Contory's instrumentation substrate: a dependency-free
+// registry of named atomic counters, float gauges and fixed-bucket
+// histograms, plus a bounded ring of query-lifecycle events.
+//
+// The paper's whole evaluation (§6, Tables 1–2, Figs. 4–5) is about
+// measuring the middleware — latency per provisioning mechanism, energy per
+// operation, failover timelines. This package makes those measurements a
+// first-class middleware service instead of ad-hoc test assertions: hot
+// paths across core, provider, refs, simnet and energy record into a shared
+// Registry, and Snapshot renders the whole state deterministically (sorted
+// names, exact float formatting), so two identically-seeded virtual-clock
+// runs produce byte-identical output that future PRs can diff.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Ring or *Registry are no-ops, so instrumented code never
+// branches on "is metrics enabled".
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value (e.g. active providers, accumulated
+// joules per operation class). It supports both Set and Add.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d (atomic compare-and-swap loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted in the
+// first bucket whose upper bound is >= the value, with an implicit +Inf
+// overflow bucket. Bounds are fixed at creation so snapshots from different
+// runs line up bucket for bucket.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds (excl. +Inf)
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// DefaultLatencyBucketsMs covers the paper's measured range: sub-millisecond
+// SM tag reads through 13-second BT inquiries and minute-scale failovers.
+var DefaultLatencyBucketsMs = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 30000, 60000,
+}
+
+// newHistogram copies and sorts the bounds, dropping duplicates.
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i > 0 && b == bs[i-1] {
+			continue
+		}
+		dedup = append(dedup, b)
+	}
+	return &Histogram{
+		bounds: dedup,
+		counts: make([]int64, len(dedup)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry holds named instruments and the query-lifecycle event ring. A
+// name identifies exactly one instrument of one kind; asking for an
+// existing name returns the same instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	ring     *Ring
+}
+
+// DefaultRingCapacity bounds the lifecycle event ring of a new registry.
+const DefaultRingCapacity = 1024
+
+// NewRegistry returns an empty registry with a DefaultRingCapacity event
+// ring.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		ring:     NewRing(DefaultRingCapacity),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls ignore bounds). Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Events returns the registry's lifecycle event ring. Nil-safe.
+func (r *Registry) Events() *Ring {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// Record appends a lifecycle event to the ring. Nil-safe.
+func (r *Registry) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.ring.Record(ev)
+}
+
+// EventKind is a stage in a query's lifecycle.
+type EventKind string
+
+// Query lifecycle stages (submitted → assigned → delivered* → switched* →
+// expired/cancelled).
+const (
+	EventSubmitted EventKind = "submitted"
+	EventAssigned  EventKind = "assigned"
+	EventDelivered EventKind = "delivered"
+	EventSwitched  EventKind = "switched"
+	EventExpired   EventKind = "expired"
+	EventCancelled EventKind = "cancelled"
+)
+
+// Event is one stamped query-lifecycle transition. At is virtual-clock
+// time, so identically-seeded runs produce identical events.
+type Event struct {
+	At        time.Time `json:"at"`
+	Query     string    `json:"query"`
+	Kind      EventKind `json:"kind"`
+	Mechanism string    `json:"mechanism,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// Ring is a bounded buffer of lifecycle events: when full, recording evicts
+// the oldest event. Total keeps counting past evictions.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int
+	n     int
+	total uint64
+}
+
+// NewRing returns a ring holding at most capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full. Nil-safe.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Events returns the retained events, oldest first. Nil-safe.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Capacity returns the ring's bound.
+func (r *Ring) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

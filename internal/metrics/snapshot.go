@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Bucket is one histogram bucket with a cumulative count of observations at
+// or below its upper bound. Le is the rendered bound ("+Inf" for the
+// overflow bucket) so the snapshot stays JSON-encodable.
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramPoint is one histogram in a snapshot.
+type HistogramPoint struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry: instruments sorted by
+// name, the retained lifecycle events oldest first, and ring accounting.
+// Under the virtual clock a snapshot is fully deterministic: two
+// identically-seeded runs render byte-identical text and JSON.
+type Snapshot struct {
+	Counters    []CounterPoint   `json:"counters"`
+	Gauges      []GaugePoint     `json:"gauges"`
+	Histograms  []HistogramPoint `json:"histograms"`
+	Events      []Event          `json:"events"`
+	EventsTotal uint64           `json:"events_total"`
+	EventsCap   int              `json:"events_capacity"`
+}
+
+// Snapshot captures the registry's current state. Nil-safe: a nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, snapHistogram(name, h))
+	}
+	r.mu.Unlock()
+
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+
+	s.Events = r.ring.Events()
+	s.EventsTotal = r.ring.Total()
+	s.EventsCap = r.ring.Capacity()
+	return s
+}
+
+func snapHistogram(name string, h *Histogram) HistogramPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := HistogramPoint{
+		Name:  name,
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		p.Buckets = append(p.Buckets, Bucket{Le: formatFloat(b), Count: cum})
+	}
+	cum += h.counts[len(h.bounds)]
+	p.Buckets = append(p.Buckets, Bucket{Le: "+Inf", Count: cum})
+	return p
+}
+
+// formatFloat renders floats with the shortest exact representation, so the
+// exposition is byte-stable across runs.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText writes the snapshot in the text exposition format:
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	histogram <name> count=<n> sum=<s> min=<m> max=<M>
+//	histogram <name> le=<bound> <cumulative-count>
+//	events total=<n> retained=<n> capacity=<n>
+//	event <RFC3339> <kind> query=<id> [mech=<m>] [detail=<d>]
+//
+// Lines are sorted by instrument name; events are chronological.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge %s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%s min=%s max=%s\n",
+			h.Name, h.Count, formatFloat(h.Sum), formatFloat(h.Min), formatFloat(h.Max))
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "histogram %s le=%s %d\n", h.Name, bk.Le, bk.Count)
+		}
+	}
+	fmt.Fprintf(&b, "events total=%d retained=%d capacity=%d\n",
+		s.EventsTotal, len(s.Events), s.EventsCap)
+	for _, ev := range s.Events {
+		fmt.Fprintf(&b, "event %s %s query=%s", ev.At.UTC().Format("2006-01-02T15:04:05.000000000Z"), ev.Kind, ev.Query)
+		if ev.Mechanism != "" {
+			fmt.Fprintf(&b, " mech=%s", ev.Mechanism)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, " detail=%q", ev.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text exposition format.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}
+
+// MarshalJSONIndent renders the snapshot as deterministic indented JSON
+// (the BENCH_*.json format future PRs diff perf trajectories with).
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

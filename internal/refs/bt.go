@@ -10,6 +10,7 @@ import (
 	"contory/internal/cxt"
 	"contory/internal/energy"
 	"contory/internal/gps"
+	"contory/internal/metrics"
 	"contory/internal/monitor"
 	"contory/internal/radio"
 	"contory/internal/simnet"
@@ -54,6 +55,12 @@ type BTReference struct {
 	pending  map[string]func(any, error) // request id → callback
 	nextID   int
 	gpsWatch map[simnet.NodeID]*gpsWatch
+
+	mInquiries  *metrics.Counter
+	mSDPQueries *metrics.Counter
+	mGets       *metrics.Counter
+	mRegisters  *metrics.Counter
+	mGPSFixes   *metrics.Counter
 }
 
 type gpsWatch struct {
@@ -89,6 +96,19 @@ func NewBTReference(nw *simnet.Network, id simnet.NodeID, bt *radio.BT, mon *mon
 	return r, nil
 }
 
+// SetMetrics attaches a registry counting the reference's BT operations:
+// device inquiries, SDP service discoveries, one-hop gets, service
+// registrations and GPS fixes received.
+func (r *BTReference) SetMetrics(reg *metrics.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mInquiries = reg.Counter("refs.bt.inquiries")
+	r.mSDPQueries = reg.Counter("refs.bt.service_discoveries")
+	r.mGets = reg.Counter("refs.bt.gets")
+	r.mRegisters = reg.Counter("refs.bt.service_registrations")
+	r.mGPSFixes = reg.Counter("refs.bt.gps_fixes")
+}
+
 // Close releases the BT reference's continuous power state and watchdogs.
 func (r *BTReference) Close() {
 	r.node.Timeline().SetState("bt-scan", 0)
@@ -105,6 +125,7 @@ func (r *BTReference) Close() {
 // Discover runs a BT inquiry (≈ 13 s) and reports the discoverable BT
 // devices in range.
 func (r *BTReference) Discover(done func([]simnet.NodeID)) {
+	r.mInquiries.Inc()
 	d, ws := r.bt.DeviceDiscovery()
 	applyWindows(r.node, ws, r.clock.Now())
 	r.clock.After(d, func() {
@@ -119,6 +140,7 @@ func (r *BTReference) Discover(done func([]simnet.NodeID)) {
 // DataElement encapsulation plus ServiceRecord registration, ≈ 140 ms).
 // done fires when the registration completes.
 func (r *BTReference) RegisterService(rec ServiceRecord, done func()) time.Duration {
+	r.mRegisters.Inc()
 	d, ws := r.bt.Publish(rec.Item.WireSize())
 	applyWindows(r.node, ws, r.clock.Now())
 	r.clock.After(d, func() {
@@ -154,6 +176,7 @@ func (r *BTReference) Services() []string {
 // DiscoverServices performs SDP service discovery against a remote device
 // (≈ 1.12 s), reporting the remote SDDB's service names.
 func (r *BTReference) DiscoverServices(dev simnet.NodeID, done func([]string, error)) {
+	r.mSDPQueries.Inc()
 	d, ws := r.bt.ServiceDiscovery()
 	applyWindows(r.node, ws, r.clock.Now())
 	id := r.newRequest(func(v any, err error) {
@@ -184,6 +207,7 @@ func (r *BTReference) DiscoverServices(dev simnet.NodeID, done func([]string, er
 // Get retrieves the value of a named context service from a discovered
 // device: the one-hop BT data exchange of Table 1 (≈ 31.8 ms, 0.099 J).
 func (r *BTReference) Get(dev simnet.NodeID, service string, done func(cxt.Item, error)) {
+	r.mGets.Inc()
 	d, ws := r.bt.Get(radio.ItemBytesMax)
 	applyWindows(r.node, ws, r.clock.Now())
 	id := r.newRequest(func(v any, err error) {
@@ -410,6 +434,7 @@ func (r *BTReference) onNMEA(m simnet.Message) {
 		r.mon.ReportRecovery(string(dev))
 	}
 	// Per-sample energy: 340-byte NMEA burst with BT segmentation.
+	r.mGPSFixes.Inc()
 	_, ws := r.bt.GPSSample()
 	applyWindows(r.node, ws, r.clock.Now())
 	fix, err := gps.ParseBurst(burst)

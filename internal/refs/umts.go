@@ -6,6 +6,7 @@ import (
 
 	"contory/internal/energy"
 	"contory/internal/fuego"
+	"contory/internal/metrics"
 	"contory/internal/monitor"
 	"contory/internal/radio"
 	"contory/internal/simnet"
@@ -34,6 +35,20 @@ type UMTSReference struct {
 	// unless it was set to operate only in 2G mode (§3).
 	twoGOnly  bool
 	switchOff int
+
+	mPublishes  *metrics.Counter
+	mRequests   *metrics.Counter
+	mSubscribes *metrics.Counter
+	mFailures   *metrics.Counter
+}
+
+// SetMetrics attaches a registry counting infrastructure round-trips:
+// event publishes, on-demand requests, channel subscriptions and failures.
+func (r *UMTSReference) SetMetrics(reg *metrics.Registry) {
+	r.mPublishes = reg.Counter("refs.umts.publishes")
+	r.mRequests = reg.Counter("refs.umts.requests")
+	r.mSubscribes = reg.Counter("refs.umts.subscribes")
+	r.mFailures = reg.Counter("refs.umts.failures")
 }
 
 // Set2GOnly pins (true) or unpins (false) the radio to 2G mode.
@@ -139,11 +154,13 @@ func (r *UMTSReference) scheduleIdlePeak() {
 // Publish pushes an event-encapsulated context item or query to the
 // infrastructure; failures are reported to the monitor.
 func (r *UMTSReference) Publish(channel string, payload any) (time.Duration, error) {
+	r.mPublishes.Inc()
 	d, err := r.client.Publish(channel, payload)
 	if err == nil {
 		r.markBusy(d)
 	}
 	if err != nil {
+		r.mFailures.Inc()
 		if r.mon != nil {
 			r.mon.ReportFailure("umts", err.Error())
 		}
@@ -157,7 +174,9 @@ func (r *UMTSReference) Publish(channel string, payload any) (time.Duration, err
 
 // Subscribe registers for infrastructure notifications on a channel.
 func (r *UMTSReference) Subscribe(channel string, h func(fuego.Notification)) error {
+	r.mSubscribes.Inc()
 	if err := r.client.Subscribe(channel, h); err != nil {
+		r.mFailures.Inc()
 		if r.mon != nil {
 			r.mon.ReportFailure("umts", err.Error())
 		}
@@ -173,8 +192,12 @@ func (r *UMTSReference) Unsubscribe(channel string) error {
 
 // Request performs an on-demand infrastructure operation.
 func (r *UMTSReference) Request(op string, payload any, timeout time.Duration, done func(any, error)) {
+	r.mRequests.Inc()
 	r.markBusy(radio.UMTSGetLatency)
 	err := r.client.Request(op, payload, timeout, func(v any, err error) {
+		if err != nil {
+			r.mFailures.Inc()
+		}
 		if err != nil && r.mon != nil {
 			r.mon.ReportFailure("umts", err.Error())
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"contory/internal/metrics"
 	"contory/internal/monitor"
 	"contory/internal/radio"
 	"contory/internal/simnet"
@@ -30,6 +31,11 @@ type WiFiReference struct {
 	mu      sync.Mutex
 	routes  map[routeKey]bool // built routes
 	retries int               // extra attempts per query on timeout
+
+	mFinders     *metrics.Counter
+	mRouteBuilds *metrics.Counter
+	mTagWrites   *metrics.Counter
+	mTimeouts    *metrics.Counter
 }
 
 type routeKey struct {
@@ -56,9 +62,21 @@ func NewWiFiReference(p *sm.Platform, id simnet.NodeID, wifi *radio.WiFi, mon *m
 	}, nil
 }
 
+// SetMetrics attaches a registry counting SM-FINDER launches, route builds,
+// tag writes and finder timeouts.
+func (r *WiFiReference) SetMetrics(reg *metrics.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mFinders = reg.Counter("refs.wifi.finder_queries")
+	r.mRouteBuilds = reg.Counter("refs.wifi.route_builds")
+	r.mTagWrites = reg.Counter("refs.wifi.tag_publishes")
+	r.mTimeouts = reg.Counter("refs.wifi.finder_timeouts")
+}
+
 // PublishTag publishes a context item as an SM tag: a local hashtable write
 // (≈ 0.13 ms, Table 1). It returns the sampled latency.
 func (r *WiFiReference) PublishTag(name string, value any, lifetime time.Duration) time.Duration {
+	r.mTagWrites.Inc()
 	d, _ := r.wifi.Publish(radio.ItemBytesMax)
 	r.rt.Tags().Update(sm.Tag{Name: name, Value: value, Owner: string(r.node.ID()), Lifetime: lifetime})
 	return d
@@ -96,8 +114,12 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 
 	var launch func()
 	launch = func() {
+		r.mFinders.Inc()
 		err := r.platform.LaunchFinder(r.node.ID(), spec, func(rs []sm.Result, err error) {
 			if err != nil {
+				if errors.Is(err, sm.ErrFinderTimeout) {
+					r.mTimeouts.Inc()
+				}
 				attemptsLeft--
 				if attemptsLeft > 0 && errors.Is(err, sm.ErrFinderTimeout) {
 					// Mobility may have changed the topology; rebuild the
@@ -133,6 +155,7 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 	if hops < 1 {
 		hops = 1
 	}
+	r.mRouteBuilds.Inc()
 	d, ws := r.wifi.RouteBuild(radio.QueryBytes, hops)
 	applyWindows(r.node, ws, r.clock.Now())
 	r.clock.After(d, launch)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"contory/internal/energy"
+	"contory/internal/metrics"
 	"contory/internal/radio"
 	"contory/internal/vclock"
 )
@@ -180,6 +181,11 @@ type Network struct {
 	dropped  int
 	delivers int
 
+	metrics *metrics.Registry
+	sent    map[radio.Medium]*metrics.Counter
+	recvd   map[radio.Medium]*metrics.Counter
+	lost    map[radio.Medium]*metrics.Counter
+
 	mobility *vclock.Timer
 }
 
@@ -193,6 +199,27 @@ func New(clock *vclock.Simulator) *Network {
 		ranges: make(map[radio.Medium]float64),
 		loss:   make(map[linkKey]float64),
 		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetMetrics attaches a metrics registry: frames sent, delivered and
+// dropped are counted per medium ("simnet.frames.sent.bt", …), and the
+// power timelines of all present and future nodes feed per-operation
+// energy gauges into the same registry.
+func (nw *Network) SetMetrics(reg *metrics.Registry) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.metrics = reg
+	nw.sent = make(map[radio.Medium]*metrics.Counter)
+	nw.recvd = make(map[radio.Medium]*metrics.Counter)
+	nw.lost = make(map[radio.Medium]*metrics.Counter)
+	for _, m := range []radio.Medium{radio.MediumInternal, radio.MediumBT, radio.MediumWiFi, radio.MediumUMTS} {
+		nw.sent[m] = reg.Counter("simnet.frames.sent." + m.String())
+		nw.recvd[m] = reg.Counter("simnet.frames.delivered." + m.String())
+		nw.lost[m] = reg.Counter("simnet.frames.dropped." + m.String())
+	}
+	for _, n := range nw.nodes {
+		n.timeline.SetMetrics(reg)
 	}
 }
 
@@ -257,6 +284,9 @@ func (nw *Network) AddNode(id NodeID, pos Position) (*Node, error) {
 		handlers: make(map[string]Handler),
 		timeline: energy.NewTimeline(nw.clock),
 		battery:  energy.NewBattery(nw.clock, energy.BatteryConfig{}),
+	}
+	if nw.metrics != nil {
+		n.timeline.SetMetrics(nw.metrics)
 	}
 	nw.nodes[id] = n
 	return n, nil
@@ -458,6 +488,9 @@ func (nw *Network) Send(msg Message, latency time.Duration) error {
 		return fmt.Errorf("%w: %s→%s over %s", ErrNotLinked, msg.From, msg.To, msg.Medium)
 	}
 	msg.SentAt = nw.clock.Now()
+	nw.mu.Lock()
+	nw.sent[msg.Medium].Inc()
+	nw.mu.Unlock()
 	nw.clock.After(latency, func() { nw.deliver(msg) })
 	return nil
 }
@@ -465,29 +498,32 @@ func (nw *Network) Send(msg Message, latency time.Duration) error {
 func (nw *Network) deliver(msg Message) {
 	to := nw.Node(msg.To)
 	if nw.lossDrop(msg.From, msg.To, msg.Medium) {
-		nw.mu.Lock()
-		nw.dropped++
-		nw.mu.Unlock()
+		nw.countDrop(msg.Medium)
 		return
 	}
 	if to == nil || to.Down() || !to.RadioOn(msg.Medium) ||
 		!nw.Linked(msg.From, msg.To, msg.Medium) {
-		nw.mu.Lock()
-		nw.dropped++
-		nw.mu.Unlock()
+		nw.countDrop(msg.Medium)
 		return
 	}
 	h, ok := to.handler(msg.Kind)
 	if !ok {
-		nw.mu.Lock()
-		nw.dropped++
-		nw.mu.Unlock()
+		nw.countDrop(msg.Medium)
 		return
 	}
 	nw.mu.Lock()
 	nw.delivers++
+	nw.recvd[msg.Medium].Inc()
 	nw.mu.Unlock()
 	h(msg)
+}
+
+// countDrop accounts one dropped frame globally and per medium.
+func (nw *Network) countDrop(m radio.Medium) {
+	nw.mu.Lock()
+	nw.dropped++
+	nw.lost[m].Inc()
+	nw.mu.Unlock()
 }
 
 // Stats returns cumulative delivered and dropped message counts.

@@ -1,0 +1,92 @@
+package contory
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricsScenario runs a fixed two-phone workload — a GPS location query
+// surviving an outage plus an ad hoc temperature query — and returns the
+// world registry's text snapshot.
+func metricsScenario(t *testing.T, seed int64) string {
+	t.Helper()
+	w, err := NewWorld(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := w.AddPhone(PhoneConfig{ID: "alice", GPS: &Fix{Lat: 60.1, Lon: 24.9, SpeedKn: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := w.AddPhone(PhoneConfig{ID: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Link("alice", "bob", "wifi"); err != nil {
+		t.Fatal(err)
+	}
+	bob.PublishTag(TypeLocation, Fix{Lat: 60.2, Lon: 24.8})
+	bob.PublishTag(TypeTemperature, 14.0)
+
+	cli := ClientFuncs{}
+	locQ := MustParseQuery("SELECT location DURATION 10 min EVERY 15 sec")
+	if _, err := alice.Factory.ProcessCxtQuery(locQ, cli); err != nil {
+		t.Fatal(err)
+	}
+	tempQ := MustParseQuery("SELECT temperature FROM adHocNetwork(all,1) DURATION 10 min EVERY 30 sec")
+	sub, err := alice.Factory.ProcessCxtQuery(tempQ, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(2 * time.Minute)
+	w.GPSOf("alice").SetFailed(true)
+	w.Run(2 * time.Minute)
+	w.GPSOf("alice").SetFailed(false)
+	w.Run(3 * time.Minute)
+	sub.Cancel()
+	w.Run(time.Minute)
+
+	return w.Metrics().Snapshot().String()
+}
+
+// TestWorldMetricsDeterministic: two worlds built from the same seed run
+// the same workload and must render byte-identical metrics snapshots —
+// counters, gauges, histograms and the vclock-stamped event ring.
+func TestWorldMetricsDeterministic(t *testing.T) {
+	a := metricsScenario(t, 23)
+	b := metricsScenario(t, 23)
+	if a != b {
+		al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := 0; i < len(al) && i < len(bl); i++ {
+			if al[i] != bl[i] {
+				t.Fatalf("snapshots diverge at line %d:\n  run1: %s\n  run2: %s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatalf("snapshot lengths differ: %d vs %d lines", len(al), len(bl))
+	}
+}
+
+// TestWorldMetricsContent: the shared snapshot carries the signals the
+// paper's evaluation cares about — per-mechanism latency histograms, energy
+// gauges, frame counters and the query lifecycle.
+func TestWorldMetricsContent(t *testing.T) {
+	snap := metricsScenario(t, 23)
+	for _, want := range []string{
+		"counter core.query.submitted 2",
+		"histogram core.query.first_item_latency_ms.intSensor",
+		"histogram core.query.first_item_latency_ms.adHocNetwork",
+		"gauge energy.joules.",
+		"counter simnet.frames.sent.",
+		"counter core.query.switched",
+		"submitted query=alice/q-1",
+		"cancelled query=alice/q-2",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+	if !strings.Contains(snap, "switched query=alice/q-1 mech=") {
+		t.Error("GPS outage produced no switch event")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"contory/internal/cxt"
 	"contory/internal/gps"
 	"contory/internal/infra"
+	"contory/internal/metrics"
 	"contory/internal/radio"
 	"contory/internal/simnet"
 	"contory/internal/sm"
@@ -27,6 +28,7 @@ type World struct {
 	nextSeed int64
 	phones   map[string]*Phone
 	gpsDevs  map[string]*gps.Device
+	metrics  *metrics.Registry
 }
 
 // Phone is one Contory-equipped device in the world.
@@ -47,6 +49,8 @@ func NewWorld(seed int64) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("contory: world infra: %w", err)
 	}
+	reg := metrics.NewRegistry()
+	nw.SetMetrics(reg)
 	return &World{
 		clock:    clk,
 		net:      nw,
@@ -56,8 +60,13 @@ func NewWorld(seed int64) (*World, error) {
 		nextSeed: seed + 100,
 		phones:   make(map[string]*Phone),
 		gpsDevs:  make(map[string]*gps.Device),
+		metrics:  reg,
 	}, nil
 }
+
+// Metrics returns the world-wide metrics registry: every phone's middleware
+// instruments into it, so one Snapshot covers the whole testbed.
+func (w *World) Metrics() *MetricsRegistry { return w.metrics }
 
 // Infrastructure returns the world's context infrastructure (for attaching
 // services such as the RegattaClassifier).
@@ -142,7 +151,7 @@ func (w *World) AddPhone(cfg PhoneConfig) (*Phone, error) {
 			return nil, fmt.Errorf("contory: umts link: %w", err)
 		}
 	}
-	p := &Phone{Device: dev, Factory: core.NewFactory(dev), world: w}
+	p := &Phone{Device: dev, Factory: core.NewFactory(dev, core.WithMetrics(w.metrics)), world: w}
 	w.phones[cfg.ID] = p
 	return p, nil
 }

@@ -26,7 +26,7 @@ func TestWorldEndToEndAdHoc(t *testing.T) {
 	var items []Item
 	cli := ClientFuncs{OnItem: func(it Item) { items = append(items, it) }}
 	q := MustParseQuery("SELECT temperature FROM adHocNetwork(all,1) DURATION 5 min EVERY 30 sec")
-	id, err := alice.Factory.ProcessCxtQuery(q, cli)
+	sub, err := alice.Factory.ProcessCxtQuery(q, cli)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestWorldEndToEndAdHoc(t *testing.T) {
 	if items[0].Value != 14.0 || items[0].Type != TypeTemperature {
 		t.Fatalf("item = %+v", items[0])
 	}
-	alice.Factory.CancelCxtQuery(id)
+	sub.Cancel()
 }
 
 func TestWorldGPSPhone(t *testing.T) {
