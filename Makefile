@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet test race bench experiments examples cover clean
+.PHONY: all check build fmt-check vet test race bench experiments examples cover clean load-smoke load-bench
 
 all: check
 
-# check is the full pre-merge gate: formatting, build, vet, tests and the
-# race detector.
-check: fmt-check build vet test race
+# check is the full pre-merge gate: formatting, build, vet, tests, the
+# race detector and a small fleet-load smoke run.
+check: fmt-check build vet test race load-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# load-smoke drives a small fleet through the load engine under the race
+# detector: the package's smoke + worker-determinism tests, then the CLI
+# end to end with its summary artifact.
+load-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetSmoke|TestFleetDeterministicAcrossWorkers' ./internal/fleet
+	$(GO) run -race ./cmd/contory-load -phones 200 -duration 2m -workers 4 -stats-out BENCH_fleet_smoke.json
+
+# load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
+# engine at 1k/2k/5k phones over ten virtual minutes.
+load-bench:
+	$(GO) run ./cmd/contory-load -sweep 1000,2000,5000 -duration 10m -bench-out BENCH_fleet.json
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/contory-bench -exp all
@@ -44,4 +56,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt BENCH_fleet_smoke.json

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"contory/internal/energy"
@@ -69,6 +70,13 @@ func writeStats(path string, show bool, seed int64) error {
 		data, err := snap.MarshalJSONIndent()
 		if err != nil {
 			return fmt.Errorf("stats json: %w", err)
+		}
+		// Callers pass artifact paths like bench/BENCH_metrics.json; create
+		// the parent directory rather than failing on the first run.
+		if dir := filepath.Dir(path); dir != "." && dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("create stats dir: %w", err)
+			}
 		}
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("write stats: %w", err)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -39,5 +41,41 @@ func TestWriteTraces(t *testing.T) {
 	}
 	if !strings.Contains(s, "fig5,") {
 		t.Fatal("no fig5 samples")
+	}
+}
+
+// TestWriteStatsCreatesParentDirs is the regression test for -stats-out
+// paths under directories that do not exist yet (e.g. bench/BENCH.json on a
+// fresh checkout): writeStats must create them instead of failing.
+func TestWriteStatsCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifacts", "nested", "BENCH_metrics.json")
+	if err := writeStats(path, false, 1); err != nil {
+		t.Fatalf("writeStats: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("stats-out is not valid JSON: %v", err)
+	}
+	if _, ok := doc["counters"]; !ok {
+		t.Fatal("stats-out JSON has no counters section")
+	}
+}
+
+// TestWriteStatsReportsWriteError makes sure an unwritable destination
+// surfaces as an error (main turns it into a non-zero exit) instead of
+// being swallowed.
+func TestWriteStatsReportsWriteError(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The parent "directory" is a regular file: MkdirAll must fail loudly.
+	path := filepath.Join(blocker, "sub", "BENCH_metrics.json")
+	if err := writeStats(path, false, 1); err == nil {
+		t.Fatal("writeStats silently succeeded writing under a regular file")
 	}
 }

@@ -1,0 +1,241 @@
+// Command contory-load drives the fleet-scale load engine: it expands a
+// seeded scenario into thousands of simulated phones, runs them for a span
+// of virtual time across a parallel worker pool, and reports the fleet
+// summary (queries/s of virtual time, delivery-latency percentiles, energy
+// per device class, failover counts).
+//
+// Usage:
+//
+//	contory-load -phones 5000 -duration 10m -stats-out BENCH_fleet.json
+//	contory-load -phones 1000 -duration 5m -workers 8 -stats
+//	contory-load -sweep 1000,2000,5000 -duration 10m -bench-out BENCH_fleet.json
+//
+// Same seed, same summary bytes — at any -workers value or GOMAXPROCS.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"contory/internal/fleet"
+)
+
+func main() {
+	var (
+		phones   = flag.Int("phones", 1000, "fleet population size")
+		duration = flag.Duration("duration", 10*time.Minute, "virtual time to run")
+		seed     = flag.Int64("seed", 42, "deterministic scenario seed")
+		workers  = flag.Int("workers", 0, "parallel event workers (0 = GOMAXPROCS)")
+		lanes    = flag.Int("lanes", 0, "device shard lanes (0 = auto)")
+		area     = flag.Float64("area", 0, "deployment area side in metres (0 = auto-size for ~10 WiFi neighbors)")
+		period   = flag.Duration("period", 30*time.Second, "base query/workload period")
+		mobility = flag.Float64("mobility", 1.0, "max phone speed in m/s (0 = static)")
+		leave    = flag.Float64("churn-leave", 0.02, "per-phone leave/join probability per virtual minute")
+		links    = flag.Float64("churn-links", 5, "expected WiFi link failures per virtual minute")
+		stats    = flag.Bool("stats", false, "print the full summary JSON to stdout")
+		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
+		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
+		sweep    = flag.String("sweep", "", "comma-separated phone counts to run back to back (e.g. 1000,2000,5000)")
+	)
+	flag.Parse()
+
+	specFor := func(n int) fleet.Spec {
+		return fleet.Spec{
+			Name:            fmt.Sprintf("load-%d", n),
+			Phones:          n,
+			Seed:            *seed,
+			Duration:        *duration,
+			AreaMetres:      *area,
+			Lanes:           *lanes,
+			MobilitySpeedMS: *mobility,
+			Workload:        fleet.Workload{Period: *period},
+			Churn:           fleet.Churn{LeaveJoinPerMin: *leave, LinkFailuresPerMin: *links},
+		}
+	}
+
+	if *sweep != "" {
+		if err := runSweep(*sweep, specFor, *workers, *benchOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	sum, wall, err := runOne(specFor(*phones), *workers)
+	if err != nil {
+		fail(err)
+	}
+	printSummary(sum, wall)
+	if *stats {
+		js, err := sum.JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(js))
+	}
+	if *statsOut != "" {
+		js, err := sum.JSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := writeFile(*statsOut, append(js, '\n')); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "fleet summary written to", *statsOut)
+	}
+	if *benchOut != "" {
+		entry := benchEntry(sum, wall)
+		data, err := json.MarshalIndent(benchDoc{Bench: "fleet", Runs: []benchRun{entry}}, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := writeFile(*benchOut, append(data, '\n')); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "bench timings written to", *benchOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "contory-load:", err)
+	os.Exit(1)
+}
+
+// runOne builds and runs one scenario, returning its summary and the
+// wall-clock time the run took.
+func runOne(spec fleet.Spec, workers int) (fleet.Summary, time.Duration, error) {
+	e, err := fleet.New(spec)
+	if err != nil {
+		return fleet.Summary{}, 0, err
+	}
+	start := time.Now()
+	sum, err := e.Run(workers)
+	if err != nil {
+		return fleet.Summary{}, 0, err
+	}
+	return sum, time.Since(start), nil
+}
+
+// printSummary renders the human-readable report.
+func printSummary(s fleet.Summary, wall time.Duration) {
+	fmt.Printf("fleet %s: %d phones, %d lanes, %.0fs virtual in %s wall\n",
+		s.Name, s.Phones, s.Lanes, s.VirtualSeconds, wall.Round(time.Millisecond))
+	fmt.Printf("  queries   %d submitted (%.2f/s virtual), %d items delivered, %d failovers, %d expired, %d rejected\n",
+		s.QueriesSubmitted, s.QueriesPerSec, s.ItemsDelivered, s.Failovers, s.Expired, s.Rejected)
+	mechs := make([]string, 0, len(s.Latency))
+	for m := range s.Latency {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	for _, m := range mechs {
+		l := s.Latency[m]
+		fmt.Printf("  latency   %-13s p50 %.1f ms  p90 %.1f ms  p99 %.1f ms  max %.1f ms  (n=%d)\n",
+			m, l.P50, l.P90, l.P99, l.Max, l.Count)
+	}
+	media := make([]string, 0, len(s.Frames))
+	for m := range s.Frames {
+		media = append(media, m)
+	}
+	sort.Strings(media)
+	for _, m := range media {
+		f := s.Frames[m]
+		fmt.Printf("  frames    %-6s sent %d delivered %d dropped %d\n", m, f.Sent, f.Delivered, f.Dropped)
+	}
+	classes := make([]string, 0, len(s.Energy))
+	for c := range s.Energy {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		e := s.Energy[c]
+		fmt.Printf("  energy    %-10s %d phones, %.2f J mean\n", c, e.Phones, e.MeanJoules)
+	}
+	fmt.Printf("  executor  %d events in %d batches, %d lane groups, %d barriers\n",
+		s.Events, s.Batches, s.Groups, s.Barriers)
+}
+
+// benchDoc is the BENCH_*.json artifact shape: one file, one bench name,
+// one entry per scenario run.
+type benchDoc struct {
+	Bench string     `json:"bench"`
+	Runs  []benchRun `json:"runs"`
+}
+
+type benchRun struct {
+	Phones         int     `json:"phones"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	WallMS         float64 `json:"wall_ms"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_wall_sec"`
+	Queries        int64   `json:"queries_submitted"`
+	Items          int64   `json:"items_delivered"`
+	Failovers      int64   `json:"failovers"`
+}
+
+func benchEntry(s fleet.Summary, wall time.Duration) benchRun {
+	r := benchRun{
+		Phones:         s.Phones,
+		VirtualSeconds: s.VirtualSeconds,
+		WallMS:         float64(wall) / float64(time.Millisecond),
+		Events:         s.Events,
+		Queries:        s.QueriesSubmitted,
+		Items:          s.ItemsDelivered,
+		Failovers:      s.Failovers,
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(s.Events) / wall.Seconds()
+	}
+	return r
+}
+
+// runSweep runs the scenario at each population size and reports how
+// wall-clock scales with fleet size.
+func runSweep(list string, specFor func(int) fleet.Spec, workers int, benchOut string) error {
+	var counts []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -sweep entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	doc := benchDoc{Bench: "fleet"}
+	for _, n := range counts {
+		sum, wall, err := runOne(specFor(n), workers)
+		if err != nil {
+			return fmt.Errorf("sweep %d phones: %w", n, err)
+		}
+		printSummary(sum, wall)
+		doc.Runs = append(doc.Runs, benchEntry(sum, wall))
+	}
+	if benchOut != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(benchOut, append(data, '\n')); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "bench timings written to", benchOut)
+	}
+	return nil
+}
+
+// writeFile writes data, creating parent directories as needed.
+func writeFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create %s: %w", dir, err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

@@ -25,9 +25,12 @@ import (
 // its references, resources monitor, access controller and repository. One
 // ContextFactory is instantiated per device.
 type Device struct {
-	ID    simnet.NodeID
-	Node  *simnet.Node
-	Clock *vclock.Simulator
+	ID   simnet.NodeID
+	Node *simnet.Node
+	// Clock is the device's scheduling handle: the shared simulator in
+	// serial worlds, the device's lane clock in sharded fleet runs (so all
+	// of the device's callbacks execute on its shard).
+	Clock vclock.Clock
 
 	Internal *refs.InternalReference
 	BT       *refs.BTReference
@@ -79,7 +82,7 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: device node: %w", err)
 	}
-	clk := cfg.Network.Clock()
+	clk := cfg.Network.ClockFor(cfg.ID)
 	if cfg.Security == 0 {
 		cfg.Security = access.LowSecurity
 	}

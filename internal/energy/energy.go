@@ -192,16 +192,33 @@ func (tl *Timeline) Power() Milliwatts {
 }
 
 func (tl *Timeline) powerAtLocked(t time.Time) Milliwatts {
-	var total Milliwatts
+	// Accumulate in fixed-point nano-milliwatts so the total is exactly
+	// order-independent: states live in a map and windows append in event
+	// execution order, neither of which is stable across runs, and float
+	// addition order would otherwise leak ULP differences into summaries.
+	var total int64
 	for _, pts := range tl.states {
-		total += stateAt(pts, t)
+		total += fixedMW(stateAt(pts, t))
 	}
 	for _, w := range tl.windows {
 		if !t.Before(w.start) && t.Before(w.end) {
-			total += w.mw
+			total += fixedMW(w.mw)
 		}
 	}
-	return total
+	return Milliwatts(float64(total) / mwFixedScale)
+}
+
+// mwFixedScale is the fixed-point resolution of power summation: 1 nW.
+// Every calibrated draw in the model has far fewer fractional digits, so
+// rounding to this grid is exact for all inputs the testbed produces.
+const mwFixedScale = 1e6
+
+func fixedMW(mw Milliwatts) int64 {
+	v := float64(mw) * mwFixedScale
+	if v >= 0 {
+		return int64(v + 0.5)
+	}
+	return -int64(-v + 0.5)
 }
 
 // stateAt evaluates a step function at t (0 before the first change).

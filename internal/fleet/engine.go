@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"contory"
+	"contory/internal/cxt"
+	"contory/internal/radio"
+	"contory/internal/refs"
+	"contory/internal/sm"
+	"contory/internal/vclock"
+)
+
+// role is a phone's assigned query archetype.
+type role int
+
+const (
+	roleIdle role = iota
+	roleLocalPeriodic
+	roleLocalEvent
+	roleAdHoc
+	roleInfraOneShot
+)
+
+func (r role) String() string {
+	switch r {
+	case roleLocalPeriodic:
+		return "local-periodic"
+	case roleLocalEvent:
+		return "local-event"
+	case roleAdHoc:
+		return "adhoc-periodic"
+	case roleInfraOneShot:
+		return "infra-one-shot"
+	default:
+		return "idle"
+	}
+}
+
+// Engine owns one expanded fleet scenario: a sharded World populated with
+// Spec.Phones devices, their workload schedules and the churn script. Build
+// with New, execute with Run.
+type Engine struct {
+	spec    Spec
+	w       *contory.World
+	phones  []*contory.Phone
+	classes []string
+	roles   []role
+	ran     bool
+}
+
+// New expands a Spec into a ready-to-run fleet. All randomness — positions,
+// velocities, device classes, workload roles, stagger offsets, churn — is
+// drawn from Spec.Seed in a fixed order, so the same Spec always builds the
+// same fleet.
+func New(spec Spec) (*Engine, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	w, err := contory.NewWorldConfig(contory.WorldConfig{Seed: spec.Seed, Lanes: spec.Lanes})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if err := w.SetRange("wifi", spec.WiFiRangeM); err != nil {
+		return nil, err
+	}
+	if err := w.SetRange("bt", spec.BTRangeM); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		spec:    spec,
+		w:       w,
+		phones:  make([]*contory.Phone, 0, spec.Phones),
+		classes: make([]string, 0, spec.Phones),
+		roles:   make([]role, 0, spec.Phones),
+	}
+	if err := e.buildPopulation(); err != nil {
+		return nil, err
+	}
+	e.scheduleWorkload()
+	e.scheduleChurn()
+	if spec.MobilitySpeedMS > 0 {
+		w.StartMobility(spec.MobilityTick)
+	}
+	return e, nil
+}
+
+// World exposes the engine's testbed (for tests and harnesses).
+func (e *Engine) World() *contory.World { return e.w }
+
+// Spec returns the fully-defaulted scenario the engine was built from.
+func (e *Engine) Spec() Spec { return e.spec }
+
+// phoneID formats the i-th phone's identifier; zero-padded so node IDs,
+// lane hashes and sorted orders never depend on the population size.
+func phoneID(i int) string { return fmt.Sprintf("p%05d", i) }
+
+// tempAt is every phone's virtual thermometer: a pure function of the phone
+// index and virtual time, so sensor readings are identical across runs and
+// worker counts, and vary enough to trigger EVENT predicates.
+func tempAt(idx int, now time.Time) float64 {
+	base := 15.0 + float64((idx*31)%10)
+	swing := float64((now.Unix() / 60) % 12)
+	return base + swing
+}
+
+// classOf draws a device class from the radio mix.
+func classOf(mix RadioMix, u float64) string {
+	total := mix.Dual + mix.WiFiOnly + mix.UMTSOnly
+	if total <= 0 {
+		return ClassDual
+	}
+	u *= total
+	if u < mix.Dual {
+		return ClassDual
+	}
+	if u < mix.Dual+mix.WiFiOnly {
+		return ClassWiFiOnly
+	}
+	return ClassUMTSOnly
+}
+
+// roleOf draws a workload role from the mix fractions.
+func roleOf(wl Workload, u float64) role {
+	for _, rc := range []struct {
+		f float64
+		r role
+	}{
+		{wl.LocalPeriodic, roleLocalPeriodic},
+		{wl.LocalEvent, roleLocalEvent},
+		{wl.AdHocPeriodic, roleAdHoc},
+		{wl.InfraOneShot, roleInfraOneShot},
+	} {
+		if u < rc.f {
+			return rc.r
+		}
+		u -= rc.f
+	}
+	return roleIdle
+}
+
+// buildPopulation creates the phones: position, class, sensors, publishers
+// and mobility, drawing from one seeded stream in index order.
+func (e *Engine) buildPopulation() error {
+	spec := e.spec
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for i := 0; i < spec.Phones; i++ {
+		// Fixed draw order per phone keeps the stream aligned no matter
+		// which branches fire.
+		x := rng.Float64() * spec.AreaMetres
+		y := rng.Float64() * spec.AreaMetres
+		classU := rng.Float64()
+		pubU := rng.Float64()
+		gpsU := rng.Float64()
+		vx := (rng.Float64()*2 - 1) * spec.MobilitySpeedMS
+		vy := (rng.Float64()*2 - 1) * spec.MobilitySpeedMS
+		roleU := rng.Float64()
+
+		class := classOf(spec.Radio, classU)
+		cfg := contory.PhoneConfig{
+			ID: phoneID(i), X: x, Y: y,
+			NoInfra: class == ClassWiFiOnly,
+		}
+		if gpsU < spec.GPSFraction {
+			cfg.GPS = &contory.Fix{Lat: 60.1 + y/111000, Lon: 24.9 + x/111000, SpeedKn: 2}
+		}
+		p, err := e.w.AddPhone(cfg)
+		if err != nil {
+			return fmt.Errorf("fleet: phone %d: %w", i, err)
+		}
+
+		idx := i
+		p.Device.Internal.Register(refs.FuncSensor{
+			SensorName: "thermo",
+			CxtType:    cxt.TypeTemperature,
+			ReadFunc: func(now time.Time) (cxt.Item, error) {
+				return cxt.Item{Type: cxt.TypeTemperature, Value: tempAt(idx, now), Timestamp: now}, nil
+			},
+		})
+
+		if class == ClassUMTSOnly {
+			// Infrastructure-only device: off the ad hoc network entirely.
+			p.Device.WiFi.Leave()
+			p.Device.Node.SetRadio(radio.MediumWiFi, false)
+		}
+
+		isPublisher := pubU < spec.PublisherFraction
+		if isPublisher && class != ClassUMTSOnly {
+			p.PublishTag(contory.TypeTemperature, tempAt(i, e.w.Now()))
+		}
+		if isPublisher && class != ClassWiFiOnly {
+			// Periodic weather reports feed the infrastructure's extInfra
+			// queries; scheduled on the phone's own lane.
+			ph := p
+			p.Device.Clock.Every(spec.Workload.Period, func() {
+				_ = ph.ReportWeather(contory.TypeTemperature, tempAt(idx, e.w.Now()))
+			})
+		}
+
+		if spec.MobilitySpeedMS > 0 {
+			p.SetVelocity(vx, vy)
+		}
+
+		r := roleOf(spec.Workload, roleU)
+		// Deterministic reassignment when a role needs a radio the class
+		// lacks: wifi-only phones cannot reach the infrastructure, and
+		// UMTS-only phones left the ad hoc network.
+		if r == roleInfraOneShot && class == ClassWiFiOnly {
+			r = roleLocalPeriodic
+		}
+		if r == roleAdHoc && class == ClassUMTSOnly {
+			r = roleInfraOneShot
+		}
+		e.phones = append(e.phones, p)
+		e.classes = append(e.classes, class)
+		e.roles = append(e.roles, r)
+	}
+	return nil
+}
+
+// scheduleWorkload installs each phone's query stream on its own lane
+// clock, staggered inside one workload period so the fleet does not fire
+// in lockstep.
+func (e *Engine) scheduleWorkload() {
+	spec := e.spec
+	// Staggers come from their own stream so population layout draws and
+	// workload timing draws cannot interfere.
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5deece66d))
+	period := spec.Workload.Period
+	durSec := int((spec.Duration + time.Minute) / time.Second)
+	everySec := int(period / time.Second)
+	if everySec < 1 {
+		everySec = 1
+	}
+	localPeriodicSrc := fmt.Sprintf(
+		"SELECT temperature FROM intSensor DURATION %d sec EVERY %d sec", durSec, everySec)
+	localEventSrc := fmt.Sprintf(
+		"SELECT temperature FROM intSensor DURATION %d sec EVENT temperature>25", durSec)
+	adhocSrc := fmt.Sprintf(
+		"SELECT temperature FROM adHocNetwork(all,1) DURATION %d sec EVERY %d sec", durSec, everySec)
+	infraSrc := fmt.Sprintf("SELECT temperature FROM extInfra DURATION %d sec", everySec)
+
+	for i, p := range e.phones {
+		stagger := time.Duration(rng.Int63n(int64(period)))
+		ph := p
+		switch e.roles[i] {
+		case roleLocalPeriodic:
+			ph.Device.Clock.After(stagger, func() { e.submit(ph, localPeriodicSrc) })
+		case roleLocalEvent:
+			ph.Device.Clock.After(stagger, func() { e.submit(ph, localEventSrc) })
+		case roleAdHoc:
+			ph.Device.Clock.After(stagger, func() { e.submit(ph, adhocSrc) })
+		case roleInfraOneShot:
+			ph.Device.Clock.After(stagger, func() {
+				e.submit(ph, infraSrc)
+				ph.Device.Clock.Every(period, func() { e.submit(ph, infraSrc) })
+			})
+		}
+	}
+}
+
+// submit parses and submits one query on a phone; failures surface in the
+// middleware's rejected counter, not as engine errors (a fleet member being
+// refused is a result, not a bug).
+func (e *Engine) submit(p *contory.Phone, src string) {
+	q, err := contory.ParseQuery(src)
+	if err != nil {
+		return
+	}
+	_, _ = p.Factory.ProcessCxtQuery(q, contory.ClientFuncs{})
+}
+
+// scheduleChurn precomputes the whole churn script from the seed and
+// installs it as simulator-global events, which the parallel executor runs
+// as barriers — scripted topology mutations never race device work.
+func (e *Engine) scheduleChurn() {
+	spec := e.spec
+	ch := spec.Churn
+	if ch.LeaveJoinPerMin <= 0 && ch.LinkFailuresPerMin <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x2545f4914f6cdd1d))
+	minutes := int(spec.Duration / time.Minute)
+	for m := 1; m <= minutes; m++ {
+		at := time.Duration(m) * time.Minute
+		if ch.LeaveJoinPerMin > 0 {
+			for i, p := range e.phones {
+				if e.classes[i] == ClassUMTSOnly {
+					continue
+				}
+				if rng.Float64() >= ch.LeaveJoinPerMin {
+					continue
+				}
+				ph := p
+				e.w.After(at, func() {
+					wifi := ph.Device.WiFi
+					if wifi.Tags().Has(sm.ParticipationTag) {
+						wifi.Leave()
+					} else {
+						wifi.Join()
+					}
+				})
+			}
+		}
+		if ch.LinkFailuresPerMin > 0 {
+			count := int(ch.LinkFailuresPerMin)
+			if rng.Float64() < ch.LinkFailuresPerMin-float64(count) {
+				count++
+			}
+			for k := 0; k < count; k++ {
+				i := rng.Intn(len(e.phones))
+				j := rng.Intn(len(e.phones))
+				if i == j {
+					continue
+				}
+				a, b := phoneID(i), phoneID(j)
+				e.w.After(at, func() { _ = e.w.FailLink(a, b, "wifi") })
+				e.w.After(at+ch.FailDuration, func() { _ = e.w.RestoreLink(a, b, "wifi") })
+			}
+		}
+	}
+}
+
+// Run executes the scenario for Spec.Duration of virtual time and returns
+// its summary. On a sharded world the run drains timestamps across workers
+// goroutines (<= 0 means GOMAXPROCS); an unsharded world runs serially.
+// Run can only be called once per engine.
+func (e *Engine) Run(workers int) (Summary, error) {
+	if e.ran {
+		return Summary{}, fmt.Errorf("fleet: engine already ran")
+	}
+	e.ran = true
+	start := e.w.Now()
+	var bs vclock.BatchStats
+	if e.w.Sharded() {
+		bs = e.w.RunParallel(e.spec.Duration, workers)
+	} else {
+		e.w.Run(e.spec.Duration)
+	}
+	return e.summarize(start, bs), nil
+}

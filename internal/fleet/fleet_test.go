@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// run builds a fresh engine from spec and runs it with the given worker
+// count, returning the summary JSON bytes.
+func run(t *testing.T, spec Spec, workers int) []byte {
+	t.Helper()
+	e, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sum, err := e.Run(workers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	js, err := sum.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	return js
+}
+
+// TestFleetDeterministicAcrossWorkers is the engine's core contract: the
+// same spec produces byte-identical summaries (including the embedded
+// metrics snapshot) whether the run drains events on one worker or eight,
+// and at GOMAXPROCS 1 or 8.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	specs := []Spec{
+		{
+			Name: "calm", Phones: 60, Seed: 7, Duration: 2 * time.Minute,
+			Lanes: 16,
+		},
+		{
+			Name: "mobile-churn", Phones: 80, Seed: 42, Duration: 2 * time.Minute,
+			Lanes: 32, MobilitySpeedMS: 1.5,
+			Churn: Churn{LeaveJoinPerMin: 0.05, LinkFailuresPerMin: 3},
+		},
+		{
+			Name: "infra-heavy", Phones: 50, Seed: 1234, Duration: 90 * time.Second,
+			Lanes: 8,
+			Workload: Workload{
+				InfraOneShot: 0.5, LocalEvent: 0.2, AdHocPeriodic: 0.1,
+				Period: 20 * time.Second,
+			},
+			Radio: RadioMix{Dual: 0.5, WiFiOnly: 0.2, UMTSOnly: 0.3},
+		},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			serial := run(t, spec, 1)
+			runtime.GOMAXPROCS(8)
+			parallel := run(t, spec, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("summary differs between workers=1/GOMAXPROCS=1 and workers=8/GOMAXPROCS=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					firstDiff(serial, parallel), firstDiff(parallel, serial))
+			}
+		})
+	}
+}
+
+// firstDiff returns a short window around the first differing byte, to keep
+// failure output readable.
+func firstDiff(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 120
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}
+
+// TestFleetSmoke checks that a small fleet actually exercises the
+// middleware: queries flow, items are delivered, frames cross every medium
+// and every device class drains energy.
+func TestFleetSmoke(t *testing.T) {
+	e, err := New(Spec{Name: "smoke", Phones: 40, Seed: 3, Duration: 2 * time.Minute})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sum, err := e.Run(4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.QueriesSubmitted == 0 {
+		t.Fatal("no queries submitted")
+	}
+	if sum.ItemsDelivered == 0 {
+		t.Fatal("no items delivered")
+	}
+	if sum.QueriesPerSec <= 0 {
+		t.Fatalf("queries/s = %v", sum.QueriesPerSec)
+	}
+	if len(sum.Latency) == 0 {
+		t.Fatal("no latency histograms populated")
+	}
+	if sum.Latency["intSensor"].Count == 0 {
+		t.Fatal("no intSensor latency samples")
+	}
+	if sum.Frames["umts"].Delivered == 0 {
+		t.Fatal("no UMTS frames delivered")
+	}
+	total := 0
+	for class, ce := range sum.Energy {
+		total += ce.Phones
+		if ce.Phones > 0 && ce.TotalJoules <= 0 {
+			t.Fatalf("class %s drained no energy", class)
+		}
+	}
+	if total != 40 {
+		t.Fatalf("energy classes cover %d phones, want 40", total)
+	}
+	if _, err := e.Run(4); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+// TestFleetSameSeedSameBytes runs the identical spec twice end to end.
+func TestFleetSameSeedSameBytes(t *testing.T) {
+	spec := Spec{Name: "twin", Phones: 30, Seed: 99, Duration: time.Minute}
+	a := run(t, spec, 4)
+	b := run(t, spec, 4)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different summaries")
+	}
+}
+
+// TestFleetSeedChangesRun guards against the seed being ignored.
+func TestFleetSeedChangesRun(t *testing.T) {
+	a := run(t, Spec{Phones: 30, Seed: 1, Duration: time.Minute}, 4)
+	b := run(t, Spec{Phones: 30, Seed: 2, Duration: time.Minute}, 4)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical summaries")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := New(Spec{Phones: 0, Duration: time.Minute}); err == nil {
+		t.Fatal("Phones=0 accepted")
+	}
+	if _, err := New(Spec{Phones: 5}); err == nil {
+		t.Fatal("Duration=0 accepted")
+	}
+	if _, err := New(Spec{Phones: 5, Duration: time.Minute,
+		Workload: Workload{LocalPeriodic: 0.9, AdHocPeriodic: 0.9}}); err == nil {
+		t.Fatal("overfull workload accepted")
+	}
+	if _, err := New(Spec{Phones: 5, Duration: time.Minute,
+		Churn: Churn{LeaveJoinPerMin: 1.5}}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package fleet is Contory's load engine: it stands up thousands of
+// simulated phones against the existing middleware and drives them through
+// a declarative, seeded scenario — population, radio mix, mobility, query
+// workload and churn all expand deterministically from the Spec.
+//
+// The paper evaluates Contory on a handful of Nokia phones; the fleet
+// engine is what lets this repo measure context provisioning at the scale
+// surveys of context middleware identify as the open problem (many
+// producers, many concurrent queries). Runs execute on the parallel vclock
+// batch mode via device-sharded lanes, so same-seed runs produce
+// byte-identical metrics summaries at any GOMAXPROCS or worker count.
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Workload is the per-phone query mix: each fraction of the population runs
+// one stream of that query archetype against its ContextFactory. Fractions
+// are of the phone population and should sum to at most 1; the remainder
+// stays idle (pure producers or bystanders).
+type Workload struct {
+	// LocalPeriodic phones run a periodic internal-sensor query
+	// (SELECT temperature FROM intSensor ... EVERY ...).
+	LocalPeriodic float64 `json:"local_periodic"`
+	// LocalEvent phones run an event-based internal-sensor query
+	// (... EVENT temperature > threshold), the push-mode workload.
+	LocalEvent float64 `json:"local_event"`
+	// AdHocPeriodic phones run a periodic ad hoc network query served by
+	// SM-FINDER tours over WiFi (FROM adHocNetwork(all,1)).
+	AdHocPeriodic float64 `json:"adhoc_periodic"`
+	// InfraOneShot phones run one-shot infrastructure queries (FROM
+	// extInfra), re-submitted every Period.
+	InfraOneShot float64 `json:"infra_one_shot"`
+	// Period is the base cadence for periodic queries and one-shot
+	// re-submission (default 30s). Individual phones stagger their start
+	// within one Period so the fleet does not fire in lockstep.
+	Period time.Duration `json:"period"`
+}
+
+// Churn configures the scripted misbehaviour of the fleet. All churn
+// events are precomputed from the seed at build time and injected as
+// global barrier events, so they never race device work.
+type Churn struct {
+	// LeaveJoinPerMin is the per-phone probability, evaluated each virtual
+	// minute, of toggling ad hoc network participation (§5.2 Leave/Join).
+	LeaveJoinPerMin float64 `json:"leave_join_per_min"`
+	// LinkFailuresPerMin is the expected number of WiFi link failures
+	// injected fleet-wide each virtual minute; each failed link recovers
+	// after FailDuration.
+	LinkFailuresPerMin float64 `json:"link_failures_per_min"`
+	// FailDuration is how long an injected link failure lasts (default 30s).
+	FailDuration time.Duration `json:"fail_duration"`
+}
+
+// RadioMix partitions the population into device classes. Fractions are
+// normalized; zero-value means everything Dual.
+type RadioMix struct {
+	// Dual phones have WiFi ad hoc and a UMTS link to the infrastructure.
+	Dual float64 `json:"dual"`
+	// WiFiOnly phones have no infrastructure link (NoInfra).
+	WiFiOnly float64 `json:"wifi_only"`
+	// UMTSOnly phones switch their WiFi radio off and leave the ad hoc
+	// network, relying on the infrastructure alone.
+	UMTSOnly float64 `json:"umts_only"`
+}
+
+// Class names used in summaries.
+const (
+	ClassDual     = "dual"
+	ClassWiFiOnly = "wifi-only"
+	ClassUMTSOnly = "umts-only"
+)
+
+// Spec declaratively describes one fleet scenario. Everything expands
+// deterministically from Seed.
+type Spec struct {
+	// Name labels the scenario in summaries.
+	Name string `json:"name"`
+	// Phones is the population size (required).
+	Phones int `json:"phones"`
+	// Seed drives every random expansion (positions, velocities, workload
+	// assignment, churn schedule).
+	Seed int64 `json:"seed"`
+	// Duration is the virtual time to run (required).
+	Duration time.Duration `json:"duration"`
+
+	// AreaMetres is the side of the square deployment area. 0 sizes the
+	// area so the average WiFi neighborhood holds ~10 phones.
+	AreaMetres float64 `json:"area_metres"`
+	// WiFiRangeM / BTRangeM are the range-based connectivity radii
+	// (defaults 50 m / 10 m).
+	WiFiRangeM float64 `json:"wifi_range_m"`
+	BTRangeM   float64 `json:"bt_range_m"`
+
+	// Lanes is the device-shard count for parallel execution (default
+	// min(Phones, 4×GOMAXPROCS ceiling of 64); 1 forces effectively serial
+	// batches while keeping the same deterministic schedule).
+	Lanes int `json:"lanes"`
+
+	// MobilitySpeedMS is the maximum walking speed; each phone gets a
+	// seeded constant velocity in [-v, v] per axis (0 disables mobility).
+	MobilitySpeedMS float64 `json:"mobility_speed_ms"`
+	// MobilityTick is the velocity-integration interval (default 10s).
+	MobilityTick time.Duration `json:"mobility_tick"`
+
+	// PublisherFraction of phones publish context: a WiFi tag at setup and
+	// a periodic weather report to the infrastructure (default 0.2).
+	PublisherFraction float64 `json:"publisher_fraction"`
+	// GPSFraction of phones carry a BT-GPS receiver (default 0).
+	GPSFraction float64 `json:"gps_fraction"`
+
+	Radio    RadioMix `json:"radio"`
+	Workload Workload `json:"workload"`
+	Churn    Churn    `json:"churn"`
+}
+
+// withDefaults returns a copy with all defaults applied.
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "fleet"
+	}
+	if s.WiFiRangeM <= 0 {
+		s.WiFiRangeM = 50
+	}
+	if s.BTRangeM <= 0 {
+		s.BTRangeM = 10
+	}
+	if s.AreaMetres <= 0 {
+		// Average ~10 phones per WiFi disc: area = phones · πr²/10.
+		s.AreaMetres = sqrt(float64(s.Phones) * 3.14159 * s.WiFiRangeM * s.WiFiRangeM / 10)
+		if s.AreaMetres < 4*s.WiFiRangeM {
+			s.AreaMetres = 4 * s.WiFiRangeM
+		}
+	}
+	if s.Lanes <= 0 {
+		s.Lanes = 64
+		if s.Phones < s.Lanes {
+			s.Lanes = s.Phones
+		}
+	}
+	if s.MobilityTick <= 0 {
+		s.MobilityTick = 10 * time.Second
+	}
+	if s.Workload.Period <= 0 {
+		s.Workload.Period = 30 * time.Second
+	}
+	if s.Workload.LocalPeriodic == 0 && s.Workload.LocalEvent == 0 &&
+		s.Workload.AdHocPeriodic == 0 && s.Workload.InfraOneShot == 0 {
+		s.Workload = Workload{
+			LocalPeriodic: 0.30,
+			LocalEvent:    0.10,
+			AdHocPeriodic: 0.20,
+			InfraOneShot:  0.20,
+			Period:        s.Workload.Period,
+		}
+	}
+	if s.Radio.Dual == 0 && s.Radio.WiFiOnly == 0 && s.Radio.UMTSOnly == 0 {
+		s.Radio = RadioMix{Dual: 0.7, WiFiOnly: 0.2, UMTSOnly: 0.1}
+	}
+	if s.PublisherFraction == 0 {
+		s.PublisherFraction = 0.2
+	}
+	if s.Churn.FailDuration <= 0 {
+		s.Churn.FailDuration = 30 * time.Second
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Phones <= 0 {
+		return fmt.Errorf("fleet: spec needs Phones > 0")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("fleet: spec needs Duration > 0")
+	}
+	wl := s.Workload.LocalPeriodic + s.Workload.LocalEvent + s.Workload.AdHocPeriodic + s.Workload.InfraOneShot
+	if wl > 1.0001 {
+		return fmt.Errorf("fleet: workload fractions sum to %.2f > 1", wl)
+	}
+	for _, f := range []float64{s.Workload.LocalPeriodic, s.Workload.LocalEvent,
+		s.Workload.AdHocPeriodic, s.Workload.InfraOneShot,
+		s.PublisherFraction, s.GPSFraction,
+		s.Radio.Dual, s.Radio.WiFiOnly, s.Radio.UMTSOnly,
+		s.Churn.LeaveJoinPerMin} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("fleet: fraction %v out of [0,1]", f)
+		}
+	}
+	return nil
+}
+
+// sqrt avoids importing math for one call site.
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 64; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}

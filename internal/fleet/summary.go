@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"time"
+
+	"contory/internal/metrics"
+	"contory/internal/vclock"
+)
+
+// LatencyStats summarizes one first-item-latency histogram (milliseconds).
+type LatencyStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// MediumStats counts frames on one radio medium.
+type MediumStats struct {
+	Sent      int64 `json:"sent"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// ClassEnergy aggregates battery drain over one device class.
+type ClassEnergy struct {
+	Phones      int     `json:"phones"`
+	TotalJoules float64 `json:"total_joules"`
+	MeanJoules  float64 `json:"mean_joules"`
+}
+
+// Summary is the per-run fleet report. Every field is a deterministic
+// function of the Spec: same seed, same summary bytes, at any worker count
+// or GOMAXPROCS.
+type Summary struct {
+	Name           string  `json:"name"`
+	Phones         int     `json:"phones"`
+	Seed           int64   `json:"seed"`
+	Lanes          int     `json:"lanes"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+
+	QueriesSubmitted int64   `json:"queries_submitted"`
+	QueriesPerSec    float64 `json:"queries_per_virtual_sec"`
+	ItemsDelivered   int64   `json:"items_delivered"`
+	Failovers        int64   `json:"failovers"`
+	Expired          int64   `json:"expired"`
+	Cancelled        int64   `json:"cancelled"`
+	Rejected         int64   `json:"rejected"`
+
+	// Latency is keyed by provisioning mechanism (local, adhoc, infra).
+	Latency map[string]LatencyStats `json:"latency"`
+	// Frames is keyed by radio medium (bt, wifi, umts).
+	Frames map[string]MediumStats `json:"frames"`
+	// Energy is keyed by device class (dual, wifi-only, umts-only).
+	Energy map[string]ClassEnergy `json:"energy"`
+
+	// Execution shape (schedule-derived, worker-count independent).
+	Events   uint64 `json:"events"`
+	Batches  uint64 `json:"batches"`
+	Groups   uint64 `json:"groups"`
+	Barriers uint64 `json:"barriers"`
+
+	// Snapshot is the full metrics state (lifecycle event ring excluded:
+	// its eviction order is execution-order sensitive by design).
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// JSON renders the summary with stable indentation.
+func (s Summary) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// summarize builds the Summary from the world's metrics after a run.
+func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
+	snap := e.w.Metrics().Snapshot().WithoutEvents()
+	end := e.w.Now()
+	virtSec := end.Sub(start).Seconds()
+
+	s := Summary{
+		Name:           e.spec.Name,
+		Phones:         e.spec.Phones,
+		Seed:           e.spec.Seed,
+		Lanes:          e.spec.Lanes,
+		VirtualSeconds: virtSec,
+		Latency:        make(map[string]LatencyStats),
+		Frames:         make(map[string]MediumStats),
+		Energy:         make(map[string]ClassEnergy),
+		Events:         e.w.EventsExecuted(),
+		Batches:        bs.Batches,
+		Groups:         bs.Groups,
+		Barriers:       bs.Barriers,
+		Snapshot:       snap,
+	}
+
+	counters := make(map[string]int64, len(snap.Counters))
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	s.QueriesSubmitted = counters["core.query.submitted"]
+	s.ItemsDelivered = counters["core.query.items_delivered"]
+	s.Failovers = counters["core.query.switched"]
+	s.Expired = counters["core.query.expired"]
+	s.Cancelled = counters["core.query.cancelled"]
+	s.Rejected = counters["core.query.rejected"]
+	if virtSec > 0 {
+		s.QueriesPerSec = float64(s.QueriesSubmitted) / virtSec
+	}
+
+	for _, h := range snap.Histograms {
+		mech, ok := strings.CutPrefix(h.Name, "core.query.first_item_latency_ms.")
+		if !ok || h.Count == 0 {
+			continue
+		}
+		s.Latency[mech] = LatencyStats{
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+		}
+	}
+
+	for name, v := range counters {
+		if medium, ok := strings.CutPrefix(name, "simnet.frames.sent."); ok {
+			ms := s.Frames[medium]
+			ms.Sent = v
+			s.Frames[medium] = ms
+		}
+		if medium, ok := strings.CutPrefix(name, "simnet.frames.delivered."); ok {
+			ms := s.Frames[medium]
+			ms.Delivered = v
+			s.Frames[medium] = ms
+		}
+		if medium, ok := strings.CutPrefix(name, "simnet.frames.dropped."); ok {
+			ms := s.Frames[medium]
+			ms.Dropped = v
+			s.Frames[medium] = ms
+		}
+	}
+
+	// Per-class energy, summed in phone-index order so float addition order
+	// is fixed.
+	for i, p := range e.phones {
+		class := e.classes[i]
+		ce := s.Energy[class]
+		ce.Phones++
+		ce.TotalJoules += float64(p.Device.Node.Timeline().EnergyBetween(start, end))
+		s.Energy[class] = ce
+	}
+	for class, ce := range s.Energy {
+		if ce.Phones > 0 {
+			ce.MeanJoules = ce.TotalJoules / float64(ce.Phones)
+		}
+		s.Energy[class] = ce
+	}
+	return s
+}

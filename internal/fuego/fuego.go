@@ -354,7 +354,7 @@ func (c *Client) Request(op string, payload any, timeout time.Duration, done fun
 	if timeout <= 0 {
 		timeout = 2 * radio.UMTSGetLatencyMax
 	}
-	c.net.Clock().After(timeout, func() {
+	c.net.ClockFor(c.node.ID()).After(timeout, func() {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()

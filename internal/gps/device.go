@@ -59,7 +59,7 @@ func NewDevice(nw *simnet.Network, id simnet.NodeID, initial cxt.Fix) (*Device, 
 		defer d.mu.Unlock()
 		delete(d.subs, m.From)
 	})
-	d.ticker = nw.Clock().Every(SampleInterval, d.tick)
+	d.ticker = nw.ClockFor(id).Every(SampleInterval, d.tick)
 	return d, nil
 }
 

@@ -88,7 +88,7 @@ func New(cfg Config) (*Infrastructure, error) {
 		return nil, fmt.Errorf("infra: broker: %w", err)
 	}
 	inf := &Infrastructure{
-		clock:    cfg.Network.Clock(),
+		clock:    cfg.Network.ClockFor(cfg.NodeID),
 		server:   srv,
 		byEntity: make(map[string]cxt.Fix),
 		capacity: cfg.Capacity,

@@ -48,10 +48,36 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// Gauge is an instantaneous float value (e.g. active providers, accumulated
-// joules per operation class). It supports both Set and Add.
+// fixedScale is the resolution of fixed-point accumulation: one microunit.
+// Gauges and histogram sums accumulate int64 microunits instead of floats so
+// concurrent Adds from different simulation lanes commute exactly — float
+// addition is order-dependent in its low bits, and parallel fleet runs must
+// produce byte-identical snapshots at any worker count.
+const fixedScale = 1e6
+
+// toFixed converts a float delta to microunits, saturating on overflow and
+// mapping NaN to 0.
+func toFixed(v float64) int64 {
+	f := math.Round(v * fixedScale)
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+func fromFixed(fp int64) float64 { return float64(fp) / fixedScale }
+
+// Gauge is an instantaneous value (e.g. active providers, accumulated
+// joules per operation class). It supports both Set and Add. Values are held
+// in fixed point at microunit resolution, so concurrent Adds are
+// order-independent (see fixedScale).
 type Gauge struct {
-	bits atomic.Uint64
+	fp atomic.Int64
 }
 
 // Set replaces the gauge value.
@@ -59,21 +85,15 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.bits.Store(math.Float64bits(v))
+	g.fp.Store(toFixed(v))
 }
 
-// Add increments the gauge by d (atomic compare-and-swap loop).
+// Add increments the gauge by d.
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
 	}
-	for {
-		old := g.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + d)
-		if g.bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	g.fp.Add(toFixed(d))
 }
 
 // Value returns the current gauge value.
@@ -81,7 +101,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return math.Float64frombits(g.bits.Load())
+	return fromFixed(g.fp.Load())
 }
 
 // Histogram is a fixed-bucket histogram: observations are counted in the
@@ -94,7 +114,7 @@ type Histogram struct {
 	mu     sync.Mutex
 	counts []int64 // len(bounds)+1; last is the +Inf bucket
 	count  int64
-	sum    float64
+	sum    int64 // microunits (see fixedScale): order-independent accumulation
 	min    float64
 	max    float64
 }
@@ -133,7 +153,7 @@ func (h *Histogram) Observe(v float64) {
 	defer h.mu.Unlock()
 	h.counts[i]++
 	h.count++
-	h.sum += v
+	h.sum += toFixed(v)
 	if h.count == 1 || v < h.min {
 		h.min = v
 	}
@@ -152,14 +172,14 @@ func (h *Histogram) Count() int64 {
 	return h.count
 }
 
-// Sum returns the sum of all observed values.
+// Sum returns the sum of all observed values, at microunit resolution.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.sum
+	return fromFixed(h.sum)
 }
 
 // Registry holds named instruments and the query-lifecycle event ring. A

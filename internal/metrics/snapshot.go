@@ -87,7 +87,7 @@ func snapHistogram(name string, h *Histogram) HistogramPoint {
 	p := HistogramPoint{
 		Name:  name,
 		Count: h.count,
-		Sum:   h.sum,
+		Sum:   fromFixed(h.sum),
 		Min:   h.min,
 		Max:   h.max,
 	}
@@ -99,6 +99,63 @@ func snapHistogram(name string, h *Histogram) HistogramPoint {
 	cum += h.counts[len(h.bounds)]
 	p.Buckets = append(p.Buckets, Bucket{Le: "+Inf", Count: cum})
 	return p
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket containing the target rank, using Min and Max as the
+// edges of the first occupied and +Inf buckets. The estimate is exact at
+// bucket boundaries and deterministic, which is what fleet summaries need;
+// it is not an exact order statistic.
+func (p HistogramPoint) Quantile(q float64) float64 {
+	if p.Count == 0 || len(p.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(p.Count)
+	prevCum := int64(0)
+	lower := p.Min
+	for _, b := range p.Buckets {
+		if b.Count == prevCum {
+			continue // empty bucket: lower edge unchanged
+		}
+		upper := p.Max
+		if b.Le != "+Inf" {
+			if v, err := strconv.ParseFloat(b.Le, 64); err == nil && v < p.Max {
+				upper = v
+			}
+		}
+		if float64(b.Count) >= rank {
+			in := b.Count - prevCum
+			frac := (rank - float64(prevCum)) / float64(in)
+			v := lower + (upper-lower)*frac
+			if v < p.Min {
+				v = p.Min
+			}
+			if v > p.Max {
+				v = p.Max
+			}
+			return v
+		}
+		prevCum = b.Count
+		if upper > lower {
+			lower = upper
+		}
+	}
+	return p.Max
+}
+
+// WithoutEvents returns a copy of the snapshot with the retained event list
+// dropped (EventsTotal and EventsCap are kept). The ring evicts in execution
+// order, which across parallel lanes is schedule-dependent; fleet runs use
+// event-free snapshots so byte-identical output holds at any worker count.
+func (s Snapshot) WithoutEvents() Snapshot {
+	s.Events = nil
+	return s
 }
 
 // formatFloat renders floats with the shortest exact representation, so the

@@ -77,7 +77,7 @@ func NewBTReference(nw *simnet.Network, id simnet.NodeID, bt *radio.BT, mon *mon
 		return nil, fmt.Errorf("refs: bt: %w: %s", simnet.ErrUnknownNode, id)
 	}
 	r := &BTReference{
-		clock:    nw.Clock(),
+		clock:    nw.ClockFor(id),
 		net:      nw,
 		node:     node,
 		bt:       bt,

@@ -107,7 +107,7 @@ func NewUMTSReference(nw *simnet.Network, id, server simnet.NodeID, umts *radio.
 		return nil, fmt.Errorf("refs: umts: %w", err)
 	}
 	return &UMTSReference{
-		clock:  nw.Clock(),
+		clock:  nw.ClockFor(id),
 		client: client,
 		node:   client.Node(),
 		umts:   umts,

@@ -52,7 +52,7 @@ func NewWiFiReference(p *sm.Platform, id simnet.NodeID, wifi *radio.WiFi, mon *m
 	}
 	node := rt.Node()
 	return &WiFiReference{
-		clock:    p.Clock(),
+		clock:    p.ClockFor(id),
 		platform: p,
 		rt:       rt,
 		node:     node,

@@ -1,0 +1,179 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"contory/internal/radio"
+	"contory/internal/vclock"
+)
+
+// bruteNeighbors is the O(n) reference the grid must agree with exactly.
+func bruteNeighbors(nw *Network, id NodeID, m radio.Medium) []NodeID {
+	var out []NodeID
+	for _, other := range nw.Nodes() {
+		if other == id {
+			continue
+		}
+		if nw.Linked(id, other, m) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// The spatial index must make identical link decisions to a full scan,
+// under every feature that affects linking: range, explicit links, failed
+// links, down nodes, radios off, and mobility.
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clk := vclock.NewSimulator()
+	nw := New(clk)
+	nw.SetRange(radio.MediumWiFi, 50)
+	nw.SetRange(radio.MediumBT, 10)
+
+	const n = 300
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = NodeID(fmt.Sprintf("n%03d", i))
+		if _, err := nw.AddNode(ids[i], Position{X: rng.Float64() * 400, Y: rng.Float64() * 400}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Explicit links, some spanning far beyond range.
+	for i := 0; i < 80; i++ {
+		a, b := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		if a != b {
+			if err := nw.Connect(a, b, radio.MediumWiFi); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Perturbations.
+	for i := 0; i < 30; i++ {
+		nw.Node(ids[rng.Intn(n)]).SetDown(true)
+		nw.Node(ids[rng.Intn(n)]).SetRadio(radio.MediumWiFi, false)
+		nw.FailLink(ids[rng.Intn(n)], ids[rng.Intn(n)], radio.MediumWiFi)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, m := range []radio.Medium{radio.MediumWiFi, radio.MediumBT} {
+			for _, id := range ids {
+				got := nw.Neighbors(id, m)
+				want := bruteNeighbors(nw, id, m)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %s over %s: grid %v, brute %v", stage, id, m, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: %s over %s: grid %v, brute %v", stage, id, m, got, want)
+					}
+				}
+			}
+		}
+	}
+	check("initial")
+
+	// Move a third of the nodes (invalidates the grid) and re-check.
+	for i := 0; i < n/3; i++ {
+		nw.Node(ids[rng.Intn(n)]).SetPosition(Position{X: rng.Float64() * 400, Y: rng.Float64() * 400})
+	}
+	check("after teleports")
+
+	// Mobility ticks must also invalidate.
+	for i := 0; i < 40; i++ {
+		nw.Node(ids[rng.Intn(n)]).SetVelocity(Position{X: rng.Float64()*10 - 5, Y: rng.Float64()*10 - 5})
+	}
+	nw.StartMobility(time.Second)
+	clk.Advance(5 * time.Second)
+	check("after mobility")
+
+	// Shrinking the range must drop now-distant pairs.
+	nw.SetRange(radio.MediumWiFi, 15)
+	check("after range change")
+
+	// Nodes exactly at negative coordinates (cell-boundary edge case).
+	if _, err := nw.AddNode("neg", Position{X: -50, Y: -50}); err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, "neg")
+	check("after negative-coordinate node")
+}
+
+func TestShardingAssignsStableLanes(t *testing.T) {
+	clk := vclock.NewSimulator()
+	nw := New(clk)
+	if err := nw.EnableSharding(8); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Sharded() || nw.Lanes() != 8 {
+		t.Fatalf("Sharded()=%v Lanes()=%d", nw.Sharded(), nw.Lanes())
+	}
+	l1 := nw.LaneOf("phone-42")
+	l2 := nw.LaneOf("phone-42")
+	if l1 != l2 {
+		t.Fatalf("lane not stable: %d vs %d", l1, l2)
+	}
+	if l1 < 0 || l1 >= 8 {
+		t.Fatalf("lane out of range: %d", l1)
+	}
+	if _, err := nw.AddNode("a", Position{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.EnableSharding(4); err == nil {
+		t.Fatal("EnableSharding after AddNode should fail")
+	}
+}
+
+func TestClockForUnsharded(t *testing.T) {
+	clk := vclock.NewSimulator()
+	nw := New(clk)
+	if nw.ClockFor("x") != vclock.Clock(clk) {
+		t.Fatal("unsharded ClockFor should be the simulator itself")
+	}
+	if nw.LaneOf("x") != vclock.GlobalLane {
+		t.Fatalf("unsharded LaneOf = %d, want GlobalLane", nw.LaneOf("x"))
+	}
+}
+
+// Sharded-mode loss decisions are a keyed hash, independent of delivery
+// interleaving: the same directed link's k-th delivery always gets the same
+// verdict for a given seed.
+func TestShardedLossDeterministic(t *testing.T) {
+	run := func() []bool {
+		clk := vclock.NewSimulator()
+		nw := New(clk)
+		if err := nw.EnableSharding(4); err != nil {
+			t.Fatal(err)
+		}
+		nw.Seed(99)
+		if _, err := nw.AddNode("a", Position{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.AddNode("b", Position{X: 1}); err != nil {
+			t.Fatal(err)
+		}
+		nw.SetLoss("a", "b", radio.MediumWiFi, 0.5)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, nw.lossDrop("a", "b", radio.MediumWiFi))
+		}
+		return out
+	}
+	r1, r2 := run(), run()
+	drops := 0
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("loss decision %d differs between identical runs", i)
+		}
+		if r1[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(r1) {
+		t.Fatalf("hash loss degenerate: %d/%d drops at p=0.5", drops, len(r1))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"contory/internal/energy"
@@ -111,8 +112,9 @@ func (n *Node) Position() Position {
 // SetPosition teleports the node.
 func (n *Node) SetPosition(p Position) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.pos = p
+	n.mu.Unlock()
+	n.net.gridsDirty.Store(true)
 }
 
 // SetVelocity sets the node's velocity vector in metres/second; the network
@@ -167,24 +169,55 @@ func (n *Node) handler(kind string) (Handler, bool) {
 	return h, ok
 }
 
+// frameCounters is the per-medium frame accounting, swapped atomically so
+// hot send/deliver paths never take the network mutex to count.
+type frameCounters struct {
+	sent  map[radio.Medium]*metrics.Counter
+	recvd map[radio.Medium]*metrics.Counter
+	lost  map[radio.Medium]*metrics.Counter
+}
+
+// dirLink is a directed link, the key of the sharded-mode loss sequence.
+type dirLink struct {
+	from, to NodeID
+	medium   radio.Medium
+}
+
 // Network is the simulated testbed fabric.
 type Network struct {
 	clock *vclock.Simulator
 
-	mu       sync.Mutex
-	nodes    map[NodeID]*Node
-	links    map[linkKey]bool
-	failed   map[linkKey]bool
-	ranges   map[radio.Medium]float64 // 0 = explicit links only
-	loss     map[linkKey]float64      // per-link drop probability
-	rng      *rand.Rand
-	dropped  int
-	delivers int
+	// lanes > 0 shards nodes across that many vclock lanes (set once by
+	// EnableSharding before any node exists, read-only afterwards).
+	lanes int
+
+	mu     sync.Mutex
+	nodes  map[NodeID]*Node
+	links  map[linkKey]bool
+	adj    map[radio.Medium]map[NodeID]map[NodeID]bool // explicit-link adjacency
+	failed map[linkKey]bool
+	ranges map[radio.Medium]float64 // 0 = explicit links only
+	loss   map[linkKey]float64      // per-link drop probability
+	rng    *rand.Rand
+	seed   int64
+
+	// grids caches a uniform spatial index per range-enabled medium (cell
+	// size = the medium's range, so candidates beyond range cannot appear
+	// outside the 3×3 cell neighborhood). Rebuilt lazily when gridsDirty.
+	grids      map[radio.Medium]*grid
+	gridsDirty atomic.Bool
+
+	// lossSeq counts deliveries per directed link in sharded mode; the
+	// hash-based loss decision is keyed on it instead of a shared rand
+	// stream, whose draw order would depend on cross-lane scheduling.
+	lossMu  sync.Mutex
+	lossSeq map[dirLink]uint64
+
+	dropped  atomic.Int64
+	delivers atomic.Int64
 
 	metrics *metrics.Registry
-	sent    map[radio.Medium]*metrics.Counter
-	recvd   map[radio.Medium]*metrics.Counter
-	lost    map[radio.Medium]*metrics.Counter
+	frames  atomic.Pointer[frameCounters]
 
 	mobility *vclock.Timer
 }
@@ -192,14 +225,79 @@ type Network struct {
 // New returns an empty Network on the given simulator clock.
 func New(clock *vclock.Simulator) *Network {
 	return &Network{
-		clock:  clock,
-		nodes:  make(map[NodeID]*Node),
-		links:  make(map[linkKey]bool),
-		failed: make(map[linkKey]bool),
-		ranges: make(map[radio.Medium]float64),
-		loss:   make(map[linkKey]float64),
-		rng:    rand.New(rand.NewSource(1)),
+		clock:   clock,
+		nodes:   make(map[NodeID]*Node),
+		links:   make(map[linkKey]bool),
+		adj:     make(map[radio.Medium]map[NodeID]map[NodeID]bool),
+		failed:  make(map[linkKey]bool),
+		ranges:  make(map[radio.Medium]float64),
+		loss:    make(map[linkKey]float64),
+		rng:     rand.New(rand.NewSource(1)),
+		seed:    1,
+		grids:   make(map[radio.Medium]*grid),
+		lossSeq: make(map[dirLink]uint64),
 	}
+}
+
+// EnableSharding assigns every (future) node to one of n vclock lanes, so
+// parallel batch runs preserve per-device ordering while devices on
+// different lanes execute concurrently. It must be called before any node
+// is added.
+func (nw *Network) EnableSharding(n int) error {
+	if n < 1 {
+		return fmt.Errorf("simnet: sharding needs >= 1 lane, got %d", n)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if len(nw.nodes) > 0 {
+		return fmt.Errorf("simnet: sharding must be enabled before nodes are added (%d exist)", len(nw.nodes))
+	}
+	nw.lanes = n
+	return nil
+}
+
+// Sharded reports whether lane sharding is enabled.
+func (nw *Network) Sharded() bool { return nw.lanes > 0 }
+
+// Lanes returns the shard count (0 when not sharded).
+func (nw *Network) Lanes() int { return nw.lanes }
+
+// LaneOf returns the vclock lane a node executes on, or vclock.GlobalLane
+// when sharding is off. The assignment is a stable hash of the ID, so it is
+// independent of insertion order.
+func (nw *Network) LaneOf(id NodeID) int32 {
+	if nw.lanes <= 0 {
+		return vclock.GlobalLane
+	}
+	return int32(fnv1a(string(id)) % uint64(nw.lanes))
+}
+
+// ClockFor returns the Clock a node's components must schedule through: the
+// node's lane handle when sharded (keeping all of the device's callbacks on
+// its shard), the simulator itself otherwise.
+func (nw *Network) ClockFor(id NodeID) vclock.Clock {
+	if nw.lanes <= 0 {
+		return nw.clock
+	}
+	return nw.clock.Lane(int(nw.LaneOf(id)))
+}
+
+// fnv1a is the 64-bit FNV-1a hash (inlined to keep simnet dependency-free).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is a strong 64-bit mixer used for keyed loss decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // SetMetrics attaches a metrics registry: frames sent, delivered and
@@ -210,14 +308,17 @@ func (nw *Network) SetMetrics(reg *metrics.Registry) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.metrics = reg
-	nw.sent = make(map[radio.Medium]*metrics.Counter)
-	nw.recvd = make(map[radio.Medium]*metrics.Counter)
-	nw.lost = make(map[radio.Medium]*metrics.Counter)
-	for _, m := range []radio.Medium{radio.MediumInternal, radio.MediumBT, radio.MediumWiFi, radio.MediumUMTS} {
-		nw.sent[m] = reg.Counter("simnet.frames.sent." + m.String())
-		nw.recvd[m] = reg.Counter("simnet.frames.delivered." + m.String())
-		nw.lost[m] = reg.Counter("simnet.frames.dropped." + m.String())
+	fc := &frameCounters{
+		sent:  make(map[radio.Medium]*metrics.Counter),
+		recvd: make(map[radio.Medium]*metrics.Counter),
+		lost:  make(map[radio.Medium]*metrics.Counter),
 	}
+	for _, m := range []radio.Medium{radio.MediumInternal, radio.MediumBT, radio.MediumWiFi, radio.MediumUMTS} {
+		fc.sent[m] = reg.Counter("simnet.frames.sent." + m.String())
+		fc.recvd[m] = reg.Counter("simnet.frames.delivered." + m.String())
+		fc.lost[m] = reg.Counter("simnet.frames.dropped." + m.String())
+	}
+	nw.frames.Store(fc)
 	for _, n := range nw.nodes {
 		n.timeline.SetMetrics(reg)
 	}
@@ -228,6 +329,7 @@ func (nw *Network) Seed(seed int64) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.rng = rand.New(rand.NewSource(seed))
+	nw.seed = seed
 }
 
 // SetLoss makes the link between a and b on m lossy: each delivery is
@@ -250,22 +352,43 @@ func (nw *Network) SetLoss(a, b NodeID, m radio.Medium, p float64) {
 	nw.loss[key] = p
 }
 
-// lossDrop reports whether a delivery on the link should be lost.
+// lossDrop reports whether a delivery on the link should be lost. In serial
+// mode decisions come from the shared rand stream (draw order is the event
+// order, which is deterministic). In sharded mode the shared stream's draw
+// order would depend on cross-lane interleaving, so the decision is instead
+// a keyed hash of (seed, directed link, per-link delivery count): each
+// directed link's deliveries execute sequentially in the receiver's lane,
+// making the count — and hence every decision — schedule-independent.
 func (nw *Network) lossDrop(a, b NodeID, m radio.Medium) bool {
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
 	p, lossy := nw.loss[newLinkKey(a, b, m)]
+	seed := nw.seed
+	nw.mu.Unlock()
 	if !lossy {
 		return false
 	}
-	return nw.rng.Float64() < p
+	if nw.lanes <= 0 {
+		nw.mu.Lock()
+		defer nw.mu.Unlock()
+		return nw.rng.Float64() < p
+	}
+	dk := dirLink{from: a, to: b, medium: m}
+	nw.lossMu.Lock()
+	seq := nw.lossSeq[dk]
+	nw.lossSeq[dk] = seq + 1
+	nw.lossMu.Unlock()
+	h := splitmix64(uint64(seed) ^ fnv1a(string(a)+"\x00"+string(b)+"\x00"+m.String()) ^ splitmix64(seq))
+	return float64(h>>11)/(1<<53) < p
 }
 
 // Clock returns the network's simulator.
 func (nw *Network) Clock() *vclock.Simulator { return nw.clock }
 
-// AddNode creates a node at the given position with all radios on.
+// AddNode creates a node at the given position with all radios on. When
+// sharding is enabled the node's timeline and battery tick on its lane
+// clock, so their periodic work stays on the node's shard.
 func (nw *Network) AddNode(id NodeID, pos Position) (*Node, error) {
+	clk := nw.ClockFor(id)
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if _, exists := nw.nodes[id]; exists {
@@ -282,13 +405,14 @@ func (nw *Network) AddNode(id NodeID, pos Position) (*Node, error) {
 			radio.MediumUMTS:     true,
 		},
 		handlers: make(map[string]Handler),
-		timeline: energy.NewTimeline(nw.clock),
-		battery:  energy.NewBattery(nw.clock, energy.BatteryConfig{}),
+		timeline: energy.NewTimeline(clk),
+		battery:  energy.NewBattery(clk, energy.BatteryConfig{}),
 	}
 	if nw.metrics != nil {
 		n.timeline.SetMetrics(nw.metrics)
 	}
 	nw.nodes[id] = n
+	nw.gridsDirty.Store(true)
 	return n, nil
 }
 
@@ -319,6 +443,8 @@ func (nw *Network) Connect(a, b NodeID, m radio.Medium) error {
 		return fmt.Errorf("%w: %s-%s", ErrUnknownNode, a, b)
 	}
 	nw.links[newLinkKey(a, b, m)] = true
+	nw.adjAddLocked(m, a, b)
+	nw.adjAddLocked(m, b, a)
 	return nil
 }
 
@@ -327,6 +453,28 @@ func (nw *Network) Disconnect(a, b NodeID, m radio.Medium) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	delete(nw.links, newLinkKey(a, b, m))
+	nw.adjDelLocked(m, a, b)
+	nw.adjDelLocked(m, b, a)
+}
+
+func (nw *Network) adjAddLocked(m radio.Medium, from, to NodeID) {
+	byNode := nw.adj[m]
+	if byNode == nil {
+		byNode = make(map[NodeID]map[NodeID]bool)
+		nw.adj[m] = byNode
+	}
+	set := byNode[from]
+	if set == nil {
+		set = make(map[NodeID]bool)
+		byNode[from] = set
+	}
+	set[to] = true
+}
+
+func (nw *Network) adjDelLocked(m radio.Medium, from, to NodeID) {
+	if set := nw.adj[m][from]; set != nil {
+		delete(set, to)
+	}
 }
 
 // FailLink marks the link (explicit or range-based) as failed until
@@ -351,6 +499,7 @@ func (nw *Network) SetRange(m radio.Medium, metres float64) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.ranges[m] = metres
+	nw.gridsDirty.Store(true)
 }
 
 // Linked reports whether a and b can currently communicate over m.
@@ -381,16 +530,82 @@ func (nw *Network) linkedLocked(a, b NodeID, m radio.Medium) bool {
 	return false
 }
 
+// grid is a uniform spatial index: node IDs bucketed into square cells of
+// side = the medium's range. Any pair within range is in the same or an
+// adjacent cell, so a 3×3 neighborhood scan finds every range candidate
+// (each still verified with the exact link predicate, so link decisions are
+// identical to the brute-force scan — the grid only prunes).
+type grid struct {
+	cell  float64
+	cells map[[2]int][]NodeID
+}
+
+func (g *grid) key(p Position) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// rebuildGridsLocked re-buckets every node for every range-enabled medium.
+// nw.mu must be held.
+func (nw *Network) rebuildGridsLocked() {
+	nw.grids = make(map[radio.Medium]*grid, len(nw.ranges))
+	for m, r := range nw.ranges {
+		if r <= 0 {
+			continue
+		}
+		g := &grid{cell: r, cells: make(map[[2]int][]NodeID)}
+		for id, n := range nw.nodes {
+			k := g.key(n.Position())
+			g.cells[k] = append(g.cells[k], id)
+		}
+		nw.grids[m] = g
+	}
+	nw.gridsDirty.Store(false)
+}
+
+// rangeCandidatesLocked appends to out the IDs of nodes that could be within
+// range of n over m (superset pruned by the grid). nw.mu must be held.
+func (nw *Network) rangeCandidatesLocked(n *Node, m radio.Medium, out []NodeID) []NodeID {
+	if nw.gridsDirty.Load() || nw.grids == nil {
+		nw.rebuildGridsLocked()
+	}
+	g := nw.grids[m]
+	if g == nil {
+		return out
+	}
+	k := g.key(n.Position())
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			out = append(out, g.cells[[2]int{k[0] + dx, k[1] + dy}]...)
+		}
+	}
+	return out
+}
+
 // Neighbors returns the IDs of all nodes currently linked to id over m, in
-// stable order.
+// stable order. Candidates come from the explicit-link adjacency set plus
+// the spatial grid (when the medium has a range), so the cost is
+// O(degree + local density) instead of O(all nodes).
 func (nw *Network) Neighbors(id NodeID, m radio.Medium) []NodeID {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	n := nw.nodes[id]
+	if n == nil {
+		return nil
+	}
+	var cand []NodeID
+	for other := range nw.adj[m][id] {
+		cand = append(cand, other)
+	}
+	if nw.ranges[m] > 0 {
+		cand = nw.rangeCandidatesLocked(n, m, cand)
+	}
 	var out []NodeID
-	for other := range nw.nodes {
-		if other == id {
+	seen := make(map[NodeID]bool, len(cand))
+	for _, other := range cand {
+		if other == id || seen[other] {
 			continue
 		}
+		seen[other] = true
 		if nw.linkedLocked(id, other, m) {
 			out = append(out, other)
 		}
@@ -488,10 +703,17 @@ func (nw *Network) Send(msg Message, latency time.Duration) error {
 		return fmt.Errorf("%w: %s→%s over %s", ErrNotLinked, msg.From, msg.To, msg.Medium)
 	}
 	msg.SentAt = nw.clock.Now()
-	nw.mu.Lock()
-	nw.sent[msg.Medium].Inc()
-	nw.mu.Unlock()
-	nw.clock.After(latency, func() { nw.deliver(msg) })
+	if fc := nw.frames.Load(); fc != nil {
+		fc.sent[msg.Medium].Inc()
+	}
+	if nw.lanes > 0 {
+		// Ordering key from the sender's lane (whose sequential code makes
+		// it deterministic), execution in the receiver's lane (whose state
+		// the handler touches).
+		nw.clock.AfterFrom(nw.LaneOf(msg.From), nw.LaneOf(msg.To), latency, func() { nw.deliver(msg) })
+	} else {
+		nw.clock.After(latency, func() { nw.deliver(msg) })
+	}
 	return nil
 }
 
@@ -511,26 +733,24 @@ func (nw *Network) deliver(msg Message) {
 		nw.countDrop(msg.Medium)
 		return
 	}
-	nw.mu.Lock()
-	nw.delivers++
-	nw.recvd[msg.Medium].Inc()
-	nw.mu.Unlock()
+	nw.delivers.Add(1)
+	if fc := nw.frames.Load(); fc != nil {
+		fc.recvd[msg.Medium].Inc()
+	}
 	h(msg)
 }
 
 // countDrop accounts one dropped frame globally and per medium.
 func (nw *Network) countDrop(m radio.Medium) {
-	nw.mu.Lock()
-	nw.dropped++
-	nw.lost[m].Inc()
-	nw.mu.Unlock()
+	nw.dropped.Add(1)
+	if fc := nw.frames.Load(); fc != nil {
+		fc.lost[m].Inc()
+	}
 }
 
 // Stats returns cumulative delivered and dropped message counts.
 func (nw *Network) Stats() (delivered, dropped int) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.delivers, nw.dropped
+	return int(nw.delivers.Load()), int(nw.dropped.Load())
 }
 
 // StartMobility begins integrating node velocities every interval.
@@ -548,6 +768,7 @@ func (nw *Network) StartMobility(interval time.Duration) {
 			n.pos.Y += n.vel.Y * interval.Seconds()
 			n.mu.Unlock()
 		}
+		nw.gridsDirty.Store(true)
 	})
 }
 

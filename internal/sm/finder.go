@@ -122,7 +122,7 @@ func (p *Platform) LaunchFinder(origin simnet.NodeID, spec FinderSpec, done func
 		targets = p.discoverTargets(origin, spec)
 	}
 	m := &Message{
-		ID:     p.nextMsgID(),
+		ID:     p.nextMsgID(origin),
 		CodeID: finderCodeID,
 		Origin: origin,
 		Data:   map[string]any{},
@@ -154,11 +154,14 @@ func (p *Platform) LaunchFinder(origin simnet.NodeID, spec FinderSpec, done func
 	p.finders[m.ID] = finish
 	p.mu.Unlock()
 
-	p.net.Clock().After(spec.timeout(), func() { finish(nil, ErrFinderTimeout) })
+	// Both timers run on the origin's clock: finish touches the origin's
+	// timeline and query state, so in sharded mode it must stay on the
+	// origin's lane.
+	p.net.ClockFor(origin).After(spec.timeout(), func() { finish(nil, ErrFinderTimeout) })
 
 	// No reachable provider: let the timeout cancel the query, as the
 	// paper specifies for finders that find nothing.
-	p.net.Clock().After(0, func() {
+	p.net.ClockFor(origin).After(0, func() {
 		if rtNow := p.Runtime(origin); rtNow != nil {
 			p.finderStep(rtNow, m)
 		}
@@ -175,8 +178,11 @@ func queryBytesOrDefault(b int) int {
 
 // discoverTargets simulates content-based routing state: participant nodes
 // exposing the desired tag within MaxHops of origin, nearest first, capped
-// at MaxNodes.
+// at MaxNodes. One breadth-first sweep from the origin yields every
+// candidate's hop distance at once; a per-candidate path search would make
+// fleet-scale discovery cost quadratic in the population.
 func (p *Platform) discoverTargets(origin simnet.NodeID, spec FinderSpec) []simnet.NodeID {
+	dist := p.hopDistances(origin, spec.MaxHops)
 	type cand struct {
 		id   simnet.NodeID
 		dist int
@@ -184,6 +190,10 @@ func (p *Platform) discoverTargets(origin simnet.NodeID, spec FinderSpec) []simn
 	var cands []cand
 	for _, id := range p.participants() {
 		if id == origin {
+			continue
+		}
+		d, reachable := dist[id]
+		if !reachable {
 			continue
 		}
 		rt := p.Runtime(id)
@@ -195,10 +205,6 @@ func (p *Platform) discoverTargets(origin simnet.NodeID, spec FinderSpec) []simn
 			if node == nil || !spec.Region.contains(node.Position()) {
 				continue
 			}
-		}
-		d, ok := p.hopDistance(origin, id)
-		if !ok || (spec.MaxHops > 0 && d > spec.MaxHops) {
-			continue
 		}
 		cands = append(cands, cand{id: id, dist: d})
 	}
@@ -219,6 +225,29 @@ func (p *Platform) discoverTargets(origin simnet.NodeID, spec FinderSpec) []simn
 	return out
 }
 
+// hopDistances runs one BFS over participant-only WiFi links from origin and
+// returns the hop distance of every node reached, stopping at maxHops when
+// it is positive (0 = unbounded).
+func (p *Platform) hopDistances(origin simnet.NodeID, maxHops int) map[simnet.NodeID]int {
+	set := p.participantSet()
+	dist := map[simnet.NodeID]int{origin: 0}
+	frontier := []simnet.NodeID{origin}
+	for d := 1; len(frontier) > 0 && (maxHops <= 0 || d <= maxHops); d++ {
+		var next []simnet.NodeID
+		for _, cur := range frontier {
+			for _, nb := range p.net.Neighbors(cur, radio.MediumWiFi) {
+				if _, seen := dist[nb]; seen || (nb != origin && !set[nb]) {
+					continue
+				}
+				dist[nb] = d
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
 // hopDistance runs BFS over WiFi links restricted to participant nodes
 // (only nodes exposing the contory tag collaborate in forwarding, §5.2).
 func (p *Platform) hopDistance(a, b simnet.NodeID) (int, bool) {
@@ -235,10 +264,7 @@ func (p *Platform) shortestPath(a, b simnet.NodeID) ([]simnet.NodeID, bool) {
 	if a == b {
 		return nil, true
 	}
-	allowed := map[simnet.NodeID]bool{a: true, b: true}
-	for _, id := range p.participants() {
-		allowed[id] = true
-	}
+	set := p.participantSet()
 	prev := map[simnet.NodeID]simnet.NodeID{}
 	visited := map[simnet.NodeID]bool{a: true}
 	frontier := []simnet.NodeID{a}
@@ -246,7 +272,7 @@ func (p *Platform) shortestPath(a, b simnet.NodeID) ([]simnet.NodeID, bool) {
 		var next []simnet.NodeID
 		for _, cur := range frontier {
 			for _, nb := range p.net.Neighbors(cur, radio.MediumWiFi) {
-				if visited[nb] || !allowed[nb] {
+				if visited[nb] || (nb != a && nb != b && !set[nb]) {
 					continue
 				}
 				visited[nb] = true

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"contory/internal/energy"
@@ -79,8 +80,15 @@ type Platform struct {
 	mu       sync.Mutex
 	runtimes map[simnet.NodeID]*Runtime
 	nextID   int
+	perNode  map[simnet.NodeID]int // sharded mode: per-origin SM counters
 	code     map[string]CodeBrick
 	finders  map[string]func([]Result, error)
+
+	// parts is a copy-on-write snapshot of the participant set, so route
+	// discovery (which consults it on every SM operation, possibly from
+	// many lanes at once) never pays a per-node tag-space read. Mutated
+	// only under mu, via setParticipating.
+	parts atomic.Pointer[map[simnet.NodeID]bool]
 }
 
 // NewPlatform returns an SM platform over the given network with the
@@ -99,6 +107,10 @@ func NewPlatform(nw *simnet.Network, wifi *radio.WiFi) *Platform {
 // Clock returns the platform's shared virtual clock.
 func (p *Platform) Clock() *vclock.Simulator { return p.net.Clock() }
 
+// ClockFor returns the scheduling clock for a node: its lane handle when
+// the network is sharded, the shared simulator otherwise.
+func (p *Platform) ClockFor(id simnet.NodeID) vclock.Clock { return p.net.ClockFor(id) }
+
 // Install creates the SM runtime on a node and exposes the participation
 // tag, joining the Contory ad hoc network.
 func (p *Platform) Install(id simnet.NodeID, adm Admission) (*Runtime, error) {
@@ -109,7 +121,7 @@ func (p *Platform) Install(id simnet.NodeID, adm Admission) (*Runtime, error) {
 	rt := &Runtime{
 		platform:  p,
 		node:      node,
-		tags:      NewTagSpace(p.net.Clock()),
+		tags:      NewTagSpace(p.net.ClockFor(id)),
 		admission: adm,
 		codeCache: make(map[string]bool),
 	}
@@ -118,8 +130,9 @@ func (p *Platform) Install(id simnet.NodeID, adm Admission) (*Runtime, error) {
 	}
 	node.Handle(msgKindSM, rt.onArrive)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.runtimes[id] = rt
+	p.mu.Unlock()
+	p.setParticipating(id, true)
 	return rt, nil
 }
 
@@ -132,24 +145,58 @@ func (p *Platform) Runtime(id simnet.NodeID) *Runtime {
 
 // nextMsgID allocates a unique SM identifier ("to disambiguate between
 // multiple messages, a unique identifier is associated with each query and
-// with each result").
-func (p *Platform) nextMsgID() string {
+// with each result"). In sharded mode IDs are per-origin counters — the
+// global counter's allocation order would depend on cross-lane scheduling,
+// and IDs seed per-message latency samplers, so they must be deterministic.
+func (p *Platform) nextMsgID(origin simnet.NodeID) string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.net.Sharded() {
+		if p.perNode == nil {
+			p.perNode = make(map[simnet.NodeID]int)
+		}
+		p.perNode[origin]++
+		return fmt.Sprintf("sm-%s-%d", origin, p.perNode[origin])
+	}
 	p.nextID++
 	return fmt.Sprintf("sm-%d", p.nextID)
 }
 
-// participants returns the IDs of nodes whose runtime exposes the
-// participation tag and whose WiFi radio is reachable.
-func (p *Platform) participants() []simnet.NodeID {
+// setParticipating updates the copy-on-write participant snapshot.
+func (p *Platform) setParticipating(id simnet.NodeID, on bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []simnet.NodeID
-	for id, rt := range p.runtimes {
-		if rt.tags.Has(ParticipationTag) {
-			out = append(out, id)
+	old := p.parts.Load()
+	next := make(map[simnet.NodeID]bool)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
 		}
+	}
+	if on {
+		next[id] = true
+	} else {
+		delete(next, id)
+	}
+	p.parts.Store(&next)
+}
+
+// participantSet returns the current participant snapshot. The returned map
+// is immutable — callers must only read it.
+func (p *Platform) participantSet() map[simnet.NodeID]bool {
+	if s := p.parts.Load(); s != nil {
+		return *s
+	}
+	return nil
+}
+
+// participants returns the IDs of nodes currently exposing the
+// participation tag.
+func (p *Platform) participants() []simnet.NodeID {
+	set := p.participantSet()
+	out := make([]simnet.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
 	}
 	return out
 }
@@ -185,10 +232,16 @@ func (rt *Runtime) Stats() (accepted, rejected int) {
 
 // Leave withdraws the node from the Contory ad hoc network by deleting the
 // participation tag; Join re-adds it.
-func (rt *Runtime) Leave() { rt.tags.Delete(ParticipationTag) }
+func (rt *Runtime) Leave() {
+	rt.tags.Delete(ParticipationTag)
+	rt.platform.setParticipating(rt.node.ID(), false)
+}
 
 // Join re-exposes the participation tag.
-func (rt *Runtime) Join() { rt.tags.Update(Tag{Name: ParticipationTag, Owner: "sm"}) }
+func (rt *Runtime) Join() {
+	rt.tags.Update(Tag{Name: ParticipationTag, Owner: "sm"})
+	rt.platform.setParticipating(rt.node.ID(), true)
+}
 
 // Participating reports whether the node is part of the SM ad hoc network.
 func (rt *Runtime) Participating() bool { return rt.tags.Has(ParticipationTag) }
@@ -249,9 +302,16 @@ func (rt *Runtime) onArrive(msg simnet.Message) {
 // The steady state assumes the receiver's code cache holds the (frequently
 // executed) finder code brick; a cache miss must additionally transfer and
 // deserialize the code, adding a share of the serialization component.
-func (p *Platform) hopLatency(departOrigin, arriveOrigin, codeCached bool) time.Duration {
-	half := p.wifi.PerHopLatency() / 2
-	d := p.wifi.HopLatency(false) / 2 // jittered per-hop half-cost
+func (p *Platform) hopLatency(m *Message, departOrigin, arriveOrigin, codeCached bool) time.Duration {
+	w := p.wifi
+	if p.net.Sharded() {
+		// The shared sampler's draw order depends on cross-lane scheduling;
+		// key a private sampler on (message, hop) instead so every hop's
+		// latency is a pure function of the SM's deterministic identity.
+		w = radio.NewWiFi(int64(hashID(m.ID)) + int64(m.HopCnt))
+	}
+	half := w.PerHopLatency() / 2
+	d := w.HopLatency(false) / 2 // jittered per-hop half-cost
 	if d <= 0 {
 		d = half
 	}
@@ -279,7 +339,7 @@ func (p *Platform) migrate(m *Message, from, to simnet.NodeID, departOrigin, arr
 		cached = toRt.codeCache[m.CodeID]
 		toRt.mu.Unlock()
 	}
-	d := p.hopLatency(departOrigin, arriveOrigin, cached)
+	d := p.hopLatency(m, departOrigin, arriveOrigin, cached)
 	m.HopCnt++
 	err := p.net.Send(simnet.Message{
 		From:    from,
@@ -304,6 +364,17 @@ func (p *Platform) migrate(m *Message, from, to simnet.NodeID, departOrigin, arr
 		}
 	}
 	return nil
+}
+
+// hashID is 64-bit FNV-1a over an SM identifier, used to seed per-message
+// latency samplers in sharded mode.
+func hashID(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // smWireBytes estimates the serialized SM size: control state plus data

@@ -414,9 +414,10 @@ func TestCodeCache(t *testing.T) {
 	// A cold code cache adds code transfer/deserialization to the hop;
 	// average over many draws to see past per-hop jitter.
 	var cold, warm time.Duration
+	m := &Message{ID: "sm-test"}
 	for i := 0; i < 200; i++ {
-		cold += p.hopLatency(false, false, false)
-		warm += p.hopLatency(false, false, true)
+		cold += p.hopLatency(m, false, false, false)
+		warm += p.hopLatency(m, false, false, true)
 	}
 	if warm >= cold {
 		t.Fatalf("warm hops %v not faster than cold %v", warm/200, cold/200)

@@ -5,13 +5,37 @@
 // work through a Clock. In production-style runs the clock is a Simulator
 // that advances virtual time event by event, which makes a 10-minute energy
 // experiment complete in microseconds and renders every run deterministic.
+//
+// # Lanes and parallel batch execution
+//
+// Fleet-scale runs (internal/fleet) drive thousands of devices; executing
+// every event on one goroutine serialises the whole testbed. The simulator
+// therefore supports device-sharded lanes: a Lane is a Clock handle bound to
+// one shard, and RunParallelUntil drains all events that share a virtual
+// timestamp across a bounded worker pool, running each lane's events
+// sequentially (per-device ordering is preserved) while different lanes
+// proceed concurrently. A barrier separates timestamps, and events scheduled
+// on the simulator itself (GlobalLane) are barriers within a timestamp, so
+// topology-wide mutations never race device work.
+//
+// Determinism contract for parallel runs: a lane event may mutate state
+// owned by its own lane, schedule events through lane-bound handles, and
+// touch shared state only through order-independent operations (atomic
+// counters, fixed-point metric accumulation, keyed hashes). Cross-visible
+// mutations (failing links, toggling radios, moving every node) belong in
+// GlobalLane events. Under that contract, same-seed runs produce identical
+// event timelines at any worker count: same-time events are ordered by
+// (origin lane, per-origin sequence), both of which are assigned from
+// deterministically-ordered sequential code.
 package vclock
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,25 +51,48 @@ type Clock interface {
 	Every(d time.Duration, fn func()) *Timer
 }
 
+// GlobalLane is the lane of events not bound to any device shard. In
+// parallel batch runs global events are barriers: every lane event ordered
+// before them completes first, and no lane event ordered after them starts
+// until they return.
+const GlobalLane int32 = -1
+
 // Timer is a handle to a scheduled callback.
 type Timer struct {
 	mu      sync.Mutex
 	stopped bool
-	ev      *event
+	sim     *Simulator
+	// ev is the timer's currently queued event, guarded by sim.mu (not
+	// t.mu: push runs with sim.mu held and must not take t.mu, or Stop's
+	// t.mu→sim.mu order would deadlock).
+	ev *event
 }
 
-// Stop cancels the timer. It is safe to call multiple times and after the
-// timer has fired; it reports whether the call prevented a future firing.
+// Stop cancels the timer and removes its pending event from the simulator's
+// queue, so stopping N timers shrinks the heap by N immediately (high-churn
+// fleets would otherwise grow the queue unboundedly with dead events). It is
+// safe to call multiple times and after the timer has fired; it reports
+// whether the call prevented a future firing.
 func (t *Timer) Stop() bool {
 	if t == nil {
 		return false
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.stopped {
+		t.mu.Unlock()
 		return false
 	}
 	t.stopped = true
+	sim := t.sim
+	t.mu.Unlock()
+	if sim != nil {
+		sim.mu.Lock()
+		if ev := t.ev; ev != nil && ev.index >= 0 {
+			heap.Remove(&sim.queue, ev.index)
+		}
+		t.ev = nil
+		sim.mu.Unlock()
+	}
 	return true
 }
 
@@ -57,14 +104,22 @@ func (t *Timer) isStopped() bool {
 
 // event is a scheduled callback in the simulator's queue.
 type event struct {
-	at    time.Time
-	seq   uint64 // tie-breaker: FIFO among same-time events
+	at time.Time
+	// origin and seq form the deterministic tie-break among same-time
+	// events: origin is the lane whose (sequential) code scheduled the
+	// event, seq that origin's private counter. GlobalLane origins cover
+	// the main goroutine and barrier events.
+	origin int32
+	seq    uint64
+	// lane is the execution shard: events sharing a lane run sequentially
+	// even in parallel batches. GlobalLane events are barriers.
+	lane  int32
 	fn    func()
 	timer *Timer // nil for one-shot internal events
-	index int    // heap index
+	index int    // heap index; -1 once popped or removed
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
+// eventQueue is a min-heap ordered by (at, origin, seq).
 type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -72,6 +127,9 @@ func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
 	if !q[i].at.Equal(q[j].at) {
 		return q[i].at.Before(q[j].at)
+	}
+	if q[i].origin != q[j].origin {
+		return q[i].origin < q[j].origin
 	}
 	return q[i].seq < q[j].seq
 }
@@ -102,16 +160,19 @@ func (q *eventQueue) Pop() any {
 }
 
 // Simulator is a discrete-event Clock. The zero value is not usable; use
-// NewSimulator. Simulator is safe for concurrent scheduling, but events run
-// sequentially on the goroutine that calls Run/Advance/Step, which gives the
-// whole simulation a single deterministic timeline.
+// NewSimulator. Simulator is safe for concurrent scheduling. Events run
+// sequentially on the goroutine that calls Run/Advance/Step — one
+// deterministic timeline — or, via RunParallelUntil, across a worker pool
+// with per-lane ordering and per-timestamp barriers.
 type Simulator struct {
-	mu    sync.Mutex
-	start time.Time
-	now   time.Time
-	seq   uint64
-	queue eventQueue
-	runs  uint64 // number of events executed
+	mu        sync.Mutex
+	start     time.Time
+	now       time.Time
+	nowNanos  atomic.Int64 // mirror of now (ns since start) for lock-free Now
+	globalSeq uint64
+	laneSeq   []uint64
+	queue     eventQueue
+	runs      atomic.Uint64 // number of events executed
 }
 
 var _ Clock = (*Simulator)(nil)
@@ -130,18 +191,21 @@ func NewSimulatorAt(start time.Time) *Simulator {
 	return &Simulator{start: start, now: start}
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It is lock-free: hot paths across
+// all lanes read the clock constantly.
 func (s *Simulator) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return s.start.Add(time.Duration(s.nowNanos.Load()))
+}
+
+// setNowLocked advances the clock; s.mu must be held.
+func (s *Simulator) setNowLocked(t time.Time) {
+	s.now = t
+	s.nowNanos.Store(int64(t.Sub(s.start)))
 }
 
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.runs
+	return s.runs.Load()
 }
 
 // Pending returns the number of queued events.
@@ -151,22 +215,46 @@ func (s *Simulator) Pending() int {
 	return len(s.queue)
 }
 
-// After implements Clock.
+// After implements Clock; the event is scheduled on the global lane.
 func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	return s.afterIn(GlobalLane, GlobalLane, d, fn)
+}
+
+func (s *Simulator) afterIn(origin, lane int32, d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	t := &Timer{}
+	t := &Timer{sim: s}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.push(s.now.Add(d), fn, t)
+	s.push(s.now.Add(d), fn, t, origin, lane)
 	return t
+}
+
+// AfterFrom schedules fn to run in execution lane exec, d from now, with the
+// deterministic ordering key taken from lane origin. It is the cross-lane
+// scheduling primitive: a message send executes sender-side (origin = the
+// sender's lane, whose sequential code makes the ordering key
+// deterministic) but must be delivered receiver-side (exec = the receiver's
+// lane, so receiver state is only touched from its own shard).
+func (s *Simulator) AfterFrom(origin, exec int32, d time.Duration, fn func()) *Timer {
+	if origin < 0 {
+		origin = GlobalLane
+	}
+	if exec < 0 {
+		exec = GlobalLane
+	}
+	return s.afterIn(origin, exec, d, fn)
 }
 
 // Every implements Clock. If d <= 0 the timer never fires and is returned
 // already stopped.
 func (s *Simulator) Every(d time.Duration, fn func()) *Timer {
-	t := &Timer{}
+	return s.everyIn(GlobalLane, GlobalLane, d, fn)
+}
+
+func (s *Simulator) everyIn(origin, lane int32, d time.Duration, fn func()) *Timer {
+	t := &Timer{sim: s}
 	if d <= 0 {
 		t.stopped = true
 		return t
@@ -184,7 +272,7 @@ func (s *Simulator) Every(d time.Duration, fn func()) *Timer {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			schedule(at.Add(d))
-		}, t)
+		}, t, origin, lane)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -192,10 +280,61 @@ func (s *Simulator) Every(d time.Duration, fn func()) *Timer {
 	return t
 }
 
+// Lane is a Clock handle bound to one execution shard. Events scheduled
+// through it carry the lane as both ordering origin and execution shard, so
+// a device whose components all share its lane handle keeps strict
+// per-device event ordering even in parallel batches.
+type Lane struct {
+	s  *Simulator
+	id int32
+}
+
+var _ Clock = (*Lane)(nil)
+
+// Lane returns the Clock handle for shard id (id >= 0).
+func (s *Simulator) Lane(id int) *Lane {
+	if id < 0 {
+		id = 0
+	}
+	return &Lane{s: s, id: int32(id)}
+}
+
+// ID returns the lane's shard number.
+func (l *Lane) ID() int32 { return l.id }
+
+// Simulator returns the underlying simulator.
+func (l *Lane) Simulator() *Simulator { return l.s }
+
+// Now implements Clock.
+func (l *Lane) Now() time.Time { return l.s.Now() }
+
+// After implements Clock on the lane's shard.
+func (l *Lane) After(d time.Duration, fn func()) *Timer {
+	return l.s.afterIn(l.id, l.id, d, fn)
+}
+
+// Every implements Clock on the lane's shard.
+func (l *Lane) Every(d time.Duration, fn func()) *Timer {
+	return l.s.everyIn(l.id, l.id, d, fn)
+}
+
 // push must be called with s.mu held.
-func (s *Simulator) push(at time.Time, fn func(), t *Timer) {
-	ev := &event{at: at, seq: s.seq, fn: fn, timer: t}
-	s.seq++
+func (s *Simulator) push(at time.Time, fn func(), t *Timer, origin, lane int32) {
+	var seq uint64
+	if origin == GlobalLane {
+		seq = s.globalSeq
+		s.globalSeq++
+	} else {
+		for int(origin) >= len(s.laneSeq) {
+			s.laneSeq = append(s.laneSeq, 0)
+		}
+		seq = s.laneSeq[origin]
+		s.laneSeq[origin]++
+	}
+	ev := &event{at: at, origin: origin, seq: seq, lane: lane, fn: fn, timer: t}
+	if t != nil {
+		t.ev = ev
+	}
 	heap.Push(&s.queue, ev)
 }
 
@@ -217,9 +356,9 @@ func (s *Simulator) Step() error {
 			return fmt.Errorf("vclock: unexpected queue element %T", popped)
 		}
 		if ev.at.After(s.now) {
-			s.now = ev.at
+			s.setNowLocked(ev.at)
 		}
-		s.runs++
+		s.runs.Add(1)
 		s.mu.Unlock()
 		if ev.timer != nil && ev.timer.isStopped() {
 			continue // cancelled; try the next event
@@ -249,7 +388,7 @@ func (s *Simulator) AdvanceTo(deadline time.Time) {
 		s.mu.Lock()
 		if len(s.queue) == 0 || s.queue[0].at.After(deadline) {
 			if deadline.After(s.now) {
-				s.now = deadline
+				s.setNowLocked(deadline)
 			}
 			s.mu.Unlock()
 			return
@@ -277,6 +416,146 @@ func (s *Simulator) Run(maxEvents int) int {
 	}
 	return n
 }
+
+// BatchStats summarises one RunParallelUntil drain. All fields are
+// deterministic for a given seed and scenario, independent of worker count.
+type BatchStats struct {
+	// Events is the number of callbacks executed (stopped timers excluded).
+	Events uint64
+	// Batches is the number of distinct virtual timestamps drained.
+	Batches uint64
+	// Groups is the number of parallel lane groups flushed to the pool.
+	Groups uint64
+	// Barriers is the number of GlobalLane events run between groups.
+	Barriers uint64
+}
+
+// RunParallelUntil drains all events scheduled up to and including deadline
+// across a worker pool, then sets the clock to deadline. workers <= 0 uses
+// GOMAXPROCS. Within one timestamp, events execute in deterministic
+// (origin, seq) order per lane; different lanes run concurrently;
+// GlobalLane events are barriers. The clock only advances once a timestamp
+// is fully drained (including events the batch itself scheduled at the same
+// instant), so no lane can observe a future time.
+func (s *Simulator) RunParallelUntil(deadline time.Time, workers int) BatchStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := newLanePool(workers, &s.runs)
+	defer pool.close()
+
+	var st BatchStats
+	var batch []*event
+	group := make([][]*event, 0, 64)
+	laneIdx := make(map[int32]int, 64)
+
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		st.Groups++
+		st.Events += pool.run(group)
+		group = group[:0]
+		for k := range laneIdx {
+			delete(laneIdx, k)
+		}
+	}
+
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 || s.queue[0].at.After(deadline) {
+			if deadline.After(s.now) {
+				s.setNowLocked(deadline)
+			}
+			s.mu.Unlock()
+			return st
+		}
+		t := s.queue[0].at
+		batch = batch[:0]
+		for len(s.queue) > 0 && s.queue[0].at.Equal(t) {
+			ev, ok := heap.Pop(&s.queue).(*event)
+			if !ok {
+				continue
+			}
+			batch = append(batch, ev)
+		}
+		if t.After(s.now) {
+			s.setNowLocked(t)
+		}
+		s.mu.Unlock()
+		st.Batches++
+
+		// batch is in deterministic (origin, seq) order. Group laned
+		// events for parallel execution; global events are barriers.
+		for _, ev := range batch {
+			if ev.timer != nil && ev.timer.isStopped() {
+				continue
+			}
+			if ev.lane == GlobalLane {
+				flush()
+				st.Barriers++
+				st.Events++
+				s.runs.Add(1)
+				ev.fn()
+				continue
+			}
+			i, ok := laneIdx[ev.lane]
+			if !ok {
+				i = len(group)
+				laneIdx[ev.lane] = i
+				group = append(group, nil)
+			}
+			group[i] = append(group[i], ev)
+		}
+		flush()
+		// Events scheduled at exactly t during this batch drain on the
+		// next loop iteration, before the clock moves past t.
+	}
+}
+
+// lanePool executes per-lane event lists across a fixed set of workers.
+// Each job is one lane's ordered slice; a worker runs it sequentially, so
+// per-lane ordering survives any worker count.
+type lanePool struct {
+	jobs chan []*event
+	wg   sync.WaitGroup
+	runs *atomic.Uint64
+	n    atomic.Uint64 // executed in the current run() call
+}
+
+func newLanePool(workers int, runs *atomic.Uint64) *lanePool {
+	p := &lanePool{jobs: make(chan []*event, workers), runs: runs}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for job := range p.jobs {
+				for _, ev := range job {
+					if ev.timer != nil && ev.timer.isStopped() {
+						continue
+					}
+					ev.fn()
+					p.n.Add(1)
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one group of lane jobs and returns how many events ran.
+func (p *lanePool) run(group [][]*event) uint64 {
+	p.n.Store(0)
+	p.wg.Add(len(group))
+	for _, job := range group {
+		p.jobs <- job
+	}
+	p.wg.Wait()
+	n := p.n.Load()
+	p.runs.Add(n)
+	return n
+}
+
+func (p *lanePool) close() { close(p.jobs) }
 
 // Sleep advances virtual time by d without requiring pending events. It is a
 // convenience wrapper over Advance used by experiment scripts.

@@ -40,11 +40,34 @@ type Phone struct {
 	world   *World
 }
 
+// WorldConfig configures a World beyond the deterministic seed.
+type WorldConfig struct {
+	// Seed drives every random model in the world.
+	Seed int64
+	// Lanes > 0 shards devices across that many vclock lanes, enabling
+	// RunParallel: per-device event ordering is preserved, devices on
+	// different lanes execute concurrently, and same-seed runs produce
+	// identical metrics at any worker count.
+	Lanes int
+}
+
 // NewWorld creates an empty world with an infrastructure server
 // ("infra") and a Smart Messages platform, seeded for determinism.
 func NewWorld(seed int64) (*World, error) {
+	return NewWorldConfig(WorldConfig{Seed: seed})
+}
+
+// NewWorldConfig creates a world from a full configuration.
+func NewWorldConfig(cfg WorldConfig) (*World, error) {
+	seed := cfg.Seed
 	clk := vclock.NewSimulator()
 	nw := simnet.New(clk)
+	nw.Seed(seed)
+	if cfg.Lanes > 0 {
+		if err := nw.EnableSharding(cfg.Lanes); err != nil {
+			return nil, fmt.Errorf("contory: world sharding: %w", err)
+		}
+	}
 	inf, err := infra.New(infra.Config{Network: nw, NodeID: "infra", UMTS: radio.NewUMTS(seed + 1)})
 	if err != nil {
 		return nil, fmt.Errorf("contory: world infra: %w", err)
@@ -77,6 +100,47 @@ func (w *World) Now() time.Time { return w.clock.Now() }
 
 // Run advances virtual time by d, executing all scheduled middleware work.
 func (w *World) Run(d time.Duration) { w.clock.Advance(d) }
+
+// RunParallel advances virtual time by d, draining each virtual timestamp's
+// events across a bounded worker pool (workers <= 0 uses GOMAXPROCS). The
+// world must have been created with Lanes > 0; per-device ordering is
+// preserved and same-seed runs are deterministic at any worker count.
+// Callbacks scheduled via After/Every run as barriers between lane batches,
+// so scripted scenario mutations (failures, churn) never race device work.
+func (w *World) RunParallel(d time.Duration, workers int) vclock.BatchStats {
+	return w.clock.RunParallelUntil(w.clock.Now().Add(d), workers)
+}
+
+// Sharded reports whether the world was built with lane sharding.
+func (w *World) Sharded() bool { return w.net.Sharded() }
+
+// EventsExecuted returns the cumulative count of simulator events run.
+func (w *World) EventsExecuted() uint64 { return w.clock.Executed() }
+
+// FailLink injects a failure on the link between two nodes on a medium; the
+// link stays down until RestoreLink.
+func (w *World) FailLink(a, b, medium string) error {
+	m, err := radio.ParseMedium(medium)
+	if err != nil {
+		return fmt.Errorf("contory: %w", err)
+	}
+	w.net.FailLink(simnet.NodeID(a), simnet.NodeID(b), m)
+	return nil
+}
+
+// RestoreLink clears a link failure.
+func (w *World) RestoreLink(a, b, medium string) error {
+	m, err := radio.ParseMedium(medium)
+	if err != nil {
+		return fmt.Errorf("contory: %w", err)
+	}
+	w.net.RestoreLink(simnet.NodeID(a), simnet.NodeID(b), m)
+	return nil
+}
+
+// Network exposes the underlying simulated fabric (for load engines and
+// experiment harnesses that need node-level control).
+func (w *World) Network() *simnet.Network { return w.net }
 
 // After schedules fn to run once d of virtual time from now (for scripted
 // scenarios: failure injection, mobility scripts, staged workloads).
