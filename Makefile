@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet test race bench experiments examples cover clean load-smoke load-bench
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke
 
 all: check
 
-# check is the full pre-merge gate: formatting, build, vet, tests, the
-# race detector and a small fleet-load smoke run.
-check: fmt-check build vet test race load-smoke
+# check is the full pre-merge gate: formatting, build, vet, staticcheck
+# (when installed), tests, the race detector, a small fleet-load smoke run
+# and a determinism-checked chaos run.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +19,14 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH; the gate never installs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -34,6 +43,18 @@ bench:
 load-smoke:
 	$(GO) test -race -count=1 -run 'TestFleetSmoke|TestFleetDeterministicAcrossWorkers' ./internal/fleet
 	$(GO) run -race ./cmd/contory-load -phones 200 -duration 2m -workers 4 -stats-out BENCH_fleet_smoke.json
+
+# chaos-smoke is the fault-injection gate: the chaos acceptance test under
+# the race detector, then the same seeded chaos scenario through the CLI at
+# 1 and 8 workers — the two summaries must be byte-identical.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetChaos|TestFailoverChaosProfiles' ./internal/fleet ./internal/core
+	$(GO) run ./cmd/contory-load -phones 120 -duration 3m -seed 7 -chaos mixed -gps 0.3 \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 1 -stats-out BENCH_chaos_w1.json
+	$(GO) run ./cmd/contory-load -phones 120 -duration 3m -seed 7 -chaos mixed -gps 0.3 \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 8 -stats-out BENCH_chaos_w8.json
+	cmp BENCH_chaos_w1.json BENCH_chaos_w8.json
+	rm -f BENCH_chaos_w1.json BENCH_chaos_w8.json
 
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
 # engine at 1k/2k/5k phones over ten virtual minutes.
@@ -56,4 +77,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_fleet_smoke.json
+	rm -f cover.out test_output.txt bench_output.txt BENCH_fleet_smoke.json \
+		BENCH_chaos_w1.json BENCH_chaos_w8.json

@@ -39,6 +39,9 @@ func main() {
 		mobility = flag.Float64("mobility", 1.0, "max phone speed in m/s (0 = static)")
 		leave    = flag.Float64("churn-leave", 0.02, "per-phone leave/join probability per virtual minute")
 		links    = flag.Float64("churn-links", 5, "expected WiFi link failures per virtual minute")
+		chaosP   = flag.String("chaos", "", "chaos profile to inject (flap, partition, outage, hang, gps, battery, mixed; \"\" = off)")
+		chaosR   = flag.Float64("chaos-rate", 1.0, "scale factor on the chaos profile's fault rates")
+		gpsFrac  = flag.Float64("gps", 0, "fraction of phones carrying a BT-GPS receiver (enables the gps-periodic workload)")
 		stats    = flag.Bool("stats", false, "print the full summary JSON to stdout")
 		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
 		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
@@ -47,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	specFor := func(n int) fleet.Spec {
-		return fleet.Spec{
+		spec := fleet.Spec{
 			Name:            fmt.Sprintf("load-%d", n),
 			Phones:          n,
 			Seed:            *seed,
@@ -55,9 +58,23 @@ func main() {
 			AreaMetres:      *area,
 			Lanes:           *lanes,
 			MobilitySpeedMS: *mobility,
+			GPSFraction:     *gpsFrac,
 			Workload:        fleet.Workload{Period: *period},
 			Churn:           fleet.Churn{LeaveJoinPerMin: *leave, LinkFailuresPerMin: *links},
+			Chaos:           fleet.ChaosSpec{Profile: *chaosP, Rate: *chaosR},
 		}
+		if *gpsFrac > 0 {
+			// GPS carriers run the failover-exercising location workload
+			// alongside the default mix.
+			spec.Workload = fleet.Workload{
+				GPSPeriodic:   0.4,
+				LocalPeriodic: 0.2,
+				AdHocPeriodic: 0.1,
+				InfraOneShot:  0.2,
+				Period:        *period,
+			}
+		}
+		return spec
 	}
 
 	if *sweep != "" {
@@ -155,6 +172,10 @@ func printSummary(s fleet.Summary, wall time.Duration) {
 	for _, c := range classes {
 		e := s.Energy[c]
 		fmt.Printf("  energy    %-10s %d phones, %.2f J mean\n", c, e.Phones, e.MeanJoules)
+	}
+	if s.Chaos != nil {
+		fmt.Printf("  chaos     %s profile: %d faults injected, %d/%d switches attributed (%d unattributed)\n",
+			s.Chaos.Profile, s.Chaos.Faults, s.Chaos.Attributed, s.Chaos.Switches, s.Chaos.Unattributed)
 	}
 	fmt.Printf("  executor  %d events in %d batches, %d lane groups, %d barriers\n",
 		s.Events, s.Batches, s.Groups, s.Barriers)

@@ -77,6 +77,9 @@ type (
 	Subscription = core.Subscription
 	// Option configures a Factory at construction time.
 	Option = core.Option
+	// RetryPolicy is a request retry/timeout/backoff posture, applied
+	// uniformly across the remote references via WithRetryPolicy.
+	RetryPolicy = core.RetryPolicy
 )
 
 // Factory construction options.
@@ -90,6 +93,12 @@ var (
 	WithPreferBTOneHop = core.WithPreferBTOneHop
 	// WithMetrics shares a metrics registry with the factory.
 	WithMetrics = core.WithMetrics
+	// WithRetryPolicy applies one retry/timeout/backoff posture across the
+	// Bluetooth and WiFi references.
+	WithRetryPolicy = core.WithRetryPolicy
+	// WithRequestTimeout bounds each remote request attempt at d, leaving
+	// retry counts untouched.
+	WithRequestTimeout = core.WithRequestTimeout
 )
 
 // NewFactory wires a ContextFactory onto a device.

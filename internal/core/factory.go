@@ -92,15 +92,17 @@ type Factory struct {
 	mergeEnabled    bool
 	failoverEnabled bool
 	preferBTOneHop  bool
+	retry           RetryPolicy
 
 	metrics *metrics.Registry
 	instr   *instruments
 }
 
-// gpsProbeInterval is how often a failed-over location query re-runs BT
-// discovery looking for its GPS device (the Fig. 5 power bumps of
-// 163–292 mW are dominated by these discoveries).
-const gpsProbeInterval = 30 * time.Second
+// recoveryProbeInterval is how often a failed-over query probes for its
+// preferred mechanism's return: BT discovery for a lost GPS device (the
+// Fig. 5 power bumps of 163–292 mW are dominated by these discoveries), a
+// one-hop finder for a lost ad hoc network.
+const recoveryProbeInterval = 30 * time.Second
 
 // NewFactory wires a ContextFactory onto a device. Behaviour toggles and
 // the metrics registry are supplied as functional options:
@@ -119,6 +121,7 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 		publishers:      make(map[Client]bool),
 		mergeEnabled:    true,
 		failoverEnabled: true,
+		retry:           DefaultRetryPolicy,
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -133,6 +136,7 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire, f.metrics)
 	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire, f.metrics)
 	f.cxtPub = provider.NewPublisher(dev.BT, dev.WiFi)
+	f.applyRetryPolicy()
 	f.engine.SetEnforcer(f.enforce)
 	dev.Monitor.OnEvent(f.onMonitorEvent)
 	dev.attachMetrics(f.metrics)
@@ -151,7 +155,33 @@ func (f *Factory) Metrics() *metrics.Registry { return f.metrics }
 // Facade returns the facade for a mechanism (for experiment harnesses).
 func (f *Factory) Facade(m Mechanism) *Facade { return f.facades[m] }
 
-// SetMergeEnabled toggles query aggregation (ablation).
+// applyRetryPolicy pushes the factory-wide policy down to the
+// per-mechanism references: WiFi gets the retry count, per-attempt timeout
+// and backoff; BT bounds its SDP/get exchanges with the policy timeout.
+// UMTS requests already carry per-call timeouts chosen by their providers,
+// which the policy does not override.
+func (f *Factory) applyRetryPolicy() {
+	p := f.retry
+	if f.dev.WiFi != nil {
+		f.dev.WiFi.SetRetryPolicy(p.Attempts-1, p.Timeout, p.Backoff)
+	}
+	if f.dev.BT != nil && p.Timeout > 0 {
+		f.dev.BT.SetRequestTimeout(p.Timeout)
+	}
+}
+
+// RetryPolicy returns the factory-wide recovery policy set at
+// construction. Note that the per-reference deprecated setters are
+// last-write-wins against it, so the live WiFi values are read with
+// WiFiReference.RetryPolicy.
+func (f *Factory) RetryPolicy() RetryPolicy {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retry
+}
+
+// SetMergeEnabled toggles query aggregation (ablation). It and WithMerging
+// are last-write-wins: a call after NewFactory overrides the option.
 //
 // Deprecated: pass WithMerging to NewFactory; this setter remains for
 // harnesses that flip aggregation mid-run.
@@ -161,7 +191,16 @@ func (f *Factory) SetMergeEnabled(on bool) {
 	f.mergeEnabled = on
 }
 
-// SetFailoverEnabled toggles dynamic strategy switching (ablation).
+// MergeEnabled reports whether query aggregation is currently on.
+func (f *Factory) MergeEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mergeEnabled
+}
+
+// SetFailoverEnabled toggles dynamic strategy switching (ablation). It and
+// WithFailover are last-write-wins: a call after NewFactory overrides the
+// option.
 //
 // Deprecated: pass WithFailover to NewFactory; this setter remains for
 // harnesses that flip switching mid-run.
@@ -169,6 +208,13 @@ func (f *Factory) SetFailoverEnabled(on bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.failoverEnabled = on
+}
+
+// FailoverEnabled reports whether dynamic strategy switching is on.
+func (f *Factory) FailoverEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failoverEnabled
 }
 
 // Switches returns the strategy-switch log.
@@ -367,9 +413,11 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	if aq.probe != nil {
 		aq.probe.Stop()
 	}
-	mechs := append([]Mechanism{aq.mech}, aq.extra...)
 	f.mu.Unlock()
-	for _, mech := range mechs {
+	// Cancel on every facade, not just the recorded ones: a concurrent
+	// switch may have submitted the query to a facade before updating
+	// aq.mech, and cancelling an unknown id is free.
+	for _, mech := range allMechanisms {
 		if fac := f.facades[mech]; fac != nil {
 			fac.Cancel(queryID)
 		}
@@ -695,30 +743,66 @@ func (f *Factory) switchQuery(queryID, reason string) {
 	f.facades[from].Cancel(queryID)
 	if err := f.facades[to].Submit(queryID, aq.q, mergeOn); err != nil {
 		aq.client.InformError(fmt.Sprintf("contory: switching %s to %s: %v", queryID, to, err))
+		// InformError may have re-entered Cancel: only resurrect the query
+		// on its old mechanism if this record is still registered.
+		f.mu.Lock()
+		cur, still := f.queries[queryID]
+		f.mu.Unlock()
+		if !still || cur != aq {
+			return
+		}
 		// Try to re-submit on the old mechanism so the query is not lost.
 		if err := f.facades[from].Submit(queryID, aq.q, mergeOn); err != nil {
 			f.finishQuery(queryID, metrics.EventCancelled)
 		}
 		return
 	}
-	f.instr.switched.Inc()
-	f.instr.event(f.clock.Now(), queryID, metrics.EventSwitched, to.String(),
-		"from "+from.String()+": "+reason)
 	f.mu.Lock()
+	if cur, still := f.queries[queryID]; !still || cur != aq {
+		// The client cancelled (or the query exhausted) inside a delivery
+		// callback the new provider fired synchronously on Submit: undo the
+		// fresh registration instead of resurrecting the query.
+		f.mu.Unlock()
+		f.facades[to].Cancel(queryID)
+		return
+	}
 	aq.mech = to
 	f.switches = append(f.switches, SwitchEvent{
 		At: f.clock.Now(), QueryID: queryID, From: from, To: to, Reason: reason,
 	})
-	// A location query forced off its GPS probes for the device's return
-	// via periodic BT discovery (the Fig. 5 recovery path).
-	if from == MechanismLocal && f.localUsesGPS(aq.q) && aq.probe == nil {
-		aq.probe = f.clock.Every(gpsProbeInterval, func() { f.probeGPS(queryID) })
+	// A query forced below its preferred mechanism probes for that
+	// mechanism's return (the Fig. 5 recovery path); arriving back at the
+	// preferred mechanism stops the probe.
+	if aq.probe == nil && to != aq.prefs[0] {
+		f.startRecoveryProbeLocked(aq)
 	}
-	if to == MechanismLocal && aq.probe != nil {
+	if to == aq.prefs[0] && aq.probe != nil {
 		aq.probe.Stop()
 		aq.probe = nil
 	}
 	f.mu.Unlock()
+	f.instr.switched.Inc()
+	f.instr.event(f.clock.Now(), queryID, metrics.EventSwitched, to.String(),
+		"from "+from.String()+": "+reason)
+}
+
+// startRecoveryProbeLocked arms the periodic probe watching for the
+// query's preferred mechanism to come back: BT discovery when the query
+// prefers a local BT-GPS, a one-hop finder when it prefers the ad hoc
+// network. Infrastructure recovery needs no probe — the next successful
+// UMTS operation (e.g. a publish) reports it. f.mu must be held.
+func (f *Factory) startRecoveryProbeLocked(aq *activeQuery) {
+	queryID := aq.id
+	switch aq.prefs[0] {
+	case MechanismLocal:
+		if f.localUsesGPS(aq.q) && f.dev.BT != nil {
+			aq.probe = f.clock.Every(recoveryProbeInterval, func() { f.probeGPS(queryID) })
+		}
+	case MechanismAdHoc:
+		if f.dev.WiFi != nil {
+			aq.probe = f.clock.Every(recoveryProbeInterval, func() { f.probeWiFi(queryID) })
+		}
+	}
 }
 
 // probeGPS runs one BT discovery looking for the query's GPS device; if
@@ -739,6 +823,26 @@ func (f *Factory) probeGPS(queryID string) {
 			}
 		}
 	})
+}
+
+// probeWiFi runs one cheap one-hop finder while the query sits below its
+// preferred ad hoc mechanism; a successful probe reports WiFi recovery to
+// the monitor, which triggers the switch back.
+func (f *Factory) probeWiFi(queryID string) {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	var cur Mechanism
+	if ok {
+		cur = aq.mech
+	}
+	f.mu.Unlock()
+	if !ok || cur == MechanismAdHoc {
+		return
+	}
+	if !f.dev.Monitor.Failed("wifi") {
+		return // recovery already observed; the monitor event moves the query
+	}
+	f.dev.WiFi.Probe(nil)
 }
 
 // AddControlPolicy installs a contextRule; conditions are evaluated against

@@ -1,6 +1,61 @@
 package core
 
-import "contory/internal/metrics"
+import (
+	"time"
+
+	"contory/internal/metrics"
+)
+
+// RetryPolicy is the factory-wide recovery posture, applied uniformly to
+// the per-mechanism references at construction (replacing the WiFi-only
+// SetRetries special case).
+type RetryPolicy struct {
+	// Attempts is the total number of tries per query round (minimum 1;
+	// Attempts-1 retries follow the first try).
+	Attempts int
+	// Timeout bounds one attempt: WiFi finder attempts whose spec carries
+	// no timeout of its own, and BT SDP/get exchanges. 0 keeps each
+	// mechanism's default. UMTS requests already carry per-call timeouts
+	// chosen by their providers; the policy does not override those.
+	Timeout time.Duration
+	// Backoff delays retry k by k×Backoff (linear backoff). 0 retries
+	// immediately.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy is a single attempt with mechanism-default timeouts.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 1}
+
+// WithRetryPolicy sets the factory-wide retry/timeout/backoff policy.
+// Attempts below 1 and negative durations are clamped. The deprecated
+// per-reference setters (e.g. WiFiReference.SetRetries) remain
+// last-write-wins with this option: whichever ran most recently defines
+// the effective values.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(f *Factory) {
+		if p.Attempts < 1 {
+			p.Attempts = 1
+		}
+		if p.Timeout < 0 {
+			p.Timeout = 0
+		}
+		if p.Backoff < 0 {
+			p.Backoff = 0
+		}
+		f.retry = p
+	}
+}
+
+// WithRequestTimeout bounds every per-mechanism request with d, keeping
+// the rest of the retry policy — shorthand for the common "just fail
+// faster" need. d <= 0 is ignored.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(f *Factory) {
+		if d > 0 {
+			f.retry.Timeout = d
+		}
+	}
+}
 
 // Option configures a Factory at construction time. Options replace the
 // old mutate-after-construction setters: behaviour toggles are fixed when

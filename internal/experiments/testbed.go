@@ -19,6 +19,7 @@ import (
 	"math"
 	"time"
 
+	"contory/internal/chaos"
 	"contory/internal/core"
 	"contory/internal/cxt"
 	"contory/internal/gps"
@@ -109,6 +110,17 @@ func NewTestbed(seed int64, opts ...core.Option) (*Testbed, error) {
 	}
 	tb.Factory = core.NewFactory(tb.Phone, append([]core.Option{core.WithMetrics(tb.Metrics)}, opts...)...)
 	return tb, nil
+}
+
+// ChaosTargets lists the testbed's devices as fault-injection targets: the
+// phone under test (with its BT-GPS receiver and battery), the peer and the
+// far communicator. Order is fixed so seeded fault plans are reproducible.
+func (tb *Testbed) ChaosTargets() []chaos.Target {
+	return []chaos.Target{
+		{ID: "phone", GPSNode: "bt-gps-1", GPS: tb.GPS, SetBattery: tb.Phone.Monitor.SetBattery},
+		{ID: "peer", SetBattery: tb.Peer.Monitor.SetBattery},
+		{ID: "far", SetBattery: tb.Far.Monitor.SetBattery},
+	}
 }
 
 // Stat is an (average, 90 % confidence half-width) pair over repeated runs.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"contory"
+	"contory/internal/chaos"
 	"contory/internal/cxt"
 	"contory/internal/radio"
 	"contory/internal/refs"
@@ -22,6 +23,9 @@ const (
 	roleLocalEvent
 	roleAdHoc
 	roleInfraOneShot
+	// roleGPSPeriodic is appended last so zero-valued specs keep their
+	// historical role assignments byte-for-byte.
+	roleGPSPeriodic
 )
 
 func (r role) String() string {
@@ -34,6 +38,8 @@ func (r role) String() string {
 		return "adhoc-periodic"
 	case roleInfraOneShot:
 		return "infra-one-shot"
+	case roleGPSPeriodic:
+		return "gps-periodic"
 	default:
 		return "idle"
 	}
@@ -43,12 +49,13 @@ func (r role) String() string {
 // Spec.Phones devices, their workload schedules and the churn script. Build
 // with New, execute with Run.
 type Engine struct {
-	spec    Spec
-	w       *contory.World
-	phones  []*contory.Phone
-	classes []string
-	roles   []role
-	ran     bool
+	spec     Spec
+	w        *contory.World
+	phones   []*contory.Phone
+	classes  []string
+	roles    []role
+	injector *chaos.Injector
+	ran      bool
 }
 
 // New expands a Spec into a ready-to-run fleet. All randomness — positions,
@@ -82,6 +89,7 @@ func New(spec Spec) (*Engine, error) {
 	}
 	e.scheduleWorkload()
 	e.scheduleChurn()
+	e.installChaos()
 	if spec.MobilitySpeedMS > 0 {
 		w.StartMobility(spec.MobilityTick)
 	}
@@ -133,6 +141,8 @@ func roleOf(wl Workload, u float64) role {
 		{wl.LocalEvent, roleLocalEvent},
 		{wl.AdHocPeriodic, roleAdHoc},
 		{wl.InfraOneShot, roleInfraOneShot},
+		// Appended last: earlier roles keep their historical draw bands.
+		{wl.GPSPeriodic, roleGPSPeriodic},
 	} {
 		if u < rc.f {
 			return rc.r
@@ -191,6 +201,23 @@ func (e *Engine) buildPopulation() error {
 		if isPublisher && class != ClassUMTSOnly {
 			p.PublishTag(contory.TypeTemperature, tempAt(i, e.w.Now()))
 		}
+		if cfg.GPS != nil {
+			fix := *cfg.GPS
+			if class != ClassUMTSOnly {
+				// GPS carriers advertise their location in the ad hoc network,
+				// so a location query losing its BT-GPS can fail over to
+				// adHocNetwork provisioning (Fig. 5 at fleet scale).
+				p.PublishTag(contory.TypeLocation, fix)
+			}
+			if class != ClassWiFiOnly {
+				// ...and report it to the infrastructure, feeding the extInfra
+				// fallback.
+				ph := p
+				p.Device.Clock.Every(spec.Workload.Period, func() {
+					_ = ph.ReportLocation(fix)
+				})
+			}
+		}
 		if isPublisher && class != ClassWiFiOnly {
 			// Periodic weather reports feed the infrastructure's extInfra
 			// queries; scheduled on the phone's own lane.
@@ -213,6 +240,9 @@ func (e *Engine) buildPopulation() error {
 		}
 		if r == roleAdHoc && class == ClassUMTSOnly {
 			r = roleInfraOneShot
+		}
+		if r == roleGPSPeriodic && cfg.GPS == nil {
+			r = roleLocalPeriodic
 		}
 		e.phones = append(e.phones, p)
 		e.classes = append(e.classes, class)
@@ -242,6 +272,9 @@ func (e *Engine) scheduleWorkload() {
 	adhocSrc := fmt.Sprintf(
 		"SELECT temperature FROM adHocNetwork(all,1) DURATION %d sec EVERY %d sec", durSec, everySec)
 	infraSrc := fmt.Sprintf("SELECT temperature FROM extInfra DURATION %d sec", everySec)
+	// No FROM clause: the middleware selects the mechanism and may switch
+	// it when chaos faults hit the preferred one.
+	gpsSrc := fmt.Sprintf("SELECT location DURATION %d sec EVERY %d sec", durSec, everySec)
 
 	for i, p := range e.phones {
 		stagger := time.Duration(rng.Int63n(int64(period)))
@@ -258,6 +291,8 @@ func (e *Engine) scheduleWorkload() {
 				e.submit(ph, infraSrc)
 				ph.Device.Clock.Every(period, func() { e.submit(ph, infraSrc) })
 			})
+		case roleGPSPeriodic:
+			ph.Device.Clock.After(stagger, func() { e.submit(ph, gpsSrc) })
 		}
 	}
 }
@@ -323,6 +358,27 @@ func (e *Engine) scheduleChurn() {
 		}
 	}
 }
+
+// installChaos expands the chaos profile into a seeded fault plan over the
+// population and installs its injector: every apply/clear lands as a
+// simulator-global barrier event (via World.After), so injected faults never
+// race device work and same-seed runs stay byte-identical at any worker
+// count.
+func (e *Engine) installChaos() {
+	cs := e.spec.Chaos
+	if cs.Profile == "" {
+		return
+	}
+	prof := chaos.Profiles[cs.Profile].Scale(cs.Rate)
+	targets := e.w.ChaosTargets()
+	// A distinct stream from churn and workload staggers.
+	faults := chaos.Plan(prof, e.spec.Seed^0x6a09e667f3bcc909, targets, e.spec.Duration)
+	e.injector = chaos.NewInjector(e.w.Network(), e.w, e.w.Metrics(), targets, faults)
+	e.injector.Install()
+}
+
+// Injector returns the run's fault injector (nil without a chaos profile).
+func (e *Engine) Injector() *chaos.Injector { return e.injector }
 
 // Run executes the scenario for Spec.Duration of virtual time and returns
 // its summary. On a sharded world the run drains timestamps across workers

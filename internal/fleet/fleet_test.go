@@ -50,6 +50,12 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 			},
 			Radio: RadioMix{Dual: 0.5, WiFiOnly: 0.2, UMTSOnly: 0.3},
 		},
+		{
+			Name: "chaos-mixed", Phones: 60, Seed: 11, Duration: 3 * time.Minute,
+			Lanes: 16, GPSFraction: 0.5, PublisherFraction: 0.4,
+			Workload: Workload{GPSPeriodic: 0.5, LocalPeriodic: 0.2, InfraOneShot: 0.2},
+			Chaos:    ChaosSpec{Profile: "mixed", Rate: 2},
+		},
 	}
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
@@ -150,6 +156,52 @@ func TestFleetSeedChangesRun(t *testing.T) {
 	}
 }
 
+// TestFleetChaos is the acceptance run for fault injection: a seeded chaos
+// fleet must inject faults, trigger failovers, attribute every one of them
+// to an injected fault, and stay byte-identical across worker counts.
+func TestFleetChaos(t *testing.T) {
+	spec := Spec{
+		Name: "chaos", Phones: 60, Seed: 7, Duration: 4 * time.Minute,
+		Lanes: 16, GPSFraction: 0.5, PublisherFraction: 0.4,
+		Workload: Workload{GPSPeriodic: 0.5, LocalPeriodic: 0.2, InfraOneShot: 0.2},
+		Chaos:    ChaosSpec{Profile: "gps", Rate: 2},
+	}
+	e, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Injector() == nil || len(e.Injector().Faults()) == 0 {
+		t.Fatal("chaos profile installed no faults")
+	}
+	sum, err := e.Run(4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Chaos == nil {
+		t.Fatal("summary lacks chaos report")
+	}
+	if sum.Chaos.Faults == 0 {
+		t.Fatal("no faults injected")
+	}
+	if sum.Chaos.Switches == 0 {
+		t.Fatal("chaos run triggered no failovers")
+	}
+	if sum.Chaos.Unattributed != 0 {
+		t.Fatalf("%d of %d switches unattributable to injected faults",
+			sum.Chaos.Unattributed, sum.Chaos.Switches)
+	}
+	if sum.ItemsDelivered == 0 {
+		t.Fatal("no items delivered under chaos")
+	}
+
+	// Byte-identity across worker counts, chaos included.
+	a := run(t, spec, 1)
+	b := run(t, spec, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("chaos summary differs between workers=1 and workers=8:\n%s", firstDiff(a, b))
+	}
+}
+
 func TestSpecValidation(t *testing.T) {
 	if _, err := New(Spec{Phones: 0, Duration: time.Minute}); err == nil {
 		t.Fatal("Phones=0 accepted")
@@ -164,5 +216,13 @@ func TestSpecValidation(t *testing.T) {
 	if _, err := New(Spec{Phones: 5, Duration: time.Minute,
 		Churn: Churn{LeaveJoinPerMin: 1.5}}); err == nil {
 		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := New(Spec{Phones: 5, Duration: time.Minute,
+		Chaos: ChaosSpec{Profile: "no-such-profile"}}); err == nil {
+		t.Fatal("unknown chaos profile accepted")
+	}
+	if _, err := New(Spec{Phones: 5, Duration: time.Minute,
+		Workload: Workload{GPSPeriodic: 1.5}}); err == nil {
+		t.Fatal("GPSPeriodic > 1 accepted")
 	}
 }

@@ -14,6 +14,8 @@ package fleet
 import (
 	"fmt"
 	"time"
+
+	"contory/internal/chaos"
 )
 
 // Workload is the per-phone query mix: each fraction of the population runs
@@ -33,6 +35,11 @@ type Workload struct {
 	// InfraOneShot phones run one-shot infrastructure queries (FROM
 	// extInfra), re-submitted every Period.
 	InfraOneShot float64 `json:"infra_one_shot"`
+	// GPSPeriodic phones run a periodic location query with no FROM
+	// clause: the middleware picks the mechanism (BT-GPS when the phone
+	// carries one) and may switch it under faults — the fleet-scale Fig. 5
+	// workload. Pair with GPSFraction > 0.
+	GPSPeriodic float64 `json:"gps_periodic"`
 	// Period is the base cadence for periodic queries and one-shot
 	// re-submission (default 30s). Individual phones stagger their start
 	// within one Period so the fleet does not fire in lockstep.
@@ -52,6 +59,20 @@ type Churn struct {
 	LinkFailuresPerMin float64 `json:"link_failures_per_min"`
 	// FailDuration is how long an injected link failure lasts (default 30s).
 	FailDuration time.Duration `json:"fail_duration"`
+}
+
+// ChaosSpec opts a run into seeded fault injection (internal/chaos): a
+// named profile expands into a deterministic fault schedule over the
+// population, and the summary reports how many strategy switches each
+// injected fault explains.
+type ChaosSpec struct {
+	// Profile names one of chaos.Profiles ("" disables injection).
+	Profile string `json:"profile"`
+	// Rate scales the profile's per-kind fault rates (default 1).
+	Rate float64 `json:"rate"`
+	// Grace is how long after a fault clears its consequences may still be
+	// attributed to it (default chaos.DefaultGrace).
+	Grace time.Duration `json:"grace"`
 }
 
 // RadioMix partitions the population into device classes. Fractions are
@@ -111,9 +132,10 @@ type Spec struct {
 	// GPSFraction of phones carry a BT-GPS receiver (default 0).
 	GPSFraction float64 `json:"gps_fraction"`
 
-	Radio    RadioMix `json:"radio"`
-	Workload Workload `json:"workload"`
-	Churn    Churn    `json:"churn"`
+	Radio    RadioMix  `json:"radio"`
+	Workload Workload  `json:"workload"`
+	Churn    Churn     `json:"churn"`
+	Chaos    ChaosSpec `json:"chaos"`
 }
 
 // withDefaults returns a copy with all defaults applied.
@@ -147,7 +169,8 @@ func (s Spec) withDefaults() Spec {
 		s.Workload.Period = 30 * time.Second
 	}
 	if s.Workload.LocalPeriodic == 0 && s.Workload.LocalEvent == 0 &&
-		s.Workload.AdHocPeriodic == 0 && s.Workload.InfraOneShot == 0 {
+		s.Workload.AdHocPeriodic == 0 && s.Workload.InfraOneShot == 0 &&
+		s.Workload.GPSPeriodic == 0 {
 		s.Workload = Workload{
 			LocalPeriodic: 0.30,
 			LocalEvent:    0.10,
@@ -165,6 +188,14 @@ func (s Spec) withDefaults() Spec {
 	if s.Churn.FailDuration <= 0 {
 		s.Churn.FailDuration = 30 * time.Second
 	}
+	if s.Chaos.Profile != "" {
+		if s.Chaos.Rate <= 0 {
+			s.Chaos.Rate = 1
+		}
+		if s.Chaos.Grace <= 0 {
+			s.Chaos.Grace = chaos.DefaultGrace
+		}
+	}
 	return s
 }
 
@@ -175,12 +206,21 @@ func (s Spec) validate() error {
 	if s.Duration <= 0 {
 		return fmt.Errorf("fleet: spec needs Duration > 0")
 	}
-	wl := s.Workload.LocalPeriodic + s.Workload.LocalEvent + s.Workload.AdHocPeriodic + s.Workload.InfraOneShot
+	wl := s.Workload.LocalPeriodic + s.Workload.LocalEvent + s.Workload.AdHocPeriodic +
+		s.Workload.InfraOneShot + s.Workload.GPSPeriodic
 	if wl > 1.0001 {
 		return fmt.Errorf("fleet: workload fractions sum to %.2f > 1", wl)
 	}
+	if s.Chaos.Profile != "" {
+		if _, ok := chaos.Profiles[s.Chaos.Profile]; !ok {
+			return fmt.Errorf("fleet: unknown chaos profile %q (have %v)", s.Chaos.Profile, chaos.ProfileNames())
+		}
+	}
+	if s.Chaos.Rate < 0 {
+		return fmt.Errorf("fleet: chaos rate %v < 0", s.Chaos.Rate)
+	}
 	for _, f := range []float64{s.Workload.LocalPeriodic, s.Workload.LocalEvent,
-		s.Workload.AdHocPeriodic, s.Workload.InfraOneShot,
+		s.Workload.AdHocPeriodic, s.Workload.InfraOneShot, s.Workload.GPSPeriodic,
 		s.PublisherFraction, s.GPSFraction,
 		s.Radio.Dual, s.Radio.WiFiOnly, s.Radio.UMTSOnly,
 		s.Churn.LeaveJoinPerMin} {

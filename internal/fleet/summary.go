@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"contory/internal/chaos"
 	"contory/internal/metrics"
 	"contory/internal/vclock"
 )
@@ -30,6 +31,19 @@ type ClassEnergy struct {
 	Phones      int     `json:"phones"`
 	TotalJoules float64 `json:"total_joules"`
 	MeanJoules  float64 `json:"mean_joules"`
+}
+
+// ChaosReport accounts for a chaos run: how many faults were injected and
+// how many of the middleware's strategy switches each fault kind explains.
+// Unattributed > 0 means some failover had no injected cause — either a
+// profile/grace mismatch or a genuine middleware bug.
+type ChaosReport struct {
+	Profile      string         `json:"profile"`
+	Faults       int            `json:"faults"`
+	FaultsByKind map[string]int `json:"faults_by_kind"`
+	Switches     int            `json:"switches"`
+	Attributed   int            `json:"attributed"`
+	Unattributed int            `json:"unattributed"`
 }
 
 // Summary is the per-run fleet report. Every field is a deterministic
@@ -62,6 +76,10 @@ type Summary struct {
 	Batches  uint64 `json:"batches"`
 	Groups   uint64 `json:"groups"`
 	Barriers uint64 `json:"barriers"`
+
+	// Chaos reports fault injection and switch attribution (nil without a
+	// chaos profile).
+	Chaos *ChaosReport `json:"chaos,omitempty"`
 
 	// Snapshot is the full metrics state (lifecycle event ring excluded:
 	// its eviction order is execution-order sensitive by design).
@@ -153,6 +171,33 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 			ce.MeanJoules = ce.TotalJoules / float64(ce.Phones)
 		}
 		s.Energy[class] = ce
+	}
+
+	if e.injector != nil {
+		// Switches collected in phone-index order; the phone ID prefix keeps
+		// query IDs unique fleet-wide.
+		var sws []chaos.Switch
+		for _, p := range e.phones {
+			for _, sw := range p.Factory.Switches() {
+				sws = append(sws, chaos.Switch{
+					At: sw.At, Query: p.ID() + "/" + sw.QueryID, Reason: sw.Reason,
+				})
+			}
+		}
+		faults := e.injector.Faults()
+		att := chaos.Attribute(start, faults, sws, e.spec.Chaos.Grace)
+		byKind := make(map[string]int)
+		for _, f := range faults {
+			byKind[string(f.Kind)]++
+		}
+		s.Chaos = &ChaosReport{
+			Profile:      e.spec.Chaos.Profile,
+			Faults:       len(faults),
+			FaultsByKind: byKind,
+			Switches:     att.Switches,
+			Attributed:   att.Attributed,
+			Unattributed: len(att.Unattributed),
+		}
 	}
 	return s
 }

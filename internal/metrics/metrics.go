@@ -283,6 +283,15 @@ const (
 	EventCancelled EventKind = "cancelled"
 )
 
+// Fault-injection lifecycle stages recorded by internal/chaos: every
+// injected fault and its clearing land in the same ring as the query
+// events, so a switched event can be traced back to the fault that caused
+// it (Query holds the fault ID, Mechanism the fault kind).
+const (
+	EventFaultInjected EventKind = "fault-injected"
+	EventFaultCleared  EventKind = "fault-cleared"
+)
+
 // Event is one stamped query-lifecycle transition. At is virtual-clock
 // time, so identically-seeded runs produce identical events.
 type Event struct {

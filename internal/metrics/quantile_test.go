@@ -35,10 +35,31 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
-func TestHistogramQuantileEmpty(t *testing.T) {
-	var p HistogramPoint
-	if got := p.Quantile(0.5); got != 0 {
-		t.Fatalf("Quantile on empty = %v, want 0", got)
+// TestHistogramQuantileEdgeCases pins the documented degenerate behaviour:
+// an empty histogram has no quantiles (NaN), a NaN q yields NaN, and a
+// finite q outside [0,1] clamps to the min/max edge.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramPoint
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("Quantile on empty = %v, want NaN", got)
+	}
+	if got := empty.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) on empty = %v, want NaN", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("edge", []float64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	p := r.Snapshot().Histograms[0]
+	if got := p.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := p.Quantile(-3); got != p.Min {
+		t.Fatalf("Quantile(-3) = %v, want clamp to Min %v", got, p.Min)
+	}
+	if got := p.Quantile(7); got != p.Max {
+		t.Fatalf("Quantile(7) = %v, want clamp to Max %v", got, p.Max)
 	}
 }
 

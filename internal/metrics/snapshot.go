@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -101,14 +102,19 @@ func snapHistogram(name string, h *Histogram) HistogramPoint {
 	return p
 }
 
-// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
-// inside the bucket containing the target rank, using Min and Max as the
-// edges of the first occupied and +Inf buckets. The estimate is exact at
-// bucket boundaries and deterministic, which is what fleet summaries need;
-// it is not an exact order statistic.
+// Quantile estimates the q-quantile by linear interpolation inside the
+// bucket containing the target rank, using Min and Max as the edges of the
+// first occupied and +Inf buckets. The estimate is exact at bucket
+// boundaries and deterministic, which is what fleet summaries need; it is
+// not an exact order statistic.
+//
+// Edge cases are defined: an empty histogram (no observations or no
+// buckets) has no quantiles, so the result is NaN, as it is for a NaN q;
+// a finite q outside [0,1] is clamped to the nearest endpoint, making
+// Quantile(q<=0) = Min and Quantile(q>=1) = Max.
 func (p HistogramPoint) Quantile(q float64) float64 {
-	if p.Count == 0 || len(p.Buckets) == 0 {
-		return 0
+	if p.Count == 0 || len(p.Buckets) == 0 || math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q < 0 {
 		q = 0

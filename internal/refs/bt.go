@@ -50,11 +50,12 @@ type BTReference struct {
 	bt    *radio.BT
 	mon   *monitor.Monitor
 
-	mu       sync.Mutex
-	sddb     map[string]ServiceRecord
-	pending  map[string]func(any, error) // request id → callback
-	nextID   int
-	gpsWatch map[simnet.NodeID]*gpsWatch
+	mu         sync.Mutex
+	sddb       map[string]ServiceRecord
+	pending    map[string]*pendingReq // request id → in-flight request
+	nextID     int
+	reqTimeout time.Duration // 0 = btRequestTimeout
+	gpsWatch   map[simnet.NodeID]*gpsWatch
 
 	mInquiries  *metrics.Counter
 	mSDPQueries *metrics.Counter
@@ -70,6 +71,14 @@ type gpsWatch struct {
 	failed    bool
 }
 
+// pendingReq is one in-flight SDP or get exchange: the completion callback
+// plus the timeout event guarding it. Completion stops the timer
+// (heap-removal), so long runs don't accumulate dead timeout events.
+type pendingReq struct {
+	done    func(any, error)
+	timeout *vclock.Timer
+}
+
 // NewBTReference installs the BT reference on the node.
 func NewBTReference(nw *simnet.Network, id simnet.NodeID, bt *radio.BT, mon *monitor.Monitor) (*BTReference, error) {
 	node := nw.Node(id)
@@ -83,7 +92,7 @@ func NewBTReference(nw *simnet.Network, id simnet.NodeID, bt *radio.BT, mon *mon
 		bt:       bt,
 		mon:      mon,
 		sddb:     make(map[string]ServiceRecord),
-		pending:  make(map[string]func(any, error)),
+		pending:  make(map[string]*pendingReq),
 		gpsWatch: make(map[simnet.NodeID]*gpsWatch),
 	}
 	node.Handle(kindSDPQuery, r.onSDPQuery)
@@ -190,7 +199,7 @@ func (r *BTReference) DiscoverServices(dev simnet.NodeID, done func([]string, er
 			return
 		}
 		done(names, nil)
-	}, 30*time.Second)
+	}, r.requestTimeout())
 	err := r.net.Send(simnet.Message{
 		From:    r.node.ID(),
 		To:      dev,
@@ -221,7 +230,7 @@ func (r *BTReference) Get(dev simnet.NodeID, service string, done func(cxt.Item,
 			return
 		}
 		done(it, nil)
-	}, 30*time.Second)
+	}, r.requestTimeout())
 	err := r.net.Send(simnet.Message{
 		From:    r.node.ID(),
 		To:      dev,
@@ -246,40 +255,85 @@ type reply struct {
 	Err     string
 }
 
+// btRequestTimeout is the default bound on one SDP or get exchange.
+const btRequestTimeout = 30 * time.Second
+
+// SetRequestTimeout overrides the default 30 s bound on SDP and get
+// exchanges (core.WithRequestTimeout plumbs the factory-wide policy here).
+// d <= 0 restores the default. Last-write-wins.
+func (r *BTReference) SetRequestTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reqTimeout = d
+}
+
+// RequestTimeout returns the effective per-exchange timeout.
+func (r *BTReference) RequestTimeout() time.Duration { return r.requestTimeout() }
+
+func (r *BTReference) requestTimeout() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.reqTimeout > 0 {
+		return r.reqTimeout
+	}
+	return btRequestTimeout
+}
+
 func (r *BTReference) newRequest(done func(any, error), timeout time.Duration) string {
 	r.mu.Lock()
 	r.nextID++
 	id := fmt.Sprintf("%s-bt-%d", r.node.ID(), r.nextID)
-	completed := false
-	finish := func(v any, err error) {
-		if completed {
-			return
-		}
-		completed = true
-		done(v, err)
-	}
-	r.pending[id] = finish
+	req := &pendingReq{done: done}
+	r.pending[id] = req
 	r.mu.Unlock()
-	r.clock.After(timeout, func() {
-		r.mu.Lock()
-		delete(r.pending, id)
-		r.mu.Unlock()
-		finish(nil, ErrBTTimeout)
+	t := r.clock.After(timeout, func() {
+		if timed := r.take(id); timed != nil {
+			timed.done(nil, ErrBTTimeout)
+		}
 	})
+	r.mu.Lock()
+	req.timeout = t
+	r.mu.Unlock()
 	return id
+}
+
+// take atomically removes and returns the pending request, stopping its
+// timeout event so a completed request leaves nothing on the clock's heap.
+// Whoever takes the request (reply, failure, or the timeout itself) owns
+// the single completion call.
+func (r *BTReference) take(id string) *pendingReq {
+	r.mu.Lock()
+	req := r.pending[id]
+	delete(r.pending, id)
+	var t *vclock.Timer
+	if req != nil {
+		t = req.timeout
+	}
+	r.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	return req
+}
+
+// Pending returns the number of in-flight requests (for leak tests).
+func (r *BTReference) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
 }
 
 // fail completes a pending request with an error and reports the failure.
 func (r *BTReference) fail(id string, err error, resource string) {
-	r.mu.Lock()
-	finish := r.pending[id]
-	delete(r.pending, id)
-	r.mu.Unlock()
+	req := r.take(id)
 	if r.mon != nil && resource != "" {
 		r.mon.ReportFailure(resource, err.Error())
 	}
-	if finish != nil {
-		finish(nil, err)
+	if req != nil {
+		req.done(nil, err)
 	}
 }
 
@@ -331,18 +385,15 @@ func (r *BTReference) onReply(m simnet.Message) {
 	if !ok {
 		return
 	}
-	r.mu.Lock()
-	finish := r.pending[rep.ID]
-	delete(r.pending, rep.ID)
-	r.mu.Unlock()
-	if finish == nil {
+	req := r.take(rep.ID)
+	if req == nil {
 		return
 	}
 	if rep.Err != "" {
-		finish(nil, errors.New(rep.Err))
+		req.done(nil, errors.New(rep.Err))
 		return
 	}
-	finish(rep.Payload, nil)
+	req.done(rep.Payload, nil)
 }
 
 // gpsWatchdogGrace is how long the stream may stall before the reference

@@ -1,0 +1,167 @@
+package refs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/radio"
+	"contory/internal/sm"
+)
+
+// Regression for the newRequest timeout leak: a request that completes
+// normally must stop (heap-remove) its pending timeout event, so long runs
+// don't accumulate dead 30-second closures on the clock.
+func TestBTCompletedRequestsDropTimeoutEvents(t *testing.T) {
+	r := newRig(t)
+	item := cxt.Item{Type: cxt.TypeTemperature, Value: 14.0, Timestamp: r.clk.Now()}
+	r.btB.RegisterService(ServiceRecord{Name: "temperature", Item: item}, nil)
+	r.clk.Advance(time.Second)
+
+	const n = 40
+	done := 0
+	for i := 0; i < n; i++ {
+		r.btA.Get("b", "temperature", func(_ cxt.Item, err error) {
+			if err != nil {
+				t.Errorf("get %v", err)
+			}
+			done++
+		})
+	}
+	r.clk.Advance(time.Second) // BT gets complete in tens of ms
+	if done != n {
+		t.Fatalf("completed %d of %d gets", done, n)
+	}
+	if p := r.btA.Pending(); p != 0 {
+		t.Fatalf("%d requests still pending after completion", p)
+	}
+	// Before the fix every completed get left its 30 s timeout event on the
+	// heap; with Timer.Stop heap-removal only the rig's periodic baseline
+	// events remain.
+	if p := r.clk.Pending(); p >= n {
+		t.Fatalf("%d events pending after %d completed gets: timeout closures leaked", p, n)
+	}
+}
+
+func TestBTSetRequestTimeout(t *testing.T) {
+	r := newRig(t)
+	if got := r.btA.RequestTimeout(); got != 30*time.Second {
+		t.Fatalf("default timeout = %v, want 30 s", got)
+	}
+	r.btA.SetRequestTimeout(2 * time.Second)
+	if got := r.btA.RequestTimeout(); got != 2*time.Second {
+		t.Fatalf("timeout = %v, want 2 s", got)
+	}
+
+	// A peer that never answers: the reply link is cut after the query is
+	// delivered, so the shortened timeout is what fails the exchange.
+	r.btB.RegisterService(ServiceRecord{Name: "temperature", Item: cxt.Item{Type: cxt.TypeTemperature}}, nil)
+	r.clk.Advance(time.Second)
+	r.nw.FailLink("a", "b", radio.MediumBT)
+	var gerr error
+	var at time.Time
+	start := r.clk.Now()
+	r.btA.Get("b", "temperature", func(_ cxt.Item, err error) { gerr, at = err, r.clk.Now() })
+	r.clk.Advance(time.Minute)
+	if gerr == nil {
+		t.Fatal("get over failed link succeeded")
+	}
+	if d := at.Sub(start); d > 3*time.Second {
+		t.Fatalf("failure surfaced after %v, want ≈ 2 s custom timeout", d)
+	}
+	r.btA.SetRequestTimeout(0) // restore default
+	if got := r.btA.RequestTimeout(); got != 30*time.Second {
+		t.Fatalf("timeout after reset = %v, want 30 s", got)
+	}
+}
+
+func TestWiFiRetryPolicyLastWriteWins(t *testing.T) {
+	_, _, _, wa, _ := wifiRig(t)
+	wa.SetRetries(3)
+	wa.SetRetryPolicy(1, 5*time.Second, 2*time.Second)
+	if retries, timeout, backoff := wa.RetryPolicy(); retries != 1 || timeout != 5*time.Second || backoff != 2*time.Second {
+		t.Fatalf("policy = %d/%v/%v after SetRetryPolicy", retries, timeout, backoff)
+	}
+	// The deprecated setter still wins when called later, touching only the
+	// retry count.
+	wa.SetRetries(2)
+	if retries, timeout, backoff := wa.RetryPolicy(); retries != 2 || timeout != 5*time.Second || backoff != 2*time.Second {
+		t.Fatalf("policy = %d/%v/%v after SetRetries", retries, timeout, backoff)
+	}
+	wa.SetRetryPolicy(-1, -time.Second, -time.Second) // clamped
+	if retries, timeout, backoff := wa.RetryPolicy(); retries != 0 || timeout != 0 || backoff != 0 {
+		t.Fatalf("policy = %d/%v/%v, want all clamped to 0", retries, timeout, backoff)
+	}
+}
+
+// The policy timeout applies to specs that don't set their own, so a dead
+// finder fails fast instead of waiting out the hop-scaled SM default.
+func TestWiFiRetryPolicyTimeoutFillsSpec(t *testing.T) {
+	clk, nw, _, wa, wc := wifiRig(t)
+	wc.PublishTag("temperature", 19.5, 0)
+	wa.SetRetryPolicy(0, 5*time.Second, 0)
+	nw.FailLink("a", "b", radio.MediumWiFi)
+	var qerr error
+	var at time.Time
+	start := clk.Now()
+	wa.Query(sm.FinderSpec{TagName: "temperature", MaxHops: 2}, func(_ []sm.Result, err error) {
+		qerr, at = err, clk.Now()
+	})
+	clk.Advance(time.Minute)
+	if !errors.Is(qerr, sm.ErrFinderTimeout) {
+		t.Fatalf("err = %v", qerr)
+	}
+	// Route build (~2.8 s) + 5 s policy timeout, well under the ~17 s SM
+	// default for 2 hops.
+	if d := at.Sub(start); d > 12*time.Second {
+		t.Fatalf("timeout surfaced after %v, want ≈ 8 s with the 5 s policy timeout", d)
+	}
+}
+
+func TestWiFiRetryBackoffDelaysRelaunch(t *testing.T) {
+	clk, nw, _, wa, wc := wifiRig(t)
+	wc.PublishTag("temperature", 19.5, 0)
+	wa.SetRetryPolicy(1, 5*time.Second, 20*time.Second)
+	nw.FailLink("a", "b", radio.MediumWiFi)
+	var results []sm.Result
+	var qerr error
+	var at time.Time
+	start := clk.Now()
+	wa.Query(sm.FinderSpec{TagName: "temperature", MaxHops: 2}, func(rs []sm.Result, err error) {
+		results, qerr, at = rs, err, clk.Now()
+	})
+	// First attempt times out around t ≈ 8 s; the link recovers before the
+	// 20 s backoff elapses, so the delayed retry succeeds.
+	clk.Advance(10 * time.Second)
+	nw.RestoreLink("a", "b", radio.MediumWiFi)
+	clk.Advance(2 * time.Minute)
+	if qerr != nil {
+		t.Fatalf("query failed despite backoff retry: %v", qerr)
+	}
+	if len(results) != 1 || results[0].Value != 19.5 {
+		t.Fatalf("results = %+v", results)
+	}
+	if d := at.Sub(start); d < 25*time.Second {
+		t.Fatalf("retry completed after %v: backoff did not delay the relaunch", d)
+	}
+}
+
+func TestWiFiProbe(t *testing.T) {
+	clk, nw, _, wa, _ := wifiRig(t)
+	var ok bool
+	fired := 0
+	wa.Probe(func(b bool) { ok, fired = b, fired+1 })
+	clk.Advance(time.Minute)
+	if fired != 1 || !ok {
+		t.Fatalf("probe with a live neighbor: ok=%v fired=%d", ok, fired)
+	}
+	nw.FailLink("a", "b", radio.MediumWiFi)
+	wa.Probe(func(b bool) { ok, fired = b, fired+1 })
+	clk.Advance(time.Minute)
+	if fired != 2 || ok {
+		t.Fatalf("probe with no reachable peer: ok=%v fired=%d", ok, fired)
+	}
+	wa.Probe(nil) // nil callback is allowed
+	clk.Advance(time.Minute)
+}

@@ -31,6 +31,8 @@ type WiFiReference struct {
 	mu      sync.Mutex
 	routes  map[routeKey]bool // built routes
 	retries int               // extra attempts per query on timeout
+	timeout time.Duration     // per-attempt finder timeout (0 = spec/SM default)
+	backoff time.Duration     // linear backoff between attempts (attempt k waits k×backoff)
 
 	mFinders     *metrics.Counter
 	mRouteBuilds *metrics.Counter
@@ -92,6 +94,11 @@ func (r *WiFiReference) Tags() *sm.TagSpace { return r.rt.Tags() }
 // when an attempt times out (mobile ad hoc networks lose messages; the
 // paper lists "more reliable context provisioning in mobile ad hoc
 // networks" as future work). Default 0: a timeout fails the query round.
+//
+// Deprecated: use SetRetryPolicy, which also carries the per-attempt
+// timeout and backoff. Both are last-write-wins: whichever ran most
+// recently defines the retry count (timeout and backoff are untouched by
+// SetRetries).
 func (r *WiFiReference) SetRetries(n int) {
 	if n < 0 {
 		n = 0
@@ -99,6 +106,35 @@ func (r *WiFiReference) SetRetries(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.retries = n
+}
+
+// SetRetryPolicy configures the reference's recovery posture in one call:
+// extra finder attempts on timeout, a per-attempt timeout applied to specs
+// that don't set their own (0 keeps the spec's or the SM default), and a
+// linear backoff between attempts (attempt k waits k×backoff before
+// relaunching). It and the deprecated SetRetries are last-write-wins.
+func (r *WiFiReference) SetRetryPolicy(retries int, timeout, backoff time.Duration) {
+	if retries < 0 {
+		retries = 0
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retries = retries
+	r.timeout = timeout
+	r.backoff = backoff
+}
+
+// RetryPolicy returns the currently effective retries/timeout/backoff.
+func (r *WiFiReference) RetryPolicy() (retries int, timeout, backoff time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries, r.timeout, r.backoff
 }
 
 // Query launches an SM-FINDER for the given spec. The first query per
@@ -110,8 +146,13 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 	r.mu.Lock()
 	routeBuilt := r.routes[key]
 	attemptsLeft := r.retries + 1
+	backoff := r.backoff
+	if r.timeout > 0 && spec.Timeout == 0 {
+		spec.Timeout = r.timeout
+	}
 	r.mu.Unlock()
 
+	attempt := 0
 	var launch func()
 	launch = func() {
 		r.mFinders.Inc()
@@ -123,11 +164,16 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 				attemptsLeft--
 				if attemptsLeft > 0 && errors.Is(err, sm.ErrFinderTimeout) {
 					// Mobility may have changed the topology; rebuild the
-					// route on the retry.
+					// route on the retry, after the policy's backoff.
 					r.mu.Lock()
 					delete(r.routes, key)
 					r.mu.Unlock()
-					launch()
+					attempt++
+					if backoff > 0 {
+						r.clock.After(time.Duration(attempt)*backoff, launch)
+					} else {
+						launch()
+					}
 					return
 				}
 				if r.mon != nil {
@@ -159,6 +205,21 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 	d, ws := r.wifi.RouteBuild(radio.QueryBytes, hops)
 	applyWindows(r.node, ws, r.clock.Now())
 	r.clock.After(d, launch)
+}
+
+// Probe checks ad hoc reachability with the cheapest possible finder: a
+// one-hop lookup of the participation tag every SM node exposes. A
+// successful probe flows through Query's success path, which reports WiFi
+// recovery to the monitor — this is the failback signal core.Factory's
+// recovery probes rely on. done (optional) receives whether any peer
+// answered.
+func (r *WiFiReference) Probe(done func(ok bool)) {
+	spec := sm.FinderSpec{TagName: sm.ParticipationTag, MaxNodes: 1, MaxHops: 1}
+	r.Query(spec, func(rs []sm.Result, err error) {
+		if done != nil {
+			done(err == nil && len(rs) > 0)
+		}
+	})
 }
 
 // InvalidateRoutes drops the route cache (e.g. after heavy mobility).

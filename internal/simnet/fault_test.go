@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"contory/internal/radio"
+)
+
+func TestPartitionSplitsMedium(t *testing.T) {
+	nw, _ := newNet(t, "a", "b", "c")
+	for _, pair := range [][2]NodeID{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		if err := nw.Connect(pair[0], pair[1], radio.MediumWiFi); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Connect(pair[0], pair[1], radio.MediumBT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pid := nw.Partition(radio.MediumWiFi, "a")
+	if nw.Linked("a", "b", radio.MediumWiFi) || nw.Linked("a", "c", radio.MediumWiFi) {
+		t.Fatal("member linked across the partition")
+	}
+	if !nw.Linked("b", "c", radio.MediumWiFi) {
+		t.Fatal("non-members on the same side lost their link")
+	}
+	if !nw.Linked("a", "b", radio.MediumBT) {
+		t.Fatal("partition leaked to another medium")
+	}
+	nw.Heal(pid)
+	if !nw.Linked("a", "b", radio.MediumWiFi) {
+		t.Fatal("not linked after Heal")
+	}
+	nw.Heal(pid) // double-heal is a no-op
+}
+
+func TestPartitionsCompose(t *testing.T) {
+	nw, _ := newNet(t, "a", "b", "c")
+	for _, pair := range [][2]NodeID{{"a", "b"}, {"b", "c"}} {
+		if err := nw.Connect(pair[0], pair[1], radio.MediumWiFi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1 := nw.Partition(radio.MediumWiFi, "a")
+	p2 := nw.Partition(radio.MediumWiFi, "c")
+	if nw.Linked("a", "b", radio.MediumWiFi) || nw.Linked("b", "c", radio.MediumWiFi) {
+		t.Fatal("linked across composed partitions")
+	}
+	nw.Heal(p1)
+	if !nw.Linked("a", "b", radio.MediumWiFi) {
+		t.Fatal("a-b still split after healing p1")
+	}
+	if nw.Linked("b", "c", radio.MediumWiFi) {
+		t.Fatal("p2 healed by p1's handle")
+	}
+	nw.Heal(p2)
+	if !nw.Linked("b", "c", radio.MediumWiFi) {
+		t.Fatal("b-c still split after healing p2")
+	}
+}
+
+func TestNodeLossDropsAllWhenHung(t *testing.T) {
+	nw, clk := newNet(t, "a", "b")
+	if err := nw.Connect("a", "b", radio.MediumWiFi); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetNodeLoss("b", radio.MediumWiFi, 1) // hung endpoint
+	if got := nw.NodeLoss("b", radio.MediumWiFi); got != 1 {
+		t.Fatalf("NodeLoss = %v, want 1", got)
+	}
+	got := 0
+	nw.Node("b").Handle("ping", func(Message) { got++ })
+	for i := 0; i < 10; i++ {
+		if err := nw.Send(Message{From: "a", To: "b", Medium: radio.MediumWiFi, Kind: "ping"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+	if got != 0 {
+		t.Fatalf("delivered %d to a hung node", got)
+	}
+	nw.SetNodeLoss("b", radio.MediumWiFi, 0) // clear
+	if err := nw.Send(Message{From: "a", To: "b", Medium: radio.MediumWiFi, Kind: "ping"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if got != 1 {
+		t.Fatalf("delivered %d after clearing node loss", got)
+	}
+}
+
+func TestNodeLossComposesWithLinkLoss(t *testing.T) {
+	nw, clk := newNet(t, "a", "b")
+	if err := nw.Connect("a", "b", radio.MediumBT); err != nil {
+		t.Fatal(err)
+	}
+	nw.Seed(11)
+	nw.SetLoss("a", "b", radio.MediumBT, 0.3)
+	nw.SetNodeLoss("a", radio.MediumBT, 0.5) // combined p = 1-(0.7*0.5) = 0.65
+	got := 0
+	nw.Node("b").Handle("ping", func(Message) { got++ })
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if err := nw.Send(Message{From: "a", To: "b", Medium: radio.MediumBT, Kind: "ping"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+	// Expect ~35% delivery; accept a generous band.
+	if got < sent/5 || got > sent/2 {
+		t.Fatalf("delivered %d of %d, far from 35%%", got, sent)
+	}
+}
+
+func TestNodeDelaySlowsDelivery(t *testing.T) {
+	nw, clk := newNet(t, "a", "b")
+	if err := nw.Connect("a", "b", radio.MediumUMTS); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetNodeDelay("b", radio.MediumUMTS, 2*time.Second)
+	var deliveredAt time.Time
+	nw.Node("b").Handle("ping", func(Message) { deliveredAt = clk.Now() })
+	start := clk.Now()
+	if err := nw.Send(Message{From: "a", To: "b", Medium: radio.MediumUMTS, Kind: "ping"}, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	if want := start.Add(2*time.Second + 100*time.Millisecond); !deliveredAt.Equal(want) {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	nw.SetNodeDelay("b", radio.MediumUMTS, 0)
+	start = clk.Now()
+	if err := nw.Send(Message{From: "a", To: "b", Medium: radio.MediumUMTS, Kind: "ping"}, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	if want := start.Add(100 * time.Millisecond); !deliveredAt.Equal(want) {
+		t.Fatalf("delivered at %v after clearing delay, want %v", deliveredAt, want)
+	}
+}

@@ -183,6 +183,19 @@ type dirLink struct {
 	medium   radio.Medium
 }
 
+// nodeMedium keys per-node fault state (loss, extra delay) on one medium.
+type nodeMedium struct {
+	id     NodeID
+	medium radio.Medium
+}
+
+// partition splits one medium: nodes inside the member set can only talk to
+// other members, nodes outside only to other outsiders.
+type partition struct {
+	medium  radio.Medium
+	members map[NodeID]bool
+}
+
 // Network is the simulated testbed fabric.
 type Network struct {
 	clock *vclock.Simulator
@@ -200,6 +213,14 @@ type Network struct {
 	loss   map[linkKey]float64      // per-link drop probability
 	rng    *rand.Rand
 	seed   int64
+
+	// Fault-injection state (internal/chaos): active partitions, per-node
+	// drop probability (degraded RSSI, provider hang at p=1) and per-node
+	// extra delivery latency (slow response).
+	partitions map[int]*partition
+	nextPart   int
+	nodeLoss   map[nodeMedium]float64
+	nodeDelay  map[nodeMedium]time.Duration
 
 	// grids caches a uniform spatial index per range-enabled medium (cell
 	// size = the medium's range, so candidates beyond range cannot appear
@@ -225,17 +246,20 @@ type Network struct {
 // New returns an empty Network on the given simulator clock.
 func New(clock *vclock.Simulator) *Network {
 	return &Network{
-		clock:   clock,
-		nodes:   make(map[NodeID]*Node),
-		links:   make(map[linkKey]bool),
-		adj:     make(map[radio.Medium]map[NodeID]map[NodeID]bool),
-		failed:  make(map[linkKey]bool),
-		ranges:  make(map[radio.Medium]float64),
-		loss:    make(map[linkKey]float64),
-		rng:     rand.New(rand.NewSource(1)),
-		seed:    1,
-		grids:   make(map[radio.Medium]*grid),
-		lossSeq: make(map[dirLink]uint64),
+		clock:      clock,
+		nodes:      make(map[NodeID]*Node),
+		links:      make(map[linkKey]bool),
+		adj:        make(map[radio.Medium]map[NodeID]map[NodeID]bool),
+		failed:     make(map[linkKey]bool),
+		ranges:     make(map[radio.Medium]float64),
+		loss:       make(map[linkKey]float64),
+		rng:        rand.New(rand.NewSource(1)),
+		seed:       1,
+		partitions: make(map[int]*partition),
+		nodeLoss:   make(map[nodeMedium]float64),
+		nodeDelay:  make(map[nodeMedium]time.Duration),
+		grids:      make(map[radio.Medium]*grid),
+		lossSeq:    make(map[dirLink]uint64),
 	}
 }
 
@@ -362,6 +386,14 @@ func (nw *Network) SetLoss(a, b NodeID, m radio.Medium, p float64) {
 func (nw *Network) lossDrop(a, b NodeID, m radio.Medium) bool {
 	nw.mu.Lock()
 	p, lossy := nw.loss[newLinkKey(a, b, m)]
+	// Per-node loss (degraded RSSI, hung provider) on either endpoint
+	// composes with link loss as independent drop chances.
+	for _, end := range [2]NodeID{a, b} {
+		if nl := nw.nodeLoss[nodeMedium{id: end, medium: m}]; nl > 0 {
+			p = 1 - (1-p)*(1-nl)
+			lossy = true
+		}
+	}
 	seed := nw.seed
 	nw.mu.Unlock()
 	if !lossy {
@@ -492,6 +524,78 @@ func (nw *Network) RestoreLink(a, b NodeID, m radio.Medium) {
 	delete(nw.failed, newLinkKey(a, b, m))
 }
 
+// Partition splits the medium into two sides: the given members can only
+// reach each other, and every other node can only reach non-members. It
+// returns a handle for Heal. Multiple partitions compose (a pair must be on
+// the same side of every active partition to communicate).
+func (nw *Network) Partition(m radio.Medium, members ...NodeID) int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	set := make(map[NodeID]bool, len(members))
+	for _, id := range members {
+		set[id] = true
+	}
+	nw.nextPart++
+	nw.partitions[nw.nextPart] = &partition{medium: m, members: set}
+	return nw.nextPart
+}
+
+// Heal removes a partition previously created by Partition. Unknown handles
+// are ignored.
+func (nw *Network) Heal(id int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	delete(nw.partitions, id)
+}
+
+// SetNodeLoss makes every delivery to or from the node over m drop with at
+// least probability p (composing with any per-link loss as independent
+// chances). p = 1 models a hung endpoint that accepts no traffic; p = 0
+// clears the fault.
+func (nw *Network) SetNodeLoss(id NodeID, m radio.Medium, p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	key := nodeMedium{id: id, medium: m}
+	if p == 0 {
+		delete(nw.nodeLoss, key)
+		return
+	}
+	nw.nodeLoss[key] = p
+}
+
+// NodeLoss returns the node's current drop probability on m (0 when none).
+func (nw *Network) NodeLoss(id NodeID, m radio.Medium) float64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nodeLoss[nodeMedium{id: id, medium: m}]
+}
+
+// SetNodeDelay adds d to the latency of every delivery to or from the node
+// over m (a slow-responding provider). d <= 0 clears the fault.
+func (nw *Network) SetNodeDelay(id NodeID, m radio.Medium, d time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	key := nodeMedium{id: id, medium: m}
+	if d <= 0 {
+		delete(nw.nodeDelay, key)
+		return
+	}
+	nw.nodeDelay[key] = d
+}
+
+// extraDelay returns the fault-injected latency surcharge for a delivery.
+func (nw *Network) extraDelay(from, to NodeID, m radio.Medium) time.Duration {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nodeDelay[nodeMedium{id: from, medium: m}] + nw.nodeDelay[nodeMedium{id: to, medium: m}]
+}
+
 // SetRange enables range-based connectivity on a medium: any two nodes
 // within metres of each other are linked (unless the link is failed).
 // A range of 0 disables range-based linking for the medium.
@@ -520,6 +624,11 @@ func (nw *Network) linkedLocked(a, b NodeID, m radio.Medium) bool {
 	key := newLinkKey(a, b, m)
 	if nw.failed[key] {
 		return false
+	}
+	for _, p := range nw.partitions {
+		if p.medium == m && p.members[a] != p.members[b] {
+			return false
+		}
 	}
 	if nw.links[key] {
 		return true
@@ -703,6 +812,9 @@ func (nw *Network) Send(msg Message, latency time.Duration) error {
 		return fmt.Errorf("%w: %s→%s over %s", ErrNotLinked, msg.From, msg.To, msg.Medium)
 	}
 	msg.SentAt = nw.clock.Now()
+	if d := nw.extraDelay(msg.From, msg.To, msg.Medium); d > 0 {
+		latency += d
+	}
 	if fc := nw.frames.Load(); fc != nil {
 		fc.sent[msg.Medium].Inc()
 	}

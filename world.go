@@ -2,8 +2,10 @@ package contory
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"contory/internal/chaos"
 	"contory/internal/core"
 	"contory/internal/cxt"
 	"contory/internal/gps"
@@ -225,6 +227,29 @@ func (w *World) Phone(id string) *Phone { return w.phones[id] }
 
 // GPSOf returns a phone's GPS device (to move it or inject failures).
 func (w *World) GPSOf(phoneID string) *gps.Device { return w.gpsDevs[phoneID] }
+
+// ChaosTargets lists every phone as a fault-injection target, sorted by ID
+// so target order — and therefore any seeded fault plan built over it — is
+// deterministic. Phones with a paired BT-GPS receiver expose it for GPS
+// outages and GPS-link flaps; every phone exposes its battery.
+func (w *World) ChaosTargets() []chaos.Target {
+	ids := make([]string, 0, len(w.phones))
+	for id := range w.phones {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	targets := make([]chaos.Target, 0, len(ids))
+	for _, id := range ids {
+		p := w.phones[id]
+		tgt := chaos.Target{ID: id, SetBattery: p.Device.Monitor.SetBattery}
+		if g := w.gpsDevs[id]; g != nil {
+			tgt.GPS = g
+			tgt.GPSNode = string(g.ID())
+		}
+		targets = append(targets, tgt)
+	}
+	return targets
+}
 
 // Link connects two phones on a medium ("bt", "wifi" or "umts").
 func (w *World) Link(a, b, medium string) error {
