@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke
 
 all: check
 
 # check is the full pre-merge gate: formatting, build, vet, staticcheck
-# (when installed), tests, the race detector, a small fleet-load smoke run
-# and a determinism-checked chaos run.
-check: fmt-check build vet staticcheck test race load-smoke chaos-smoke
+# (when installed), tests, the race detector, a small fleet-load smoke run,
+# a determinism-checked chaos run and a determinism-checked trace export.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,21 @@ chaos-smoke:
 	cmp BENCH_chaos_w1.json BENCH_chaos_w8.json
 	rm -f BENCH_chaos_w1.json BENCH_chaos_w8.json
 
+# trace-smoke is the distributed-tracing gate: the tracing unit tests and
+# the fleet trace-determinism/schema tests under the race detector, then a
+# seeded chaos run exported as Chrome trace-event JSON at 1 and 8 workers —
+# the two exports must be byte-identical (same spans, same timestamps, same
+# order, regardless of parallelism).
+trace-smoke:
+	$(GO) test -race -count=1 ./internal/tracing
+	$(GO) test -race -count=1 -run 'TestFleetTrace' ./internal/fleet
+	$(GO) run ./cmd/contory-load -phones 60 -duration 2m -seed 7 -chaos mixed -gps 0.3 \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 1 -trace-out BENCH_trace_w1.json
+	$(GO) run ./cmd/contory-load -phones 60 -duration 2m -seed 7 -chaos mixed -gps 0.3 \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 8 -trace-out BENCH_trace_w8.json
+	cmp BENCH_trace_w1.json BENCH_trace_w8.json
+	rm -f BENCH_trace_w1.json BENCH_trace_w8.json
+
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
 # engine at 1k/2k/5k phones over ten virtual minutes.
 load-bench:
@@ -78,4 +93,5 @@ cover:
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_fleet_smoke.json \
-		BENCH_chaos_w1.json BENCH_chaos_w8.json
+		BENCH_chaos_w1.json BENCH_chaos_w8.json \
+		BENCH_trace_w1.json BENCH_trace_w8.json

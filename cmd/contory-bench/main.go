@@ -26,6 +26,7 @@ import (
 
 	"contory/internal/energy"
 	"contory/internal/experiments"
+	"contory/internal/tracing"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write fig4/fig5 power samples as CSV to this file")
 	stats := flag.Bool("stats", false, "dump a metrics snapshot of the instrumented reference workload")
 	statsOut := flag.String("stats-out", "", "write the reference-workload snapshot as JSON (e.g. BENCH_metrics.json) for cross-PR diffing")
+	trace := flag.Bool("trace", false, "run the reference workload traced and print span trees plus latency attribution")
+	traceSmp := flag.Int("trace-sample", 0, "keep one trace in N by trace-id residue (<=1 keeps all)")
 	flag.Parse()
 	if err := run(*exp, *rounds, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "contory-bench:", err)
@@ -53,7 +56,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *trace {
+		if err := showSpanTrees(*seed, *traceSmp); err != nil {
+			fmt.Fprintln(os.Stderr, "contory-bench:", err)
+			os.Exit(1)
+		}
+	}
 }
+
+// writeFile writes an artifact, creating parent directories as needed.
+// Callers pass paths like bench/BENCH_metrics.json; creating the directory
+// here means the first run does not fail on a missing bench/ dir.
+func writeFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// showSpanTrees runs the reference workload with tracing enabled and prints
+// the query span trees plus the latency-attribution table.
+func showSpanTrees(seed int64, sample int) error {
+	traces, stats, err := experiments.TraceRun(seed, sample)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Println("query span trees (reference workload):")
+	fmt.Print(tracing.RenderText(traces, traceTreeLimit))
+	rep := tracing.BuildAttribution(traces, stats, traceTreeLimit)
+	fmt.Println("\nlatency attribution:")
+	fmt.Print(tracing.RenderAttribution(rep))
+	return nil
+}
+
+// traceTreeLimit caps how many span trees -trace prints.
+const traceTreeLimit = 5
 
 // writeStats runs the instrumented reference workload and dumps its metrics
 // snapshot: text to stdout when show is set, JSON to path when given.
@@ -71,14 +110,7 @@ func writeStats(path string, show bool, seed int64) error {
 		if err != nil {
 			return fmt.Errorf("stats json: %w", err)
 		}
-		// Callers pass artifact paths like bench/BENCH_metrics.json; create
-		// the parent directory rather than failing on the first run.
-		if dir := filepath.Dir(path); dir != "." && dir != "" {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				return fmt.Errorf("create stats dir: %w", err)
-			}
-		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		if err := writeFile(path, append(data, '\n')); err != nil {
 			return fmt.Errorf("write stats: %w", err)
 		}
 		fmt.Fprintln(os.Stderr, "metrics JSON written to", path)
@@ -110,7 +142,7 @@ func writeTraces(path, exp string, seed int64) error {
 		}
 		dump("fig5", r.Samples)
 	}
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+	if err := writeFile(path, []byte(b.String())); err != nil {
 		return fmt.Errorf("write traces: %w", err)
 	}
 	return nil

@@ -14,17 +14,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"contory/internal/fleet"
+	"contory/internal/tracing"
 )
 
 func main() {
@@ -46,8 +51,23 @@ func main() {
 		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
 		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
 		sweep    = flag.String("sweep", "", "comma-separated phone counts to run back to back (e.g. 1000,2000,5000)")
+		traceOn  = flag.Bool("trace", false, "record per-query span trees (deterministic distributed tracing)")
+		traceOut = flag.String("trace-out", "", "write retained traces as Chrome trace-event JSON (open in Perfetto); implies -trace")
+		traceSmp = flag.Int("trace-sample", 0, "keep one trace in N by trace-id residue (<=1 keeps all)")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's lifetime")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		*traceOn = true
+	}
+	if *pprofAt != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "contory-load: pprof:", err)
+			}
+		}()
+		fmt.Fprintln(os.Stderr, "pprof listening on", *pprofAt)
+	}
 
 	specFor := func(n int) fleet.Spec {
 		spec := fleet.Spec{
@@ -62,6 +82,7 @@ func main() {
 			Workload:        fleet.Workload{Period: *period},
 			Churn:           fleet.Churn{LeaveJoinPerMin: *leave, LinkFailuresPerMin: *links},
 			Chaos:           fleet.ChaosSpec{Profile: *chaosP, Rate: *chaosR},
+			Trace:           fleet.TraceSpec{Enabled: *traceOn, Sample: *traceSmp},
 		}
 		if *gpsFrac > 0 {
 			// GPS carriers run the failover-exercising location workload
@@ -84,11 +105,17 @@ func main() {
 		return
 	}
 
-	sum, wall, err := runOne(specFor(*phones), *workers)
+	sum, eng, wall, err := runOne(specFor(*phones), *workers)
 	if err != nil {
 		fail(err)
 	}
 	printSummary(sum, wall)
+	if *traceOut != "" {
+		if err := exportTraces(eng, *traceOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "chrome trace written to", *traceOut)
+	}
 	if *stats {
 		js, err := sum.JSON()
 		if err != nil {
@@ -124,19 +151,38 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// runOne builds and runs one scenario, returning its summary and the
-// wall-clock time the run took.
-func runOne(spec fleet.Spec, workers int) (fleet.Summary, time.Duration, error) {
+// runOne builds and runs one scenario, returning its summary, the engine
+// (for post-run trace export) and the wall-clock time the run took. The run
+// executes under pprof labels so CPU profiles split by scenario.
+func runOne(spec fleet.Spec, workers int) (fleet.Summary, *fleet.Engine, time.Duration, error) {
 	e, err := fleet.New(spec)
 	if err != nil {
-		return fleet.Summary{}, 0, err
+		return fleet.Summary{}, nil, 0, err
 	}
 	start := time.Now()
-	sum, err := e.Run(workers)
+	var sum fleet.Summary
+	labels := pprof.Labels("scenario", spec.Name, "phones", strconv.Itoa(spec.Phones))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		sum, err = e.Run(workers)
+	})
 	if err != nil {
-		return fleet.Summary{}, 0, err
+		return fleet.Summary{}, nil, 0, err
 	}
-	return sum, time.Since(start), nil
+	return sum, e, time.Since(start), nil
+}
+
+// exportTraces writes the engine's retained traces as Chrome trace-event
+// JSON (chrome://tracing / Perfetto format).
+func exportTraces(e *fleet.Engine, path string) error {
+	tr := e.World().Tracer()
+	if tr == nil {
+		return fmt.Errorf("run was not traced (pass -trace)")
+	}
+	data, err := tracing.ChromeJSON(tr.Store().Traces())
+	if err != nil {
+		return err
+	}
+	return writeFile(path, append(data, '\n'))
 }
 
 // printSummary renders the human-readable report.
@@ -176,6 +222,11 @@ func printSummary(s fleet.Summary, wall time.Duration) {
 	if s.Chaos != nil {
 		fmt.Printf("  chaos     %s profile: %d faults injected, %d/%d switches attributed (%d unattributed)\n",
 			s.Chaos.Profile, s.Chaos.Faults, s.Chaos.Attributed, s.Chaos.Switches, s.Chaos.Unattributed)
+	}
+	if s.Trace != nil {
+		fmt.Printf("  tracing   %d traces started, %d retained (%d spans), %d sampled out, %d/%d traces/spans dropped\n",
+			s.Trace.Started, s.Trace.Retained, s.Trace.Spans, s.Trace.SampledOut,
+			s.Trace.DroppedTraces, s.Trace.DroppedSpans)
 	}
 	fmt.Printf("  executor  %d events in %d batches, %d lane groups, %d barriers\n",
 		s.Events, s.Batches, s.Groups, s.Barriers)
@@ -228,7 +279,7 @@ func runSweep(list string, specFor func(int) fleet.Spec, workers int, benchOut s
 	}
 	doc := benchDoc{Bench: "fleet"}
 	for _, n := range counts {
-		sum, wall, err := runOne(specFor(n), workers)
+		sum, _, wall, err := runOne(specFor(n), workers)
 		if err != nil {
 			return fmt.Errorf("sweep %d phones: %w", n, err)
 		}

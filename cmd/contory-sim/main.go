@@ -17,6 +17,7 @@ import (
 
 	"contory"
 	"contory/internal/infra"
+	"contory/internal/tracing"
 )
 
 func main() {
@@ -25,18 +26,24 @@ func main() {
 	failGPS := flag.Duration("fail-gps", 5*time.Minute, "when boat-1's GPS fails (0 = never)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	stats := flag.Bool("stats", false, "dump the middleware metrics snapshot after the race")
+	trace := flag.Bool("trace", false, "trace every query and print span trees plus latency attribution after the race")
+	traceSmp := flag.Int("trace-sample", 0, "keep one trace in N by trace-id residue (<=1 keeps all)")
 	flag.Parse()
-	if err := run(*boats, *duration, *failGPS, *seed, *stats); err != nil {
+	if err := run(*boats, *duration, *failGPS, *seed, *stats, *trace, *traceSmp); err != nil {
 		fmt.Fprintln(os.Stderr, "contory-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(boats int, duration, failGPS time.Duration, seed int64, stats bool) error {
+func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bool, traceSmp int) error {
 	if boats < 2 {
 		boats = 2
 	}
-	w, err := contory.NewWorld(seed)
+	wcfg := contory.WorldConfig{Seed: seed}
+	if trace {
+		wcfg.Trace = &tracing.Config{Sample: traceSmp}
+	}
+	w, err := contory.NewWorldConfig(wcfg)
 	if err != nil {
 		return err
 	}
@@ -138,8 +145,20 @@ func run(boats int, duration, failGPS time.Duration, seed int64, stats bool) err
 		fmt.Println("\nmetrics snapshot:")
 		fmt.Print(w.Metrics().Snapshot().String())
 	}
+	if tr := w.Tracer(); tr != nil {
+		tr.Flush()
+		traces := tr.Store().Traces()
+		fmt.Println("\nquery span trees (first", traceTreeLimit, "traces):")
+		fmt.Print(tracing.RenderText(traces, traceTreeLimit))
+		rep := tracing.BuildAttribution(traces, tr.Stats(), traceTreeLimit)
+		fmt.Println("\nlatency attribution:")
+		fmt.Print(tracing.RenderAttribution(rep))
+	}
 	return nil
 }
+
+// traceTreeLimit caps how many span trees -trace prints.
+const traceTreeLimit = 5
 
 func clock(w *contory.World) string { return w.Now().Format("15:04:05") }
 

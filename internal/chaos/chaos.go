@@ -28,6 +28,7 @@ import (
 	"contory/internal/metrics"
 	"contory/internal/radio"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -310,6 +311,7 @@ type Injector struct {
 	net     *simnet.Network
 	sched   Scheduler
 	reg     *metrics.Registry
+	tracer  *tracing.Tracer
 	targets map[string]Target
 	faults  []Fault
 
@@ -336,6 +338,26 @@ func NewInjector(net *simnet.Network, sched Scheduler, reg *metrics.Registry, ta
 // Faults returns the injector's schedule.
 func (in *Injector) Faults() []Fault {
 	return append([]Fault(nil), in.faults...)
+}
+
+// SetTracer attaches a tracer; spans started on faulted nodes while a fault
+// holds are annotated with the fault's ID and kind (nil detaches).
+func (in *Injector) SetTracer(tr *tracing.Tracer) { in.tracer = tr }
+
+// faultNodes lists every node a fault blasts: the primary target, the link
+// peer, and partition members.
+func faultNodes(f Fault) []string {
+	nodes := make([]string, 0, 2+len(f.Nodes))
+	nodes = append(nodes, f.Target)
+	if f.Peer != "" {
+		nodes = append(nodes, f.Peer)
+	}
+	for _, n := range f.Nodes {
+		if n != f.Target {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
 }
 
 // Install schedules every fault's apply and clear on the Scheduler. Call
@@ -385,6 +407,7 @@ func (in *Injector) apply(f Fault) {
 			n.SetDown(true)
 		}
 	}
+	in.tracer.FaultActive(f.ID, string(f.Kind), faultNodes(f))
 	in.record(metrics.EventFaultInjected, f)
 	in.reg.Counter("chaos.faults.injected").Inc()
 	in.reg.Counter("chaos.faults.injected." + string(f.Kind)).Inc()
@@ -426,6 +449,7 @@ func (in *Injector) clear(f Fault) {
 			n.SetDown(false)
 		}
 	}
+	in.tracer.FaultCleared(f.ID)
 	in.record(metrics.EventFaultCleared, f)
 	in.reg.Counter("chaos.faults.cleared").Inc()
 }

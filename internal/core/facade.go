@@ -10,6 +10,7 @@ import (
 	"contory/internal/metrics"
 	"contory/internal/provider"
 	"contory/internal/query"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -39,8 +40,10 @@ func (m Mechanism) String() string {
 }
 
 // providerMaker builds a provider for a (possibly merged) query; supplied
-// by the ContextFactory so the Facade stays mechanism-agnostic.
-type providerMaker func(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error)
+// by the ContextFactory so the Facade stays mechanism-agnostic. span is the
+// provider's "assign" span (nil when tracing is off), under which the
+// provider opens its radio-operation child spans.
+type providerMaker func(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc, span *tracing.Span) (provider.Provider, error)
 
 // managed is one running provider together with the original queries whose
 // results are post-extracted from its stream.
@@ -48,6 +51,7 @@ type managed struct {
 	prov      provider.Provider
 	merged    *query.Query
 	originals map[string]*query.Query // queryID → original query
+	span      *tracing.Span           // "assign": spans the provider's lifetime
 }
 
 // Facade offers a unified interface for managing CxtProviders of one
@@ -123,6 +127,13 @@ var ErrFacadeDisabled = fmt.Errorf("core: facade suspended by control policy")
 // provider when the aggregation rules allow, otherwise it instantiates a
 // new CxtProvider. mergeEnabled=false (ablation) always creates a provider.
 func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error {
+	return f.submit(queryID, q, mergeEnabled, nil)
+}
+
+// submit is Submit carrying the query's trace span: a new provider gets an
+// "assign" child span covering its whole lifetime, a merged submission gets
+// an instantaneous "assign" span marking the aggregation decision.
+func (f *Facade) submit(queryID string, q *query.Query, mergeEnabled bool, parent *tracing.Span) error {
 	f.mu.Lock()
 	if f.disabled {
 		f.mu.Unlock()
@@ -150,14 +161,23 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 			f.merges++
 			f.mu.Unlock()
 			f.mMerges.Inc()
+			sp := parent.Child("assign")
+			sp.SetAttr("mech", f.mechanism.String())
+			sp.SetAttr("provider", id)
+			sp.SetAttr("merged", "true")
+			sp.End()
 			return nil
 		}
 	}
 	f.nextID++
 	provID := f.mechanism.String() + "-" + strconv.Itoa(f.nextID)
+	span := parent.Child("assign")
+	span.SetAttr("mech", f.mechanism.String())
+	span.SetAttr("provider", provID)
 	m := &managed{
 		merged:    q.Clone(),
 		originals: map[string]*query.Query{queryID: q.Clone()},
+		span:      span,
 	}
 	f.managed[provID] = m
 	f.creates++
@@ -165,12 +185,14 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 	f.mCreates.Inc()
 	f.mActive.Add(1)
 
-	prov, err := f.make(provID, q, f.sinkFor(provID), f.doneFor(provID))
+	prov, err := f.make(provID, q, f.sinkFor(provID), f.doneFor(provID), span)
 	if err != nil {
 		f.mu.Lock()
 		delete(f.managed, provID)
 		f.mu.Unlock()
 		f.mActive.Add(-1)
+		span.SetAttr("error", err.Error())
+		span.End()
 		return fmt.Errorf("core: %s facade: %w", f.mechanism, err)
 	}
 	f.mu.Lock()
@@ -183,6 +205,8 @@ func (f *Facade) Submit(queryID string, q *query.Query, mergeEnabled bool) error
 		delete(f.managed, provID)
 		f.mu.Unlock()
 		f.mActive.Add(-1)
+		span.SetAttr("error", err.Error())
+		span.End()
 		return fmt.Errorf("core: %s facade start: %w", f.mechanism, err)
 	}
 	return nil
@@ -238,6 +262,7 @@ func (f *Facade) doneFor(provID string) provider.DoneFunc {
 		}
 		sort.Strings(ids)
 		f.mu.Unlock()
+		m.span.End()
 		f.mActive.Add(-1)
 		if f.onExpire != nil {
 			f.onExpire(ids)
@@ -267,6 +292,7 @@ func (f *Facade) Cancel(queryID string) bool {
 		delete(f.managed, provID)
 		prov := found.prov
 		f.mu.Unlock()
+		found.span.End()
 		f.mActive.Add(-1)
 		if prov != nil {
 			prov.Stop()
@@ -317,6 +343,7 @@ func (f *Facade) StopAll() {
 	f.mu.Unlock()
 	f.mActive.Add(-float64(len(ms)))
 	for _, m := range ms {
+		m.span.End()
 		if m.prov != nil {
 			m.prov.Stop()
 		}

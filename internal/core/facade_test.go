@@ -11,6 +11,7 @@ import (
 	"contory/internal/metrics"
 	"contory/internal/provider"
 	"contory/internal/query"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -70,7 +71,7 @@ func newFacadeRig(t *testing.T) *facadeRig {
 		delivered: make(map[string][]cxt.Item),
 	}
 	r.fac = newFacade(MechanismAdHoc, r.clk,
-		func(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+		func(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc, span *tracing.Span) (provider.Provider, error) {
 			if r.makeErr != nil {
 				return nil, r.makeErr
 			}

@@ -17,6 +17,7 @@ import (
 	"contory/internal/query"
 	"contory/internal/repo"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -70,6 +71,7 @@ type activeQuery struct {
 	expiry    *vclock.Timer
 	probe     *vclock.Timer
 	submitted time.Time
+	span      *tracing.Span // root span of the query's trace (nil = untraced)
 }
 
 // Factory is the ContextFactory (§4.3): the core component instantiated on
@@ -96,6 +98,7 @@ type Factory struct {
 
 	metrics *metrics.Registry
 	instr   *instruments
+	tracer  *tracing.Tracer
 }
 
 // recoveryProbeInterval is how often a failed-over query probes for its
@@ -278,6 +281,9 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 	f.mu.Unlock()
 	f.instr.submitted.Inc()
 	f.instr.event(aq.submitted, id, metrics.EventSubmitted, "", string(aq.q.Select))
+	aq.span = f.tracer.StartRoot(string(f.dev.ID)+"/"+id, string(f.dev.ID), f.dev.Node.Timeline())
+	aq.span.SetAttr("select", string(aq.q.Select))
+	aq.span.SetAttr("duration", aq.q.Duration.String())
 
 	var lastErr error
 	for _, mech := range prefs {
@@ -285,11 +291,12 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 			lastErr = fmt.Errorf("core: %s unavailable", mech)
 			continue
 		}
-		if err := f.facades[mech].Submit(id, aq.q, mergeOn); err != nil {
+		if err := f.facades[mech].submit(id, aq.q, mergeOn, aq.span); err != nil {
 			lastErr = err
 			continue
 		}
 		aq.mech = mech
+		aq.span.SetAttr("mech", mech.String())
 		f.mu.Lock()
 		f.queries[id] = aq
 		if aq.q.Duration.Time > 0 {
@@ -305,6 +312,8 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 		lastErr = ErrNoMechanism
 	}
 	f.instr.rejected.Inc()
+	aq.span.SetAttr("error", lastErr.Error())
+	aq.span.End()
 	return nil, fmt.Errorf("core: assign query: %w", lastErr)
 }
 
@@ -343,6 +352,9 @@ func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...M
 	f.mu.Unlock()
 	f.instr.submitted.Inc()
 	f.instr.event(aq.submitted, id, metrics.EventSubmitted, "", string(aq.q.Select))
+	aq.span = f.tracer.StartRoot(string(f.dev.ID)+"/"+id, string(f.dev.ID), f.dev.Node.Timeline())
+	aq.span.SetAttr("select", string(aq.q.Select))
+	aq.span.SetAttr("multi", "true")
 
 	var assigned []Mechanism
 	var lastErr error
@@ -351,7 +363,7 @@ func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...M
 			lastErr = fmt.Errorf("core: %s unavailable", mech)
 			continue
 		}
-		if err := f.facades[mech].Submit(id, aq.q, mergeOn); err != nil {
+		if err := f.facades[mech].submit(id, aq.q, mergeOn, aq.span); err != nil {
 			lastErr = err
 			continue
 		}
@@ -362,8 +374,11 @@ func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...M
 			lastErr = ErrNoMechanism
 		}
 		f.instr.rejected.Inc()
+		aq.span.SetAttr("error", lastErr.Error())
+		aq.span.End()
 		return nil, fmt.Errorf("core: assign multi query: %w", lastErr)
 	}
+	aq.span.SetAttr("mech", assigned[0].String())
 	f.mu.Lock()
 	aq.mech = assigned[0]
 	aq.extra = assigned[1:]
@@ -431,6 +446,8 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 		f.instr.cancelled.Inc()
 	}
 	f.instr.event(f.clock.Now(), queryID, kind, aq.mech.String(), "")
+	aq.span.SetAttr("outcome", string(kind))
+	aq.span.End()
 }
 
 // onExpire handles facade notifications that a provider's merged query
@@ -480,6 +497,7 @@ func (f *Factory) deliver(queryID string, it cxt.Item) {
 	f.instr.event(now, queryID, metrics.EventDelivered, mech.String(), string(it.Type))
 	if first {
 		f.instr.observeFirstItem(mech, now.Sub(submitted))
+		aq.span.MarkFirstItem()
 	}
 
 	f.dev.Repo.Store(it)
@@ -585,10 +603,10 @@ func (f *Factory) localUsesGPS(q *query.Query) bool {
 }
 
 // makeLocal is the LocalFacade's provider maker.
-func (f *Factory) makeLocal(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+func (f *Factory) makeLocal(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc, span *tracing.Span) (provider.Provider, error) {
 	cfg := provider.LocalConfig{
 		ID: id, Clock: f.clock, Query: q, Sink: sink, OnDone: onDone,
-		Internal: f.dev.Internal,
+		Internal: f.dev.Internal, Span: span,
 	}
 	if f.localUsesGPS(q) {
 		cfg.BT = f.dev.BT
@@ -600,7 +618,7 @@ func (f *Factory) makeLocal(id string, q *query.Query, sink provider.Sink, onDon
 // makeAdHoc is the AdHocFacade's provider maker: WiFi for multi-hop, and
 // for one-hop queries WiFi by default (no 13-s inquiry) unless the
 // reducePower policy or missing hardware selects BT.
-func (f *Factory) makeAdHoc(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+func (f *Factory) makeAdHoc(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc, span *tracing.Span) (provider.Provider, error) {
 	f.mu.Lock()
 	preferBT := f.preferBTOneHop
 	f.mu.Unlock()
@@ -616,15 +634,15 @@ func (f *Factory) makeAdHoc(id string, q *query.Query, sink provider.Sink, onDon
 	}
 	return provider.NewAdHoc(provider.AdHocConfig{
 		ID: id, Clock: f.clock, Query: q, Sink: sink, OnDone: onDone,
-		Transport: transport, BT: f.dev.BT, WiFi: f.dev.WiFi,
+		Transport: transport, BT: f.dev.BT, WiFi: f.dev.WiFi, Span: span,
 	})
 }
 
 // makeInfra is the InfraFacade's provider maker.
-func (f *Factory) makeInfra(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc) (provider.Provider, error) {
+func (f *Factory) makeInfra(id string, q *query.Query, sink provider.Sink, onDone provider.DoneFunc, span *tracing.Span) (provider.Provider, error) {
 	return provider.NewInfra(provider.InfraConfig{
 		ID: id, Clock: f.clock, Query: q, Sink: sink, OnDone: onDone,
-		UMTS: f.dev.UMTS,
+		UMTS: f.dev.UMTS, Span: span,
 	})
 }
 
@@ -741,7 +759,7 @@ func (f *Factory) switchQuery(queryID, reason string) {
 	f.mu.Unlock()
 
 	f.facades[from].Cancel(queryID)
-	if err := f.facades[to].Submit(queryID, aq.q, mergeOn); err != nil {
+	if err := f.facades[to].submit(queryID, aq.q, mergeOn, aq.span); err != nil {
 		aq.client.InformError(fmt.Sprintf("contory: switching %s to %s: %v", queryID, to, err))
 		// InformError may have re-entered Cancel: only resurrect the query
 		// on its old mechanism if this record is still registered.
@@ -752,7 +770,7 @@ func (f *Factory) switchQuery(queryID, reason string) {
 			return
 		}
 		// Try to re-submit on the old mechanism so the query is not lost.
-		if err := f.facades[from].Submit(queryID, aq.q, mergeOn); err != nil {
+		if err := f.facades[from].submit(queryID, aq.q, mergeOn, aq.span); err != nil {
 			f.finishQuery(queryID, metrics.EventCancelled)
 		}
 		return
@@ -770,6 +788,11 @@ func (f *Factory) switchQuery(queryID, reason string) {
 	f.switches = append(f.switches, SwitchEvent{
 		At: f.clock.Now(), QueryID: queryID, From: from, To: to, Reason: reason,
 	})
+	sw := aq.span.Child("switch")
+	sw.SetAttr("from", from.String())
+	sw.SetAttr("to", to.String())
+	sw.SetAttr("reason", reason)
+	sw.End()
 	// A query forced below its preferred mechanism probes for that
 	// mechanism's return (the Fig. 5 recovery path); arriving back at the
 	// preferred mechanism stops the probe.

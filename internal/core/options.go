@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"contory/internal/metrics"
+	"contory/internal/tracing"
 )
 
 // RetryPolicy is the factory-wide recovery posture, applied uniformly to
@@ -92,4 +93,13 @@ func WithMetrics(reg *metrics.Registry) Option {
 			f.metrics = reg
 		}
 	}
+}
+
+// WithTracer attaches a distributed tracer: every ProcessCxtQuery opens a
+// root span and each layer the query crosses (facade dispatch, radio
+// operations, SM hops, failover switches) records a child span. A nil
+// tracer — the default — keeps tracing off with zero overhead, since every
+// span operation is nil-safe.
+func WithTracer(tr *tracing.Tracer) Option {
+	return func(f *Factory) { f.tracer = tr }
 }

@@ -276,6 +276,19 @@ func (tl *Timeline) energyBetweenLocked(t0, t1 time.Time) Joules {
 	return joules
 }
 
+// EnergyBetweenClamped is EnergyBetween with the start clamped to the
+// compaction cutoff: integrating a span that began before a Compact would
+// silently read a truncated history as zero power. Used by the tracing
+// layer, whose span intervals may predate a long run's compaction.
+func (tl *Timeline) EnergyBetweenClamped(t0, t1 time.Time) Joules {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if t0.Before(tl.compacted) {
+		t0 = tl.compacted
+	}
+	return tl.energyBetweenLocked(t0, t1)
+}
+
 // WindowEnergy returns the total energy contributed by windows whose label
 // matches the given label, regardless of when they occurred.
 func (tl *Timeline) WindowEnergy(label string) Joules {

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"contory/internal/core"
 	"contory/internal/cxt"
 	"contory/internal/metrics"
 	"contory/internal/query"
+	"contory/internal/tracing"
 )
 
 // MetricsRun exercises all three provisioning mechanisms on one testbed —
@@ -19,6 +21,17 @@ func MetricsRun(seed int64) (metrics.Snapshot, error) {
 	if err != nil {
 		return metrics.Snapshot{}, err
 	}
+	if err := runReferenceWorkload(tb); err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return tb.Metrics.Snapshot(), nil
+}
+
+// runReferenceWorkload drives the instrumented reference workload on a
+// testbed: three concurrent queries covering every provisioning mechanism
+// plus one GPS outage mid-run. Shared by MetricsRun and TraceRun so the
+// metrics snapshot and the span trees describe the same execution.
+func runReferenceWorkload(tb *Testbed) error {
 	clk := tb.Clock
 
 	// Context the peers offer: an ad hoc temperature tag and a remote
@@ -29,7 +42,7 @@ func MetricsRun(seed int64) (metrics.Snapshot, error) {
 	if _, err := tb.Peer.UMTS.Publish("weather", cxt.Item{
 		Type: cxt.TypeWeather, Value: "sunny", Timestamp: clk.Now(),
 	}); err != nil {
-		return metrics.Snapshot{}, fmt.Errorf("experiments: seed weather: %w", err)
+		return fmt.Errorf("experiments: seed weather: %w", err)
 	}
 	clk.Advance(time.Minute)
 
@@ -41,7 +54,7 @@ func MetricsRun(seed int64) (metrics.Snapshot, error) {
 	} {
 		q := query.MustParse(text)
 		if _, err := tb.Factory.ProcessCxtQuery(q, &collectClient{}); err != nil {
-			return metrics.Snapshot{}, fmt.Errorf("experiments: metrics run: %w", err)
+			return fmt.Errorf("experiments: reference workload: %w", err)
 		}
 	}
 	clk.Advance(3 * time.Minute)
@@ -51,6 +64,25 @@ func MetricsRun(seed int64) (metrics.Snapshot, error) {
 	tb.GPS.SetFailed(false)
 	clk.Advance(5 * time.Minute)
 	tb.Phone.UMTS.SetGSMRadio(false)
+	return nil
+}
 
-	return tb.Metrics.Snapshot(), nil
+// TraceRun runs the same reference workload with distributed tracing
+// enabled and returns the retained span trees plus tracer stats.
+// contory-bench -trace renders them as text trees and an attribution
+// table.
+func TraceRun(seed int64, sample int) ([]tracing.TraceView, tracing.Stats, error) {
+	tb, err := NewTestbed(seed)
+	if err != nil {
+		return nil, tracing.Stats{}, err
+	}
+	tr := tracing.New(tb.Clock, tracing.Config{Seed: seed, Sample: sample, Registry: tb.Metrics})
+	// Rebuild the factory with the tracer attached; NewFactory only wires
+	// the struct, so replacing the untraced one is free.
+	tb.Factory = core.NewFactory(tb.Phone, core.WithMetrics(tb.Metrics), core.WithTracer(tr))
+	if err := runReferenceWorkload(tb); err != nil {
+		return nil, tracing.Stats{}, err
+	}
+	tr.Flush()
+	return tr.Store().Traces(), tr.Stats(), nil
 }

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"contory/internal/chaos"
+	"contory/internal/core"
+	"contory/internal/cxt"
+	"contory/internal/query"
+	"contory/internal/refs"
+	"contory/internal/tracing"
+)
+
+// spanByID indexes a trace's spans for parent-chain checks.
+func spanByID(tv tracing.TraceView) map[tracing.SpanID]tracing.SpanView {
+	m := make(map[tracing.SpanID]tracing.SpanView, len(tv.Spans))
+	for _, sv := range tv.Spans {
+		m[sv.ID] = sv
+	}
+	return m
+}
+
+func attrValue(sv tracing.SpanView, key string) (string, bool) {
+	for _, a := range sv.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TestTraceRunReferenceWorkload runs the traced reference workload end to
+// end: all three mechanisms must produce complete span trees, and the
+// export must be deterministic across repeated runs.
+func TestTraceRunReferenceWorkload(t *testing.T) {
+	traces, stats, err := TraceRun(42, 0)
+	if err != nil {
+		t.Fatalf("TraceRun: %v", err)
+	}
+	if stats.Started != 3 || stats.Finished != 3 {
+		t.Fatalf("stats %+v, want 3 started and finished", stats)
+	}
+	rep := tracing.BuildAttribution(traces, stats, 5)
+	mechs := make(map[string]bool)
+	for _, mb := range rep.Mechanisms {
+		mechs[mb.Mechanism] = true
+	}
+	for _, want := range []string{"intSensor", "adHocNetwork", "extInfra"} {
+		if !mechs[want] {
+			t.Fatalf("attribution missing mechanism %s (have %v)", want, mechs)
+		}
+	}
+	// Every span's parent must resolve within its trace, and every sm.hop
+	// must be parented to a wifi.finder round.
+	for _, tv := range traces {
+		byID := spanByID(tv)
+		for _, sv := range tv.Spans {
+			if sv.Parent == 0 {
+				continue
+			}
+			p, ok := byID[sv.Parent]
+			if !ok {
+				t.Fatalf("trace %s: span %s has unresolved parent", tv.Name, sv.Name)
+			}
+			if sv.Name == "sm.hop" && !strings.HasPrefix(p.Name, "wifi.finder") {
+				t.Fatalf("trace %s: sm.hop parented to %s", tv.Name, p.Name)
+			}
+		}
+	}
+
+	// Same seed, same bytes.
+	again, _, err := TraceRun(42, 0)
+	if err != nil {
+		t.Fatalf("TraceRun again: %v", err)
+	}
+	a, err := tracing.ChromeJSON(traces)
+	if err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	b, err := tracing.ChromeJSON(again)
+	if err != nil {
+		t.Fatalf("ChromeJSON again: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed exported different Chrome JSON")
+	}
+}
+
+// TestSMMigrationSpansUnderProviderHang is the chaos acceptance test for
+// span propagation: a periodic ad hoc query keeps running SM-FINDER tours
+// while a provider-hang fault silences the relay peer. The trace must stay
+// a complete, correctly-parented tree, and the migration hops attempted
+// into the hung node must carry the injected fault's ID.
+func TestSMMigrationSpansUnderProviderHang(t *testing.T) {
+	const seed = 7
+	tb, err := NewTestbed(seed)
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	tr := tracing.New(tb.Clock, tracing.Config{Seed: seed, Registry: tb.Metrics})
+	tb.Factory = core.NewFactory(tb.Phone, core.WithMetrics(tb.Metrics), core.WithTracer(tr))
+
+	tb.Peer.WiFi.PublishTag("temperature", cxt.Item{
+		Type: cxt.TypeTemperature, Value: 15.0, Timestamp: tb.Clock.Now(), Lifetime: time.Hour,
+	}, 0)
+	faults := []chaos.Fault{{
+		ID: "hang-1", Kind: chaos.KindProviderHang,
+		At: 75 * time.Second, Duration: 60 * time.Second, Target: "peer",
+	}}
+	inj := chaos.NewInjector(tb.Net, chaos.SimClock{C: tb.Clock}, tb.Metrics, tb.ChaosTargets(), faults)
+	inj.SetTracer(tr)
+	inj.Install()
+
+	q := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 5 min EVERY 30 sec")
+	if _, err := tb.Factory.ProcessCxtQuery(q, &collectClient{}); err != nil {
+		t.Fatalf("ProcessCxtQuery: %v", err)
+	}
+	tb.Clock.Advance(6 * time.Minute)
+	tr.Flush()
+
+	traces := tr.Store().Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	tv := traces[0]
+	byID := spanByID(tv)
+	var hops, faultedHops, healthyHops int
+	for _, sv := range tv.Spans {
+		if sv.Parent != 0 {
+			if _, ok := byID[sv.Parent]; !ok {
+				t.Fatalf("span %s has unresolved parent — tree broken under chaos", sv.Name)
+			}
+		}
+		if sv.Name != "sm.hop" {
+			continue
+		}
+		hops++
+		p := byID[sv.Parent]
+		if !strings.HasPrefix(p.Name, "wifi.finder") {
+			t.Fatalf("sm.hop parented to %s, want a wifi.finder round", p.Name)
+		}
+		to, _ := attrValue(sv, "to")
+		id, faulted := attrValue(sv, "fault")
+		if faulted {
+			if to != "peer" {
+				t.Fatalf("hop to %s annotated with fault meant for peer", to)
+			}
+			if id != "hang-1" {
+				t.Fatalf("fault id %q, want hang-1", id)
+			}
+			if kind, _ := attrValue(sv, "fault_kind"); kind != "provider-hang" {
+				t.Fatalf("fault kind %q, want provider-hang", kind)
+			}
+			faultedHops++
+		} else if to == "peer" {
+			healthyHops++
+		}
+	}
+	if hops == 0 {
+		t.Fatal("no migration hops traced")
+	}
+	if faultedHops == 0 {
+		t.Fatal("no hop carries the injected fault — rounds inside the fault window lost the annotation")
+	}
+	if healthyHops == 0 {
+		t.Fatal("every hop is annotated — the fault window did not clear")
+	}
+}
+
+// TestBTAttributionDominatedByDiscovery reproduces the paper's Table 1
+// decomposition as an acceptance check: for a one-hop Bluetooth query, the
+// ≈13 s device inquiry plus the ≈1.12 s SDP service discovery must explain
+// at least 90% of first-item latency.
+func TestBTAttributionDominatedByDiscovery(t *testing.T) {
+	const seed = 11
+	tb, err := NewTestbed(seed)
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	tr := tracing.New(tb.Clock, tracing.Config{Seed: seed, Registry: tb.Metrics})
+	tb.Factory = core.NewFactory(tb.Phone,
+		core.WithMetrics(tb.Metrics), core.WithTracer(tr), core.WithPreferBTOneHop(true))
+
+	item := cxt.Item{Type: cxt.TypeLight, Value: 420.0, Timestamp: tb.Clock.Now(), Lifetime: time.Hour}
+	tb.Peer.BT.RegisterService(refs.ServiceRecord{Name: "light", Item: item}, nil)
+	tb.Clock.Advance(time.Second)
+
+	q := query.MustParse("SELECT light FROM adHocNetwork(all,1) DURATION 2 min")
+	cli := &collectClient{}
+	if _, err := tb.Factory.ProcessCxtQuery(q, cli); err != nil {
+		t.Fatalf("ProcessCxtQuery: %v", err)
+	}
+	tb.Clock.Advance(3 * time.Minute)
+	tr.Flush()
+
+	traces := tr.Store().Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	if !traces[0].HasFirstItem {
+		t.Fatal("BT query delivered no first item")
+	}
+	rep := tracing.BuildAttribution(traces, tr.Stats(), 5)
+	if len(rep.Mechanisms) != 1 {
+		t.Fatalf("mechanisms %+v, want one row", rep.Mechanisms)
+	}
+	mb := rep.Mechanisms[0]
+	var discovery float64
+	for _, ps := range mb.Phases {
+		if ps.Phase == "inquiry" || ps.Phase == "service-discovery" {
+			discovery += ps.Share
+		}
+	}
+	if discovery < 0.9 {
+		t.Fatalf("inquiry + service-discovery explain %.1f%% of first-item latency, want >= 90%%\nreport:\n%s",
+			100*discovery, tracing.RenderAttribution(rep))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"contory/internal/radio"
 	"contory/internal/refs"
 	"contory/internal/sm"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -67,7 +68,15 @@ func New(spec Spec) (*Engine, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	w, err := contory.NewWorldConfig(contory.WorldConfig{Seed: spec.Seed, Lanes: spec.Lanes})
+	wcfg := contory.WorldConfig{Seed: spec.Seed, Lanes: spec.Lanes}
+	if spec.Trace.Enabled {
+		wcfg.Trace = &tracing.Config{
+			Sample:  spec.Trace.Sample,
+			HeadCap: spec.Trace.HeadCap,
+			TailCap: spec.Trace.TailCap,
+		}
+	}
+	w, err := contory.NewWorldConfig(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
@@ -374,6 +383,7 @@ func (e *Engine) installChaos() {
 	// A distinct stream from churn and workload staggers.
 	faults := chaos.Plan(prof, e.spec.Seed^0x6a09e667f3bcc909, targets, e.spec.Duration)
 	e.injector = chaos.NewInjector(e.w.Network(), e.w, e.w.Metrics(), targets, faults)
+	e.injector.SetTracer(e.w.Tracer())
 	e.injector.Install()
 }
 
@@ -396,5 +406,8 @@ func (e *Engine) Run(workers int) (Summary, error) {
 	} else {
 		e.w.Run(e.spec.Duration)
 	}
+	// Spans of queries still running when the clock stops must land in the
+	// store before the summary reads it.
+	e.w.Tracer().Flush()
 	return e.summarize(start, bs), nil
 }

@@ -2,9 +2,12 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/json"
 	"runtime"
 	"testing"
 	"time"
+
+	"contory/internal/tracing"
 )
 
 // run builds a fresh engine from spec and runs it with the given worker
@@ -199,6 +202,104 @@ func TestFleetChaos(t *testing.T) {
 	b := run(t, spec, 8)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("chaos summary differs between workers=1 and workers=8:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestFleetTraceDeterministicExport is the tracing acceptance run: a traced
+// chaos fleet must retain span trees, report attribution in its summary, and
+// export byte-identical Chrome trace-event JSON at 1 and 8 workers.
+func TestFleetTraceDeterministicExport(t *testing.T) {
+	spec := Spec{
+		Name: "traced", Phones: 60, Seed: 7, Duration: 2 * time.Minute,
+		Lanes: 16, GPSFraction: 0.3, PublisherFraction: 0.4,
+		Workload: Workload{GPSPeriodic: 0.3, LocalPeriodic: 0.2, AdHocPeriodic: 0.2, InfraOneShot: 0.2},
+		Chaos:    ChaosSpec{Profile: "mixed"},
+		Trace:    TraceSpec{Enabled: true},
+	}
+	export := func(workers int) ([]byte, Summary) {
+		e, err := New(spec)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		sum, err := e.Run(workers)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		tr := e.World().Tracer()
+		if tr == nil {
+			t.Fatal("traced spec built no tracer")
+		}
+		data, err := tracing.ChromeJSON(tr.Store().Traces())
+		if err != nil {
+			t.Fatalf("ChromeJSON: %v", err)
+		}
+		return data, sum
+	}
+	a, sum := export(1)
+	b, _ := export(8)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Chrome export differs between workers=1 and workers=8:\n%s", firstDiff(a, b))
+	}
+	if sum.Trace == nil {
+		t.Fatal("summary lacks trace attribution report")
+	}
+	if sum.Trace.Started == 0 || sum.Trace.Retained == 0 || sum.Trace.Spans == 0 {
+		t.Fatalf("empty attribution report: %+v", sum.Trace)
+	}
+	if sum.Trace.Finished < int64(sum.Trace.Retained) {
+		t.Fatalf("retained %d traces but only %d finished", sum.Trace.Retained, sum.Trace.Finished)
+	}
+	if len(sum.Trace.Mechanisms) == 0 {
+		t.Fatal("attribution has no mechanism rows")
+	}
+
+	// The export must parse as trace-event JSON and reference every span's
+	// parent within the same export.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	spans := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Args["span"]] = true
+		}
+	}
+	if len(spans) == 0 {
+		t.Fatal("export holds no complete events")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if p := ev.Args["parent"]; p != "" && !spans[p] {
+			t.Fatalf("span %s references parent %s missing from the export", ev.Args["span"], p)
+		}
+	}
+}
+
+// TestFleetUntracedHasNoTraceReport guards the zero-cost default: without
+// TraceSpec.Enabled the summary must omit the attribution report entirely.
+func TestFleetUntracedHasNoTraceReport(t *testing.T) {
+	e, err := New(Spec{Phones: 20, Seed: 5, Duration: time.Minute})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sum, err := e.Run(2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Trace != nil {
+		t.Fatalf("untraced run produced a trace report: %+v", sum.Trace)
+	}
+	if e.World().Tracer() != nil {
+		t.Fatal("untraced spec built a tracer")
 	}
 }
 

@@ -75,6 +75,21 @@ type ChaosSpec struct {
 	Grace time.Duration `json:"grace"`
 }
 
+// TraceSpec opts a run into deterministic distributed tracing: every query
+// grows a vclock-stamped span tree and the summary gains a latency
+// attribution report. The zero value disables tracing.
+type TraceSpec struct {
+	// Enabled turns tracing on.
+	Enabled bool `json:"enabled"`
+	// Sample keeps one trace in Sample by trace-ID residue (<= 1 keeps
+	// every trace).
+	Sample int `json:"sample"`
+	// HeadCap / TailCap bound the per-run trace store: the earliest
+	// HeadCap and latest TailCap finished traces are retained (0 = 128).
+	HeadCap int `json:"head_cap"`
+	TailCap int `json:"tail_cap"`
+}
+
 // RadioMix partitions the population into device classes. Fractions are
 // normalized; zero-value means everything Dual.
 type RadioMix struct {
@@ -136,6 +151,7 @@ type Spec struct {
 	Workload Workload  `json:"workload"`
 	Churn    Churn     `json:"churn"`
 	Chaos    ChaosSpec `json:"chaos"`
+	Trace    TraceSpec `json:"trace"`
 }
 
 // withDefaults returns a copy with all defaults applied.

@@ -7,6 +7,7 @@ import (
 
 	"contory/internal/chaos"
 	"contory/internal/metrics"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -80,6 +81,10 @@ type Summary struct {
 	// Chaos reports fault injection and switch attribution (nil without a
 	// chaos profile).
 	Chaos *ChaosReport `json:"chaos,omitempty"`
+
+	// Trace is the latency-attribution report over the retained span trees
+	// (nil unless the spec enables tracing).
+	Trace *tracing.AttributionReport `json:"trace,omitempty"`
 
 	// Snapshot is the full metrics state (lifecycle event ring excluded:
 	// its eviction order is execution-order sensitive by design).
@@ -199,5 +204,13 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 			Unattributed: len(att.Unattributed),
 		}
 	}
+
+	if tr := e.w.Tracer(); tr != nil {
+		rep := tracing.BuildAttribution(tr.Store().Traces(), tr.Stats(), traceTopN)
+		s.Trace = &rep
+	}
 	return s
 }
+
+// traceTopN is how many slowest traces the summary's attribution lists.
+const traceTopN = 5

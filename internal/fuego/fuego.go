@@ -19,6 +19,7 @@ import (
 	"contory/internal/energy"
 	"contory/internal/radio"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 )
 
 // Message kinds on the UMTS medium.
@@ -55,6 +56,10 @@ type Request struct {
 	From    simnet.NodeID
 	Op      string // operation name, dispatched by the server's handler
 	Payload any
+	// Span is the caller's trace span, propagated with the request so the
+	// server can parent its handling span under it (nil = untraced). It
+	// models trace-context propagation and adds no wire bytes.
+	Span *tracing.Span
 }
 
 // Server is the infrastructure-side event broker: channels, subscriptions
@@ -209,6 +214,11 @@ func (s *Server) onRequest(m simnet.Message) {
 	h := s.handlers[req.Op]
 	s.events++
 	s.mu.Unlock()
+	// Server-side handling span: dispatch is instantaneous in virtual time
+	// (the round trip's latency lives on the UMTS up/downlink), but the
+	// span records which infrastructure node served the request.
+	sp := req.Span.ChildAt("fuego.handle", string(s.node.ID()), s.node.Timeline())
+	sp.SetAttr("op", req.Op)
 	rep := replyEnvelope{ID: req.ID}
 	if h == nil {
 		rep.Err = ErrNoHandler.Error() + ": " + req.Op
@@ -220,6 +230,10 @@ func (s *Server) onRequest(m simnet.Message) {
 			rep.Payload = out
 		}
 	}
+	if rep.Err != "" {
+		sp.SetAttr("error", rep.Err)
+	}
+	sp.End()
 	_ = s.net.Send(simnet.Message{
 		From:    s.node.ID(),
 		To:      req.From,
@@ -337,6 +351,12 @@ func (c *Client) Unsubscribe(channel string) error {
 // callback receives the reply payload or an error; timeout 0 uses a default
 // of twice the worst-case UMTS round trip.
 func (c *Client) Request(op string, payload any, timeout time.Duration, done func(any, error)) error {
+	return c.RequestTraced(op, payload, timeout, nil, done)
+}
+
+// RequestTraced is Request carrying the caller's trace span; the server
+// parents a "fuego.handle" span under it (nil span = untraced).
+func (c *Client) RequestTraced(op string, payload any, timeout time.Duration, span *tracing.Span, done func(any, error)) error {
 	c.mu.Lock()
 	c.nextID++
 	id := fmt.Sprintf("%s-req-%d", c.node.ID(), c.nextID)
@@ -368,7 +388,7 @@ func (c *Client) Request(op string, payload any, timeout time.Duration, done fun
 		To:      c.server,
 		Medium:  radio.MediumUMTS,
 		Kind:    kindRequest,
-		Payload: Request{ID: id, From: c.node.ID(), Op: op, Payload: payload},
+		Payload: Request{ID: id, From: c.node.ID(), Op: op, Payload: payload, Span: span},
 		Bytes:   radio.UMTSEventBytes,
 	}, d)
 	if err != nil {

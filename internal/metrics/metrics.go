@@ -303,13 +303,15 @@ type Event struct {
 }
 
 // Ring is a bounded buffer of lifecycle events: when full, recording evicts
-// the oldest event. Total keeps counting past evictions.
+// the oldest event. Total keeps counting past evictions, and Dropped counts
+// the evictions themselves so overflow is never silent.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Event
-	start int
-	n     int
-	total uint64
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	total   uint64
+	dropped uint64
 }
 
 // NewRing returns a ring holding at most capacity events (minimum 1).
@@ -335,6 +337,7 @@ func (r *Ring) Record(ev Event) {
 	}
 	r.buf[r.start] = ev
 	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
 }
 
 // Events returns the retained events, oldest first. Nil-safe.
@@ -377,4 +380,14 @@ func (r *Ring) Total() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns how many events the ring evicted to make room.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }

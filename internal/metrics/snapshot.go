@@ -50,7 +50,11 @@ type Snapshot struct {
 	Histograms  []HistogramPoint `json:"histograms"`
 	Events      []Event          `json:"events"`
 	EventsTotal uint64           `json:"events_total"`
-	EventsCap   int              `json:"events_capacity"`
+	// EventsDropped counts ring evictions. The count (unlike the retained
+	// list) is a pure function of total volume and capacity, so it stays in
+	// worker-count-deterministic snapshots.
+	EventsDropped uint64 `json:"events_dropped"`
+	EventsCap     int    `json:"events_capacity"`
 }
 
 // Snapshot captures the registry's current state. Nil-safe: a nil registry
@@ -78,6 +82,7 @@ func (r *Registry) Snapshot() Snapshot {
 
 	s.Events = r.ring.Events()
 	s.EventsTotal = r.ring.Total()
+	s.EventsDropped = r.ring.Dropped()
 	s.EventsCap = r.ring.Capacity()
 	return s
 }
@@ -176,7 +181,7 @@ func formatFloat(v float64) string {
 //	gauge <name> <value>
 //	histogram <name> count=<n> sum=<s> min=<m> max=<M>
 //	histogram <name> le=<bound> <cumulative-count>
-//	events total=<n> retained=<n> capacity=<n>
+//	events total=<n> retained=<n> dropped=<n> capacity=<n>
 //	event <RFC3339> <kind> query=<id> [mech=<m>] [detail=<d>]
 //
 // Lines are sorted by instrument name; events are chronological.
@@ -195,8 +200,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			fmt.Fprintf(&b, "histogram %s le=%s %d\n", h.Name, bk.Le, bk.Count)
 		}
 	}
-	fmt.Fprintf(&b, "events total=%d retained=%d capacity=%d\n",
-		s.EventsTotal, len(s.Events), s.EventsCap)
+	fmt.Fprintf(&b, "events total=%d retained=%d dropped=%d capacity=%d\n",
+		s.EventsTotal, len(s.Events), s.EventsDropped, s.EventsCap)
 	for _, ev := range s.Events {
 		fmt.Fprintf(&b, "event %s %s query=%s", ev.At.UTC().Format("2006-01-02T15:04:05.000000000Z"), ev.Kind, ev.Query)
 		if ev.Mechanism != "" {

@@ -9,6 +9,7 @@ import (
 	"contory/internal/refs"
 	"contory/internal/simnet"
 	"contory/internal/sm"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -62,6 +63,9 @@ type AdHocConfig struct {
 	// (§5.2: "in some cases a list of pre-known devices is used"),
 	// skipping the ≈13-s inquiry and going straight to SDP.
 	KnownDevices []simnet.NodeID
+	// Span is the provider's trace span; BT inquiry/SDP/get rounds and
+	// WiFi finder rounds open child spans under it (nil = untraced).
+	Span *tracing.Span
 }
 
 // NewAdHoc returns an AdHocCxtProvider.
@@ -86,14 +90,16 @@ func NewAdHoc(cfg AdHocConfig) (*AdHocCxtProvider, error) {
 	}
 	known := make([]simnet.NodeID, len(cfg.KnownDevices))
 	copy(known, cfg.KnownDevices)
-	return &AdHocCxtProvider{
+	p := &AdHocCxtProvider{
 		base:      newBase(cfg.ID, cfg.Clock, cfg.Query, cfg.Sink, cfg.OnDone),
 		transport: cfg.Transport,
 		bt:        cfg.BT,
 		wifi:      cfg.WiFi,
 		known:     known,
 		window:    query.NewEventWindow(defaultEventWindow),
-	}, nil
+	}
+	p.base.span = cfg.Span
+	return p, nil
 }
 
 // Transport returns the provider's transport.
@@ -117,7 +123,12 @@ func (p *AdHocCxtProvider) Start() error {
 		// One-time device + service discovery (≈ 13 s + 1.12 s), then the
 		// query's collection schedule (Table 2's on-demand vs periodic
 		// split).
-		p.bt.Discover(p.onBTDevices)
+		inq := p.span.Child("bt.inquiry")
+		p.bt.Discover(func(devs []simnet.NodeID) {
+			inq.SetAttrInt("devices", int64(len(devs)))
+			inq.End()
+			p.onBTDevices(devs)
+		})
 		return nil
 	}
 	p.scheduleWiFi()
@@ -134,7 +145,13 @@ func (p *AdHocCxtProvider) onBTDevices(devs []simnet.NodeID) {
 	for _, dev := range devs {
 		dev := dev
 		pendingSDP++
+		sdp := p.span.Child("bt.sdp")
+		sdp.SetAttr("device", string(dev))
 		p.bt.DiscoverServices(dev, func(names []string, err error) {
+			if err != nil {
+				sdp.SetAttr("error", err.Error())
+			}
+			sdp.End()
 			if err == nil {
 				for _, n := range names {
 					if n == string(q.Select) {
@@ -187,7 +204,13 @@ func (p *AdHocCxtProvider) collectBT(deliver bool) {
 		limit = q.From.NumNodes
 	}
 	for _, dev := range devs[:limit] {
+		get := p.span.Child("bt.get")
+		get.SetAttr("device", string(dev))
 		p.bt.Get(dev, string(q.Select), func(it cxt.Item, err error) {
+			if err != nil {
+				get.SetAttr("error", err.Error())
+			}
+			get.End()
 			if err != nil || p.isStopped() {
 				return
 			}
@@ -238,6 +261,7 @@ func (p *AdHocCxtProvider) collectWiFi(deliver, finishAfter bool) {
 		MaxNodes: q.From.NumNodes,
 		MaxHops:  hops,
 		Filter:   p.remoteFilter(q),
+		Span:     p.span,
 	}
 	switch q.From.Kind {
 	case query.SourceEntity:

@@ -8,6 +8,7 @@ import (
 	"contory/internal/fuego"
 	"contory/internal/query"
 	"contory/internal/refs"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -46,6 +47,9 @@ type InfraConfig struct {
 	Sink   Sink
 	OnDone DoneFunc
 	UMTS   *refs.UMTSReference
+	// Span is the provider's trace span; UMTS request rounds open child
+	// spans under it (nil = untraced).
+	Span *tracing.Span
 }
 
 // NewInfra returns an InfraCxtProvider.
@@ -56,11 +60,13 @@ func NewInfra(cfg InfraConfig) (*InfraCxtProvider, error) {
 	if cfg.UMTS == nil {
 		return nil, fmt.Errorf("%w: infra provider needs a UMTSReference", ErrNoSource)
 	}
-	return &InfraCxtProvider{
+	p := &InfraCxtProvider{
 		base:   newBase(cfg.ID, cfg.Clock, cfg.Query, cfg.Sink, cfg.OnDone),
 		umts:   cfg.UMTS,
 		window: query.NewEventWindow(defaultEventWindow),
-	}, nil
+	}
+	p.base.span = cfg.Span
+	return p, nil
 }
 
 // UpdateQuery implements Provider.
@@ -83,7 +89,14 @@ func (p *InfraCxtProvider) Start() error {
 	case query.ModeEvent:
 		// Subscribe to the context type's channel; evaluate the EVENT
 		// predicate on arriving updates.
-		return p.umts.Subscribe(string(q.Select), p.onNotification)
+		sub := p.span.Child("umts.subscribe")
+		sub.SetAttr("channel", string(q.Select))
+		if err := p.umts.Subscribe(string(q.Select), p.onNotification); err != nil {
+			sub.SetAttr("error", err.Error())
+			sub.End()
+			return err
+		}
+		sub.End()
 	}
 	return nil
 }
@@ -119,7 +132,13 @@ func (p *InfraCxtProvider) request(deliver, finishAfter bool) {
 		return
 	}
 	q := p.Query()
-	p.umts.Request(InfraOpGetItem, infraQueryFrom(q), 0, func(v any, err error) {
+	sp := p.span.Child("umts.request")
+	sp.SetAttr("op", InfraOpGetItem)
+	p.umts.RequestTraced(InfraOpGetItem, infraQueryFrom(q), 0, sp, func(v any, err error) {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 		if err != nil || p.isStopped() {
 			if finishAfter {
 				p.finish()

@@ -8,6 +8,7 @@ import (
 	"contory/internal/query"
 	"contory/internal/refs"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -40,6 +41,9 @@ type LocalConfig struct {
 	// (optional).
 	BT        *refs.BTReference
 	GPSDevice simnet.NodeID
+	// Span is the provider's trace span; sensor reads and the GPS
+	// connect/stream open child spans under it (nil = untraced).
+	Span *tracing.Span
 }
 
 // NewLocal returns a LocalCxtProvider.
@@ -57,6 +61,7 @@ func NewLocal(cfg LocalConfig) (*LocalCxtProvider, error) {
 		gpsDev:   cfg.GPSDevice,
 		window:   query.NewEventWindow(defaultEventWindow),
 	}
+	p.base.span = cfg.Span
 	return p, nil
 }
 
@@ -105,10 +110,18 @@ func (p *LocalCxtProvider) usesGPS(q *query.Query) bool {
 // startGPS serves location/speed queries from the NMEA stream: fixes arrive
 // at 1 Hz and are re-emitted at the query's rate.
 func (p *LocalCxtProvider) startGPS(q *query.Query) error {
+	connect := p.span.Child("gps.connect")
+	connect.SetAttr("device", string(p.gpsDev))
 	err := p.bt.ConnectGPS(p.gpsDev, p.onFix, nil)
 	if err != nil {
+		connect.SetAttr("error", err.Error())
+		connect.End()
 		return fmt.Errorf("provider: local gps: %w", err)
 	}
+	connect.End()
+	stream := p.span.Child("gps.stream")
+	stream.SetAttr("device", string(p.gpsDev))
+	p.trackSpan(stream)
 	switch q.Mode() {
 	case query.ModeOnDemand:
 		// Deliver the first fix that arrives; onFix handles it.
@@ -192,10 +205,15 @@ func (p *LocalCxtProvider) sample(deliver bool) {
 	if !ok {
 		return
 	}
+	sp := p.span.Child("sensor.read")
+	sp.SetAttr("sensor", s.Name())
 	it, err := p.internal.Read(s.Name())
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return // the reference reported the failure to the monitor
 	}
+	sp.End()
 	if v, numeric := it.NumericValue(); numeric {
 		p.window.Observe(v)
 	}

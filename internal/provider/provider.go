@@ -22,6 +22,7 @@ import (
 
 	"contory/internal/cxt"
 	"contory/internal/query"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -59,10 +60,12 @@ type Provider interface {
 }
 
 // base carries the lifecycle shared by all providers: query storage,
-// duration/sample accounting, timers and the sink.
+// duration/sample accounting, timers, the sink, and the provider's trace
+// span (nil when tracing is off; every span operation is nil-safe).
 type base struct {
 	id    string
 	clock vclock.Clock
+	span  *tracing.Span // the facade's "assign" span for this provider
 
 	mu        sync.Mutex
 	q         *query.Query
@@ -72,6 +75,7 @@ type base struct {
 	started   bool
 	delivered int
 	timers    []*vclock.Timer
+	spans     []*tracing.Span // long-lived operation spans, ended on stop
 	doneFired bool
 }
 
@@ -114,6 +118,22 @@ func (b *base) track(t *vclock.Timer) {
 	b.timers = append(b.timers, t)
 }
 
+// trackSpan registers a long-lived operation span (a GPS stream, a BT link)
+// so it is closed when the provider stops, whichever path stops it.
+func (b *base) trackSpan(sp *tracing.Span) {
+	if sp == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		sp.End()
+		return
+	}
+	b.spans = append(b.spans, sp)
+	b.mu.Unlock()
+}
+
 // Stop implements Provider.
 func (b *base) Stop() {
 	b.mu.Lock()
@@ -130,6 +150,10 @@ func (b *base) stopLocked() {
 		t.Stop()
 	}
 	b.timers = nil
+	for _, sp := range b.spans {
+		sp.End()
+	}
+	b.spans = nil
 }
 
 // isStopped reports the provider's lifecycle state.

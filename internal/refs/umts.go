@@ -10,6 +10,7 @@ import (
 	"contory/internal/monitor"
 	"contory/internal/radio"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -192,9 +193,15 @@ func (r *UMTSReference) Unsubscribe(channel string) error {
 
 // Request performs an on-demand infrastructure operation.
 func (r *UMTSReference) Request(op string, payload any, timeout time.Duration, done func(any, error)) {
+	r.RequestTraced(op, payload, timeout, nil, done)
+}
+
+// RequestTraced is Request carrying the caller's trace span, under which
+// the infrastructure server opens its handling span (nil span = untraced).
+func (r *UMTSReference) RequestTraced(op string, payload any, timeout time.Duration, span *tracing.Span, done func(any, error)) {
 	r.mRequests.Inc()
 	r.markBusy(radio.UMTSGetLatency)
-	err := r.client.Request(op, payload, timeout, func(v any, err error) {
+	err := r.client.RequestTraced(op, payload, timeout, span, func(v any, err error) {
 		if err != nil {
 			r.mFailures.Inc()
 		}

@@ -156,7 +156,19 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 	var launch func()
 	launch = func() {
 		r.mFinders.Inc()
-		err := r.platform.LaunchFinder(r.node.ID(), spec, func(rs []sm.Result, err error) {
+		// Each attempt gets its own span; the SM runtime parents migration
+		// hops and remote executions under it via the spec.
+		att := spec.Span.Child("wifi.finder")
+		att.SetAttrInt("attempt", int64(attempt+1))
+		aspec := spec
+		aspec.Span = att
+		err := r.platform.LaunchFinder(r.node.ID(), aspec, func(rs []sm.Result, err error) {
+			if err != nil {
+				att.SetAttr("error", err.Error())
+			} else {
+				att.SetAttrInt("results", int64(len(rs)))
+			}
+			att.End()
 			if err != nil {
 				if errors.Is(err, sm.ErrFinderTimeout) {
 					r.mTimeouts.Inc()
@@ -190,6 +202,8 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 			done(rs, err)
 		})
 		if err != nil {
+			att.SetAttr("error", err.Error())
+			att.End()
 			done(nil, err)
 		}
 	}
@@ -202,9 +216,14 @@ func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error))
 		hops = 1
 	}
 	r.mRouteBuilds.Inc()
+	rb := spec.Span.Child("wifi.route-build")
+	rb.SetAttrInt("hops", int64(hops))
 	d, ws := r.wifi.RouteBuild(radio.QueryBytes, hops)
 	applyWindows(r.node, ws, r.clock.Now())
-	r.clock.After(d, launch)
+	r.clock.After(d, func() {
+		rb.End()
+		launch()
+	})
 }
 
 // Probe checks ad hoc reachability with the cheapest possible finder: a

@@ -8,6 +8,7 @@ import (
 	"contory/internal/energy"
 	"contory/internal/radio"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 )
 
 // CodeBrick is the executable part of a Smart Message. The runtime invokes
@@ -69,6 +70,11 @@ type FinderSpec struct {
 	Region *RegionSpec
 	// QueryBytes is the carried query size (defaults to 205 B).
 	QueryBytes int
+	// Span is the parent trace span of this finder round; migration hops
+	// and remote executions open child spans under it. The span travels
+	// with the SM inside its data brick, so remote nodes annotate the same
+	// trace (nil = untraced).
+	Span *tracing.Span
 }
 
 // RegionSpec is a circular region in simnet coordinates (metres).
@@ -315,6 +321,8 @@ func (p *Platform) finderStep(rt *Runtime, m *Message) {
 	// so forwarding through an already-visited provider on the way home
 	// does not duplicate its result.
 	if here != m.Origin && containsID(st.remaining, here) {
+		exec := st.spec.Span.ChildAt("sm.exec", string(here), rt.Node().Timeline())
+		exec.SetAttr("tag", st.spec.TagName)
 		if tag, err := rt.Tags().Read(st.spec.TagName); err == nil {
 			if st.spec.Filter == nil || st.spec.Filter(tag.Value) {
 				dist := 0
@@ -327,8 +335,14 @@ func (p *Platform) finderStep(rt *Runtime, m *Message) {
 					HopCnt: dist,
 					At:     p.net.Clock().Now(),
 				})
+				exec.SetAttr("collected", "true")
+			} else {
+				exec.SetAttr("collected", "filtered")
 			}
+		} else {
+			exec.SetAttr("collected", "no-tag")
 		}
+		exec.End()
 		// Drop this node from the remaining plan.
 		st.remaining = dropID(st.remaining, here)
 	}
@@ -371,7 +385,7 @@ func (p *Platform) routeToward(rt *Runtime, m *Message, st *finderState, dest si
 	departOrigin := !st.departed
 	st.departed = true
 	arriveOrigin := st.returning && next == m.Origin && len(path) == 1
-	if err := p.migrate(m, here, next, departOrigin, arriveOrigin); err != nil {
+	if err := p.migrate(m, st.spec.Span, here, next, departOrigin, arriveOrigin); err != nil {
 		// Link vanished between path computation and send: let the SM die.
 		return
 	}

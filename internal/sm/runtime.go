@@ -10,6 +10,7 @@ import (
 	"contory/internal/energy"
 	"contory/internal/radio"
 	"contory/internal/simnet"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -330,8 +331,9 @@ func (p *Platform) hopLatency(m *Message, departOrigin, arriveOrigin, codeCached
 }
 
 // migrate ships an SM one hop and accounts WiFi power on both endpoints for
-// the transfer duration.
-func (p *Platform) migrate(m *Message, from, to simnet.NodeID, departOrigin, arriveOrigin bool) error {
+// the transfer duration. When span is non-nil an "sm.hop" child covers the
+// transfer, ending at the arrival instant on the destination's lane.
+func (p *Platform) migrate(m *Message, span *tracing.Span, from, to simnet.NodeID, departOrigin, arriveOrigin bool) error {
 	toRt := p.Runtime(to)
 	cached := false
 	if toRt != nil {
@@ -341,6 +343,20 @@ func (p *Platform) migrate(m *Message, from, to simnet.NodeID, departOrigin, arr
 	}
 	d := p.hopLatency(m, departOrigin, arriveOrigin, cached)
 	m.HopCnt++
+	var hop *tracing.Span
+	if span != nil {
+		var tl *energy.Timeline
+		if n := p.net.Node(to); n != nil {
+			tl = n.Timeline()
+		}
+		hop = span.ChildAt("sm.hop", string(to), tl)
+		hop.SetAttr("from", string(from))
+		hop.SetAttr("to", string(to))
+		hop.SetAttrInt("hopCnt", int64(m.HopCnt))
+		if !cached {
+			hop.SetAttr("codeCache", "miss")
+		}
+	}
 	err := p.net.Send(simnet.Message{
 		From:    from,
 		To:      to,
@@ -350,7 +366,14 @@ func (p *Platform) migrate(m *Message, from, to simnet.NodeID, departOrigin, arr
 		Bytes:   smWireBytes(m),
 	}, d)
 	if err != nil {
+		hop.SetAttr("error", err.Error())
+		hop.End()
 		return fmt.Errorf("sm: migrate %s→%s: %w", from, to, err)
+	}
+	if hop != nil {
+		// End the hop at the arrival instant, on the destination's lane so
+		// sharded runs keep the same virtual end time as single-lane runs.
+		p.net.ClockFor(to).After(d, hop.End)
 	}
 	// Both endpoints keep their WiFi radio active for the transfer — except
 	// the SM's origin, whose radio is already held connected for the whole

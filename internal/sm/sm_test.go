@@ -431,7 +431,7 @@ func TestCustomCodeBrick(t *testing.T) {
 		executed[rt.Node().ID()] = true
 	})
 	m := &Message{ID: "m1", CodeID: "visit", Origin: "origin", Data: map[string]any{}}
-	if err := p.migrate(m, "origin", "relay", true, false); err != nil {
+	if err := p.migrate(m, nil, "origin", "relay", true, false); err != nil {
 		t.Fatal(err)
 	}
 	clk.Run(0)

@@ -31,14 +31,17 @@ func Plot(samples []energy.Sample, width, height int, title string) string {
 		return b.String()
 	}
 
-	// Bucket samples by time.
+	// Bucket samples by time. A degenerate trace — a single sample, or all
+	// samples at one instant — has no time axis to spread over: every
+	// sample lands explicitly in the first bucket and the axis is labelled
+	// with the true (zero) span, instead of scaling by a fabricated one.
 	span := samples[len(samples)-1].Since - samples[0].Since
-	if span <= 0 {
-		span = time.Second
-	}
 	buckets := make([]float64, width)
 	for _, s := range samples {
-		idx := int(float64(s.Since-samples[0].Since) / float64(span) * float64(width-1))
+		idx := 0
+		if span > 0 {
+			idx = int(float64(s.Since-samples[0].Since) / float64(span) * float64(width-1))
+		}
 		if idx < 0 {
 			idx = 0
 		}

@@ -55,6 +55,40 @@ func TestPlotSingleSample(t *testing.T) {
 	if !strings.Contains(s, "#") {
 		t.Errorf("single sample not plotted:\n%s", s)
 	}
+	// A single sample has no time span: the axis must say so rather than
+	// pretend the trace covered a fabricated second.
+	if !strings.Contains(s, "0 ms") {
+		t.Errorf("single-sample axis label not zero:\n%s", s)
+	}
+}
+
+func TestPlotAllSamplesAtOneInstant(t *testing.T) {
+	// Degenerate trace: several samples, all at the same offset. Every
+	// sample must land in the first bucket (leftmost column) and the time
+	// axis must read the true zero span.
+	samples := []energy.Sample{
+		{Since: 2 * time.Second, Power: 10},
+		{Since: 2 * time.Second, Power: 500},
+		{Since: 2 * time.Second, Power: 250},
+	}
+	s := Plot(samples, 30, 6, "")
+	if !strings.Contains(s, "0 ms") {
+		t.Errorf("zero-span axis label wrong:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		i := strings.IndexByte(line, '|')
+		if i < 0 {
+			continue
+		}
+		row := line[i+1:]
+		if j := strings.IndexByte(row, '#'); j > 0 {
+			t.Fatalf("mark outside the first bucket (col %d):\n%s", j, s)
+		}
+	}
+	// The bucket keeps the maximum power, so the top row still marks it.
+	if !strings.Contains(s, "500 mW") {
+		t.Errorf("max power label missing:\n%s", s)
+	}
 }
 
 func TestPlotMinimumDimensions(t *testing.T) {

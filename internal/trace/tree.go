@@ -1,0 +1,38 @@
+package trace
+
+import "strings"
+
+// TreeNode is one node of a renderable tree — the shape span trees (and
+// any other hierarchy) are handed to the text renderer in.
+type TreeNode struct {
+	Label    string
+	Children []TreeNode
+}
+
+// RenderTree renders the tree with box-drawing connectors:
+//
+//	root
+//	├─ child a
+//	│  └─ grandchild
+//	└─ child b
+func RenderTree(root TreeNode) string {
+	var b strings.Builder
+	b.WriteString(root.Label)
+	b.WriteByte('\n')
+	renderChildren(&b, root.Children, "")
+	return b.String()
+}
+
+func renderChildren(b *strings.Builder, kids []TreeNode, prefix string) {
+	for i, k := range kids {
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if i == len(kids)-1 {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		b.WriteString(prefix)
+		b.WriteString(connector)
+		b.WriteString(k.Label)
+		b.WriteByte('\n')
+		renderChildren(b, k.Children, childPrefix)
+	}
+}

@@ -1,0 +1,438 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"contory/internal/trace"
+)
+
+// --- Text span-tree export -------------------------------------------------
+
+// RenderText renders up to limit traces (0 = all) as labelled span trees
+// via the internal/trace tree renderer.
+func RenderText(traces []TraceView, limit int) string {
+	if limit <= 0 || limit > len(traces) {
+		limit = len(traces)
+	}
+	var b strings.Builder
+	for i := 0; i < limit; i++ {
+		b.WriteString(trace.RenderTree(spanTree(traces[i])))
+	}
+	if limit < len(traces) {
+		fmt.Fprintf(&b, "... %d more traces\n", len(traces)-limit)
+	}
+	return b.String()
+}
+
+// spanTree rebuilds the parent/child hierarchy of one trace. Spans arrive
+// sorted by (start, id), so children keep causal order.
+func spanTree(tv TraceView) trace.TreeNode {
+	type node struct {
+		sv   SpanView
+		kids []*node
+	}
+	byID := make(map[SpanID]*node, len(tv.Spans))
+	var root *node
+	var orphans []*node
+	for _, sv := range tv.Spans {
+		n := &node{sv: sv}
+		byID[sv.ID] = n
+		if sv.Parent == 0 {
+			root = n
+		}
+	}
+	for _, sv := range tv.Spans {
+		if sv.Parent == 0 {
+			continue
+		}
+		n := byID[sv.ID]
+		if p := byID[sv.Parent]; p != nil {
+			p.kids = append(p.kids, n)
+		} else {
+			orphans = append(orphans, n)
+		}
+	}
+	var build func(n *node) trace.TreeNode
+	build = func(n *node) trace.TreeNode {
+		t := trace.TreeNode{Label: spanLabel(n.sv)}
+		for _, k := range n.kids {
+			t.Children = append(t.Children, build(k))
+		}
+		return t
+	}
+	head := trace.TreeNode{Label: traceLabel(tv)}
+	if root != nil {
+		for _, k := range root.kids {
+			head.Children = append(head.Children, build(k))
+		}
+	}
+	for _, o := range orphans {
+		head.Children = append(head.Children, build(o))
+	}
+	return head
+}
+
+func traceLabel(tv TraceView) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %s node=%s dur=%s", tv.ID, tv.Name, tv.Node, fmtMS(tv.Dur))
+	if tv.HasFirstItem {
+		fmt.Fprintf(&b, " first_item=%s", fmtMS(tv.FirstItem))
+	}
+	if len(tv.Spans) > 0 {
+		fmt.Fprintf(&b, " energy=%.3fJ", tv.Spans[0].EnergyJ)
+	}
+	if tv.DroppedSpans > 0 {
+		fmt.Fprintf(&b, " dropped_spans=%d", tv.DroppedSpans)
+	}
+	if tv.Flushed {
+		b.WriteString(" flushed")
+	}
+	return b.String()
+}
+
+func spanLabel(sv SpanView) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s +%s %s node=%s", sv.Name, fmtMS(sv.Start), fmtMS(sv.Dur), sv.Node)
+	if sv.EnergyJ > 0 {
+		fmt.Fprintf(&b, " energy=%.3fJ", sv.EnergyJ)
+	}
+	for _, a := range sv.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+	}
+	return b.String()
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}
+
+// --- Chrome trace-event JSON export ----------------------------------------
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata), loadable in Perfetto / chrome://tracing.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON exports the traces as Chrome trace-event JSON. Processes map
+// to simulated nodes (pids assigned over sorted node names), threads to
+// traces (tids in store order), timestamps to virtual microseconds from
+// the earliest exported trace start. The output is byte-identical for
+// identically-seeded runs at any worker count.
+func ChromeJSON(traces []TraceView) ([]byte, error) {
+	// Assign pids over the sorted set of node names.
+	nodeSet := make(map[string]bool)
+	for _, tv := range traces {
+		for _, sv := range tv.Spans {
+			nodeSet[sv.Node] = true
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	pids := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		pids[n] = i + 1
+	}
+
+	var epoch time.Time
+	for i, tv := range traces {
+		if i == 0 || tv.Start.Before(epoch) {
+			epoch = tv.Start
+		}
+	}
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, n := range nodes {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	for ti, tv := range traces {
+		tid := ti + 1
+		base := tv.Start.Sub(epoch)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pids[tv.Node], Tid: tid,
+			Args: map[string]string{"name": tv.Name},
+		})
+		for _, sv := range tv.Spans {
+			dur := micros(sv.Dur)
+			ev := chromeEvent{
+				Name: sv.Name, Cat: "contory", Ph: "X",
+				Ts:  micros(base + sv.Start),
+				Dur: &dur,
+				Pid: pids[sv.Node], Tid: tid,
+				Args: map[string]string{
+					"span":    sv.ID.String(),
+					"trace":   tv.ID.String(),
+					"node":    sv.Node,
+					"energyJ": fmt.Sprintf("%.6f", sv.EnergyJ),
+				},
+			}
+			if sv.Parent != 0 {
+				ev.Args["parent"] = sv.Parent.String()
+			}
+			for _, a := range sv.Attrs {
+				// Repeated keys (several faults overlapping one span)
+				// join into one comma-separated value.
+				if prev, ok := ev.Args[a.Key]; ok {
+					ev.Args[a.Key] = prev + "," + a.Value
+				} else {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// --- Latency-attribution report --------------------------------------------
+
+// PhaseStat is one phase's mean contribution to first-item latency.
+type PhaseStat struct {
+	Phase  string  `json:"phase"`
+	MeanMS float64 `json:"mean_ms"`
+	// Share is the fraction of mean first-item latency this phase
+	// explains (phases may overlap, so shares need not sum to 1).
+	Share float64 `json:"share"`
+}
+
+// MechanismBreakdown decomposes one provisioning mechanism's first-item
+// latency — a Table 1 row — into its phase contributions.
+type MechanismBreakdown struct {
+	Mechanism       string      `json:"mechanism"`
+	Traces          int         `json:"traces"`
+	MeanFirstItemMS float64     `json:"mean_first_item_ms"`
+	Phases          []PhaseStat `json:"phases,omitempty"`
+}
+
+// SlowTrace is one entry of the slowest-traces list.
+type SlowTrace struct {
+	Name        string  `json:"name"`
+	Mechanism   string  `json:"mechanism,omitempty"`
+	FirstItemMS float64 `json:"first_item_ms"`
+	DurMS       float64 `json:"dur_ms"`
+}
+
+// AttributionReport is the run-level latency-attribution artifact.
+type AttributionReport struct {
+	Stats
+	Retained   int                  `json:"retained"`
+	Spans      int                  `json:"spans"`
+	Mechanisms []MechanismBreakdown `json:"mechanisms,omitempty"`
+	Slowest    []SlowTrace          `json:"slowest,omitempty"`
+}
+
+// phaseOf maps an instrumented span name to its attribution phase.
+func phaseOf(name string) string {
+	switch {
+	case name == "bt.inquiry":
+		return "inquiry"
+	case name == "bt.sdp":
+		return "service-discovery"
+	case name == "bt.get":
+		return "transfer"
+	case strings.HasPrefix(name, "wifi.route-build"):
+		return "route-build"
+	case strings.HasPrefix(name, "wifi.finder"):
+		return "finder"
+	case strings.HasPrefix(name, "sm.hop"):
+		return "migration"
+	case strings.HasPrefix(name, "sm.exec"):
+		return "execution"
+	case strings.HasPrefix(name, "umts."):
+		return "request"
+	case strings.HasPrefix(name, "fuego."):
+		return "infra-handling"
+	case name == "gps.connect":
+		return "connect"
+	case name == "gps.stream":
+		return "stream"
+	case strings.HasPrefix(name, "sensor."):
+		return "read"
+	case name == "switch":
+		return "failover"
+	default:
+		return ""
+	}
+}
+
+// mechanismOf returns the trace's first assigned mechanism (root attr).
+func mechanismOf(tv TraceView) string {
+	for _, sv := range tv.Spans {
+		if sv.Parent != 0 {
+			continue
+		}
+		for _, a := range sv.Attrs {
+			if a.Key == "mech" {
+				return a.Value
+			}
+		}
+	}
+	return ""
+}
+
+// BuildAttribution decomposes the retained traces into per-mechanism phase
+// contributions against first-item latency (the Table 1 figure): each
+// phase's span durations are clipped to the [root start, first item]
+// window, so a Bluetooth one-hop row visibly splits into its ~13 s inquiry
+// and ~1.12 s service discovery.
+func BuildAttribution(traces []TraceView, stats Stats, topN int) AttributionReport {
+	rep := AttributionReport{Stats: stats, Retained: len(traces)}
+
+	type agg struct {
+		traces   int
+		firstSum time.Duration
+		phases   map[string]time.Duration
+	}
+	mechs := make(map[string]*agg)
+	var slow []SlowTrace
+	for _, tv := range traces {
+		rep.Spans += len(tv.Spans)
+		if !tv.HasFirstItem {
+			continue
+		}
+		mech := mechanismOf(tv)
+		if mech == "" {
+			mech = "unknown"
+		}
+		a := mechs[mech]
+		if a == nil {
+			a = &agg{phases: make(map[string]time.Duration)}
+			mechs[mech] = a
+		}
+		a.traces++
+		a.firstSum += tv.FirstItem
+		for _, sv := range tv.Spans {
+			phase := phaseOf(sv.Name)
+			if phase == "" {
+				continue
+			}
+			// Clip the span to the first-item window.
+			start, end := sv.Start, sv.Start+sv.Dur
+			if end > tv.FirstItem {
+				end = tv.FirstItem
+			}
+			if end > start {
+				a.phases[phase] += end - start
+			}
+		}
+		slow = append(slow, SlowTrace{
+			Name: tv.Name, Mechanism: mech,
+			FirstItemMS: ms(tv.FirstItem), DurMS: ms(tv.Dur),
+		})
+	}
+
+	names := make([]string, 0, len(mechs))
+	for m := range mechs {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		a := mechs[m]
+		mb := MechanismBreakdown{
+			Mechanism:       m,
+			Traces:          a.traces,
+			MeanFirstItemMS: ms(a.firstSum) / float64(a.traces),
+		}
+		phases := make([]string, 0, len(a.phases))
+		for p := range a.phases {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		for _, p := range phases {
+			mean := ms(a.phases[p]) / float64(a.traces)
+			ps := PhaseStat{Phase: p, MeanMS: mean}
+			if mb.MeanFirstItemMS > 0 {
+				ps.Share = mean / mb.MeanFirstItemMS
+			}
+			mb.Phases = append(mb.Phases, ps)
+		}
+		rep.Mechanisms = append(rep.Mechanisms, mb)
+	}
+
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].FirstItemMS != slow[j].FirstItemMS {
+			return slow[i].FirstItemMS > slow[j].FirstItemMS
+		}
+		return slow[i].Name < slow[j].Name
+	})
+	if topN <= 0 {
+		topN = 10
+	}
+	if len(slow) > topN {
+		slow = slow[:topN]
+	}
+	rep.Slowest = slow
+	return rep
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// RenderAttribution renders the report as aligned text tables.
+func RenderAttribution(rep AttributionReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"traces: %d started, %d finished, %d retained (%d spans), %d sampled out, %d traces / %d spans dropped\n",
+		rep.Started, rep.Finished, rep.Retained, rep.Spans,
+		rep.SampledOut, rep.DroppedTraces, rep.DroppedSpans)
+	if len(rep.Mechanisms) > 0 {
+		t := trace.Table{
+			Title:   "latency attribution (per mechanism, clipped to first-item window)",
+			Headers: []string{"mechanism", "traces", "first item", "phase", "mean", "share"},
+		}
+		for _, mb := range rep.Mechanisms {
+			first := fmt.Sprintf("%.1f ms", mb.MeanFirstItemMS)
+			if len(mb.Phases) == 0 {
+				t.Add(mb.Mechanism, fmt.Sprintf("%d", mb.Traces), first, "-", "-", "-")
+			}
+			for i, ps := range mb.Phases {
+				mech, n, fi := mb.Mechanism, fmt.Sprintf("%d", mb.Traces), first
+				if i > 0 {
+					mech, n, fi = "", "", ""
+				}
+				t.Add(mech, n, fi, ps.Phase,
+					fmt.Sprintf("%.1f ms", ps.MeanMS),
+					fmt.Sprintf("%.1f%%", 100*ps.Share))
+			}
+		}
+		b.WriteString(t.String())
+	}
+	if len(rep.Slowest) > 0 {
+		t := trace.Table{
+			Title:   "slowest traces (by first-item latency)",
+			Headers: []string{"trace", "mechanism", "first item", "span"},
+		}
+		for _, s := range rep.Slowest {
+			t.Add(s.Name, s.Mechanism,
+				fmt.Sprintf("%.1f ms", s.FirstItemMS),
+				fmt.Sprintf("%.1f ms", s.DurMS))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -14,6 +14,7 @@ import (
 	"contory/internal/radio"
 	"contory/internal/simnet"
 	"contory/internal/sm"
+	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
 
@@ -31,6 +32,7 @@ type World struct {
 	phones   map[string]*Phone
 	gpsDevs  map[string]*gps.Device
 	metrics  *metrics.Registry
+	tracer   *tracing.Tracer
 }
 
 // Phone is one Contory-equipped device in the world.
@@ -51,6 +53,11 @@ type WorldConfig struct {
 	// different lanes execute concurrently, and same-seed runs produce
 	// identical metrics at any worker count.
 	Lanes int
+	// Trace enables deterministic distributed tracing: every submitted
+	// query starts a vclock-stamped span tree covering facade dispatch,
+	// radio operations and SM migrations (nil = tracing off). The config's
+	// Seed and Registry fields are filled from the world's.
+	Trace *tracing.Config
 }
 
 // NewWorld creates an empty world with an infrastructure server
@@ -76,6 +83,13 @@ func NewWorldConfig(cfg WorldConfig) (*World, error) {
 	}
 	reg := metrics.NewRegistry()
 	nw.SetMetrics(reg)
+	var tracer *tracing.Tracer
+	if cfg.Trace != nil {
+		tcfg := *cfg.Trace
+		tcfg.Seed = seed
+		tcfg.Registry = reg
+		tracer = tracing.New(clk, tcfg)
+	}
 	return &World{
 		clock:    clk,
 		net:      nw,
@@ -86,8 +100,12 @@ func NewWorldConfig(cfg WorldConfig) (*World, error) {
 		phones:   make(map[string]*Phone),
 		gpsDevs:  make(map[string]*gps.Device),
 		metrics:  reg,
+		tracer:   tracer,
 	}, nil
 }
+
+// Tracer returns the world's tracer, or nil when tracing is off.
+func (w *World) Tracer() *tracing.Tracer { return w.tracer }
 
 // Metrics returns the world-wide metrics registry: every phone's middleware
 // instruments into it, so one Snapshot covers the whole testbed.
@@ -217,7 +235,11 @@ func (w *World) AddPhone(cfg PhoneConfig) (*Phone, error) {
 			return nil, fmt.Errorf("contory: umts link: %w", err)
 		}
 	}
-	p := &Phone{Device: dev, Factory: core.NewFactory(dev, core.WithMetrics(w.metrics)), world: w}
+	p := &Phone{
+		Device:  dev,
+		Factory: core.NewFactory(dev, core.WithMetrics(w.metrics), core.WithTracer(w.tracer)),
+		world:   w,
+	}
 	w.phones[cfg.ID] = p
 	return p, nil
 }
