@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke
 
 all: check
 
 # check is the full pre-merge gate: formatting, build, vet, staticcheck
 # (when installed), tests, the race detector, a small fleet-load smoke run,
-# a determinism-checked chaos run and a determinism-checked trace export.
-check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke
+# a determinism-checked chaos run, a determinism-checked trace export and a
+# determinism-checked answer-cache run.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +72,19 @@ trace-smoke:
 	cmp BENCH_trace_w1.json BENCH_trace_w8.json
 	rm -f BENCH_trace_w1.json BENCH_trace_w8.json
 
+# cache-smoke is the shared-provisioning-plane gate: the answer-cache and
+# stream-multiplexer tests under the race detector, then a duplicate-heavy
+# fleet scenario with the cache on through the CLI at 1 and 8 workers — the
+# two summaries must be byte-identical.
+cache-smoke:
+	$(GO) test -race -count=1 -run 'TestAnswerCache|TestCancelMultiplexedSubscriberKeepsStream|TestFleetCache' ./internal/core ./internal/fleet
+	$(GO) run ./cmd/contory-load -phones 150 -duration 3m -seed 11 -dup 0.6 -cache \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 1 -stats-out BENCH_cache_w1.json
+	$(GO) run ./cmd/contory-load -phones 150 -duration 3m -seed 11 -dup 0.6 -cache \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 8 -stats-out BENCH_cache_w8.json
+	cmp BENCH_cache_w1.json BENCH_cache_w8.json
+	rm -f BENCH_cache_w1.json BENCH_cache_w8.json
+
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
 # engine at 1k/2k/5k phones over ten virtual minutes.
 load-bench:
@@ -94,4 +108,5 @@ cover:
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_fleet_smoke.json \
 		BENCH_chaos_w1.json BENCH_chaos_w8.json \
-		BENCH_trace_w1.json BENCH_trace_w8.json
+		BENCH_trace_w1.json BENCH_trace_w8.json \
+		BENCH_cache_w1.json BENCH_cache_w8.json

@@ -47,6 +47,9 @@ func main() {
 		chaosP   = flag.String("chaos", "", "chaos profile to inject (flap, partition, outage, hang, gps, battery, mixed; \"\" = off)")
 		chaosR   = flag.Float64("chaos-rate", 1.0, "scale factor on the chaos profile's fault rates")
 		gpsFrac  = flag.Float64("gps", 0, "fraction of phones carrying a BT-GPS receiver (enables the gps-periodic workload)")
+		cacheOn  = flag.Bool("cache", false, "enable the per-phone answer cache (shared provisioning plane)")
+		cacheTTL = flag.Duration("cache-ttl", 0, "cache staleness bound for types without item lifetimes (0 = 2x -period)")
+		dupFrac  = flag.Float64("dup", 0, "fraction of phones running the duplicate-heavy workload; replaces the default mix (bursts of identical cacheable extInfra queries)")
 		stats    = flag.Bool("stats", false, "print the full summary JSON to stdout")
 		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
 		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
@@ -83,6 +86,12 @@ func main() {
 			Churn:           fleet.Churn{LeaveJoinPerMin: *leave, LinkFailuresPerMin: *links},
 			Chaos:           fleet.ChaosSpec{Profile: *chaosP, Rate: *chaosR},
 			Trace:           fleet.TraceSpec{Enabled: *traceOn, Sample: *traceSmp},
+			Cache:           fleet.CacheSpec{Enabled: *cacheOn, TTL: *cacheTTL},
+		}
+		if *dupFrac > 0 {
+			// A pure duplicate-heavy fleet: the cleanest cache-on-vs-off
+			// comparison at identical seeds.
+			spec.Workload = fleet.Workload{DupHeavy: *dupFrac, Period: *period}
 		}
 		if *gpsFrac > 0 {
 			// GPS carriers run the failover-exercising location workload
@@ -218,6 +227,13 @@ func printSummary(s fleet.Summary, wall time.Duration) {
 	for _, c := range classes {
 		e := s.Energy[c]
 		fmt.Printf("  energy    %-10s %d phones, %.2f J mean\n", c, e.Phones, e.MeanJoules)
+	}
+	if s.CacheMux != nil {
+		c := s.CacheMux
+		fmt.Printf("  cache     %d hits / %d misses (ratio %.2f), %d refreshes, %d promotions\n",
+			c.Hits, c.Misses, c.HitRatio, c.Refreshes, c.Promotions)
+		fmt.Printf("  mux       %d attached, %d detached, %d shared streams\n",
+			c.MuxAttached, c.MuxDetached, c.SharedStreams)
 	}
 	if s.Chaos != nil {
 		fmt.Printf("  chaos     %s profile: %d faults injected, %d/%d switches attributed (%d unattributed)\n",

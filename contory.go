@@ -6,6 +6,7 @@ import (
 	"contory/internal/metrics"
 	"contory/internal/provider"
 	"contory/internal/query"
+	"contory/internal/repo"
 )
 
 // Context data model (§4.1 of the paper).
@@ -72,14 +73,22 @@ type (
 	// SwitchEvent records one dynamic strategy switch.
 	SwitchEvent = core.SwitchEvent
 	// Subscription is the handle returned by ProcessCxtQuery: the query id
-	// plus methods to inspect the serving mechanism, count deliveries and
+	// plus methods to inspect the serving mechanism, read delivery stats and
 	// cancel the query.
 	Subscription = core.Subscription
+	// SubscriptionStats describes a query's delivery state on the shared
+	// provisioning plane: items delivered, answers served from the cache,
+	// and whether the query shares a live provider stream.
+	SubscriptionStats = core.SubscriptionStats
 	// Option configures a Factory at construction time.
 	Option = core.Option
 	// RetryPolicy is a request retry/timeout/backoff posture, applied
 	// uniformly across the remote references via WithRetryPolicy.
 	RetryPolicy = core.RetryPolicy
+	// Repository is the read-only view of a device's context repository
+	// returned by Factory.Repository: applications inspect cached context
+	// (Latest/Recent/Fresh/Types) without being able to mutate the store.
+	Repository = repo.Reader
 )
 
 // Factory construction options.
@@ -99,6 +108,12 @@ var (
 	// WithRequestTimeout bounds each remote request attempt at d, leaving
 	// retry counts untouched.
 	WithRequestTimeout = core.WithRequestTimeout
+	// WithAnswerCache enables the answer cache: queries satisfiable by
+	// stored context are served with zero provider work.
+	WithAnswerCache = core.WithAnswerCache
+	// WithCacheTTL bounds cache staleness for types without lifetime-derived
+	// TTLs.
+	WithCacheTTL = core.WithCacheTTL
 )
 
 // NewFactory wires a ContextFactory onto a device.
@@ -119,11 +134,13 @@ type (
 // factories via WithMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
-// Provisioning mechanisms.
+// Provisioning mechanisms. MechanismCache marks queries served from the
+// answer cache with zero provider work.
 const (
 	MechanismLocal = core.MechanismLocal
 	MechanismAdHoc = core.MechanismAdHoc
 	MechanismInfra = core.MechanismInfra
+	MechanismCache = core.MechanismCache
 )
 
 // Publishing (§4.3 CxtPublisher).

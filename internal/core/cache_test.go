@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"contory/internal/cxt"
+	"contory/internal/query"
+)
+
+// seedRepoTemp stores a temperature item in the phone's repository as if a
+// previous query had delivered it.
+func (b *bed) seedRepoTemp(v float64, lifetime time.Duration, src cxt.Source) {
+	b.dev.Repo.Store(cxt.Item{
+		Type: cxt.TypeTemperature, Value: v, Timestamp: b.clk.Now(),
+		Lifetime: lifetime, Source: src, Meta: cxt.Metadata{Accuracy: 0.2},
+	})
+}
+
+func TestAnswerCacheServesOnDemand(t *testing.T) {
+	b := newBed(t, WithAnswerCache(true))
+	b.seedRepoTemp(21.5, 0, cxt.Source{Kind: cxt.SourceAdHocNode, Address: "peer"})
+	cli := &testClient{}
+	q := query.MustParse("SELECT temperature FRESHNESS 1 min DURATION 10 min")
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := sub.Mechanism(); mech != MechanismCache {
+		t.Fatalf("mechanism = %v, want cache", mech)
+	}
+	st := sub.Stats()
+	if !st.CacheServed || st.Multiplexed {
+		t.Fatalf("stats before delivery = %+v", st)
+	}
+	b.clk.Advance(time.Millisecond)
+	if len(cli.items) != 1 || cli.items[0].Value != 21.5 {
+		t.Fatalf("items = %+v, want the cached answer", cli.items)
+	}
+	if sub.Active() {
+		t.Fatal("on-demand cache-served query still active after its answer")
+	}
+	reg := b.factory.Metrics()
+	if reg.Counter("core.cache.hits").Value() != 1 {
+		t.Fatalf("cache hits = %d", reg.Counter("core.cache.hits").Value())
+	}
+	if reg.Counter("core.query.assigned.cache").Value() != 1 {
+		t.Fatal("assigned.cache not counted")
+	}
+	// Zero provider work: no facade created any provider.
+	for _, m := range allMechanisms {
+		if created, _ := b.factory.Facade(m).Stats(); created != 0 {
+			t.Fatalf("%v created %d providers for a cache-served query", m, created)
+		}
+	}
+}
+
+func TestAnswerCacheDisabledByDefault(t *testing.T) {
+	b := newBed(t)
+	b.seedRepoTemp(21.5, 0, cxt.Source{Kind: cxt.SourceAdHocNode, Address: "peer"})
+	b.publishPeerTemp(15.0)
+	cli := &testClient{}
+	q := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 1 min DURATION 10 min EVERY 10 sec")
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := sub.Mechanism(); mech != MechanismAdHoc {
+		t.Fatalf("mechanism = %v, want adHocNetwork with the cache off", mech)
+	}
+}
+
+// A query without a FRESHNESS clause only hits the cache when the type's
+// staleness is bounded by a TTL; with neither, stored items are not served.
+func TestAnswerCacheRequiresBoundedStaleness(t *testing.T) {
+	b := newBed(t, WithAnswerCache(true))
+	b.seedRepoTemp(21.5, 0, cxt.Source{Kind: cxt.SourceAdHocNode, Address: "peer"})
+	b.publishPeerTemp(15.0)
+	cli := &testClient{}
+	q := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 10 min EVERY 10 sec")
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := sub.Mechanism(); mech == MechanismCache {
+		t.Fatal("unbounded-staleness query served from cache")
+	}
+}
+
+// Source compatibility: a query pinned to extInfra never receives cached
+// ad hoc context.
+func TestAnswerCacheSourceCompatibility(t *testing.T) {
+	b := newBed(t, WithAnswerCache(true))
+	b.seedRepoTemp(21.5, 0, cxt.Source{Kind: cxt.SourceAdHocNode, Address: "peer"})
+	b.store = append(b.store, cxt.Item{
+		Type: cxt.TypeTemperature, Value: 7.5, Timestamp: b.clk.Now(),
+		Source: cxt.Source{Kind: cxt.SourceInfrastructure, Address: "infra"},
+	})
+	cli := &testClient{}
+	q := query.MustParse("SELECT temperature FROM extInfra FRESHNESS 1 min DURATION 10 min")
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := sub.Mechanism(); mech == MechanismCache {
+		t.Fatal("extInfra query served cached adHoc context")
+	}
+	b.clk.Advance(time.Minute)
+	// The infra answer is now stored; an identical query hits the cache.
+	sub2, err := b.factory.ProcessCxtQuery(
+		query.MustParse("SELECT temperature FROM extInfra FRESHNESS 1 min DURATION 10 min"), &testClient{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := sub2.Mechanism(); mech != MechanismCache {
+		t.Fatalf("mechanism = %v, want cache after infra answer stored", mech)
+	}
+}
+
+// Periodic cache-served queries refresh at the EVERY period while the cache
+// stays fresh and are promoted to a live mechanism when it goes stale.
+func TestAnswerCachePeriodicRefreshThenPromotion(t *testing.T) {
+	b := newBed(t, WithAnswerCache(true))
+	b.publishPeerTemp(15.0)
+	b.seedRepoTemp(21.5, 35*time.Second, cxt.Source{Kind: cxt.SourceAdHocNode, Address: "peer"})
+	cli := &testClient{}
+	q := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 1 min DURATION 10 min EVERY 10 sec")
+	sub, err := b.factory.ProcessCxtQuery(q, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech, _ := sub.Mechanism(); mech != MechanismCache {
+		t.Fatalf("mechanism = %v, want cache", mech)
+	}
+	// t=0 (first answer), t=10, t=20, t=30: four answers from the cache; the
+	// seeded item expires at t=35, so the t=40 refresh promotes.
+	b.clk.Advance(31 * time.Second)
+	if got := sub.Stats().CacheHits; got != 4 {
+		t.Fatalf("cache hits after 31 s = %d, want 4", got)
+	}
+	b.clk.Advance(30 * time.Second)
+	mech, err := sub.Mechanism()
+	if err != nil {
+		t.Fatalf("query gone after promotion: %v", err)
+	}
+	if mech != MechanismAdHoc {
+		t.Fatalf("mechanism = %v, want adHocNetwork after promotion", mech)
+	}
+	st := sub.Stats()
+	if st.CacheServed {
+		t.Fatal("still cache-served after promotion")
+	}
+	if len(cli.items) <= st.CacheHits {
+		t.Fatalf("no live deliveries after promotion: %d items, %d cache hits",
+			len(cli.items), st.CacheHits)
+	}
+	reg := b.factory.Metrics()
+	if reg.Counter("core.cache.promotions").Value() != 1 {
+		t.Fatalf("promotions = %d", reg.Counter("core.cache.promotions").Value())
+	}
+	if reg.Counter("core.cache.refreshes").Value() != 3 {
+		t.Fatalf("refreshes = %d, want 3", reg.Counter("core.cache.refreshes").Value())
+	}
+}
+
+// Cancelling one multiplexed subscriber must never tear down the shared
+// stream: the remaining subscriber keeps its provider and its deliveries.
+func TestCancelMultiplexedSubscriberKeepsStream(t *testing.T) {
+	b := newBed(t)
+	b.publishPeerTemp(15.0)
+	cli1, cli2 := &testClient{}, &testClient{}
+	mk := func() *query.Query {
+		return query.MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 15 sec")
+	}
+	sub1, err := b.factory.ProcessCxtQuery(mk(), cli1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := b.factory.ProcessCxtQuery(mk(), cli2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac := b.factory.Facade(MechanismAdHoc)
+	if fac.ActiveProviders() != 1 {
+		t.Fatalf("providers = %d, want 1 shared stream", fac.ActiveProviders())
+	}
+	st1, st2 := sub1.Stats(), sub2.Stats()
+	if !st1.Multiplexed || !st2.Multiplexed {
+		t.Fatalf("multiplexed = %v/%v, want both true", st1.Multiplexed, st2.Multiplexed)
+	}
+	if st1.Stream == "" || st1.Stream != st2.Stream {
+		t.Fatalf("streams = %q/%q, want one shared id", st1.Stream, st2.Stream)
+	}
+	b.clk.Advance(31 * time.Second)
+	sub1.Cancel()
+	if fac.ActiveProviders() != 1 {
+		t.Fatal("cancelling one subscriber tore down the shared stream")
+	}
+	if st := sub2.Stats(); st.Multiplexed {
+		t.Fatal("sole remaining subscriber still reports multiplexed")
+	}
+	before := len(cli2.items)
+	b.clk.Advance(31 * time.Second)
+	if len(cli2.items) <= before {
+		t.Fatal("remaining subscriber stopped receiving after peer cancel")
+	}
+	reg := b.factory.Metrics()
+	if reg.Counter("core.mux.attached.adHocNetwork").Value() != 1 {
+		t.Fatalf("mux attached = %d", reg.Counter("core.mux.attached.adHocNetwork").Value())
+	}
+	if reg.Counter("core.mux.detached.adHocNetwork").Value() != 1 {
+		t.Fatalf("mux detached = %d", reg.Counter("core.mux.detached.adHocNetwork").Value())
+	}
+	if reg.Counter("core.mux.shared_streams.adHocNetwork").Value() != 1 {
+		t.Fatalf("shared streams = %d", reg.Counter("core.mux.shared_streams.adHocNetwork").Value())
+	}
+}

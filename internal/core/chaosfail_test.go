@@ -162,20 +162,15 @@ func TestRetryOptionsAndSettersLastWriteWins(t *testing.T) {
 	if got := b.peer.BT.RequestTimeout(); got != 5*time.Second {
 		t.Fatalf("bt timeout = %v after WithRetryPolicy", got)
 	}
-	// The deprecated setter ran later, so it wins — but touches only its
-	// own field.
-	b.peer.WiFi.SetRetries(7)
+	// A reference-level SetRetryPolicy call after construction replaces the
+	// option-derived values (last write wins at the reference).
+	b.peer.WiFi.SetRetryPolicy(7, 5*time.Second, 2*time.Second)
 	if retries, timeout, _ := b.peer.WiFi.RetryPolicy(); retries != 7 || timeout != 5*time.Second {
-		t.Fatalf("wifi policy = %d/%v after SetRetries", retries, timeout)
+		t.Fatalf("wifi policy = %d/%v after SetRetryPolicy", retries, timeout)
 	}
-	// Behaviour toggles follow the same rule.
+	// Behaviour toggles are options-only: fixed at construction.
 	if f.MergeEnabled() || f.FailoverEnabled() {
 		t.Fatal("options did not disable merging/failover")
-	}
-	f.SetMergeEnabled(true)
-	f.SetFailoverEnabled(true)
-	if !f.MergeEnabled() || !f.FailoverEnabled() {
-		t.Fatal("setters did not win over earlier options")
 	}
 
 	// WithRequestTimeout alone adjusts only the timeout.

@@ -43,7 +43,7 @@ type bed struct {
 	store   []cxt.Item // infra-side stored items
 }
 
-func newBed(t *testing.T) *bed {
+func newBed(t *testing.T, opts ...Option) *bed {
 	t.Helper()
 	clk := vclock.NewSimulator()
 	nw := simnet.New(clk)
@@ -110,7 +110,7 @@ func newBed(t *testing.T) *bed {
 			t.Fatal(err)
 		}
 	}
-	b.factory = NewFactory(b.dev)
+	b.factory = NewFactory(b.dev, opts...)
 	return b
 }
 
@@ -289,9 +289,8 @@ func TestFacadeMerging(t *testing.T) {
 }
 
 func TestFacadeMergeDisabledAblation(t *testing.T) {
-	b := newBed(t)
+	b := newBed(t, WithMerging(false))
 	b.publishPeerTemp(15.0)
-	b.factory.SetMergeEnabled(false)
 	for i := 0; i < 3; i++ {
 		q := query.MustParse("SELECT temperature FROM adHocNetwork(all,1) DURATION 1 hour EVERY 30 sec")
 		if _, err := b.factory.ProcessCxtQuery(q, &testClient{}); err != nil {
@@ -424,8 +423,7 @@ func TestGPSFailoverFig5(t *testing.T) {
 }
 
 func TestFailoverDisabledAblation(t *testing.T) {
-	b := newBed(t)
-	b.factory.SetFailoverEnabled(false)
+	b := newBed(t, WithFailover(false))
 	cli := &testClient{}
 	q := query.MustParse("SELECT location DURATION 20 min EVERY 5 sec")
 	sub, err := b.factory.ProcessCxtQuery(q, cli)

@@ -98,6 +98,9 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 		RadioWiFi: radio.NewWiFi(cfg.Seed + 2),
 		RadioUMTS: radio.NewUMTS(cfg.Seed + 3),
 	}
+	// The repository's eviction stream is seeded per device so cache
+	// contents are identical across same-seed runs at any worker count.
+	d.Repo.SetEvictionSeed(cfg.Seed)
 	d.Internal = refs.NewInternalReference(clk, d.Monitor)
 	d.BT, err = refs.NewBTReference(cfg.Network, cfg.ID, d.RadioBT, d.Monitor)
 	if err != nil {

@@ -23,6 +23,12 @@ const (
 	MechanismLocal Mechanism = iota + 1
 	MechanismAdHoc
 	MechanismInfra
+	// MechanismCache is the answer cache of the shared provisioning plane:
+	// queries whose FRESHNESS clause is satisfiable by repository items are
+	// served from stored context with zero provider work. It is not backed
+	// by a Facade — a cache-served query owns no provider — and promotes to
+	// a real mechanism when the cache goes stale.
+	MechanismCache
 )
 
 // String implements fmt.Stringer using the FROM-clause vocabulary.
@@ -34,6 +40,8 @@ func (m Mechanism) String() string {
 		return "adHocNetwork"
 	case MechanismInfra:
 		return "extInfra"
+	case MechanismCache:
+		return "cache"
 	default:
 		return fmt.Sprintf("mechanism(%d)", int(m))
 	}
@@ -76,21 +84,31 @@ type Facade struct {
 	mMerges  *metrics.Counter
 	mCreates *metrics.Counter
 	mActive  *metrics.Gauge
+
+	// Stream-multiplexer instrumentation: queries attaching to / detaching
+	// from an already-running provider stream, and streams that became
+	// shared (grew to two or more subscribers).
+	mMuxAttach *metrics.Counter
+	mMuxDetach *metrics.Counter
+	mMuxShared *metrics.Counter
 }
 
 // newFacade returns a Facade for one mechanism.
 func newFacade(m Mechanism, clock vclock.Clock, mk providerMaker,
 	deliver func(string, cxt.Item), onExpire func([]string), reg *metrics.Registry) *Facade {
 	return &Facade{
-		mechanism: m,
-		clock:     clock,
-		make:      mk,
-		deliver:   deliver,
-		onExpire:  onExpire,
-		managed:   make(map[string]*managed),
-		mMerges:   reg.Counter("core.facade.merges." + m.String()),
-		mCreates:  reg.Counter("core.facade.providers_created." + m.String()),
-		mActive:   reg.Gauge("core.facade.active_providers." + m.String()),
+		mechanism:  m,
+		clock:      clock,
+		make:       mk,
+		deliver:    deliver,
+		onExpire:   onExpire,
+		managed:    make(map[string]*managed),
+		mMerges:    reg.Counter("core.facade.merges." + m.String()),
+		mCreates:   reg.Counter("core.facade.providers_created." + m.String()),
+		mActive:    reg.Gauge("core.facade.active_providers." + m.String()),
+		mMuxAttach: reg.Counter("core.mux.attached." + m.String()),
+		mMuxDetach: reg.Counter("core.mux.detached." + m.String()),
+		mMuxShared: reg.Counter("core.mux.shared_streams." + m.String()),
 	}
 }
 
@@ -159,12 +177,27 @@ func (f *Facade) submit(queryID string, q *query.Query, mergeEnabled bool, paren
 			m.originals[queryID] = q.Clone()
 			m.prov.UpdateQuery(mergedQ)
 			f.merges++
+			subs := len(m.originals)
+			owner := m.span
 			f.mu.Unlock()
 			f.mMerges.Inc()
+			f.mMuxAttach.Inc()
+			if subs == 2 {
+				// The stream just became shared: the owning query's provider
+				// now fans out to a second subscriber.
+				f.mMuxShared.Inc()
+			}
+			// The subscriber joins the owning stream's trace: the attach is
+			// recorded under the provider's lifetime span.
+			at := owner.Child("mux.attach")
+			at.SetAttr("subscriber", queryID)
+			at.SetAttr("subscribers", strconv.Itoa(subs))
+			at.End()
 			sp := parent.Child("assign")
 			sp.SetAttr("mech", f.mechanism.String())
 			sp.SetAttr("provider", id)
 			sp.SetAttr("merged", "true")
+			sp.SetAttr("multiplexed", "true")
 			sp.End()
 			return nil
 		}
@@ -315,7 +348,23 @@ func (f *Facade) Cancel(queryID string) bool {
 		}
 	}
 	f.mu.Unlock()
+	// A refcounted detach: the shared stream keeps running for the
+	// remaining subscribers.
+	f.mMuxDetach.Inc()
 	return true
+}
+
+// StreamInfo reports which provider stream currently serves the query and
+// how many queries share it.
+func (f *Facade) StreamInfo(queryID string) (streamID string, subscribers int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, m := range f.managed {
+		if _, has := m.originals[queryID]; has {
+			return id, len(m.originals), true
+		}
+	}
+	return "", 0, false
 }
 
 // Queries returns the ids of all queries currently served by this facade.

@@ -68,6 +68,8 @@ type activeQuery struct {
 	extra     []Mechanism
 	prefs     []Mechanism
 	delivered int
+	cacheHits int           // answers served from the answer cache
+	cacheTick *vclock.Timer // EVERY-period refresh while cache-served
 	expiry    *vclock.Timer
 	probe     *vclock.Timer
 	submitted time.Time
@@ -94,6 +96,8 @@ type Factory struct {
 	mergeEnabled    bool
 	failoverEnabled bool
 	preferBTOneHop  bool
+	cacheEnabled    bool
+	cacheTTL        time.Duration
 	retry           RetryPolicy
 
 	metrics *metrics.Registry
@@ -139,6 +143,9 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire, f.metrics)
 	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire, f.metrics)
 	f.cxtPub = provider.NewPublisher(dev.BT, dev.WiFi)
+	if f.cacheTTL > 0 {
+		dev.Repo.SetDefaultTTL(f.cacheTTL)
+	}
 	f.applyRetryPolicy()
 	f.engine.SetEnforcer(f.enforce)
 	dev.Monitor.OnEvent(f.onMonitorEvent)
@@ -173,25 +180,11 @@ func (f *Factory) applyRetryPolicy() {
 	}
 }
 
-// RetryPolicy returns the factory-wide recovery policy set at
-// construction. Note that the per-reference deprecated setters are
-// last-write-wins against it, so the live WiFi values are read with
-// WiFiReference.RetryPolicy.
+// RetryPolicy returns the factory-wide recovery policy set at construction.
 func (f *Factory) RetryPolicy() RetryPolicy {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.retry
-}
-
-// SetMergeEnabled toggles query aggregation (ablation). It and WithMerging
-// are last-write-wins: a call after NewFactory overrides the option.
-//
-// Deprecated: pass WithMerging to NewFactory; this setter remains for
-// harnesses that flip aggregation mid-run.
-func (f *Factory) SetMergeEnabled(on bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.mergeEnabled = on
 }
 
 // MergeEnabled reports whether query aggregation is currently on.
@@ -199,18 +192,6 @@ func (f *Factory) MergeEnabled() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.mergeEnabled
-}
-
-// SetFailoverEnabled toggles dynamic strategy switching (ablation). It and
-// WithFailover are last-write-wins: a call after NewFactory overrides the
-// option.
-//
-// Deprecated: pass WithFailover to NewFactory; this setter remains for
-// harnesses that flip switching mid-run.
-func (f *Factory) SetFailoverEnabled(on bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.failoverEnabled = on
 }
 
 // FailoverEnabled reports whether dynamic strategy switching is on.
@@ -284,6 +265,12 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 	aq.span = f.tracer.StartRoot(string(f.dev.ID)+"/"+id, string(f.dev.ID), f.dev.Node.Timeline())
 	aq.span.SetAttr("select", string(aq.q.Select))
 	aq.span.SetAttr("duration", aq.q.Duration.String())
+
+	// Answer cache: when stored context satisfies the query, serve it with
+	// zero provider work instead of assigning a mechanism.
+	if f.tryServeFromCache(aq) {
+		return &Subscription{f: f, id: id}, nil
+	}
 
 	var lastErr error
 	for _, mech := range prefs {
@@ -428,6 +415,9 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	if aq.probe != nil {
 		aq.probe.Stop()
 	}
+	if aq.cacheTick != nil {
+		aq.cacheTick.Stop()
+	}
 	f.mu.Unlock()
 	// Cancel on every facade, not just the recorded ones: a concurrent
 	// switch may have submitted the query to a facade before updating
@@ -508,15 +498,52 @@ func (f *Factory) deliver(queryID string, it cxt.Item) {
 	}
 }
 
-// Delivered reports how many items a query has received so far.
-func (f *Factory) Delivered(queryID string) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if aq, ok := f.queries[queryID]; ok {
-		return aq.delivered
-	}
-	return 0
+// SubscriptionStats describes one active query's delivery state on the
+// shared provisioning plane.
+type SubscriptionStats struct {
+	// Delivered is how many items the query has received so far.
+	Delivered int
+	// CacheHits is how many of those answers came from the answer cache.
+	CacheHits int
+	// CacheServed reports whether the query is currently served by the
+	// answer cache (no live provider).
+	CacheServed bool
+	// Multiplexed reports whether the query currently shares a live
+	// provider stream with at least one other query.
+	Multiplexed bool
+	// Stream is the id of the shared provider stream serving the query
+	// ("" when cache-served or finished).
+	Stream string
 }
+
+// QueryStats reports the delivery statistics of an active query; a finished
+// or unknown query reports the zero value.
+func (f *Factory) QueryStats(queryID string) SubscriptionStats {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	if !ok {
+		f.mu.Unlock()
+		return SubscriptionStats{}
+	}
+	st := SubscriptionStats{
+		Delivered:   aq.delivered,
+		CacheHits:   aq.cacheHits,
+		CacheServed: aq.mech == MechanismCache,
+	}
+	mech := aq.mech
+	f.mu.Unlock()
+	if fac := f.facades[mech]; fac != nil {
+		if stream, subs, ok := fac.StreamInfo(queryID); ok {
+			st.Stream = stream
+			st.Multiplexed = subs > 1
+		}
+	}
+	return st
+}
+
+// Repository returns the read-only view of the device's context repository,
+// so applications can inspect cached context without private imports.
+func (f *Factory) Repository() repo.Reader { return f.dev.Repo }
 
 // preferences orders the mechanisms eligible for a query. Maximum
 // transparency (FROM omitted) lets the middleware choose: local sensors
@@ -685,7 +712,10 @@ func (f *Factory) mechResource(m Mechanism, q *query.Query) string {
 }
 
 // reassignAffected moves every failover-eligible query whose current
-// mechanism depends on the failed resource.
+// mechanism depends on the failed resource. Queries multiplexed onto the
+// same provider stream are reassigned contiguously (grouped by stream, then
+// by id), so all subscribers of a failed shared stream re-merge onto one
+// replacement stream instead of interleaving with unrelated queries.
 func (f *Factory) reassignAffected(resource, reason string) {
 	f.mu.Lock()
 	if !f.failoverEnabled {
@@ -701,8 +731,22 @@ func (f *Factory) reassignAffected(resource, reason string) {
 			affected = append(affected, aq)
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i].id < affected[j].id })
 	f.mu.Unlock()
+	streams := make(map[string]string, len(affected))
+	for _, aq := range affected {
+		if fac := f.facades[aq.mech]; fac != nil {
+			if stream, _, ok := fac.StreamInfo(aq.id); ok {
+				streams[aq.id] = stream
+			}
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool {
+		si, sj := streams[affected[i].id], streams[affected[j].id]
+		if si != sj {
+			return si < sj
+		}
+		return affected[i].id < affected[j].id
+	})
 	for _, aq := range affected {
 		f.switchQuery(aq.id, reason)
 	}

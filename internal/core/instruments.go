@@ -23,33 +23,51 @@ type instruments struct {
 	cancelled *metrics.Counter
 	active    *metrics.Gauge
 
+	// Answer-cache instrumentation (shared provisioning plane).
+	cacheHits       *metrics.Counter
+	cacheMisses     *metrics.Counter
+	cacheRefreshes  *metrics.Counter
+	cachePromotions *metrics.Counter
+	cacheAgeMs      *metrics.Histogram // age of served-from-cache answers
+
 	assigned   map[Mechanism]*metrics.Counter
 	firstLatMs map[Mechanism]*metrics.Histogram
 }
 
-// allMechanisms is the fixed instrumentation domain.
+// allMechanisms is the fixed facade domain (MechanismCache is not a facade:
+// cache-served queries own no provider, so it is instrumented separately).
 var allMechanisms = []Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra}
 
 func newInstruments(reg *metrics.Registry, owner string) *instruments {
 	in := &instruments{
-		reg:        reg,
-		owner:      owner,
-		submitted:  reg.Counter("core.query.submitted"),
-		rejected:   reg.Counter("core.query.rejected"),
-		delivered:  reg.Counter("core.query.items_delivered"),
-		switched:   reg.Counter("core.query.switched"),
-		expired:    reg.Counter("core.query.expired"),
-		cancelled:  reg.Counter("core.query.cancelled"),
-		active:     reg.Gauge("core.query.active"),
-		assigned:   make(map[Mechanism]*metrics.Counter, len(allMechanisms)),
-		firstLatMs: make(map[Mechanism]*metrics.Histogram, len(allMechanisms)),
+		reg:             reg,
+		owner:           owner,
+		submitted:       reg.Counter("core.query.submitted"),
+		rejected:        reg.Counter("core.query.rejected"),
+		delivered:       reg.Counter("core.query.items_delivered"),
+		switched:        reg.Counter("core.query.switched"),
+		expired:         reg.Counter("core.query.expired"),
+		cancelled:       reg.Counter("core.query.cancelled"),
+		active:          reg.Gauge("core.query.active"),
+		cacheHits:       reg.Counter("core.cache.hits"),
+		cacheMisses:     reg.Counter("core.cache.misses"),
+		cacheRefreshes:  reg.Counter("core.cache.refreshes"),
+		cachePromotions: reg.Counter("core.cache.promotions"),
+		cacheAgeMs:      reg.Histogram("core.cache.served_age_ms", metrics.DefaultLatencyBucketsMs),
+		assigned:        make(map[Mechanism]*metrics.Counter, len(allMechanisms)+1),
+		firstLatMs:      make(map[Mechanism]*metrics.Histogram, len(allMechanisms)+1),
 	}
-	for _, m := range allMechanisms {
+	for _, m := range [...]Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra, MechanismCache} {
 		in.assigned[m] = reg.Counter("core.query.assigned." + m.String())
 		in.firstLatMs[m] = reg.Histogram(
 			"core.query.first_item_latency_ms."+m.String(), metrics.DefaultLatencyBucketsMs)
 	}
 	return in
+}
+
+// observeServedAge records the age of an answer served from the cache.
+func (in *instruments) observeServedAge(age time.Duration) {
+	in.cacheAgeMs.Observe(float64(age) / float64(time.Millisecond))
 }
 
 // event stamps one lifecycle transition into the registry's bounded ring.

@@ -231,11 +231,11 @@ func TestFactorySmallAccessors(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.clk.Advance(30 * time.Second)
-	if got := sub.Delivered(); got == 0 || got != len(cli.items) {
-		t.Fatalf("Delivered = %d, items = %d", got, len(cli.items))
+	if got := sub.Stats().Delivered; got == 0 || got != len(cli.items) {
+		t.Fatalf("Stats().Delivered = %d, items = %d", got, len(cli.items))
 	}
-	if got := b.factory.Delivered("q-404"); got != 0 {
-		t.Fatalf("Delivered(unknown) = %d", got)
+	if got := b.factory.QueryStats("q-404"); got != (SubscriptionStats{}) {
+		t.Fatalf("QueryStats(unknown) = %+v", got)
 	}
 	// Policy add/remove round trip.
 	if err := b.factory.AddControlPolicy(policy.Rule{

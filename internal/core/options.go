@@ -8,8 +8,7 @@ import (
 )
 
 // RetryPolicy is the factory-wide recovery posture, applied uniformly to
-// the per-mechanism references at construction (replacing the WiFi-only
-// SetRetries special case).
+// the per-mechanism references at construction.
 type RetryPolicy struct {
 	// Attempts is the total number of tries per query round (minimum 1;
 	// Attempts-1 retries follow the first try).
@@ -28,10 +27,7 @@ type RetryPolicy struct {
 var DefaultRetryPolicy = RetryPolicy{Attempts: 1}
 
 // WithRetryPolicy sets the factory-wide retry/timeout/backoff policy.
-// Attempts below 1 and negative durations are clamped. The deprecated
-// per-reference setters (e.g. WiFiReference.SetRetries) remain
-// last-write-wins with this option: whichever ran most recently defines
-// the effective values.
+// Attempts below 1 and negative durations are clamped.
 func WithRetryPolicy(p RetryPolicy) Option {
 	return func(f *Factory) {
 		if p.Attempts < 1 {
@@ -82,6 +78,28 @@ func WithFailover(on bool) Option {
 // at runtime when battery runs low).
 func WithPreferBTOneHop(on bool) Option {
 	return func(f *Factory) { f.preferBTOneHop = on }
+}
+
+// WithAnswerCache enables the answer cache of the shared provisioning
+// plane: before assigning a mechanism, ProcessCxtQuery consults the device
+// repository and serves queries whose FRESHNESS clause is satisfiable by
+// stored items with zero provider work. Off by default: the cache changes
+// which radio operations run, so harnesses opt in explicitly.
+func WithAnswerCache(on bool) Option {
+	return func(f *Factory) { f.cacheEnabled = on }
+}
+
+// WithCacheTTL bounds how long stored items stay servable from the answer
+// cache for types without a lifetime-derived TTL (it becomes the
+// repository's default TTL). Queries without a FRESHNESS clause only hit
+// the cache when the type's staleness is bounded — by a learned item
+// lifetime or by this TTL. d <= 0 is ignored.
+func WithCacheTTL(d time.Duration) Option {
+	return func(f *Factory) {
+		if d > 0 {
+			f.cacheTTL = d
+		}
+	}
 }
 
 // WithMetrics shares a metrics registry with the factory instead of the

@@ -25,9 +25,12 @@ func (s *Subscription) Mechanisms() ([]Mechanism, error) {
 	return s.f.QueryMechanisms(s.id)
 }
 
-// Delivered reports how many items the query has received so far.
-func (s *Subscription) Delivered() int {
-	return s.f.Delivered(s.id)
+// Stats reports the query's delivery statistics on the shared provisioning
+// plane: items delivered, answers served from the cache, and whether the
+// query currently shares a provider stream. Finished queries report the
+// zero value.
+func (s *Subscription) Stats() SubscriptionStats {
+	return s.f.QueryStats(s.id)
 }
 
 // Active reports whether the query is still running.

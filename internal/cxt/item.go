@@ -205,12 +205,15 @@ type Item struct {
 	Meta Metadata
 }
 
-// Expired reports whether the item's lifetime has elapsed at now.
+// Expired reports whether the item's lifetime has elapsed at now. The
+// boundary is closed on the expiry side: an item whose lifetime elapses
+// exactly at now is already expired and must not be served (a query
+// arriving at the expiry instant sees stale data, not valid data).
 func (it Item) Expired(now time.Time) bool {
 	if it.Lifetime <= 0 {
 		return false
 	}
-	return now.Sub(it.Timestamp) > it.Lifetime
+	return now.Sub(it.Timestamp) >= it.Lifetime
 }
 
 // FreshEnough reports whether the item is no older than maxAge at now

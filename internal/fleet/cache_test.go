@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// dupHeavySpec is the shared-provisioning-plane scenario: most of the fleet
+// runs duplicate bursts of identical cacheable extInfra queries, so with the
+// cache on almost all of that traffic should be absorbed on-device.
+func dupHeavySpec(cacheOn bool) Spec {
+	return Spec{
+		Name: "dup-heavy", Phones: 80, Seed: 11, Duration: 3 * time.Minute,
+		Lanes:    16,
+		Workload: Workload{DupHeavy: 0.6, LocalPeriodic: 0.2, Period: 30 * time.Second},
+		Cache:    CacheSpec{Enabled: cacheOn},
+	}
+}
+
+// runSummary builds and runs one engine, returning the structured summary.
+func runSummary(t *testing.T, spec Spec, workers int) Summary {
+	t.Helper()
+	e, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sum, err := e.Run(workers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return sum
+}
+
+// TestFleetCacheDeterministicAcrossWorkers extends the engine's determinism
+// contract to the answer cache and the stream multiplexer: a cache-enabled
+// duplicate-heavy run produces byte-identical summaries at 1 and 8 workers.
+func TestFleetCacheDeterministicAcrossWorkers(t *testing.T) {
+	spec := dupHeavySpec(true)
+	a := run(t, spec, 1)
+	b := run(t, spec, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cache summary differs between workers=1 and workers=8:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestFleetCacheReducesRadioAndEnergy is the acceptance run for the shared
+// provisioning plane: at identical seeds, enabling the answer cache on a
+// duplicate-heavy fleet must absorb query traffic (nonzero hit ratio,
+// multiplexed duplicates), send strictly fewer UMTS frames and drain
+// strictly less energy — without delivering fewer answers.
+func TestFleetCacheReducesRadioAndEnergy(t *testing.T) {
+	off := runSummary(t, dupHeavySpec(false), 4)
+	on := runSummary(t, dupHeavySpec(true), 4)
+
+	if on.CacheMux == nil {
+		t.Fatal("cache-enabled summary lacks the cache/mux report")
+	}
+	cm := on.CacheMux
+	if cm.Hits == 0 || cm.HitRatio <= 0 {
+		t.Fatalf("no cache hits: %+v", cm)
+	}
+	if cm.MuxAttached == 0 || cm.SharedStreams == 0 {
+		t.Fatalf("no multiplexed duplicates: %+v", cm)
+	}
+
+	offUMTS, onUMTS := off.Frames["umts"].Sent, on.Frames["umts"].Sent
+	if onUMTS >= offUMTS {
+		t.Fatalf("UMTS frames sent: cache on %d, off %d — want strictly fewer", onUMTS, offUMTS)
+	}
+	var offJ, onJ float64
+	for _, ce := range off.Energy {
+		offJ += ce.TotalJoules
+	}
+	for _, ce := range on.Energy {
+		onJ += ce.TotalJoules
+	}
+	if onJ >= offJ {
+		t.Fatalf("total energy: cache on %.2f J, off %.2f J — want strictly lower", onJ, offJ)
+	}
+	if on.ItemsDelivered < off.ItemsDelivered {
+		t.Fatalf("cache run delivered fewer items: on %d, off %d", on.ItemsDelivered, off.ItemsDelivered)
+	}
+}
+
+// TestFleetCacheSpecDefaults pins the CacheSpec TTL default to twice the
+// workload period.
+func TestFleetCacheSpecDefaults(t *testing.T) {
+	e, err := New(Spec{
+		Phones: 5, Seed: 1, Duration: time.Minute,
+		Workload: Workload{DupHeavy: 1, Period: 20 * time.Second},
+		Cache:    CacheSpec{Enabled: true},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := e.Spec().Cache.TTL; got != 40*time.Second {
+		t.Fatalf("defaulted cache TTL = %v, want 40s", got)
+	}
+	if _, err := New(Spec{Phones: 5, Duration: time.Minute,
+		Workload: Workload{DupHeavy: -0.1}}); err == nil {
+		t.Fatal("negative DupHeavy accepted")
+	}
+}

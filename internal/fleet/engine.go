@@ -24,10 +24,15 @@ const (
 	roleLocalEvent
 	roleAdHoc
 	roleInfraOneShot
-	// roleGPSPeriodic is appended last so zero-valued specs keep their
-	// historical role assignments byte-for-byte.
+	// roleGPSPeriodic and roleDupHeavy are appended in introduction order so
+	// zero-valued specs keep their historical role assignments byte-for-byte.
 	roleGPSPeriodic
+	roleDupHeavy
 )
+
+// dupBurst is how many identical queries a dup-heavy phone submits per
+// round: one pays for the answer, the rest exercise the cache/multiplexer.
+const dupBurst = 3
 
 func (r role) String() string {
 	switch r {
@@ -41,6 +46,8 @@ func (r role) String() string {
 		return "infra-one-shot"
 	case roleGPSPeriodic:
 		return "gps-periodic"
+	case roleDupHeavy:
+		return "dup-heavy"
 	default:
 		return "idle"
 	}
@@ -69,6 +76,12 @@ func New(spec Spec) (*Engine, error) {
 		return nil, err
 	}
 	wcfg := contory.WorldConfig{Seed: spec.Seed, Lanes: spec.Lanes}
+	if spec.Cache.Enabled {
+		wcfg.FactoryOptions = []contory.Option{
+			contory.WithAnswerCache(true),
+			contory.WithCacheTTL(spec.Cache.TTL),
+		}
+	}
 	if spec.Trace.Enabled {
 		wcfg.Trace = &tracing.Config{
 			Sample:  spec.Trace.Sample,
@@ -150,8 +163,10 @@ func roleOf(wl Workload, u float64) role {
 		{wl.LocalEvent, roleLocalEvent},
 		{wl.AdHocPeriodic, roleAdHoc},
 		{wl.InfraOneShot, roleInfraOneShot},
-		// Appended last: earlier roles keep their historical draw bands.
+		// Appended in introduction order: earlier roles keep their
+		// historical draw bands.
 		{wl.GPSPeriodic, roleGPSPeriodic},
+		{wl.DupHeavy, roleDupHeavy},
 	} {
 		if u < rc.f {
 			return rc.r
@@ -247,6 +262,10 @@ func (e *Engine) buildPopulation() error {
 		if r == roleInfraOneShot && class == ClassWiFiOnly {
 			r = roleLocalPeriodic
 		}
+		if r == roleDupHeavy && class == ClassWiFiOnly {
+			// Dup-heavy bursts query the infrastructure.
+			r = roleLocalPeriodic
+		}
 		if r == roleAdHoc && class == ClassUMTSOnly {
 			r = roleInfraOneShot
 		}
@@ -281,6 +300,10 @@ func (e *Engine) scheduleWorkload() {
 	adhocSrc := fmt.Sprintf(
 		"SELECT temperature FROM adHocNetwork(all,1) DURATION %d sec EVERY %d sec", durSec, everySec)
 	infraSrc := fmt.Sprintf("SELECT temperature FROM extInfra DURATION %d sec", everySec)
+	// FRESHNESS spans two periods, so each round's duplicates — and the next
+	// round's whole burst — are satisfiable by the previous stored answer.
+	dupSrc := fmt.Sprintf(
+		"SELECT temperature FROM extInfra FRESHNESS %d sec DURATION %d sec", 2*everySec, everySec)
 	// No FROM clause: the middleware selects the mechanism and may switch
 	// it when chaos faults hit the preferred one.
 	gpsSrc := fmt.Sprintf("SELECT location DURATION %d sec EVERY %d sec", durSec, everySec)
@@ -302,6 +325,19 @@ func (e *Engine) scheduleWorkload() {
 			})
 		case roleGPSPeriodic:
 			ph.Device.Clock.After(stagger, func() { e.submit(ph, gpsSrc) })
+		case roleDupHeavy:
+			burst := func() {
+				for k := 0; k < dupBurst; k++ {
+					e.submit(ph, dupSrc)
+				}
+			}
+			// The first burst waits out one period so the infrastructure's
+			// periodic feeds are live: duplicate bursts measure redundant
+			// client traffic, not cold-start misses.
+			ph.Device.Clock.After(period+stagger, func() {
+				burst()
+				ph.Device.Clock.Every(period, burst)
+			})
 		}
 	}
 }

@@ -40,6 +40,12 @@ type Workload struct {
 	// carries one) and may switch it under faults — the fleet-scale Fig. 5
 	// workload. Pair with GPSFraction > 0.
 	GPSPeriodic float64 `json:"gps_periodic"`
+	// DupHeavy phones model redundant clients on the shared provisioning
+	// plane: each submits a burst of identical one-shot extInfra queries
+	// with a FRESHNESS bound every Period. With Spec.Cache enabled the
+	// duplicates are answered from the device repository (or multiplexed
+	// onto one live stream) instead of each paying a radio round trip.
+	DupHeavy float64 `json:"dup_heavy"`
 	// Period is the base cadence for periodic queries and one-shot
 	// re-submission (default 30s). Individual phones stagger their start
 	// within one Period so the fleet does not fire in lockstep.
@@ -73,6 +79,17 @@ type ChaosSpec struct {
 	// Grace is how long after a fault clears its consequences may still be
 	// attributed to it (default chaos.DefaultGrace).
 	Grace time.Duration `json:"grace"`
+}
+
+// CacheSpec opts a run into the shared provisioning plane's answer cache:
+// every phone factory is built with the cache on, so queries satisfiable by
+// stored context are answered with zero provider (and zero radio) work.
+type CacheSpec struct {
+	// Enabled turns the per-phone answer cache on fleet-wide.
+	Enabled bool `json:"enabled"`
+	// TTL bounds cache staleness for context types whose items carry no
+	// lifetime (default 2×Workload.Period).
+	TTL time.Duration `json:"ttl"`
 }
 
 // TraceSpec opts a run into deterministic distributed tracing: every query
@@ -152,6 +169,7 @@ type Spec struct {
 	Churn    Churn     `json:"churn"`
 	Chaos    ChaosSpec `json:"chaos"`
 	Trace    TraceSpec `json:"trace"`
+	Cache    CacheSpec `json:"cache"`
 }
 
 // withDefaults returns a copy with all defaults applied.
@@ -186,7 +204,7 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Workload.LocalPeriodic == 0 && s.Workload.LocalEvent == 0 &&
 		s.Workload.AdHocPeriodic == 0 && s.Workload.InfraOneShot == 0 &&
-		s.Workload.GPSPeriodic == 0 {
+		s.Workload.GPSPeriodic == 0 && s.Workload.DupHeavy == 0 {
 		s.Workload = Workload{
 			LocalPeriodic: 0.30,
 			LocalEvent:    0.10,
@@ -212,6 +230,9 @@ func (s Spec) withDefaults() Spec {
 			s.Chaos.Grace = chaos.DefaultGrace
 		}
 	}
+	if s.Cache.Enabled && s.Cache.TTL <= 0 {
+		s.Cache.TTL = 2 * s.Workload.Period
+	}
 	return s
 }
 
@@ -223,7 +244,7 @@ func (s Spec) validate() error {
 		return fmt.Errorf("fleet: spec needs Duration > 0")
 	}
 	wl := s.Workload.LocalPeriodic + s.Workload.LocalEvent + s.Workload.AdHocPeriodic +
-		s.Workload.InfraOneShot + s.Workload.GPSPeriodic
+		s.Workload.InfraOneShot + s.Workload.GPSPeriodic + s.Workload.DupHeavy
 	if wl > 1.0001 {
 		return fmt.Errorf("fleet: workload fractions sum to %.2f > 1", wl)
 	}
@@ -237,7 +258,7 @@ func (s Spec) validate() error {
 	}
 	for _, f := range []float64{s.Workload.LocalPeriodic, s.Workload.LocalEvent,
 		s.Workload.AdHocPeriodic, s.Workload.InfraOneShot, s.Workload.GPSPeriodic,
-		s.PublisherFraction, s.GPSFraction,
+		s.Workload.DupHeavy, s.PublisherFraction, s.GPSFraction,
 		s.Radio.Dual, s.Radio.WiFiOnly, s.Radio.UMTSOnly,
 		s.Churn.LeaveJoinPerMin} {
 		if f < 0 || f > 1 {

@@ -47,6 +47,27 @@ type ChaosReport struct {
 	Unattributed int            `json:"unattributed"`
 }
 
+// CacheMuxReport summarizes the shared provisioning plane: how much query
+// traffic the answer cache absorbed and how many queries shared one live
+// provider stream instead of owning their own.
+type CacheMuxReport struct {
+	// Hits / Misses count answer-cache lookups on submitted queries.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRatio is Hits / (Hits + Misses).
+	HitRatio float64 `json:"hit_ratio"`
+	// Refreshes counts periodic re-deliveries served from the cache after
+	// the first answer; Promotions counts cache-served queries handed to a
+	// live mechanism when their stored context went stale.
+	Refreshes  int64 `json:"refreshes"`
+	Promotions int64 `json:"promotions"`
+	// MuxAttached / MuxDetached count queries joining and leaving shared
+	// provider streams; SharedStreams counts streams that became shared.
+	MuxAttached   int64 `json:"mux_attached"`
+	MuxDetached   int64 `json:"mux_detached"`
+	SharedStreams int64 `json:"shared_streams"`
+}
+
 // Summary is the per-run fleet report. Every field is a deterministic
 // function of the Spec: same seed, same summary bytes, at any worker count
 // or GOMAXPROCS.
@@ -85,6 +106,10 @@ type Summary struct {
 	// Trace is the latency-attribution report over the retained span trees
 	// (nil unless the spec enables tracing).
 	Trace *tracing.AttributionReport `json:"trace,omitempty"`
+
+	// CacheMux reports the shared provisioning plane (nil when the run
+	// neither enabled the answer cache nor multiplexed any stream).
+	CacheMux *CacheMuxReport `json:"cache_mux,omitempty"`
 
 	// Snapshot is the full metrics state (lifecycle event ring excluded:
 	// its eviction order is execution-order sensitive by design).
@@ -203,6 +228,30 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 			Attributed:   att.Attributed,
 			Unattributed: len(att.Unattributed),
 		}
+	}
+
+	cm := CacheMuxReport{
+		Hits:       counters["core.cache.hits"],
+		Misses:     counters["core.cache.misses"],
+		Refreshes:  counters["core.cache.refreshes"],
+		Promotions: counters["core.cache.promotions"],
+	}
+	for name, v := range counters {
+		if _, ok := strings.CutPrefix(name, "core.mux.attached."); ok {
+			cm.MuxAttached += v
+		}
+		if _, ok := strings.CutPrefix(name, "core.mux.detached."); ok {
+			cm.MuxDetached += v
+		}
+		if _, ok := strings.CutPrefix(name, "core.mux.shared_streams."); ok {
+			cm.SharedStreams += v
+		}
+	}
+	if total := cm.Hits + cm.Misses; total > 0 {
+		cm.HitRatio = float64(cm.Hits) / float64(total)
+	}
+	if e.spec.Cache.Enabled || cm != (CacheMuxReport{}) {
+		s.CacheMux = &cm
 	}
 
 	if tr := e.w.Tracer(); tr != nil {

@@ -512,7 +512,7 @@ func TestBTCloseReleasesScanPower(t *testing.T) {
 func TestWiFiQueryRetryRecoversFromTransientLoss(t *testing.T) {
 	clk, nw, _, wa, wc := wifiRig(t)
 	wc.PublishTag("temperature", 19.5, 0)
-	wa.SetRetries(1)
+	wa.SetRetryPolicy(1, 0, 0)
 	// First attempt times out: the relay link is down; restore it before
 	// the retry fires.
 	nw.FailLink("a", "b", radio.MediumWiFi)
@@ -534,9 +534,9 @@ func TestWiFiQueryRetryRecoversFromTransientLoss(t *testing.T) {
 func TestWiFiQueryRetriesExhaust(t *testing.T) {
 	clk, nw, _, wa, wc := wifiRig(t)
 	wc.PublishTag("temperature", 19.5, 0)
-	wa.SetRetries(1)
-	wa.SetRetries(-5) // clamped to 0
-	wa.SetRetries(1)
+	wa.SetRetryPolicy(1, 0, 0)
+	wa.SetRetryPolicy(-5, 0, 0) // clamped to 0
+	wa.SetRetryPolicy(1, 0, 0)
 	nw.FailLink("a", "b", radio.MediumWiFi)
 	var qerr error
 	done := 0

@@ -78,16 +78,14 @@ func TestBTSetRequestTimeout(t *testing.T) {
 
 func TestWiFiRetryPolicyLastWriteWins(t *testing.T) {
 	_, _, _, wa, _ := wifiRig(t)
-	wa.SetRetries(3)
 	wa.SetRetryPolicy(1, 5*time.Second, 2*time.Second)
 	if retries, timeout, backoff := wa.RetryPolicy(); retries != 1 || timeout != 5*time.Second || backoff != 2*time.Second {
 		t.Fatalf("policy = %d/%v/%v after SetRetryPolicy", retries, timeout, backoff)
 	}
-	// The deprecated setter still wins when called later, touching only the
-	// retry count.
-	wa.SetRetries(2)
+	// A later call replaces the whole policy.
+	wa.SetRetryPolicy(2, 5*time.Second, 2*time.Second)
 	if retries, timeout, backoff := wa.RetryPolicy(); retries != 2 || timeout != 5*time.Second || backoff != 2*time.Second {
-		t.Fatalf("policy = %d/%v/%v after SetRetries", retries, timeout, backoff)
+		t.Fatalf("policy = %d/%v/%v after second SetRetryPolicy", retries, timeout, backoff)
 	}
 	wa.SetRetryPolicy(-1, -time.Second, -time.Second) // clamped
 	if retries, timeout, backoff := wa.RetryPolicy(); retries != 0 || timeout != 0 || backoff != 0 {

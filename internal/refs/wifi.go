@@ -90,29 +90,12 @@ func (r *WiFiReference) RemoveTag(name string) { r.rt.Tags().Delete(name) }
 // Tags returns the node's tag space.
 func (r *WiFiReference) Tags() *sm.TagSpace { return r.rt.Tags() }
 
-// SetRetries configures how many extra SM-FINDER attempts a query makes
-// when an attempt times out (mobile ad hoc networks lose messages; the
-// paper lists "more reliable context provisioning in mobile ad hoc
-// networks" as future work). Default 0: a timeout fails the query round.
-//
-// Deprecated: use SetRetryPolicy, which also carries the per-attempt
-// timeout and backoff. Both are last-write-wins: whichever ran most
-// recently defines the retry count (timeout and backoff are untouched by
-// SetRetries).
-func (r *WiFiReference) SetRetries(n int) {
-	if n < 0 {
-		n = 0
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.retries = n
-}
-
 // SetRetryPolicy configures the reference's recovery posture in one call:
-// extra finder attempts on timeout, a per-attempt timeout applied to specs
-// that don't set their own (0 keeps the spec's or the SM default), and a
-// linear backoff between attempts (attempt k waits k×backoff before
-// relaunching). It and the deprecated SetRetries are last-write-wins.
+// extra finder attempts on timeout (mobile ad hoc networks lose messages;
+// the paper lists "more reliable context provisioning in mobile ad hoc
+// networks" as future work), a per-attempt timeout applied to specs that
+// don't set their own (0 keeps the spec's or the SM default), and a linear
+// backoff between attempts (attempt k waits k×backoff before relaunching).
 func (r *WiFiReference) SetRetryPolicy(retries int, timeout, backoff time.Duration) {
 	if retries < 0 {
 		retries = 0
@@ -139,7 +122,7 @@ func (r *WiFiReference) RetryPolicy() (retries int, timeout, backoff time.Durati
 
 // Query launches an SM-FINDER for the given spec. The first query per
 // (tag, hops) pair prepends the route-building delay; timed-out attempts
-// are retried per SetRetries; failures and timeouts are reported to the
+// are retried per SetRetryPolicy; failures and timeouts are reported to the
 // monitor as WiFi trouble.
 func (r *WiFiReference) Query(spec sm.FinderSpec, done func([]sm.Result, error)) {
 	key := routeKey{tag: spec.TagName, hops: spec.MaxHops}

@@ -3,6 +3,14 @@
 // are stored locally (the paper's phones have 9 MB of RAM and the field
 // trials showed memory exhaustion switching phones off); complete logs can
 // be stored in remote repositories of context infrastructures.
+//
+// Since the shared provisioning plane the repository is also the
+// middleware's answer cache: queries whose FRESHNESS clause is satisfiable
+// by stored items are served from here with zero provider work. Per-type
+// TTLs (driven by observed item lifetimes) bound how long an item stays
+// servable, and the eviction policy is seeded and vclock-deterministic so
+// same-seed fleet runs keep byte-identical cache contents at any worker
+// count.
 package repo
 
 import (
@@ -21,6 +29,22 @@ type Remote interface {
 	StoreRemote(item cxt.Item, done func(error))
 }
 
+// Reader is the narrow read-only view of the repository promoted to the
+// public API surface: applications inspect cached context without being
+// able to mutate the store.
+type Reader interface {
+	// Latest returns the most recent non-expired item of the given type.
+	Latest(t cxt.Type) (cxt.Item, bool)
+	// Recent returns up to n most recent items of the given type, newest
+	// first (n <= 0 returns all).
+	Recent(t cxt.Type, n int) []cxt.Item
+	// Fresh returns items of the given type no older than maxAge and not
+	// expired, newest first.
+	Fresh(t cxt.Type, maxAge time.Duration) []cxt.Item
+	// Types returns the context types with stored items, sorted.
+	Types() []cxt.Type
+}
+
 // DefaultLocalCap bounds how many items are kept locally per context type.
 const DefaultLocalCap = 16
 
@@ -33,7 +57,19 @@ type Repository struct {
 	byType map[cxt.Type][]cxt.Item // newest last
 	remote Remote
 	stored int
+
+	// Answer-cache state: per-type TTLs bound how long an item is servable
+	// from the cache. observed lifetimes tighten the TTL (admission driven
+	// by item lifetimes); the eviction stream is a seeded xorshift whose
+	// draws depend only on (seed, eviction count), never wall time — so
+	// cache contents are vclock-deterministic.
+	ttl        map[cxt.Type]time.Duration
+	defaultTTL time.Duration
+	evictState uint64
+	evictions  int
 }
+
+var _ Reader = (*Repository)(nil)
 
 // New returns a Repository keeping at most cap recent items per type
 // (0 = DefaultLocalCap).
@@ -42,9 +78,11 @@ func New(clock vclock.Clock, cap int) *Repository {
 		cap = DefaultLocalCap
 	}
 	return &Repository{
-		clock:  clock,
-		cap:    cap,
-		byType: make(map[cxt.Type][]cxt.Item),
+		clock:      clock,
+		cap:        cap,
+		byType:     make(map[cxt.Type][]cxt.Item),
+		ttl:        make(map[cxt.Type]time.Duration),
+		evictState: 0x9e3779b97f4a7c15,
 	}
 }
 
@@ -55,17 +93,125 @@ func (r *Repository) SetRemote(remote Remote) {
 	r.remote = remote
 }
 
-// Store keeps the item locally, evicting the oldest item of its type when
-// the per-type capacity is exceeded.
-func (r *Repository) Store(item cxt.Item) {
+// SetEvictionSeed re-seeds the deterministic eviction stream. The stream
+// advances once per eviction, so eviction choices are a pure function of
+// (seed, eviction count) — identical at any worker count or GOMAXPROCS.
+func (r *Repository) SetEvictionSeed(seed int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictState = uint64(seed) ^ 0x9e3779b97f4a7c15
+	if r.evictState == 0 {
+		r.evictState = 0x9e3779b97f4a7c15
+	}
+}
+
+// SetDefaultTTL sets the fallback servable window for types without an
+// explicit or lifetime-derived TTL (0 disables TTL bounding for them).
+func (r *Repository) SetDefaultTTL(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defaultTTL = d
+}
+
+// SetTTL pins the servable window for one context type.
+func (r *Repository) SetTTL(t cxt.Type, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ttl[t] = d
+}
+
+// TTLFor reports the effective servable window for a type: an explicit
+// SetTTL wins, else the lifetime-derived TTL learned at admission, else the
+// default (0 = unbounded).
+func (r *Repository) TTLFor(t cxt.Type) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ttlForLocked(t)
+}
+
+func (r *Repository) ttlForLocked(t cxt.Type) time.Duration {
+	if d, ok := r.ttl[t]; ok {
+		return d
+	}
+	return r.defaultTTL
+}
+
+// servableLocked reports whether an item may still be served at now: not
+// expired, and no older than its type's TTL (item lifetimes shorter than
+// the TTL tighten the bound per item via Expired).
+func (r *Repository) servableLocked(it cxt.Item, now time.Time) bool {
+	if it.Expired(now) {
+		return false
+	}
+	if d := r.ttlForLocked(it.Type); d > 0 && now.Sub(it.Timestamp) >= d {
+		return false
+	}
+	return true
+}
+
+// xorshift advances the eviction stream one draw.
+func (r *Repository) xorshift() uint64 {
+	x := r.evictState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.evictState = x
+	return x
+}
+
+// Store keeps the item locally. Admission is driven by item lifetimes: an
+// item that is already expired (or past its type's TTL) at store time is
+// not admitted — it could never be served. Items whose lifetimes are
+// shorter than the type's learned TTL tighten it, so short-lived types
+// never serve past their producers' declared validity. When the per-type
+// capacity is exceeded, already-unservable items are dropped first; if the
+// type is still over capacity one item is evicted by the seeded
+// deterministic policy (a draw over the older half, never the newest item).
+func (r *Repository) Store(item cxt.Item) {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.servableLocked(item, now) {
+		return
+	}
+	// Lifetime-driven TTL learning: the shortest bounded lifetime seen for
+	// a type caps its TTL, so a type whose producers declare validity never
+	// serves past it (learned lifetimes tighten any configured TTL).
+	if item.Lifetime > 0 {
+		if cur, ok := r.ttl[item.Type]; !ok || item.Lifetime < cur {
+			r.ttl[item.Type] = item.Lifetime
+		}
+	}
 	items := append(r.byType[item.Type], item)
 	if len(items) > r.cap {
-		items = items[len(items)-r.cap:]
+		// Drop unservable items first (expired or past TTL).
+		kept := items[:0]
+		for _, it := range items {
+			if r.servableLocked(it, now) {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+	}
+	for len(items) > r.cap {
+		// Seeded eviction over the older half; the newest item is immune.
+		half := len(items) / 2
+		if half < 1 {
+			half = 1
+		}
+		idx := int(r.xorshift() % uint64(half))
+		items = append(items[:idx], items[idx+1:]...)
+		r.evictions++
 	}
 	r.byType[item.Type] = items
 	r.stored++
+}
+
+// Evictions returns how many seeded evictions have run (for tests).
+func (r *Repository) Evictions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
 }
 
 // StoreRemote forwards the item to the remote repository, if configured,
@@ -82,18 +228,24 @@ func (r *Repository) StoreRemote(item cxt.Item, done func(error)) (ok bool) {
 	return true
 }
 
-// Latest returns the most recent item of the given type.
+// Latest returns the most recent item of the given type that has not
+// expired at the query instant. An item whose lifetime elapses exactly now
+// is not served (closed expiry boundary).
 func (r *Repository) Latest(t cxt.Type) (cxt.Item, bool) {
+	now := r.clock.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	items := r.byType[t]
-	if len(items) == 0 {
-		return cxt.Item{}, false
+	for i := len(items) - 1; i >= 0; i-- {
+		if !items[i].Expired(now) {
+			return items[i], true
+		}
 	}
-	return items[len(items)-1], true
+	return cxt.Item{}, false
 }
 
-// Recent returns up to n most recent items of the given type, newest first.
+// Recent returns up to n most recent items of the given type, newest first
+// (n <= 0 returns all).
 func (r *Repository) Recent(t cxt.Type, n int) []cxt.Item {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -109,6 +261,9 @@ func (r *Repository) Recent(t cxt.Type, n int) []cxt.Item {
 }
 
 // Fresh returns items of the given type no older than maxAge, newest first.
+// Items at exactly maxAge old are still fresh (FRESHNESS is an inclusive
+// bound); items whose lifetime elapses exactly now are expired and
+// excluded.
 func (r *Repository) Fresh(t cxt.Type, maxAge time.Duration) []cxt.Item {
 	now := r.clock.Now()
 	r.mu.Lock()
@@ -119,6 +274,27 @@ func (r *Repository) Fresh(t cxt.Type, maxAge time.Duration) []cxt.Item {
 		if items[i].FreshEnough(now, maxAge) && !items[i].Expired(now) {
 			out = append(out, items[i])
 		}
+	}
+	return out
+}
+
+// Servable returns items of the given type that the answer cache may serve
+// at the query instant: not expired, within the type's TTL, and within
+// maxAge (0 = TTL only), newest first.
+func (r *Repository) Servable(t cxt.Type, maxAge time.Duration) []cxt.Item {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []cxt.Item
+	items := r.byType[t]
+	for i := len(items) - 1; i >= 0; i-- {
+		if !r.servableLocked(items[i], now) {
+			continue
+		}
+		if !items[i].FreshEnough(now, maxAge) {
+			continue
+		}
+		out = append(out, items[i])
 	}
 	return out
 }
@@ -144,8 +320,9 @@ func (r *Repository) Len(t cxt.Type) int {
 	return len(r.byType[t])
 }
 
-// TotalStored returns the cumulative number of Store calls (eviction does
-// not decrement it).
+// TotalStored returns the cumulative number of admitted Store calls
+// (eviction does not decrement it; rejected-at-admission items never
+// count).
 func (r *Repository) TotalStored() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -49,9 +49,10 @@ func TestRecentNewestFirst(t *testing.T) {
 	}
 }
 
-func TestCapacityEvictsOldest(t *testing.T) {
+func TestCapacityEviction(t *testing.T) {
 	clk := vclock.NewSimulator()
 	r := New(clk, 3)
+	r.SetEvictionSeed(42)
 	for i := 0; i < 10; i++ {
 		r.Store(item(cxt.TypeLight, float64(i), clk.Now()))
 	}
@@ -59,11 +60,132 @@ func TestCapacityEvictsOldest(t *testing.T) {
 		t.Fatalf("Len = %d, want cap 3", r.Len(cxt.TypeLight))
 	}
 	got := r.Recent(cxt.TypeLight, 0)
-	if got[0].Value != 9.0 || got[2].Value != 7.0 {
-		t.Fatalf("Recent after eviction = %+v", got)
+	// The newest item is immune to eviction.
+	if got[0].Value != 9.0 {
+		t.Fatalf("newest item evicted: Recent = %+v", got)
 	}
 	if r.TotalStored() != 10 {
 		t.Fatalf("TotalStored = %d", r.TotalStored())
+	}
+	if r.Evictions() != 7 {
+		t.Fatalf("Evictions = %d, want 7", r.Evictions())
+	}
+}
+
+// Eviction is a pure function of (seed, eviction count): two repositories
+// with the same seed and the same store sequence keep identical contents,
+// while a different seed may diverge — never wall time.
+func TestEvictionSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []cxt.Item {
+		clk := vclock.NewSimulator()
+		r := New(clk, 4)
+		r.SetEvictionSeed(seed)
+		for i := 0; i < 50; i++ {
+			r.Store(item(cxt.TypeNoise, float64(i), clk.Now()))
+			clk.Advance(time.Second)
+		}
+		return r.Recent(cxt.TypeNoise, 0)
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i].Value, b[i].Value)
+		}
+	}
+}
+
+// Admission is lifetime-driven: an item already expired at store time is
+// rejected, and the shortest bounded lifetime seen for a type caps its TTL.
+func TestAdmissionAndTTLLearning(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	dead := item(cxt.TypeTemperature, 1, clk.Now().Add(-2*time.Second))
+	dead.Lifetime = time.Second
+	r.Store(dead)
+	if r.Len(cxt.TypeTemperature) != 0 || r.TotalStored() != 0 {
+		t.Fatal("expired item admitted")
+	}
+	it := item(cxt.TypeTemperature, 2, clk.Now())
+	it.Lifetime = 10 * time.Second
+	r.Store(it)
+	if got := r.TTLFor(cxt.TypeTemperature); got != 10*time.Second {
+		t.Fatalf("TTLFor = %v, want 10s", got)
+	}
+	it2 := item(cxt.TypeTemperature, 3, clk.Now())
+	it2.Lifetime = 3 * time.Second
+	r.Store(it2)
+	if got := r.TTLFor(cxt.TypeTemperature); got != 3*time.Second {
+		t.Fatalf("TTLFor after shorter lifetime = %v, want 3s", got)
+	}
+	// Longer lifetimes do not loosen a learned TTL.
+	it3 := item(cxt.TypeTemperature, 4, clk.Now())
+	it3.Lifetime = time.Minute
+	r.Store(it3)
+	if got := r.TTLFor(cxt.TypeTemperature); got != 3*time.Second {
+		t.Fatalf("TTLFor loosened to %v", got)
+	}
+}
+
+// Servable honours the per-type TTL: items older than the TTL are not
+// offered to the answer cache even when their own lifetime is unbounded.
+func TestServableHonoursTTL(t *testing.T) {
+	clk := vclock.NewSimulator()
+	r := New(clk, 0)
+	r.SetTTL(cxt.TypeWind, 5*time.Second)
+	r.Store(item(cxt.TypeWind, 1, clk.Now()))
+	clk.Advance(2 * time.Second)
+	r.Store(item(cxt.TypeWind, 2, clk.Now()))
+	clk.Advance(4 * time.Second)
+	got := r.Servable(cxt.TypeWind, 0)
+	if len(got) != 1 || got[0].Value != 2.0 {
+		t.Fatalf("Servable = %+v, want only the 4s-old item", got)
+	}
+	// The FRESHNESS bound narrows further.
+	if got := r.Servable(cxt.TypeWind, 3*time.Second); len(got) != 0 {
+		t.Fatalf("Servable with 3s freshness = %+v, want none", got)
+	}
+	// TTL boundary is closed: exactly TTL-old is no longer servable.
+	clk.Advance(time.Second)
+	if got := r.Servable(cxt.TypeWind, 0); len(got) != 0 {
+		t.Fatalf("Servable at exactly TTL = %+v, want none", got)
+	}
+}
+
+// Regression for the closed expiry boundary: an item whose lifetime elapses
+// exactly at the query instant must not be served by Latest, Fresh, or
+// Servable.
+func TestExpiryBoundaryTick(t *testing.T) {
+	const life = 10 * time.Second
+	cases := []struct {
+		name    string
+		advance time.Duration
+		served  bool
+	}{
+		{"one tick before expiry", life - time.Millisecond, true},
+		{"exactly at expiry", life, false},
+		{"one tick after expiry", life + time.Millisecond, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := vclock.NewSimulator()
+			r := New(clk, 0)
+			it := item(cxt.TypeHumidity, 55, clk.Now())
+			it.Lifetime = life
+			r.Store(it)
+			clk.Advance(tc.advance)
+			if _, ok := r.Latest(cxt.TypeHumidity); ok != tc.served {
+				t.Errorf("Latest served=%v, want %v", ok, tc.served)
+			}
+			if got := len(r.Fresh(cxt.TypeHumidity, time.Hour)) > 0; got != tc.served {
+				t.Errorf("Fresh served=%v, want %v", got, tc.served)
+			}
+			if got := len(r.Servable(cxt.TypeHumidity, 0)) > 0; got != tc.served {
+				t.Errorf("Servable served=%v, want %v", got, tc.served)
+			}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ type World struct {
 	gpsDevs  map[string]*gps.Device
 	metrics  *metrics.Registry
 	tracer   *tracing.Tracer
+	facOpts  []Option
 }
 
 // Phone is one Contory-equipped device in the world.
@@ -58,6 +59,10 @@ type WorldConfig struct {
 	// radio operations and SM migrations (nil = tracing off). The config's
 	// Seed and Registry fields are filled from the world's.
 	Trace *tracing.Config
+	// FactoryOptions is appended to every phone factory's construction
+	// options, after the world's metrics and tracer wiring — e.g.
+	// WithAnswerCache(true) to enable the answer cache fleet-wide.
+	FactoryOptions []Option
 }
 
 // NewWorld creates an empty world with an infrastructure server
@@ -101,6 +106,7 @@ func NewWorldConfig(cfg WorldConfig) (*World, error) {
 		gpsDevs:  make(map[string]*gps.Device),
 		metrics:  reg,
 		tracer:   tracer,
+		facOpts:  cfg.FactoryOptions,
 	}, nil
 }
 
@@ -235,9 +241,12 @@ func (w *World) AddPhone(cfg PhoneConfig) (*Phone, error) {
 			return nil, fmt.Errorf("contory: umts link: %w", err)
 		}
 	}
+	opts := make([]core.Option, 0, 2+len(w.facOpts))
+	opts = append(opts, core.WithMetrics(w.metrics), core.WithTracer(w.tracer))
+	opts = append(opts, w.facOpts...)
 	p := &Phone{
 		Device:  dev,
-		Factory: core.NewFactory(dev, core.WithMetrics(w.metrics), core.WithTracer(w.tracer)),
+		Factory: core.NewFactory(dev, opts...),
 		world:   w,
 	}
 	w.phones[cfg.ID] = p
