@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke
 
 all: check
 
 # check is the full pre-merge gate: formatting, build, vet, staticcheck
 # (when installed), tests, the race detector, a small fleet-load smoke run,
-# a determinism-checked chaos run, a determinism-checked trace export and a
-# determinism-checked answer-cache run.
-check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke
+# a determinism-checked chaos run, a determinism-checked trace export, a
+# determinism-checked answer-cache run and a determinism-checked QoS
+# overload run.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke
 
 build:
 	$(GO) build ./...
@@ -85,6 +86,21 @@ cache-smoke:
 	cmp BENCH_cache_w1.json BENCH_cache_w8.json
 	rm -f BENCH_cache_w1.json BENCH_cache_w8.json
 
+# qos-smoke is the QoS-provisioning-plane gate: the admission/scheduling/
+# shedding tests under the race detector, then a seeded overload fleet with
+# QoS on through the CLI at 1 and 8 workers — the two summaries (Summary.QoS
+# included) must be byte-identical.
+qos-smoke:
+	$(GO) test -race -count=1 -run 'TestController|TestQoS|TestFleetQoS' ./internal/qos ./internal/core ./internal/fleet
+	$(GO) run ./cmd/contory-load -phones 48 -duration 10m -period 60s -seed 7 -overload 1 \
+		-cache -cache-ttl 8m -qos -qos-rate 0.5 -qos-burst 2 -qos-queue 2 -qos-slots 2 \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 1 -stats-out BENCH_qos_w1.json
+	$(GO) run ./cmd/contory-load -phones 48 -duration 10m -period 60s -seed 7 -overload 1 \
+		-cache -cache-ttl 8m -qos -qos-rate 0.5 -qos-burst 2 -qos-queue 2 -qos-slots 2 \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 8 -stats-out BENCH_qos_w8.json
+	cmp BENCH_qos_w1.json BENCH_qos_w8.json
+	rm -f BENCH_qos_w1.json BENCH_qos_w8.json
+
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
 # engine at 1k/2k/5k phones over ten virtual minutes.
 load-bench:
@@ -109,4 +125,5 @@ clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_fleet_smoke.json \
 		BENCH_chaos_w1.json BENCH_chaos_w8.json \
 		BENCH_trace_w1.json BENCH_trace_w8.json \
-		BENCH_cache_w1.json BENCH_cache_w8.json
+		BENCH_cache_w1.json BENCH_cache_w8.json \
+		BENCH_qos_w1.json BENCH_qos_w8.json

@@ -50,6 +50,12 @@ func main() {
 		cacheOn  = flag.Bool("cache", false, "enable the per-phone answer cache (shared provisioning plane)")
 		cacheTTL = flag.Duration("cache-ttl", 0, "cache staleness bound for types without item lifetimes (0 = 2x -period)")
 		dupFrac  = flag.Float64("dup", 0, "fraction of phones running the duplicate-heavy workload; replaces the default mix (bursts of identical cacheable extInfra queries)")
+		qosOn    = flag.Bool("qos", false, "enable the QoS provisioning plane (admission control, deadline-aware scheduling, overload shedding)")
+		qosRate  = flag.Float64("qos-rate", 0, "per-client sustained admission rate in queries/s when -qos is on (0 = default)")
+		qosBurst = flag.Int("qos-burst", 0, "per-client admission burst size when -qos is on (0 = default)")
+		qosQueue = flag.Int("qos-queue", 0, "pending-query queue bound per phone when -qos is on (0 = default)")
+		qosSlots = flag.Int("qos-slots", 0, "concurrent live-provisioning slots per phone when -qos is on (0 = default)")
+		overload = flag.Float64("overload", 0, "fraction of phones running the overload-burst workload; replaces the default mix (bursts of distinct tight-FRESHNESS extInfra queries that serialize on the UMTS channel)")
 		stats    = flag.Bool("stats", false, "print the full summary JSON to stdout")
 		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
 		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
@@ -60,6 +66,9 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's lifetime")
 	)
 	flag.Parse()
+	if err := validateFlags(*phones, *duration, *workers, *qosRate, *overload); err != nil {
+		fail(err)
+	}
 	if *traceOut != "" {
 		*traceOn = true
 	}
@@ -87,11 +96,21 @@ func main() {
 			Chaos:           fleet.ChaosSpec{Profile: *chaosP, Rate: *chaosR},
 			Trace:           fleet.TraceSpec{Enabled: *traceOn, Sample: *traceSmp},
 			Cache:           fleet.CacheSpec{Enabled: *cacheOn, TTL: *cacheTTL},
+			QoS: fleet.QoSSpec{
+				Enabled: *qosOn, Rate: *qosRate, Burst: *qosBurst,
+				QueueCap: *qosQueue, MaxActive: *qosSlots,
+			},
 		}
 		if *dupFrac > 0 {
 			// A pure duplicate-heavy fleet: the cleanest cache-on-vs-off
 			// comparison at identical seeds.
 			spec.Workload = fleet.Workload{DupHeavy: *dupFrac, Period: *period}
+		}
+		if *overload > 0 {
+			// A pure overload fleet: the cleanest qos-on-vs-off comparison
+			// at identical seeds (pair with -cache so the QoS plane can
+			// degrade the burst tail to stale-cache answers).
+			spec.Workload = fleet.Workload{Overload: *overload, Period: *period}
 		}
 		if *gpsFrac > 0 {
 			// GPS carriers run the failover-exercising location workload
@@ -158,6 +177,28 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "contory-load:", err)
 	os.Exit(1)
+}
+
+// validateFlags rejects flag values that would otherwise surface as a
+// confusing engine panic or an instantly-finished run. -workers keeps 0 as
+// its documented "use GOMAXPROCS" sentinel; only negatives are refused.
+func validateFlags(phones int, duration time.Duration, workers int, qosRate, overload float64) error {
+	if phones <= 0 {
+		return fmt.Errorf("-phones must be positive, got %d", phones)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %s", duration)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if qosRate < 0 {
+		return fmt.Errorf("-qos-rate must be >= 0 (0 = default), got %g", qosRate)
+	}
+	if overload < 0 || overload > 1 {
+		return fmt.Errorf("-overload must be a fraction in [0, 1], got %g", overload)
+	}
+	return nil
 }
 
 // runOne builds and runs one scenario, returning its summary, the engine
@@ -234,6 +275,11 @@ func printSummary(s fleet.Summary, wall time.Duration) {
 			c.Hits, c.Misses, c.HitRatio, c.Refreshes, c.Promotions)
 		fmt.Printf("  mux       %d attached, %d detached, %d shared streams\n",
 			c.MuxAttached, c.MuxDetached, c.SharedStreams)
+	}
+	if s.QoS != nil {
+		q := s.QoS
+		fmt.Printf("  qos       %d admitted, %d deferred (%d released), %d degraded, %d rejected, %d shed; p99 first item %.1f ms\n",
+			q.Admitted, q.Deferred, q.Released, q.Degraded, q.Rejected, q.Shed, q.P99FirstItemMs)
 	}
 	if s.Chaos != nil {
 		fmt.Printf("  chaos     %s profile: %d faults injected, %d/%d switches attributed (%d unattributed)\n",

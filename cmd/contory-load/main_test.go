@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		phones   int
+		duration time.Duration
+		workers  int
+		qosRate  float64
+		overload float64
+		wantErr  string // "" = valid
+	}{
+		{name: "defaults", phones: 1000, duration: 10 * time.Minute},
+		{name: "explicit workers", phones: 10, duration: time.Minute, workers: 8},
+		{name: "qos overload run", phones: 10, duration: time.Minute, qosRate: 0.5, overload: 1},
+		{name: "zero phones", phones: 0, duration: time.Minute, wantErr: "-phones"},
+		{name: "negative phones", phones: -5, duration: time.Minute, wantErr: "-phones"},
+		{name: "zero duration", phones: 10, wantErr: "-duration"},
+		{name: "negative duration", phones: 10, duration: -time.Second, wantErr: "-duration"},
+		{name: "negative workers", phones: 10, duration: time.Minute, workers: -1, wantErr: "-workers"},
+		{name: "negative qos rate", phones: 10, duration: time.Minute, qosRate: -0.1, wantErr: "-qos-rate"},
+		{name: "overload above one", phones: 10, duration: time.Minute, overload: 1.5, wantErr: "-overload"},
+		{name: "negative overload", phones: 10, duration: time.Minute, overload: -0.2, wantErr: "-overload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.phones, tc.duration, tc.workers, tc.qosRate, tc.overload)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"contory/internal/cxt"
 	"contory/internal/metrics"
 	"contory/internal/provider"
+	"contory/internal/qos"
 	"contory/internal/query"
 	"contory/internal/repo"
 )
@@ -114,7 +115,33 @@ var (
 	// WithCacheTTL bounds cache staleness for types without lifetime-derived
 	// TTLs.
 	WithCacheTTL = core.WithCacheTTL
+	// WithQoS enables the QoS provisioning plane: per-client admission
+	// control, deadline/priority-aware scheduling of deferred queries, and
+	// deterministic overload shedding by measured energy cost.
+	WithQoS = core.WithQoS
 )
+
+// QoS provisioning plane (admission control, scheduling, overload
+// shedding).
+type (
+	// QoSConfig configures the QoS plane passed to WithQoS.
+	QoSConfig = qos.Config
+	// QoSClass is a scheduling priority class (interactive, standard,
+	// bulk); QoSAuto derives the class from query attributes.
+	QoSClass = qos.Class
+)
+
+// QoS scheduling classes.
+const (
+	QoSAuto        = qos.ClassAuto
+	QoSInteractive = qos.ClassInteractive
+	QoSStandard    = qos.ClassStandard
+	QoSBulk        = qos.ClassBulk
+)
+
+// ErrQoSRejected is wrapped into ProcessCxtQuery errors when admission
+// control turns a query away; match with errors.Is.
+var ErrQoSRejected = qos.ErrRejected
 
 // NewFactory wires a ContextFactory onto a device.
 func NewFactory(dev *Device, opts ...Option) *Factory {
@@ -141,6 +168,9 @@ const (
 	MechanismAdHoc = core.MechanismAdHoc
 	MechanismInfra = core.MechanismInfra
 	MechanismCache = core.MechanismCache
+	// MechanismPending marks queries parked in the QoS admission queue,
+	// waiting for a token or a free provisioning slot.
+	MechanismPending = core.MechanismPending
 )
 
 // Publishing (§4.3 CxtPublisher).
@@ -162,14 +192,29 @@ const (
 )
 
 // ClientFuncs adapts plain functions to the Client interface; nil fields
-// get sensible defaults (errors dropped, decisions granted).
+// get sensible defaults (errors dropped, decisions granted). ID and
+// Priority feed the QoS plane when it is enabled: clients sharing an ID
+// share one admission token bucket (empty = the "default" bucket), and
+// Priority pins the scheduling class (QoSAuto derives it per query).
 type ClientFuncs struct {
 	OnItem     func(Item)
 	OnError    func(string)
 	OnDecision func(string) bool
+	ID         string
+	Priority   QoSClass
 }
 
-var _ Client = ClientFuncs{}
+var (
+	_ Client              = ClientFuncs{}
+	_ core.ClientIdentity = ClientFuncs{}
+	_ core.ClientPriority = ClientFuncs{}
+)
+
+// ClientID implements the QoS plane's ClientIdentity extension.
+func (c ClientFuncs) ClientID() string { return c.ID }
+
+// QoSClass implements the QoS plane's ClientPriority extension.
+func (c ClientFuncs) QoSClass() QoSClass { return c.Priority }
 
 // ReceiveCxtItem implements Client.
 func (c ClientFuncs) ReceiveCxtItem(it Item) {

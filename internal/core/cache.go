@@ -64,6 +64,27 @@ func (f *Factory) cacheLookup(q *query.Query) (cxt.Item, bool) {
 	return cxt.Item{}, false
 }
 
+// cacheLookupRelaxed is cacheLookup with the FRESHNESS clause relaxed:
+// staleness is bounded only by the type's TTL (via Servable) and item
+// expiry. The QoS plane uses it to serve degraded queries stale answers a
+// strict lookup would refuse.
+func (f *Factory) cacheLookupRelaxed(q *query.Query) (cxt.Item, bool) {
+	now := f.clock.Now()
+	for _, it := range f.dev.Repo.Servable(q.Select, 0) {
+		if !cacheSourceCompatible(q, it) {
+			continue
+		}
+		if it.Expired(now) {
+			continue
+		}
+		if !query.EvalWhere(q.Where, it.Meta) {
+			continue
+		}
+		return it, true
+	}
+	return cxt.Item{}, false
+}
+
 // tryServeFromCache attempts to register aq as cache-served. It runs after
 // the query's root span is open and before any facade submission; returning
 // true means the query is live on MechanismCache and the first answer is
@@ -116,10 +137,27 @@ func (f *Factory) cacheDeliver(queryID string, first bool) {
 		return
 	}
 	q := aq.q
+	degraded := aq.degraded
 	f.mu.Unlock()
 
-	it, hit := f.cacheLookup(q)
+	var it cxt.Item
+	var hit bool
+	if degraded {
+		// Degraded queries accept staleness up to the type's TTL: that is
+		// the point of degrading.
+		it, hit = f.cacheLookupRelaxed(q)
+	} else {
+		it, hit = f.cacheLookup(q)
+	}
 	if !hit {
+		if degraded {
+			// A degraded query never promotes back to live provisioning —
+			// it was degraded to shed exactly that load.
+			aq.client.InformError("contory: query " + queryID +
+				": degraded to stale cache but no servable item remains")
+			f.finishQuery(queryID, metrics.EventCancelled)
+			return
+		}
 		f.promoteFromCache(queryID, "cache stale")
 		return
 	}

@@ -526,14 +526,16 @@ func TestReduceLoadPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.factory.EvaluatePolicies()
-	// The newest query (sub2) terminates; sub1 survives.
-	if _, err := sub2.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
-		t.Fatal("newest query survived reduceLoad")
+	// Shedding is by measured energy cost per delivered item: sub1 has
+	// accrued a full second more of device energy at the same delivery
+	// count, so it is the costliest query — not newest-submitted sub2.
+	if _, err := sub1.Mechanism(); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatal("costliest query survived reduceLoad")
 	}
-	if _, err := sub1.Mechanism(); err != nil {
-		t.Fatal("oldest query was terminated instead")
+	if _, err := sub2.Mechanism(); err != nil {
+		t.Fatal("cheaper query was terminated instead")
 	}
-	if len(c2.errs) == 0 {
+	if len(c1.errs) == 0 {
 		t.Fatal("client not informed")
 	}
 }

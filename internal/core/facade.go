@@ -29,6 +29,11 @@ const (
 	// by a Facade — a cache-served query owns no provider — and promotes to
 	// a real mechanism when the cache goes stale.
 	MechanismCache
+	// MechanismPending marks a query parked in the QoS plane's pending
+	// queue: admitted in principle, but deferred until its client's token
+	// is earned and a provisioning slot frees up. Like MechanismCache it
+	// is not backed by a Facade; release assigns a real mechanism.
+	MechanismPending
 )
 
 // String implements fmt.Stringer using the FROM-clause vocabulary.
@@ -42,6 +47,8 @@ func (m Mechanism) String() string {
 		return "extInfra"
 	case MechanismCache:
 		return "cache"
+	case MechanismPending:
+		return "pending"
 	default:
 		return fmt.Sprintf("mechanism(%d)", int(m))
 	}

@@ -14,6 +14,7 @@ import (
 	"contory/internal/monitor"
 	"contory/internal/policy"
 	"contory/internal/provider"
+	"contory/internal/qos"
 	"contory/internal/query"
 	"contory/internal/repo"
 	"contory/internal/simnet"
@@ -70,6 +71,11 @@ type activeQuery struct {
 	delivered int
 	cacheHits int           // answers served from the answer cache
 	cacheTick *vclock.Timer // EVERY-period refresh while cache-served
+	// qosLive marks a query occupying a QoS live-provisioning slot;
+	// degraded marks one the QoS plane downgraded to stale-cache service
+	// (cache lookups then relax the FRESHNESS bound to the type's TTL).
+	qosLive   bool
+	degraded  bool
 	expiry    *vclock.Timer
 	probe     *vclock.Timer
 	submitted time.Time
@@ -99,6 +105,9 @@ type Factory struct {
 	cacheEnabled    bool
 	cacheTTL        time.Duration
 	retry           RetryPolicy
+	qosCfg          qos.Config
+	qos             *qos.Controller
+	monCancel       func()
 
 	metrics *metrics.Registry
 	instr   *instruments
@@ -146,9 +155,15 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 	if f.cacheTTL > 0 {
 		dev.Repo.SetDefaultTTL(f.cacheTTL)
 	}
+	if f.qosCfg.Enabled {
+		mon := dev.Monitor
+		f.qos = qos.New(dev.Clock, f.qosCfg, func() bool {
+			return mon.BatteryLevel() == monitor.LevelLow || mon.MemoryLevel() == monitor.LevelLow
+		})
+	}
 	f.applyRetryPolicy()
 	f.engine.SetEnforcer(f.enforce)
-	dev.Monitor.OnEvent(f.onMonitorEvent)
+	f.monCancel = dev.Monitor.OnEvent(f.onMonitorEvent)
 	dev.attachMetrics(f.metrics)
 	if dev.UMTS != nil {
 		dev.Repo.SetRemote(remoteStore{f: f})
@@ -272,6 +287,14 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 		return &Subscription{f: f, id: id}, nil
 	}
 
+	// QoS plane: cache misses pass admission control before provisioning
+	// live. Only an admit verdict falls through to mechanism assignment.
+	if f.qos != nil {
+		if sub, err, handled := f.qosGate(aq); handled {
+			return sub, err
+		}
+	}
+
 	var lastErr error
 	for _, mech := range prefs {
 		if !f.mechanismHealthy(mech, aq.q) {
@@ -297,6 +320,13 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 	}
 	if lastErr == nil {
 		lastErr = ErrNoMechanism
+	}
+	if aq.qosLive {
+		// Admission succeeded but no mechanism could serve: hand the live
+		// slot back so the failure does not leak provisioning capacity.
+		aq.qosLive = false
+		f.qos.Done()
+		f.qosDispatch()
 	}
 	f.instr.rejected.Inc()
 	aq.span.SetAttr("error", lastErr.Error())
@@ -418,6 +448,9 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	if aq.cacheTick != nil {
 		aq.cacheTick.Stop()
 	}
+	wasPending := aq.mech == MechanismPending
+	wasLive := aq.qosLive
+	aq.qosLive = false
 	f.mu.Unlock()
 	// Cancel on every facade, not just the recorded ones: a concurrent
 	// switch may have submitted the query to a facade before updating
@@ -438,6 +471,15 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	f.instr.event(f.clock.Now(), queryID, kind, aq.mech.String(), "")
 	aq.span.SetAttr("outcome", string(kind))
 	aq.span.End()
+	if f.qos != nil {
+		if wasPending && f.qos.Remove(queryID) {
+			f.instr.qosPending.Add(-1)
+		}
+		if wasLive {
+			f.qos.Done()
+			f.qosDispatch()
+		}
+	}
 }
 
 // onExpire handles facade notifications that a provider's merged query
@@ -684,6 +726,13 @@ func (f *Factory) onMonitorEvent(ev monitor.Event) {
 	case monitor.EventRecovery:
 		f.restorePreferred(ev.Resource)
 	case monitor.EventLowPower, monitor.EventLowMemory:
+		// The QoS overload detector reacts directly: halve the live-slot
+		// budget, then degrade what the cache can still serve and shed the
+		// costliest of the rest.
+		if f.qos != nil {
+			f.qos.Scale(0.5)
+			f.qosShedLoad(ev.Kind.String(), 0)
+		}
 		f.EvaluatePolicies()
 	}
 	f.evaluateAfterEvent()
@@ -784,6 +833,12 @@ func (f *Factory) switchQuery(queryID, reason string) {
 	f.mu.Lock()
 	aq, ok := f.queries[queryID]
 	if !ok {
+		f.mu.Unlock()
+		return
+	}
+	if aq.mech == MechanismCache || aq.mech == MechanismPending {
+		// Cache-served and QoS-pending queries own no facade provider;
+		// promotion and release have their own paths.
 		f.mu.Unlock()
 		return
 	}
@@ -938,10 +993,19 @@ func (f *Factory) enforce(r policy.Rule) {
 	switch r.Action {
 	case policy.ReducePower:
 		f.enforceReducePower(r.Name)
+		if f.qos != nil {
+			// Scheduler knob: halve the live-provisioning budget so fewer
+			// radio-bearing queries run concurrently while power is scarce.
+			f.qos.Scale(0.5)
+		}
 	case policy.ReduceMemory:
 		f.dev.Repo.Clear()
 		f.dev.Monitor.SetMemory(0, 9<<20)
 	case policy.ReduceLoad:
+		if f.qos != nil {
+			f.qosShedLoad("reduceLoad ("+r.Name+")", 1)
+			return
+		}
 		f.enforceReduceLoad(r.Name)
 	}
 }
@@ -970,22 +1034,27 @@ func (f *Factory) enforceReducePower(ruleName string) {
 	}
 }
 
-// enforceReduceLoad terminates the most recently submitted query.
+// enforceReduceLoad terminates the query with the highest measured energy
+// cost per delivered item — the least productive consumer — never simply
+// the newest submission.
 func (f *Factory) enforceReduceLoad(ruleName string) {
+	now := f.clock.Now()
 	f.mu.Lock()
-	var newest *activeQuery
+	var victim *activeQuery
+	var victimCost float64
 	for _, aq := range f.queries {
-		if newest == nil || aq.submitted.After(newest.submitted) ||
-			(aq.submitted.Equal(newest.submitted) && aq.id > newest.id) {
-			newest = aq
+		cost := f.queryCost(aq, now)
+		if victim == nil || cost > victimCost ||
+			(cost == victimCost && shedBefore(aq, victim)) {
+			victim, victimCost = aq, cost
 		}
 	}
 	f.mu.Unlock()
-	if newest == nil {
+	if victim == nil {
 		return
 	}
-	newest.client.InformError("contory: query " + newest.id + " terminated by reduceLoad policy")
-	f.finishQuery(newest.id, metrics.EventCancelled)
+	victim.client.InformError("contory: query " + victim.id + " terminated by reduceLoad policy")
+	f.finishQuery(victim.id, metrics.EventCancelled)
 }
 
 // PublishCxtItem makes a context item accessible to external entities in
@@ -1039,8 +1108,12 @@ func (f *Factory) DeregisterCxtServer(client Client) {
 	delete(f.publishers, client)
 }
 
-// Close cancels every active query and stops all providers.
+// Close cancels every active query, stops all providers, and detaches the
+// factory from the monitor's event fan-out.
 func (f *Factory) Close() {
+	if f.monCancel != nil {
+		f.monCancel()
+	}
 	f.mu.Lock()
 	ids := make([]string, 0, len(f.queries))
 	for id := range f.queries {

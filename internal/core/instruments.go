@@ -30,6 +30,15 @@ type instruments struct {
 	cachePromotions *metrics.Counter
 	cacheAgeMs      *metrics.Histogram // age of served-from-cache answers
 
+	// QoS-plane instrumentation (admission, scheduling, shedding).
+	qosAdmitted *metrics.Counter
+	qosRejected *metrics.Counter
+	qosDeferred *metrics.Counter
+	qosReleased *metrics.Counter
+	qosDegraded *metrics.Counter
+	qosShed     *metrics.Counter
+	qosPending  *metrics.Gauge
+
 	assigned   map[Mechanism]*metrics.Counter
 	firstLatMs map[Mechanism]*metrics.Histogram
 }
@@ -54,6 +63,13 @@ func newInstruments(reg *metrics.Registry, owner string) *instruments {
 		cacheRefreshes:  reg.Counter("core.cache.refreshes"),
 		cachePromotions: reg.Counter("core.cache.promotions"),
 		cacheAgeMs:      reg.Histogram("core.cache.served_age_ms", metrics.DefaultLatencyBucketsMs),
+		qosAdmitted:     reg.Counter("qos.admitted"),
+		qosRejected:     reg.Counter("qos.rejected"),
+		qosDeferred:     reg.Counter("qos.deferred"),
+		qosReleased:     reg.Counter("qos.released"),
+		qosDegraded:     reg.Counter("qos.degraded"),
+		qosShed:         reg.Counter("qos.shed"),
+		qosPending:      reg.Gauge("qos.pending"),
 		assigned:        make(map[Mechanism]*metrics.Counter, len(allMechanisms)+1),
 		firstLatMs:      make(map[Mechanism]*metrics.Histogram, len(allMechanisms)+1),
 	}

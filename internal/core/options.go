@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"contory/internal/metrics"
+	"contory/internal/qos"
 	"contory/internal/tracing"
 )
 
@@ -100,6 +101,15 @@ func WithCacheTTL(d time.Duration) Option {
 			f.cacheTTL = d
 		}
 	}
+}
+
+// WithQoS enables the QoS provisioning plane with the given admission
+// parameters (zero fields take the qos package defaults): per-client
+// token-bucket admission, priority-lane scheduling of deferred queries,
+// and graceful overload shedding. Off by default — the zero Config keeps
+// the factory's legacy first-come-first-served behaviour.
+func WithQoS(cfg qos.Config) Option {
+	return func(f *Factory) { f.qosCfg = cfg }
 }
 
 // WithMetrics shares a metrics registry with the factory instead of the

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"contory/internal/metrics"
+	"contory/internal/qos"
+	"contory/internal/query"
+)
+
+// This file wires the QoS provisioning plane (internal/qos) into the
+// ContextFactory: admission control ahead of mechanism assignment,
+// weighted-fair release of deferred queries, degradation of eligible
+// queries to stale-cache answers, and overload shedding by measured
+// energy cost. Everything runs on the virtual clock; with QoS disabled
+// (the default) none of these paths execute.
+
+// ClientIdentity is an optional Client extension giving the client a
+// stable admission-control identity: each identity owns its own token
+// bucket. Clients without one share the "default" bucket.
+type ClientIdentity interface {
+	ClientID() string
+}
+
+// ClientPriority is an optional Client extension declaring an explicit
+// priority class for the client's queries; without it the class is
+// derived from query attributes (qos.Classify).
+type ClientPriority interface {
+	QoSClass() qos.Class
+}
+
+// QoSEnabled reports whether the factory runs the QoS plane.
+func (f *Factory) QoSEnabled() bool { return f.qos != nil }
+
+// QoS returns the factory's QoS controller (nil when disabled); exposed
+// for harnesses that assert on admission state.
+func (f *Factory) QoS() *qos.Controller { return f.qos }
+
+func clientKey(c Client) string {
+	if id, ok := c.(ClientIdentity); ok {
+		if k := id.ClientID(); k != "" {
+			return k
+		}
+	}
+	return "default"
+}
+
+func clientClass(c Client) qos.Class {
+	if p, ok := c.(ClientPriority); ok {
+		return p.QoSClass()
+	}
+	return qos.ClassAuto
+}
+
+// qosGate runs admission control for a cache-missed query. handled=false
+// means the query was admitted and proceeds to live mechanism assignment;
+// handled=true means the gate fully resolved the submission (degraded,
+// deferred, or rejected) and ProcessCxtQuery returns sub/err as-is.
+func (f *Factory) qosGate(aq *activeQuery) (sub *Subscription, err error, handled bool) {
+	client := clientKey(aq.client)
+	cls := qos.Classify(aq.q, clientClass(aq.client))
+	canDegrade := f.canDegradeToCache(aq.q)
+	d := f.qos.Admit(client, cls, qos.Request{
+		ID:         aq.id,
+		CanDegrade: canDegrade,
+		Lifetime:   aq.q.Duration.Time,
+	})
+	sp := aq.span.Child("qos.admit")
+	sp.SetAttr("verdict", d.Verdict.String())
+	sp.SetAttr("class", cls.String())
+	sp.SetAttr("client", client)
+	if d.Reason != "" {
+		sp.SetAttr("reason", d.Reason)
+	}
+	if d.Wait > 0 {
+		sp.SetAttr("wait", d.Wait.String())
+	}
+	sp.End()
+
+	switch d.Verdict {
+	case qos.VerdictAdmit:
+		f.instr.qosAdmitted.Inc()
+		aq.qosLive = true
+		return nil, nil, false
+	case qos.VerdictDegrade:
+		f.registerDegraded(aq, d.Reason)
+		return &Subscription{f: f, id: aq.id}, nil, true
+	case qos.VerdictDefer:
+		id := aq.id
+		aq.mech = MechanismPending
+		f.mu.Lock()
+		f.queries[id] = aq
+		if aq.q.Duration.Time > 0 {
+			aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
+		}
+		f.mu.Unlock()
+		f.instr.qosDeferred.Inc()
+		f.instr.qosPending.Add(1)
+		f.instr.active.Add(1)
+		f.instr.event(d.At, id, metrics.EventAssigned, MechanismPending.String(),
+			"deferred "+d.Wait.String())
+		// The token is earned at Wait; a dispatch then releases this (or a
+		// higher-priority) entry if a provisioning slot is free.
+		f.clock.After(d.Wait, func() { f.qosDispatch() })
+		return &Subscription{f: f, id: id}, nil, true
+	default: // qos.VerdictReject
+		f.instr.qosRejected.Inc()
+		f.instr.rejected.Inc()
+		rejErr := fmt.Errorf("core: query %s (%s class, %s): %w", aq.id, cls, d.Reason, qos.ErrRejected)
+		aq.span.SetAttr("error", rejErr.Error())
+		aq.span.End()
+		return nil, rejErr, true
+	}
+}
+
+// canDegradeToCache reports whether a stale-cache answer could serve the
+// query right now: cache on, query cache-shaped, staleness bounded (by
+// FRESHNESS or a per-type TTL), and a relaxed lookup actually hits.
+func (f *Factory) canDegradeToCache(q *query.Query) bool {
+	if !f.cacheEnabled || q.Event != nil {
+		return false
+	}
+	switch q.From.Kind {
+	case query.SourceEntity, query.SourceRegion:
+		return false
+	}
+	if q.Freshness <= 0 && f.dev.Repo.TTLFor(q.Select) <= 0 {
+		return false
+	}
+	_, ok := f.cacheLookupRelaxed(q)
+	return ok
+}
+
+// registerDegraded registers a fresh submission as degraded-to-cache: the
+// query is served stale repository answers (bounded by the type's TTL)
+// instead of provisioning live.
+func (f *Factory) registerDegraded(aq *activeQuery, reason string) {
+	id := aq.id
+	aq.mech = MechanismCache
+	aq.degraded = true
+	aq.span.SetAttr("mech", MechanismCache.String())
+	sp := aq.span.Child("qos.degrade")
+	sp.SetAttr("reason", reason)
+	sp.End()
+	f.mu.Lock()
+	f.queries[id] = aq
+	if aq.q.Duration.Time > 0 {
+		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
+	}
+	f.mu.Unlock()
+	f.instr.qosDegraded.Inc()
+	f.instr.assigned[MechanismCache].Inc()
+	f.instr.active.Add(1)
+	f.instr.event(f.clock.Now(), id, metrics.EventAssigned, MechanismCache.String(),
+		"degraded: "+reason)
+	f.clock.After(0, func() { f.cacheDeliver(id, true) })
+}
+
+// qosDispatch releases deferred queries while slots are free and lanes
+// have eligible heads; called when a token is earned and when a live slot
+// frees up.
+func (f *Factory) qosDispatch() {
+	if f.qos == nil {
+		return
+	}
+	for {
+		id, ok := f.qos.Next()
+		if !ok {
+			return
+		}
+		f.qosRelease(id)
+	}
+}
+
+// qosRelease assigns a released pending query to a live mechanism,
+// walking its preferences like initial assignment. The controller already
+// booked a live slot for it; failures hand the slot back.
+func (f *Factory) qosRelease(queryID string) {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	if !ok || aq.mech != MechanismPending {
+		f.mu.Unlock()
+		f.qos.Done()
+		return
+	}
+	mergeOn := f.mergeEnabled
+	prefs := aq.prefs
+	f.mu.Unlock()
+	f.instr.qosPending.Add(-1)
+	for _, mech := range prefs {
+		if !f.mechanismHealthy(mech, aq.q) {
+			continue
+		}
+		if err := f.facades[mech].submit(queryID, aq.q, mergeOn, aq.span); err != nil {
+			continue
+		}
+		f.mu.Lock()
+		if cur, still := f.queries[queryID]; !still || cur != aq {
+			// Cancelled inside a synchronous delivery from the new provider.
+			f.mu.Unlock()
+			f.facades[mech].Cancel(queryID)
+			f.qos.Done()
+			return
+		}
+		aq.mech = mech
+		aq.qosLive = true
+		f.mu.Unlock()
+		aq.span.SetAttr("mech", mech.String())
+		f.instr.qosReleased.Inc()
+		f.instr.assigned[mech].Inc()
+		f.instr.event(f.clock.Now(), queryID, metrics.EventAssigned, mech.String(),
+			"released from qos queue")
+		return
+	}
+	f.qos.Done()
+	aq.client.InformError("contory: query " + queryID +
+		": released from qos queue but no provisioning mechanism is available")
+	f.finishQuery(queryID, metrics.EventCancelled)
+}
+
+// queryCost is the measured energy cost of a query: joules the device
+// spent over the query's lifetime so far, per delivered item. All queries
+// on a device share its power timeline, so the longest-lived, least
+// productive queries cost the most. Callers hold f.mu.
+func (f *Factory) queryCost(aq *activeQuery, now time.Time) float64 {
+	e := f.dev.Node.Timeline().EnergyBetween(aq.submitted, now)
+	return float64(e) / float64(aq.delivered+1)
+}
+
+// qidNum extracts the numeric part of a "q-N" query id for ordering ("q-9"
+// before "q-10", which string comparison gets wrong).
+func qidNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "q-"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// shedBefore orders equal-cost shed candidates deterministically: older
+// submissions first, then the numerically smaller query id — never the
+// newest query.
+func shedBefore(a, b *activeQuery) bool {
+	if !a.submitted.Equal(b.submitted) {
+		return a.submitted.Before(b.submitted)
+	}
+	return qidNum(a.id) < qidNum(b.id)
+}
+
+// qosShedLoad brings the live-provisioning population back to the
+// controller's slot budget (removing at least minShed queries): eligible
+// queries degrade to stale-cache answers first (graceful — answers keep
+// flowing), then what cannot degrade is shed outright, highest measured
+// joules-per-item first.
+func (f *Factory) qosShedLoad(reason string, minShed int) {
+	if f.qos == nil {
+		return
+	}
+	now := f.clock.Now()
+	target := f.qos.MaxActive()
+	type costed struct {
+		aq   *activeQuery
+		cost float64
+	}
+	f.mu.Lock()
+	var live []costed
+	for _, aq := range f.queries {
+		if aq.mech == MechanismCache || aq.mech == MechanismPending {
+			continue
+		}
+		live = append(live, costed{aq, f.queryCost(aq, now)})
+	}
+	f.mu.Unlock()
+	over := len(live) - target
+	if over < minShed {
+		over = minShed
+	}
+	if over > len(live) {
+		over = len(live)
+	}
+	if over <= 0 {
+		return
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].cost != live[j].cost {
+			return live[i].cost > live[j].cost
+		}
+		return shedBefore(live[i].aq, live[j].aq)
+	})
+	var rest []*activeQuery
+	for _, c := range live {
+		if over <= 0 {
+			break
+		}
+		if f.canDegradeToCache(c.aq.q) {
+			if f.degradeToCache(c.aq.id, reason) {
+				over--
+			}
+			continue
+		}
+		rest = append(rest, c.aq)
+	}
+	for _, aq := range rest {
+		if over <= 0 {
+			break
+		}
+		sp := aq.span.Child("qos.shed")
+		sp.SetAttr("reason", reason)
+		sp.End()
+		f.instr.qosShed.Inc()
+		aq.client.InformError("contory: query " + aq.id + " shed by qos overload control (" + reason + ")")
+		f.finishQuery(aq.id, metrics.EventCancelled)
+		over--
+	}
+	// Degraded/shed queries freed live slots; release pending work into them.
+	f.qosDispatch()
+}
+
+// degradeToCache moves a live query onto stale-cache service: its provider
+// is cancelled, its slot is handed back, and answers continue from the
+// repository bounded by the type's TTL.
+func (f *Factory) degradeToCache(queryID, reason string) bool {
+	f.mu.Lock()
+	aq, ok := f.queries[queryID]
+	if !ok || aq.mech == MechanismCache || aq.mech == MechanismPending {
+		f.mu.Unlock()
+		return false
+	}
+	from := aq.mech
+	aq.mech = MechanismCache
+	aq.degraded = true
+	wasLive := aq.qosLive
+	aq.qosLive = false
+	if aq.probe != nil {
+		aq.probe.Stop()
+		aq.probe = nil
+	}
+	f.mu.Unlock()
+	for _, mech := range allMechanisms {
+		if fac := f.facades[mech]; fac != nil {
+			fac.Cancel(queryID)
+		}
+	}
+	if wasLive {
+		f.qos.Done()
+	}
+	f.instr.qosDegraded.Inc()
+	f.instr.assigned[MechanismCache].Inc()
+	sp := aq.span.Child("qos.degrade")
+	sp.SetAttr("from", from.String())
+	sp.SetAttr("reason", reason)
+	sp.End()
+	f.instr.event(f.clock.Now(), queryID, metrics.EventAssigned, MechanismCache.String(),
+		"degraded from "+from.String()+": "+reason)
+	f.clock.After(0, func() { f.cacheDeliver(queryID, true) })
+	return true
+}

@@ -24,15 +24,25 @@ const (
 	roleLocalEvent
 	roleAdHoc
 	roleInfraOneShot
-	// roleGPSPeriodic and roleDupHeavy are appended in introduction order so
-	// zero-valued specs keep their historical role assignments byte-for-byte.
+	// roleGPSPeriodic, roleDupHeavy and roleOverload are appended in
+	// introduction order so zero-valued specs keep their historical role
+	// assignments byte-for-byte.
 	roleGPSPeriodic
 	roleDupHeavy
+	roleOverload
 )
 
 // dupBurst is how many identical queries a dup-heavy phone submits per
 // round: one pays for the answer, the rest exercise the cache/multiplexer.
 const dupBurst = 3
+
+// overloadTypes are the distinct context types an overload phone's burst
+// queries, in submission order. Distinct SELECTs never merge, so every
+// burst member demands its own provisioning work.
+var overloadTypes = []cxt.Type{
+	cxt.TypeTemperature, cxt.TypeHumidity, cxt.TypePressure, cxt.TypeWind,
+	cxt.TypeLight, cxt.TypeNoise, cxt.TypeWeather, cxt.TypeActivity,
+}
 
 func (r role) String() string {
 	switch r {
@@ -48,6 +58,8 @@ func (r role) String() string {
 		return "gps-periodic"
 	case roleDupHeavy:
 		return "dup-heavy"
+	case roleOverload:
+		return "overload"
 	default:
 		return "idle"
 	}
@@ -81,6 +93,15 @@ func New(spec Spec) (*Engine, error) {
 			contory.WithAnswerCache(true),
 			contory.WithCacheTTL(spec.Cache.TTL),
 		}
+	}
+	if spec.QoS.Enabled {
+		wcfg.FactoryOptions = append(wcfg.FactoryOptions, contory.WithQoS(contory.QoSConfig{
+			Enabled:   true,
+			Rate:      spec.QoS.Rate,
+			Burst:     spec.QoS.Burst,
+			QueueCap:  spec.QoS.QueueCap,
+			MaxActive: spec.QoS.MaxActive,
+		}))
 	}
 	if spec.Trace.Enabled {
 		wcfg.Trace = &tracing.Config{
@@ -167,6 +188,7 @@ func roleOf(wl Workload, u float64) role {
 		// historical draw bands.
 		{wl.GPSPeriodic, roleGPSPeriodic},
 		{wl.DupHeavy, roleDupHeavy},
+		{wl.Overload, roleOverload},
 	} {
 		if u < rc.f {
 			return rc.r
@@ -266,6 +288,10 @@ func (e *Engine) buildPopulation() error {
 			// Dup-heavy bursts query the infrastructure.
 			r = roleLocalPeriodic
 		}
+		if r == roleOverload && class == ClassWiFiOnly {
+			// Overload bursts query the infrastructure.
+			r = roleLocalPeriodic
+		}
 		if r == roleAdHoc && class == ClassUMTSOnly {
 			r = roleInfraOneShot
 		}
@@ -307,6 +333,18 @@ func (e *Engine) scheduleWorkload() {
 	// No FROM clause: the middleware selects the mechanism and may switch
 	// it when chaos faults hit the preferred one.
 	gpsSrc := fmt.Sprintf("SELECT location DURATION %d sec EVERY %d sec", durSec, everySec)
+	// Overload FRESHNESS sits between the tail of one round's serialized
+	// UMTS retrievals (~14 s behind the feed) and the age a stored answer
+	// reaches by the next round (one Period): live retrievals succeed, but
+	// a strict cache lookup misses every round, so without QoS every burst
+	// member queues on the radio.
+	overloadFreshSec := 20
+	if everySec <= overloadFreshSec {
+		overloadFreshSec = everySec / 2
+		if overloadFreshSec < 1 {
+			overloadFreshSec = 1
+		}
+	}
 
 	for i, p := range e.phones {
 		stagger := time.Duration(rng.Int63n(int64(period)))
@@ -335,6 +373,39 @@ func (e *Engine) scheduleWorkload() {
 			// periodic feeds are live: duplicate bursts measure redundant
 			// client traffic, not cold-start misses.
 			ph.Device.Clock.After(period+stagger, func() {
+				burst()
+				ph.Device.Clock.Every(period, burst)
+			})
+		case roleOverload:
+			idx := i
+			// Rotating the burst's submission order one type per round keeps
+			// every context type periodically fetched live (and therefore
+			// degradable to a still-TTL-fresh cache answer between fetches)
+			// even when admission lets only the head of each burst through.
+			round := 0
+			burst := func() {
+				for k := 0; k < len(overloadTypes); k++ {
+					typ := overloadTypes[(round+k)%len(overloadTypes)]
+					e.submit(ph, fmt.Sprintf(
+						"SELECT %s FROM extInfra FRESHNESS %d sec DURATION %d sec",
+						typ, overloadFreshSec, everySec))
+				}
+				round++
+			}
+			feed := func() {
+				for _, typ := range overloadTypes {
+					_ = ph.ReportWeather(typ, tempAt(idx, e.w.Now()))
+				}
+			}
+			// The feed leads each burst by four seconds — comfortably past
+			// the worst-case publish latency, so live retrievals always find
+			// observations inside the FRESHNESS bound; the first burst waits
+			// out one period like dup-heavy phones.
+			ph.Device.Clock.After(stagger, func() {
+				feed()
+				ph.Device.Clock.Every(period, feed)
+			})
+			ph.Device.Clock.After(period+stagger+4*time.Second, func() {
 				burst()
 				ph.Device.Clock.Every(period, burst)
 			})

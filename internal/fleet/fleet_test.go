@@ -327,3 +327,81 @@ func TestSpecValidation(t *testing.T) {
 		t.Fatal("GPSPeriodic > 1 accepted")
 	}
 }
+
+// TestFleetQoS is the acceptance run for the QoS provisioning plane: an
+// overloaded fleet (every phone bursts eight tight-FRESHNESS infrastructure
+// queries that serialize on its single UMTS data channel) must, with QoS
+// enabled, deliver a strictly lower p99 first-item latency for the queries
+// it serves than the same seed without QoS, keep total delivered items
+// within 10%, attribute its dispositions in Summary.QoS, and stay
+// byte-identical across worker counts.
+func TestFleetQoS(t *testing.T) {
+	base := Spec{
+		Name: "qos-overload", Phones: 24, Seed: 99, Duration: 20 * time.Minute,
+		Lanes:    8,
+		Workload: Workload{Overload: 1.0, Period: 60 * time.Second},
+		Radio:    RadioMix{Dual: 1},
+		// TTL must outlive the longest stretch a context type goes without a
+		// live fetch under rotation (five periods), or degraded queries lose
+		// their stale-cache answers and collapse into rejections.
+		Cache: CacheSpec{Enabled: true, TTL: 8 * 60 * time.Second},
+	}
+	on := base
+	on.Name = "qos-overload-on"
+	// Two back-to-back tokens and two live slots per phone: each burst
+	// head provisions live, the next query defers briefly, and the tail
+	// degrades to stale-cache answers instead of queueing on the radio.
+	on.QoS = QoSSpec{Enabled: true, Rate: 0.5, Burst: 2, QueueCap: 2, MaxActive: 2}
+
+	off := runSummary(t, base, 4)
+	onSum := runSummary(t, on, 4)
+
+	if off.QoS != nil {
+		t.Fatalf("QoS-off run has a QoS report: %+v", off.QoS)
+	}
+	if onSum.QoS == nil {
+		t.Fatal("QoS-on run has no QoS report")
+	}
+	qr := onSum.QoS
+
+	// Admission must actually exercise every disposition the overload
+	// design predicts: bursts over-run the token bucket (defers), queue
+	// pressure degrades the tail to cache answers, cold-cache tails are
+	// rejected, and deferred queries are eventually released.
+	if qr.Admitted == 0 || qr.Deferred == 0 || qr.Released == 0 ||
+		qr.Degraded == 0 || qr.Rejected == 0 {
+		t.Fatalf("QoS dispositions not all exercised: %+v", qr)
+	}
+
+	offP99 := mergedFirstItemP99(off.Snapshot)
+	if offP99 <= 0 {
+		t.Fatalf("QoS-off merged p99 = %v, want > 0", offP99)
+	}
+	t.Logf("p99 first-item: on=%.1f ms off=%.1f ms; items on=%d off=%d; qos=%+v",
+		qr.P99FirstItemMs, offP99, onSum.ItemsDelivered, off.ItemsDelivered, qr)
+	if qr.P99FirstItemMs >= offP99 {
+		t.Fatalf("QoS-on p99 first-item latency %.1f ms not below QoS-off %.1f ms",
+			qr.P99FirstItemMs, offP99)
+	}
+
+	// Graceful shedding: serving the tail from the cache must not cost
+	// meaningful coverage. Items delivered stay within 10% of the
+	// unprotected run.
+	diff := onSum.ItemsDelivered - off.ItemsDelivered
+	if diff < 0 {
+		diff = -diff
+	}
+	if off.ItemsDelivered == 0 || diff*10 > off.ItemsDelivered {
+		t.Fatalf("items delivered diverge: on=%d off=%d (>10%%)",
+			onSum.ItemsDelivered, off.ItemsDelivered)
+	}
+
+	// Determinism: the QoS-enabled summary is byte-identical at one worker
+	// and eight.
+	w1 := run(t, on, 1)
+	w8 := run(t, on, 8)
+	if !bytes.Equal(w1, w8) {
+		t.Fatalf("QoS summary differs between workers=1 and workers=8:\n--- w1 ---\n%s\n--- w8 ---\n%s",
+			firstDiff(w1, w8), firstDiff(w8, w1))
+	}
+}

@@ -46,6 +46,15 @@ type Workload struct {
 	// duplicates are answered from the device repository (or multiplexed
 	// onto one live stream) instead of each paying a radio round trip.
 	DupHeavy float64 `json:"dup_heavy"`
+	// Overload phones swamp their own factory: every Period each submits a
+	// burst of overloadBurst distinct-type tight-FRESHNESS one-shot
+	// extInfra queries, which serialize on the phone's single UMTS data
+	// channel. With Spec.QoS enabled the admission controller spreads,
+	// degrades or rejects the burst instead of letting every query pay a
+	// queued radio round trip. Overload phones also report the burst's
+	// context types to the infrastructure each Period, so live retrievals
+	// have fresh observations to return.
+	Overload float64 `json:"overload"`
 	// Period is the base cadence for periodic queries and one-shot
 	// re-submission (default 30s). Individual phones stagger their start
 	// within one Period so the fleet does not fire in lockstep.
@@ -90,6 +99,23 @@ type CacheSpec struct {
 	// TTL bounds cache staleness for context types whose items carry no
 	// lifetime (default 2×Workload.Period).
 	TTL time.Duration `json:"ttl"`
+}
+
+// QoSSpec opts a run into the QoS provisioning plane: every phone factory
+// is built with admission control, deadline-aware scheduling of deferred
+// queries, and deterministic overload shedding.
+type QoSSpec struct {
+	// Enabled turns the QoS plane on fleet-wide.
+	Enabled bool `json:"enabled"`
+	// Rate is each client's sustained admission rate in queries/sec
+	// (default 1).
+	Rate float64 `json:"rate"`
+	// Burst is the token-bucket depth (default 2).
+	Burst int `json:"burst"`
+	// QueueCap bounds the factory-wide pending queue (default 32).
+	QueueCap int `json:"queue_cap"`
+	// MaxActive bounds concurrently-live provisioned queries (default 4).
+	MaxActive int `json:"max_active"`
 }
 
 // TraceSpec opts a run into deterministic distributed tracing: every query
@@ -170,6 +196,7 @@ type Spec struct {
 	Chaos    ChaosSpec `json:"chaos"`
 	Trace    TraceSpec `json:"trace"`
 	Cache    CacheSpec `json:"cache"`
+	QoS      QoSSpec   `json:"qos"`
 }
 
 // withDefaults returns a copy with all defaults applied.
@@ -204,7 +231,8 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Workload.LocalPeriodic == 0 && s.Workload.LocalEvent == 0 &&
 		s.Workload.AdHocPeriodic == 0 && s.Workload.InfraOneShot == 0 &&
-		s.Workload.GPSPeriodic == 0 && s.Workload.DupHeavy == 0 {
+		s.Workload.GPSPeriodic == 0 && s.Workload.DupHeavy == 0 &&
+		s.Workload.Overload == 0 {
 		s.Workload = Workload{
 			LocalPeriodic: 0.30,
 			LocalEvent:    0.10,
@@ -244,7 +272,8 @@ func (s Spec) validate() error {
 		return fmt.Errorf("fleet: spec needs Duration > 0")
 	}
 	wl := s.Workload.LocalPeriodic + s.Workload.LocalEvent + s.Workload.AdHocPeriodic +
-		s.Workload.InfraOneShot + s.Workload.GPSPeriodic + s.Workload.DupHeavy
+		s.Workload.InfraOneShot + s.Workload.GPSPeriodic + s.Workload.DupHeavy +
+		s.Workload.Overload
 	if wl > 1.0001 {
 		return fmt.Errorf("fleet: workload fractions sum to %.2f > 1", wl)
 	}
@@ -256,9 +285,13 @@ func (s Spec) validate() error {
 	if s.Chaos.Rate < 0 {
 		return fmt.Errorf("fleet: chaos rate %v < 0", s.Chaos.Rate)
 	}
+	if s.QoS.Enabled &&
+		(s.QoS.Rate < 0 || s.QoS.Burst < 0 || s.QoS.QueueCap < 0 || s.QoS.MaxActive < 0) {
+		return fmt.Errorf("fleet: qos parameters must be >= 0 (zero = default)")
+	}
 	for _, f := range []float64{s.Workload.LocalPeriodic, s.Workload.LocalEvent,
 		s.Workload.AdHocPeriodic, s.Workload.InfraOneShot, s.Workload.GPSPeriodic,
-		s.Workload.DupHeavy, s.PublisherFraction, s.GPSFraction,
+		s.Workload.DupHeavy, s.Workload.Overload, s.PublisherFraction, s.GPSFraction,
 		s.Radio.Dual, s.Radio.WiFiOnly, s.Radio.UMTSOnly,
 		s.Churn.LeaveJoinPerMin} {
 		if f < 0 || f > 1 {

@@ -68,6 +68,27 @@ type CacheMuxReport struct {
 	SharedStreams int64 `json:"shared_streams"`
 }
 
+// QoSReport summarizes the QoS provisioning plane: how the admission
+// controller disposed of submitted queries and the p99 first-item latency
+// over every mechanism's histogram merged bucket-wise (all first-item
+// histograms share one bucket layout, so the merge is exact).
+type QoSReport struct {
+	// Admitted queries went straight to live provisioning; Deferred parked
+	// in the pending queue and Released of them were later handed a slot.
+	Admitted int64 `json:"admitted"`
+	Deferred int64 `json:"deferred"`
+	Released int64 `json:"released"`
+	// Degraded queries were served stale-but-TTL-fresh cache answers;
+	// Rejected were turned away at admission; Shed were cancelled by
+	// overload control after going live.
+	Degraded int64 `json:"degraded"`
+	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
+	// P99FirstItemMs is the 99th-percentile first-item latency across all
+	// provisioning mechanisms (cache answers included).
+	P99FirstItemMs float64 `json:"p99_first_item_ms"`
+}
+
 // Summary is the per-run fleet report. Every field is a deterministic
 // function of the Spec: same seed, same summary bytes, at any worker count
 // or GOMAXPROCS.
@@ -110,6 +131,10 @@ type Summary struct {
 	// CacheMux reports the shared provisioning plane (nil when the run
 	// neither enabled the answer cache nor multiplexed any stream).
 	CacheMux *CacheMuxReport `json:"cache_mux,omitempty"`
+
+	// QoS reports the admission/scheduling/shedding plane (nil unless the
+	// spec enables QoS or a factory recorded QoS activity).
+	QoS *QoSReport `json:"qos,omitempty"`
 
 	// Snapshot is the full metrics state (lifecycle event ring excluded:
 	// its eviction order is execution-order sensitive by design).
@@ -254,6 +279,19 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 		s.CacheMux = &cm
 	}
 
+	qr := QoSReport{
+		Admitted:       counters["qos.admitted"],
+		Deferred:       counters["qos.deferred"],
+		Released:       counters["qos.released"],
+		Degraded:       counters["qos.degraded"],
+		Rejected:       counters["qos.rejected"],
+		Shed:           counters["qos.shed"],
+		P99FirstItemMs: mergedFirstItemP99(snap),
+	}
+	if e.spec.QoS.Enabled || qr.Admitted+qr.Deferred+qr.Released+qr.Degraded+qr.Rejected+qr.Shed != 0 {
+		s.QoS = &qr
+	}
+
 	if tr := e.w.Tracer(); tr != nil {
 		rep := tracing.BuildAttribution(tr.Store().Traces(), tr.Stats(), traceTopN)
 		s.Trace = &rep
@@ -263,3 +301,39 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 
 // traceTopN is how many slowest traces the summary's attribution lists.
 const traceTopN = 5
+
+// mergedFirstItemP99 merges every per-mechanism first-item-latency histogram
+// bucket-wise and returns the 99th percentile of the union. All first-item
+// histograms are built with the same bucket bounds, so summing per-bucket
+// counts is an exact merge, not an approximation.
+func mergedFirstItemP99(snap metrics.Snapshot) float64 {
+	var merged metrics.HistogramPoint
+	for _, h := range snap.Histograms {
+		if !strings.HasPrefix(h.Name, "core.query.first_item_latency_ms.") || h.Count == 0 {
+			continue
+		}
+		if merged.Count == 0 {
+			merged = h
+			merged.Buckets = append([]metrics.Bucket(nil), h.Buckets...)
+			continue
+		}
+		if len(h.Buckets) != len(merged.Buckets) {
+			continue // foreign layout; skip rather than merge inexactly
+		}
+		merged.Count += h.Count
+		merged.Sum += h.Sum
+		if h.Min < merged.Min {
+			merged.Min = h.Min
+		}
+		if h.Max > merged.Max {
+			merged.Max = h.Max
+		}
+		for i := range merged.Buckets {
+			merged.Buckets[i].Count += h.Buckets[i].Count
+		}
+	}
+	if merged.Count == 0 {
+		return 0
+	}
+	return merged.Quantile(0.99)
+}

@@ -70,7 +70,8 @@ type Monitor struct {
 	clock vclock.Clock
 
 	mu          sync.Mutex
-	listeners   []Listener
+	listeners   map[int]Listener
+	nextID      int
 	failed      map[string]string // resource → reason
 	battery     float64           // remaining fraction 0..1
 	memoryUsed  int
@@ -83,25 +84,45 @@ type Monitor struct {
 func New(clock vclock.Clock) *Monitor {
 	return &Monitor{
 		clock:       clock,
+		listeners:   make(map[int]Listener),
 		failed:      make(map[string]string),
 		battery:     1.0,
 		memoryTotal: 9 << 20,
 	}
 }
 
-// OnEvent registers a listener for all subsequent events.
-func (m *Monitor) OnEvent(l Listener) {
+// OnEvent registers a listener for all subsequent events and returns a
+// cancel function that unregisters it. Cancel is idempotent; a cancelled
+// listener receives no events except those whose fan-out had already
+// snapshotted the listener set when cancel ran.
+func (m *Monitor) OnEvent(l Listener) (cancel func()) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.listeners = append(m.listeners, l)
+	id := m.nextID
+	m.nextID++
+	m.listeners[id] = l
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.listeners, id)
+		m.mu.Unlock()
+	}
 }
 
 func (m *Monitor) emit(ev Event) {
 	ev.At = m.clock.Now()
 	m.mu.Lock()
 	m.events = append(m.events, ev)
-	ls := make([]Listener, len(m.listeners))
-	copy(ls, m.listeners)
+	// Fan out in registration order so multi-listener reactions (factory
+	// policy enforcement, fleet collectors) are deterministic.
+	ids := make([]int, 0, len(m.listeners))
+	for id := range m.listeners {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ls := make([]Listener, len(ids))
+	for i, id := range ids {
+		ls[i] = m.listeners[id]
+	}
 	m.mu.Unlock()
 	for _, l := range ls {
 		l(ev)

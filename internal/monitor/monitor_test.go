@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"contory/internal/vclock"
@@ -147,5 +149,98 @@ func TestEventKindString(t *testing.T) {
 		if got := k.String(); got != want {
 			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
 		}
+	}
+}
+
+func TestOnEventCancel(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	var a, b int
+	cancelA := m.OnEvent(func(Event) { a++ })
+	m.OnEvent(func(Event) { b++ })
+
+	m.ReportFailure("x", "")
+	if a != 1 || b != 1 {
+		t.Fatalf("a=%d b=%d after first event, want 1/1", a, b)
+	}
+	cancelA()
+	cancelA() // idempotent
+	m.ReportFailure("y", "")
+	if a != 1 || b != 2 {
+		t.Fatalf("a=%d b=%d after cancel, want 1/2", a, b)
+	}
+}
+
+func TestFanOutRegistrationOrder(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	var order []int
+	var cancels []func()
+	for i := 0; i < 5; i++ {
+		i := i
+		cancels = append(cancels, m.OnEvent(func(Event) { order = append(order, i) }))
+	}
+	cancels[1]()
+	cancels[3]()
+	m.OnEvent(func(Event) { order = append(order, 5) })
+	m.ReportFailure("x", "")
+	want := []int{0, 2, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("fan-out order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fan-out order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFanOutUnderChurn races LowPower/LowMemory fan-out against listener
+// subscribe/unsubscribe churn (meaningful under -race): a stable listener
+// must see every threshold crossing regardless of concurrent churn, and a
+// churned listener only sees events fanned out while it was registered.
+func TestFanOutUnderChurn(t *testing.T) {
+	clk := vclock.NewSimulator()
+	m := New(clk)
+	const churners = 4
+	var wg sync.WaitGroup
+
+	var stable atomic.Int64
+	m.OnEvent(func(e Event) {
+		if e.Kind == EventLowPower || e.Kind == EventLowMemory {
+			stable.Add(1)
+		}
+	})
+
+	var churned atomic.Int64
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				cancel := m.OnEvent(func(Event) { churned.Add(1) })
+				cancel()
+				cancel() // idempotent under concurrency too
+			}
+		}()
+	}
+
+	// Emitter: oscillate across both thresholds so LowPower and LowMemory
+	// keep firing while listeners churn.
+	const rounds = 100
+	for k := 0; k < rounds; k++ {
+		m.SetBattery(0.5)
+		m.SetBattery(0.1)
+		m.SetMemory(1<<20, 9<<20)
+		m.SetMemory(8<<20, 9<<20)
+	}
+	wg.Wait()
+	if got := stable.Load(); got != 2*rounds {
+		t.Fatalf("stable listener saw %d low-resource events, want %d", got, 2*rounds)
+	}
+	// Churned listeners cancel immediately after registering; each may only
+	// have caught fan-outs snapshotted while registered.
+	if got := churned.Load(); got > int64(churners*200*2*rounds) {
+		t.Fatalf("churned listeners saw %d events", got)
 	}
 }

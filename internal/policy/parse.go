@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseCondition parses the textual condition grammar produced by
+// Condition.String, so conditions persisted in profiles or logs round-trip
+// back into evaluable form:
+//
+//	cond     = cmp | junction
+//	cmp      = "<" attr "," operator "," value ">"
+//	junction = "(" cond { (" and " | " or ") cond } ")"
+//
+// Attributes may not contain "," or ">"; values may contain "," but not
+// ">". A junction uses a single connective throughout — mixing "and" and
+// "or" at one level requires explicit nesting, which is exactly what
+// String emits.
+func ParseCondition(s string) (Condition, error) {
+	p := &condParser{s: s}
+	p.skipSpaces()
+	c, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpaces()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("policy: trailing input at %d: %q", p.pos, p.s[p.pos:])
+	}
+	return c, nil
+}
+
+type condParser struct {
+	s     string
+	pos   int
+	depth int
+}
+
+// maxCondDepth bounds junction nesting so adversarial inputs cannot blow
+// the parse stack.
+const maxCondDepth = 64
+
+func (p *condParser) skipSpaces() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *condParser) parseCond() (Condition, error) {
+	if p.pos >= len(p.s) {
+		return nil, fmt.Errorf("policy: empty condition")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.parseCmp()
+	case '(':
+		return p.parseJunction()
+	default:
+		return nil, fmt.Errorf("policy: condition must start with '<' or '(' at %d: %q", p.pos, p.s[p.pos:])
+	}
+}
+
+// until advances to the next occurrence of any byte in stops and returns
+// the consumed text (stop byte not consumed).
+func (p *condParser) until(stops string) (string, byte, error) {
+	start := p.pos
+	for p.pos < len(p.s) {
+		if strings.IndexByte(stops, p.s[p.pos]) >= 0 {
+			return p.s[start:p.pos], p.s[p.pos], nil
+		}
+		p.pos++
+	}
+	return "", 0, fmt.Errorf("policy: unterminated condition, expected one of %q", stops)
+}
+
+func (p *condParser) parseCmp() (Condition, error) {
+	p.pos++ // '<'
+	attr, _, err := p.until(",>")
+	if err != nil {
+		return nil, err
+	}
+	if p.s[p.pos] != ',' {
+		return nil, fmt.Errorf("policy: comparison needs <attr, op, value> at %d", p.pos)
+	}
+	p.pos++
+	opStr, _, err := p.until(",>")
+	if err != nil {
+		return nil, err
+	}
+	if p.s[p.pos] != ',' {
+		return nil, fmt.Errorf("policy: comparison needs <attr, op, value> at %d", p.pos)
+	}
+	p.pos++
+	value, _, err := p.until(">")
+	if err != nil {
+		return nil, err
+	}
+	p.pos++ // '>'
+	attr = strings.TrimSpace(attr)
+	if attr == "" {
+		return nil, fmt.Errorf("policy: comparison needs an attribute")
+	}
+	op, err := ParseOperator(strings.TrimSpace(opStr))
+	if err != nil {
+		return nil, err
+	}
+	return Cond(attr, op, strings.TrimSpace(value)), nil
+}
+
+func (p *condParser) parseJunction() (Condition, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxCondDepth {
+		return nil, fmt.Errorf("policy: condition nests deeper than %d", maxCondDepth)
+	}
+	p.pos++ // '('
+	p.skipSpaces()
+	first, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Condition{first}
+	or := false
+	for {
+		p.skipSpaces()
+		if p.pos >= len(p.s) {
+			return nil, fmt.Errorf("policy: unterminated junction, expected ')'")
+		}
+		if p.s[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		word, _, err := p.until(" \t")
+		if err != nil {
+			return nil, fmt.Errorf("policy: junction needs 'and'/'or' between conditions")
+		}
+		switch word {
+		case "and":
+			if or && len(parts) > 1 {
+				return nil, fmt.Errorf("policy: mixed 'and'/'or' in one junction; nest with parentheses")
+			}
+		case "or":
+			if !or && len(parts) > 1 {
+				return nil, fmt.Errorf("policy: mixed 'and'/'or' in one junction; nest with parentheses")
+			}
+			or = true
+		default:
+			return nil, fmt.Errorf("policy: expected 'and'/'or', got %q", word)
+		}
+		p.skipSpaces()
+		next, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if or {
+		return Or(parts...), nil
+	}
+	return And(parts...), nil
+}

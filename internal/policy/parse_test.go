@@ -1,0 +1,163 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCondition(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Condition // nil = parse error expected
+	}{
+		{"<batteryLevel, equal, low>", Cond("batteryLevel", OpEqual, "low")},
+		{"<memoryLevel, notEqual, high>", Cond("memoryLevel", OpNotEqual, "high")},
+		{"<load, moreThan, 10>", Cond("load", OpMoreThan, "10")},
+		{"  <load, lessThan, 0.5>  ", Cond("load", OpLessThan, "0.5")},
+		{"<failed:bt-gps-1, equal, true>", Cond("failed:bt-gps-1", OpEqual, "true")},
+		{"(<a, equal, 1> and <b, equal, 2>)", And(Cond("a", OpEqual, "1"), Cond("b", OpEqual, "2"))},
+		{"(<a, equal, 1> or <b, equal, 2> or <c, equal, 3>)",
+			Or(Cond("a", OpEqual, "1"), Cond("b", OpEqual, "2"), Cond("c", OpEqual, "3"))},
+		{"((<a, equal, 1> and <b, equal, 2>) or <c, lessThan, 3>)",
+			Or(And(Cond("a", OpEqual, "1"), Cond("b", OpEqual, "2")), Cond("c", OpLessThan, "3"))},
+		{"(<a, equal, 1>)", And(Cond("a", OpEqual, "1"))},
+		{"", nil},
+		{"()", nil},
+		{"<a, equal>", nil},
+		{"<a, bogusOp, 1>", nil},
+		{"<, equal, 1>", nil},
+		{"<a, equal, 1", nil},
+		{"(<a, equal, 1> and <b, equal, 2>", nil},
+		{"(<a, equal, 1> xor <b, equal, 2>)", nil},
+		{"(<a, equal, 1> and <b, equal, 2> or <c, equal, 3>)", nil}, // mixed needs nesting
+		{"<a, equal, 1> trailing", nil},
+		{"batteryLevel equal low", nil},
+	}
+	for _, c := range cases {
+		got, err := ParseCondition(c.in)
+		if c.want == nil {
+			if err == nil {
+				t.Errorf("ParseCondition(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCondition(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want.String() {
+			t.Errorf("ParseCondition(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsedConditionEvaluates(t *testing.T) {
+	c, err := ParseCondition("((<batteryLevel, equal, low> or <memoryLevel, equal, low>) and <load, moreThan, 3>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := Attributes{"batteryLevel": "low", "memoryLevel": "high", "load": "7"}
+	if !c.Eval(attrs) {
+		t.Fatalf("%s should hold for %v", c, attrs)
+	}
+	attrs["load"] = "2"
+	if c.Eval(attrs) {
+		t.Fatalf("%s should not hold for %v", c, attrs)
+	}
+}
+
+// genCondition builds a random condition tree for round-trip testing.
+func genCondition(rng *rand.Rand, depth int) Condition {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		attrs := []string{"batteryLevel", "memoryLevel", "load", "failed:wifi"}
+		ops := []Operator{OpEqual, OpNotEqual, OpMoreThan, OpLessThan}
+		vals := []string{"low", "high", "10", "0.5", "true"}
+		return Cond(attrs[rng.Intn(len(attrs))], ops[rng.Intn(len(ops))], vals[rng.Intn(len(vals))])
+	}
+	n := 1 + rng.Intn(3)
+	parts := make([]Condition, n)
+	for i := range parts {
+		parts[i] = genCondition(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return And(parts...)
+	}
+	return Or(parts...)
+}
+
+// Property: generated conditions round-trip through String → Parse →
+// String unchanged.
+func TestConditionRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		c := genCondition(rng, 3)
+		s := c.String()
+		back, err := ParseCondition(s)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("round trip changed condition: %q → %q", s, back.String())
+		}
+	}
+}
+
+// Property: ParseCondition never panics, whatever the input.
+func TestParseConditionNeverPanicsProperty(t *testing.T) {
+	prop := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		c, err := ParseCondition(input)
+		return err != nil || c != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzParseCondition fuzzes the condition parser: it must never panic, a
+// successful parse must produce an evaluable condition, and its canonical
+// String form must be a fixed point of the parser.
+func FuzzParseCondition(f *testing.F) {
+	for _, seed := range []string{
+		"<batteryLevel, equal, low>",
+		"<load, moreThan, 10>",
+		"(<a, equal, 1> and <b, notEqual, 2>)",
+		"(<a, equal, 1> or (<b, lessThan, 2> and <c, equal, 3>))",
+		"((<x, equal, y>))",
+		"(<a, equal, 1> and <b, equal, 2> or <c, equal, 3>)",
+		"<a, equal, v,with,commas>",
+		"<,,>",
+		"((((",
+		"<a, equal, 1> and",
+		strings.Repeat("(", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseCondition(input)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatalf("ParseCondition(%q) = nil, nil", input)
+		}
+		// Successful parses evaluate without panicking...
+		c.Eval(Attributes{"batteryLevel": "low", "load": "5"})
+		c.Eval(nil)
+		// ...and canonicalize to a parser fixed point.
+		s := c.String()
+		back, err := ParseCondition(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, input, err)
+		}
+		if back.String() != s {
+			t.Fatalf("canonical form not a fixed point: %q → %q", s, back.String())
+		}
+	})
+}

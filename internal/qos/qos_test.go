@@ -1,0 +1,250 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"contory/internal/query"
+	"contory/internal/vclock"
+)
+
+func newController(cfg Config, low func() bool) (*Controller, *vclock.Simulator) {
+	clk := vclock.NewSimulator()
+	return New(clk, cfg, low), clk
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name     string
+		q        *query.Query
+		explicit Class
+		want     Class
+	}{
+		{"explicit wins", &query.Query{Every: 2 * time.Hour}, ClassInteractive, ClassInteractive},
+		{"tight every", &query.Query{Every: 2 * time.Second}, ClassAuto, ClassInteractive},
+		{"medium every", &query.Query{Every: 30 * time.Second}, ClassAuto, ClassStandard},
+		{"long every", &query.Query{Every: 5 * time.Minute}, ClassAuto, ClassBulk},
+		{"tight freshness", &query.Query{Freshness: 5 * time.Second}, ClassAuto, ClassInteractive},
+		{"loose freshness", &query.Query{Freshness: time.Minute}, ClassAuto, ClassStandard},
+		{"plain on-demand", &query.Query{}, ClassAuto, ClassStandard},
+		{"nil query", nil, ClassAuto, ClassStandard},
+	}
+	for _, c := range cases {
+		if got := Classify(c.q, c.explicit); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestGCRAWaits checks the token-bucket math: burst admissions are free,
+// then each extra submission in the same instant waits one more period.
+func TestGCRAWaits(t *testing.T) {
+	c, _ := newController(Config{Rate: 1, Burst: 2, QueueCap: 100, MaxActive: 100}, nil)
+	for i := 0; i < 2; i++ {
+		d := c.Admit("a", ClassStandard, Request{ID: "q"})
+		if d.Verdict != VerdictAdmit {
+			t.Fatalf("burst admission %d: verdict %v", i, d.Verdict)
+		}
+	}
+	for i, want := range []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second} {
+		d := c.Admit("a", ClassStandard, Request{ID: "q"})
+		if d.Verdict != VerdictDefer || d.Wait != want {
+			t.Fatalf("deferred admission %d: verdict %v wait %v, want defer/%v", i, d.Verdict, d.Wait, want)
+		}
+	}
+	// Buckets are per-client: a different client still has its full burst.
+	if d := c.Admit("b", ClassStandard, Request{ID: "q"}); d.Verdict != VerdictAdmit {
+		t.Fatalf("second client not admitted: %v", d.Verdict)
+	}
+}
+
+// TestSlotExhaustionDefers checks that a free token without a free slot
+// still defers with Wait 0 (waiting for a slot, not a token).
+func TestSlotExhaustionDefers(t *testing.T) {
+	c, _ := newController(Config{Rate: 1000, Burst: 1000, QueueCap: 100, MaxActive: 2}, nil)
+	c.Admit("a", ClassStandard, Request{ID: "q1"})
+	c.Admit("a", ClassStandard, Request{ID: "q2"})
+	d := c.Admit("a", ClassStandard, Request{ID: "q3"})
+	if d.Verdict != VerdictDefer || d.Wait != 0 {
+		t.Fatalf("slot-blocked admission: verdict %v wait %v, want defer/0", d.Verdict, d.Wait)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next released a query with all slots busy")
+	}
+	c.Done()
+	id, ok := c.Next()
+	if !ok || id != "q3" {
+		t.Fatalf("Next after Done = %q/%v, want q3", id, ok)
+	}
+}
+
+// TestWeightedFairDequeue drains three saturated lanes and checks the
+// 4:2:1 service shares at each full weighted round.
+func TestWeightedFairDequeue(t *testing.T) {
+	c, _ := newController(Config{Rate: 1e6, Burst: 1000, QueueCap: 100, MaxActive: 1}, nil)
+	// Occupy the slot so every admission defers into its lane.
+	if d := c.Admit("seed", ClassStandard, Request{ID: "hold"}); d.Verdict != VerdictAdmit {
+		t.Fatalf("seed admission: %v", d.Verdict)
+	}
+	for i := 0; i < 8; i++ {
+		c.Admit("i", ClassInteractive, Request{ID: "i"})
+		c.Admit("s", ClassStandard, Request{ID: "s"})
+		c.Admit("b", ClassBulk, Request{ID: "b"})
+	}
+	counts := map[string]int{}
+	drain := func(n int) {
+		for i := 0; i < n; i++ {
+			c.Done() // free the slot taken by the previous release
+			id, ok := c.Next()
+			if !ok {
+				t.Fatalf("Next dried up after %d releases", i)
+			}
+			counts[id]++
+		}
+	}
+	drain(7)
+	if counts["i"] != 4 || counts["s"] != 2 || counts["b"] != 1 {
+		t.Fatalf("after one weighted round: %v, want i:4 s:2 b:1", counts)
+	}
+	drain(7)
+	if counts["i"] != 8 || counts["s"] != 4 || counts["b"] != 2 {
+		t.Fatalf("after two weighted rounds: %v, want i:8 s:4 b:2", counts)
+	}
+}
+
+// TestDeferredNotEligibleUntilWait checks that a rate-deferred query is
+// not released before its token is earned.
+func TestDeferredNotEligibleUntilWait(t *testing.T) {
+	c, clk := newController(Config{Rate: 1, Burst: 1, QueueCap: 100, MaxActive: 10}, nil)
+	c.Admit("a", ClassStandard, Request{ID: "q1"})
+	d := c.Admit("a", ClassStandard, Request{ID: "q2"})
+	if d.Verdict != VerdictDefer || d.Wait != time.Second {
+		t.Fatalf("second admission: verdict %v wait %v", d.Verdict, d.Wait)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("released q2 before its token was earned")
+	}
+	clk.Advance(time.Second)
+	if id, ok := c.Next(); !ok || id != "q2" {
+		t.Fatalf("Next after wait = %q/%v, want q2", id, ok)
+	}
+}
+
+// TestQueueBoundsAndDeadline checks queue-full and deadline decisions,
+// including the degrade path when a stale answer is available.
+func TestQueueBoundsAndDeadline(t *testing.T) {
+	c, _ := newController(Config{Rate: 1, Burst: 1, QueueCap: 2, MaxActive: 1}, nil)
+	c.Admit("a", ClassStandard, Request{ID: "q1"})
+	// Deadline: token earned after the query's lifetime ends.
+	d := c.Admit("a", ClassStandard, Request{ID: "q2", Lifetime: 500 * time.Millisecond})
+	if d.Verdict != VerdictReject || d.Reason != "deadline" {
+		t.Fatalf("doomed deferral: %v/%q, want reject/deadline", d.Verdict, d.Reason)
+	}
+	if d := c.Admit("a", ClassStandard, Request{ID: "q2", Lifetime: 500 * time.Millisecond, CanDegrade: true}); d.Verdict != VerdictDegrade {
+		t.Fatalf("doomed deferral with stale answer: %v, want degrade", d.Verdict)
+	}
+	c.Admit("a", ClassStandard, Request{ID: "q3"}) // pending 1 → queue pressure fires at 2
+	d = c.Admit("a", ClassStandard, Request{ID: "q4"})
+	if d.Verdict != VerdictDefer {
+		t.Fatalf("q4: %v, want defer", d.Verdict)
+	}
+	// pending == 2 == QueueCap: the queue is full and pressure is on.
+	d = c.Admit("a", ClassStandard, Request{ID: "q5", CanDegrade: true})
+	if d.Verdict != VerdictDegrade {
+		t.Fatalf("overloaded degradable admission: %v, want degrade", d.Verdict)
+	}
+	d = c.Admit("a", ClassStandard, Request{ID: "q6"})
+	if d.Verdict != VerdictReject || d.Reason != "queue full" {
+		t.Fatalf("queue-full admission: %v/%q, want reject/queue full", d.Verdict, d.Reason)
+	}
+}
+
+// TestResourceOverloadDegrades checks the monitor-fed overload signal.
+func TestResourceOverloadDegrades(t *testing.T) {
+	low := false
+	c, _ := newController(Config{Rate: 1000, Burst: 1000, QueueCap: 100, MaxActive: 100}, func() bool { return low })
+	if d := c.Admit("a", ClassStandard, Request{ID: "q1", CanDegrade: true}); d.Verdict != VerdictAdmit {
+		t.Fatalf("healthy admission: %v", d.Verdict)
+	}
+	low = true
+	if !c.Overloaded() {
+		t.Fatal("Overloaded false with low resources")
+	}
+	d := c.Admit("a", ClassStandard, Request{ID: "q2", CanDegrade: true})
+	if d.Verdict != VerdictDegrade || d.Reason != "low resources" {
+		t.Fatalf("low-resource admission: %v/%q, want degrade/low resources", d.Verdict, d.Reason)
+	}
+	// Not degradable: falls through to the pending queue.
+	if d := c.Admit("a", ClassStandard, Request{ID: "q3"}); d.Verdict != VerdictDefer {
+		t.Fatalf("low-resource non-degradable admission: %v, want defer", d.Verdict)
+	}
+}
+
+// TestScaleShrinksSlots checks the reducePower knob.
+func TestScaleShrinksSlots(t *testing.T) {
+	c, _ := newController(Config{Rate: 1000, Burst: 1000, QueueCap: 100, MaxActive: 4}, nil)
+	if got := c.MaxActive(); got != 4 {
+		t.Fatalf("MaxActive = %d, want 4", got)
+	}
+	c.Scale(0.5)
+	if got := c.MaxActive(); got != 2 {
+		t.Fatalf("MaxActive after Scale(0.5) = %d, want 2", got)
+	}
+	c.Scale(0.01)
+	if got := c.MaxActive(); got != 1 {
+		t.Fatalf("MaxActive never drops below 1, got %d", got)
+	}
+	c.Scale(0) // reset
+	if got := c.MaxActive(); got != 4 {
+		t.Fatalf("MaxActive after reset = %d, want 4", got)
+	}
+}
+
+// TestRemove drops a parked query and keeps lane accounting intact.
+func TestRemove(t *testing.T) {
+	c, _ := newController(Config{Rate: 1000, Burst: 1000, QueueCap: 10, MaxActive: 1}, nil)
+	c.Admit("a", ClassStandard, Request{ID: "hold"})
+	c.Admit("a", ClassStandard, Request{ID: "q1"})
+	c.Admit("a", ClassStandard, Request{ID: "q2"})
+	if !c.Remove("q1") {
+		t.Fatal("Remove(q1) = false")
+	}
+	if c.Remove("q1") {
+		t.Fatal("second Remove(q1) = true")
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", c.Pending())
+	}
+	c.Done()
+	if id, ok := c.Next(); !ok || id != "q2" {
+		t.Fatalf("Next = %q/%v, want q2", id, ok)
+	}
+}
+
+// TestDeterminism replays the same admission sequence twice and expects
+// identical decisions.
+func TestDeterminism(t *testing.T) {
+	run := func() []Decision {
+		c, clk := newController(Config{Rate: 2, Burst: 2, QueueCap: 4, MaxActive: 2}, nil)
+		var out []Decision
+		for i := 0; i < 12; i++ {
+			client := "a"
+			if i%3 == 0 {
+				client = "b"
+			}
+			out = append(out, c.Admit(client, classOrder[i%3], Request{ID: "q", CanDegrade: i%2 == 0}))
+			if i%4 == 3 {
+				clk.Advance(750 * time.Millisecond)
+				c.Done()
+				c.Next()
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

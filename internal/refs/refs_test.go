@@ -9,6 +9,7 @@ import (
 	"contory/internal/cxt"
 	"contory/internal/fuego"
 	"contory/internal/gps"
+	"contory/internal/metrics"
 	"contory/internal/monitor"
 	"contory/internal/radio"
 	"contory/internal/simnet"
@@ -596,5 +597,55 @@ func TestHandoverNeedsGSMRadio(t *testing.T) {
 	// GSM radio off: handover cannot affect the phone.
 	if ref.Handover() {
 		t.Fatal("handover with GSM radio off switched the phone off")
+	}
+}
+
+// TestUMTSRequestSerialization checks that on-demand requests serialize on
+// the single cellular data channel: a burst of three sees queueing latency
+// for the second and third, and a request issued after the channel frees
+// goes straight out.
+func TestUMTSRequestSerialization(t *testing.T) {
+	clk, _, srv, ref, _ := umtsRig(t)
+	reg := metrics.NewRegistry()
+	ref.SetMetrics(reg)
+	srv.HandleRequest("echo", func(r fuego.Request) (any, error) { return r.Payload, nil })
+
+	start := clk.Now()
+	var dones []time.Duration
+	for i := 0; i < 3; i++ {
+		ref.Request("echo", i, 0, func(any, error) {
+			dones = append(dones, clk.Now().Sub(start))
+		})
+	}
+	clk.Run(0)
+	if len(dones) != 3 {
+		t.Fatalf("%d requests completed, want 3", len(dones))
+	}
+	// The second and third requests could not start before the nominal
+	// transfer window of the ones ahead elapsed.
+	if dones[1] < radio.UMTSGetLatency+radio.UMTSGetLatencyMin {
+		t.Fatalf("second request done at %v, want >= %v (queued behind the first)",
+			dones[1], radio.UMTSGetLatency+radio.UMTSGetLatencyMin)
+	}
+	if dones[2] < 2*radio.UMTSGetLatency+radio.UMTSGetLatencyMin {
+		t.Fatalf("third request done at %v, want >= %v (queued behind two)",
+			dones[2], 2*radio.UMTSGetLatency+radio.UMTSGetLatencyMin)
+	}
+	if !(dones[0] < dones[1] && dones[1] < dones[2]) {
+		t.Fatalf("completions out of order: %v", dones)
+	}
+	if q := reg.Counter("refs.umts.queued").Value(); q != 2 {
+		t.Fatalf("refs.umts.queued = %d, want 2", q)
+	}
+	// Channel long free: a fresh request is not queued.
+	clk.Advance(time.Minute)
+	done := false
+	ref.Request("echo", 4, 0, func(any, error) { done = true })
+	clk.Run(0)
+	if !done {
+		t.Fatal("post-drain request never completed")
+	}
+	if q := reg.Counter("refs.umts.queued").Value(); q != 2 {
+		t.Fatalf("refs.umts.queued after idle request = %d, want still 2", q)
 	}
 }

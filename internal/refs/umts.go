@@ -31,6 +31,11 @@ type UMTSReference struct {
 	// busyUntil marks the end of the current connection cycle (open +
 	// transfer + radio tail); idle signalling is subsumed until then.
 	busyUntil time.Time
+	// reqBusyUntil serializes on-demand requests on the single cellular
+	// data channel: a request issued while one is in flight queues until
+	// the channel frees. Unlike busyUntil it excludes the radio tail —
+	// the tail burns energy but does not occupy the channel.
+	reqBusyUntil time.Time
 	// twoGOnly pins the radio to 2G. The field trials found that a 2G/3G
 	// handover during an active UMTS connection switched the phone off —
 	// unless it was set to operate only in 2G mode (§3).
@@ -41,6 +46,7 @@ type UMTSReference struct {
 	mRequests   *metrics.Counter
 	mSubscribes *metrics.Counter
 	mFailures   *metrics.Counter
+	mQueued     *metrics.Counter
 }
 
 // SetMetrics attaches a registry counting infrastructure round-trips:
@@ -50,6 +56,7 @@ func (r *UMTSReference) SetMetrics(reg *metrics.Registry) {
 	r.mRequests = reg.Counter("refs.umts.requests")
 	r.mSubscribes = reg.Counter("refs.umts.subscribes")
 	r.mFailures = reg.Counter("refs.umts.failures")
+	r.mQueued = reg.Counter("refs.umts.queued")
 }
 
 // Set2GOnly pins (true) or unpins (false) the radio to 2G mode.
@@ -93,7 +100,13 @@ func (r *UMTSReference) Handover() bool {
 
 // markBusy records a connection cycle carrying a transfer of duration d.
 func (r *UMTSReference) markBusy(d time.Duration) {
-	until := r.clock.Now().Add(radio.UMTSConnOpenWindow + d + radio.UMTSTailWindow)
+	r.markBusyAt(r.clock.Now(), d)
+}
+
+// markBusyAt records a connection cycle starting at start carrying a
+// transfer of duration d.
+func (r *UMTSReference) markBusyAt(start time.Time, d time.Duration) {
+	until := start.Add(radio.UMTSConnOpenWindow + d + radio.UMTSTailWindow)
 	if until.After(r.busyUntil) {
 		r.busyUntil = until
 	}
@@ -198,9 +211,29 @@ func (r *UMTSReference) Request(op string, payload any, timeout time.Duration, d
 
 // RequestTraced is Request carrying the caller's trace span, under which
 // the infrastructure server opens its handling span (nil span = untraced).
+// Requests serialize on the single cellular data channel: one issued while
+// another is in flight queues for the nominal transfer window of the one
+// ahead, so a burst of requests sees load-dependent latency instead of
+// impossible parallel transfers.
 func (r *UMTSReference) RequestTraced(op string, payload any, timeout time.Duration, span *tracing.Span, done func(any, error)) {
 	r.mRequests.Inc()
-	r.markBusy(radio.UMTSGetLatency)
+	now := r.clock.Now()
+	start := now
+	if r.reqBusyUntil.After(start) {
+		start = r.reqBusyUntil
+	}
+	r.reqBusyUntil = start.Add(radio.UMTSGetLatency)
+	r.markBusyAt(start, radio.UMTSGetLatency)
+	if wait := start.Sub(now); wait > 0 {
+		r.mQueued.Inc()
+		r.clock.After(wait, func() { r.issueRequest(op, payload, timeout, span, done) })
+		return
+	}
+	r.issueRequest(op, payload, timeout, span, done)
+}
+
+// issueRequest performs the actual infrastructure round-trip.
+func (r *UMTSReference) issueRequest(op string, payload any, timeout time.Duration, span *tracing.Span, done func(any, error)) {
 	err := r.client.RequestTraced(op, payload, timeout, span, func(v any, err error) {
 		if err != nil {
 			r.mFailures.Inc()
