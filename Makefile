@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke
 
 all: check
 
 # check is the full pre-merge gate: formatting, build, vet, staticcheck
 # (when installed), tests, the race detector, a small fleet-load smoke run,
 # a determinism-checked chaos run, a determinism-checked trace export, a
-# determinism-checked answer-cache run and a determinism-checked QoS
-# overload run.
-check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke
+# determinism-checked answer-cache run, a determinism-checked QoS overload
+# run and an invariant-audited chaos+qos+cache run.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,24 @@ qos-smoke:
 	cmp BENCH_qos_w1.json BENCH_qos_w8.json
 	rm -f BENCH_qos_w1.json BENCH_qos_w8.json
 
+# audit-smoke is the conservation-law gate: the auditor's self-tests (it
+# must catch a seeded double slot release and a leaked timer), the qos/
+# facade regression tests and the fleet leak sweep under the race detector,
+# then an audited chaos+qos+cache fleet through the CLI at 1 and 8 workers —
+# zero violations (the CLI exits non-zero otherwise) and the two summaries,
+# audit report included, must be byte-identical.
+audit-smoke:
+	$(GO) test -race -count=1 ./internal/audit
+	$(GO) test -race -count=1 -run 'TestAuditCatches|TestQoSPendingGaugeReconciles|TestShedVsCancelSameVclock|TestGroupedFailoverMuxSubscribersReturnToZero|TestDoneUnderflowDetected|TestFleetNoLeaks|TestFleetAuditDeterministicAcrossWorkers' ./internal/core ./internal/qos ./internal/fleet
+	$(GO) run ./cmd/contory-load -phones 60 -duration 2m -seed 19 -chaos mixed -gps 0.3 \
+		-cache -qos -audit \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 1 -stats-out BENCH_audit_w1.json
+	$(GO) run ./cmd/contory-load -phones 60 -duration 2m -seed 19 -chaos mixed -gps 0.3 \
+		-cache -qos -audit \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 8 -stats-out BENCH_audit_w8.json
+	cmp BENCH_audit_w1.json BENCH_audit_w8.json
+	rm -f BENCH_audit_w1.json BENCH_audit_w8.json
+
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
 # engine at 1k/2k/5k phones over ten virtual minutes.
 load-bench:
@@ -126,4 +144,5 @@ clean:
 		BENCH_chaos_w1.json BENCH_chaos_w8.json \
 		BENCH_trace_w1.json BENCH_trace_w8.json \
 		BENCH_cache_w1.json BENCH_cache_w8.json \
-		BENCH_qos_w1.json BENCH_qos_w8.json
+		BENCH_qos_w1.json BENCH_qos_w8.json \
+		BENCH_audit_w1.json BENCH_audit_w8.json

@@ -56,6 +56,7 @@ func main() {
 		qosQueue = flag.Int("qos-queue", 0, "pending-query queue bound per phone when -qos is on (0 = default)")
 		qosSlots = flag.Int("qos-slots", 0, "concurrent live-provisioning slots per phone when -qos is on (0 = default)")
 		overload = flag.Float64("overload", 0, "fraction of phones running the overload-burst workload; replaces the default mix (bursts of distinct tight-FRESHNESS extInfra queries that serialize on the UMTS channel)")
+		auditOn  = flag.Bool("audit", false, "run the conservation-law auditor over the fleet (quiesces the run, checks slot/refcount/timer/accounting invariants; violations fail the run)")
 		stats    = flag.Bool("stats", false, "print the full summary JSON to stdout")
 		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
 		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
@@ -66,7 +67,7 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's lifetime")
 	)
 	flag.Parse()
-	if err := validateFlags(*phones, *duration, *workers, *qosRate, *overload); err != nil {
+	if err := validateFlags(*phones, *duration, *workers, *qosRate, *overload, *auditOn, *sweep, *benchOut); err != nil {
 		fail(err)
 	}
 	if *traceOut != "" {
@@ -100,6 +101,7 @@ func main() {
 				Enabled: *qosOn, Rate: *qosRate, Burst: *qosBurst,
 				QueueCap: *qosQueue, MaxActive: *qosSlots,
 			},
+			Audit: fleet.AuditSpec{Enabled: *auditOn},
 		}
 		if *dupFrac > 0 {
 			// A pure duplicate-heavy fleet: the cleanest cache-on-vs-off
@@ -138,6 +140,12 @@ func main() {
 		fail(err)
 	}
 	printSummary(sum, wall)
+	if sum.Audit != nil && len(sum.Audit.Violations) > 0 {
+		for _, v := range sum.Audit.Violations {
+			fmt.Fprintln(os.Stderr, "contory-load: audit:", v)
+		}
+		fail(fmt.Errorf("audit found %d invariant violations", len(sum.Audit.Violations)))
+	}
 	if *traceOut != "" {
 		if err := exportTraces(eng, *traceOut); err != nil {
 			fail(err)
@@ -182,7 +190,7 @@ func fail(err error) {
 // validateFlags rejects flag values that would otherwise surface as a
 // confusing engine panic or an instantly-finished run. -workers keeps 0 as
 // its documented "use GOMAXPROCS" sentinel; only negatives are refused.
-func validateFlags(phones int, duration time.Duration, workers int, qosRate, overload float64) error {
+func validateFlags(phones int, duration time.Duration, workers int, qosRate, overload float64, audit bool, sweep, benchOut string) error {
 	if phones <= 0 {
 		return fmt.Errorf("-phones must be positive, got %d", phones)
 	}
@@ -197,6 +205,9 @@ func validateFlags(phones int, duration time.Duration, workers int, qosRate, ove
 	}
 	if overload < 0 || overload > 1 {
 		return fmt.Errorf("-overload must be a fraction in [0, 1], got %g", overload)
+	}
+	if audit && (sweep != "" || benchOut != "") {
+		return fmt.Errorf("-audit quiesces each run with a virtual-time drain, which would skew -sweep/-bench-out timings; audit a single run without -bench-out")
 	}
 	return nil
 }
@@ -280,6 +291,10 @@ func printSummary(s fleet.Summary, wall time.Duration) {
 		q := s.QoS
 		fmt.Printf("  qos       %d admitted, %d deferred (%d released), %d degraded, %d rejected, %d shed; p99 first item %.1f ms\n",
 			q.Admitted, q.Deferred, q.Released, q.Degraded, q.Rejected, q.Shed, q.P99FirstItemMs)
+	}
+	if s.Audit != nil {
+		fmt.Printf("  audit     %d queries tracked, %d checks, %d timers live, %d violations\n",
+			s.Audit.Queries, s.Audit.Checks, s.Audit.LiveTimers, len(s.Audit.Violations))
 	}
 	if s.Chaos != nil {
 		fmt.Printf("  chaos     %s profile: %d faults injected, %d/%d switches attributed (%d unattributed)\n",

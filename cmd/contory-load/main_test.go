@@ -14,6 +14,9 @@ func TestValidateFlags(t *testing.T) {
 		workers  int
 		qosRate  float64
 		overload float64
+		audit    bool
+		sweep    string
+		benchOut string
 		wantErr  string // "" = valid
 	}{
 		{name: "defaults", phones: 1000, duration: 10 * time.Minute},
@@ -27,10 +30,14 @@ func TestValidateFlags(t *testing.T) {
 		{name: "negative qos rate", phones: 10, duration: time.Minute, qosRate: -0.1, wantErr: "-qos-rate"},
 		{name: "overload above one", phones: 10, duration: time.Minute, overload: 1.5, wantErr: "-overload"},
 		{name: "negative overload", phones: 10, duration: time.Minute, overload: -0.2, wantErr: "-overload"},
+		{name: "audited run", phones: 10, duration: time.Minute, audit: true},
+		{name: "audited sweep", phones: 10, duration: time.Minute, audit: true, sweep: "10,20", wantErr: "-audit"},
+		{name: "audited bench", phones: 10, duration: time.Minute, audit: true, benchOut: "BENCH.json", wantErr: "-audit"},
+		{name: "unaudited sweep", phones: 10, duration: time.Minute, sweep: "10,20"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.phones, tc.duration, tc.workers, tc.qosRate, tc.overload)
+			err := validateFlags(tc.phones, tc.duration, tc.workers, tc.qosRate, tc.overload, tc.audit, tc.sweep, tc.benchOut)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateFlags: unexpected error %v", err)

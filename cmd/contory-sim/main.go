@@ -28,14 +28,15 @@ func main() {
 	stats := flag.Bool("stats", false, "dump the middleware metrics snapshot after the race")
 	trace := flag.Bool("trace", false, "trace every query and print span trees plus latency attribution after the race")
 	traceSmp := flag.Int("trace-sample", 0, "keep one trace in N by trace-id residue (<=1 keeps all)")
+	audit := flag.Bool("audit", false, "run the conservation-law auditor over the race (violations fail the run)")
 	flag.Parse()
-	if err := run(*boats, *duration, *failGPS, *seed, *stats, *trace, *traceSmp); err != nil {
+	if err := run(*boats, *duration, *failGPS, *seed, *stats, *trace, *traceSmp, *audit); err != nil {
 		fmt.Fprintln(os.Stderr, "contory-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bool, traceSmp int) error {
+func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bool, traceSmp int, audit bool) error {
 	if boats < 2 {
 		boats = 2
 	}
@@ -43,9 +44,17 @@ func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bo
 	if trace {
 		wcfg.Trace = &tracing.Config{Sample: traceSmp}
 	}
+	var auditor *contory.Auditor
+	if audit {
+		auditor = contory.NewAuditor()
+		wcfg.FactoryOptions = append(wcfg.FactoryOptions, contory.WithAudit(auditor))
+	}
 	w, err := contory.NewWorldConfig(wcfg)
 	if err != nil {
 		return err
+	}
+	if auditor != nil {
+		w.AttachAudit(auditor)
 	}
 	// Regatta course: three checkpoints heading north-east.
 	course := []infra.Checkpoint{
@@ -153,6 +162,17 @@ func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bo
 		rep := tracing.BuildAttribution(traces, tr.Stats(), traceTreeLimit)
 		fmt.Println("\nlatency attribution:")
 		fmt.Print(tracing.RenderAttribution(rep))
+	}
+	if auditor != nil {
+		rep := auditor.Report()
+		fmt.Printf("\naudit: %d queries tracked, %d checks, %d violations\n",
+			rep.Queries, rep.Checks, len(rep.Violations))
+		if len(rep.Violations) > 0 {
+			for _, v := range rep.Violations {
+				fmt.Println("  violation:", v)
+			}
+			return fmt.Errorf("audit found %d invariant violations", len(rep.Violations))
+		}
 	}
 	return nil
 }

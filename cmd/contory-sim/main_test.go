@@ -6,13 +6,13 @@ import (
 )
 
 func TestRunShortRace(t *testing.T) {
-	if err := run(3, 10*time.Minute, 2*time.Minute, 42, true, true, 0); err != nil {
+	if err := run(3, 10*time.Minute, 2*time.Minute, 42, true, true, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMinimumBoats(t *testing.T) {
-	if err := run(0, 5*time.Minute, 0, 7, false, false, 0); err != nil {
+	if err := run(0, 5*time.Minute, 0, 7, false, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }

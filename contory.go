@@ -1,6 +1,7 @@
 package contory
 
 import (
+	"contory/internal/audit"
 	"contory/internal/core"
 	"contory/internal/cxt"
 	"contory/internal/metrics"
@@ -119,7 +120,27 @@ var (
 	// control, deadline/priority-aware scheduling of deferred queries, and
 	// deterministic overload shedding by measured energy cost.
 	WithQoS = core.WithQoS
+	// WithAudit attaches a runtime invariant auditor: the factory's
+	// lifecycle, slot, refcount, timer and accounting transitions are
+	// continuously checked against the plane's conservation laws.
+	WithAudit = core.WithAudit
 )
+
+// Runtime invariant auditing (the conservation-law checker verified
+// continuously during fleet runs).
+type (
+	// Auditor is the vclock-stamped runtime invariant checker shared across
+	// factories via WithAudit; nil disables auditing at zero cost.
+	Auditor = audit.Auditor
+	// AuditViolation is one detected conservation-law breach.
+	AuditViolation = audit.Violation
+	// AuditReport summarizes an auditor: checks performed, live timers and
+	// violations in deterministic vclock order.
+	AuditReport = audit.Report
+)
+
+// NewAuditor returns an empty runtime invariant auditor.
+func NewAuditor() *Auditor { return audit.New() }
 
 // QoS provisioning plane (admission control, scheduling, overload
 // shedding).

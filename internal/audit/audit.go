@@ -1,0 +1,477 @@
+// Package audit implements a deterministic runtime invariant checker for
+// the provisioning plane. Subsystems report lifecycle transitions through
+// thin taps (query started/finished, timer armed/stopped, item delivered,
+// conservation-balance increments); the auditor verifies conservation laws
+// continuously and at quiescence, and records vclock-stamped violations
+// carrying the offending query's trace reference.
+//
+// All methods are safe on a nil *Auditor, mirroring the metrics idiom, so
+// call sites never need to guard the tap:
+//
+//	f.audit.QueryStarted(now, dev, id, traceRef) // no-op when auditing is off
+//
+// Timestamps are passed in by the caller (the owning lane's virtual clock)
+// rather than sampled here, which keeps the auditor free of clock plumbing
+// and makes reports byte-identical at any worker count: violations are
+// sorted by (At, Device, Query, Law, Detail) before exposition.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Law identifies one conservation law checked by the auditor.
+type Law string
+
+const (
+	// LawLifecycle: every admitted query reaches exactly one terminal
+	// lifecycle event — never zero, never two.
+	LawLifecycle Law = "lifecycle"
+	// LawSlots: qos live-slot accounting — Controller active slots match
+	// the set of slot-holding queries, the pending gauge matches
+	// Controller.Pending(), and Done() never underflows.
+	LawSlots Law = "qos-slots"
+	// LawRefs: refcount conservation — facade provider counts, mux
+	// subscriber counts, in-flight radio requests and resident SM
+	// messages all return to zero.
+	LawRefs Law = "refcounts"
+	// LawTimers: every vclock timer armed on a query (expiry, probe,
+	// cacheTick) is stopped on every exit path.
+	LawTimers Law = "timers"
+	// LawItems: delivered-item accounting balances across live and cache
+	// dispositions — per-delivery taps must equal per-query totals.
+	LawItems Law = "accounting"
+)
+
+// Violation is one detected invariant breach, stamped with the virtual
+// time at which it was observed.
+type Violation struct {
+	At     time.Time `json:"at"`
+	Device string    `json:"device"`
+	Query  string    `json:"query,omitempty"`
+	Law    Law       `json:"law"`
+	Detail string    `json:"detail"`
+	Trace  string    `json:"trace,omitempty"`
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s [%s] %s/%s: %s", v.At.UTC().Format(time.RFC3339), v.Law, v.Device, v.Query, v.Detail)
+	if v.Trace != "" {
+		s += " (trace " + v.Trace + ")"
+	}
+	return s
+}
+
+// Report is the exportable audit outcome: how much was checked, what is
+// still live, and every violation in deterministic order.
+type Report struct {
+	Queries    int         `json:"queries"`
+	Checks     int64       `json:"checks"`
+	LiveTimers int         `json:"live_timers"`
+	Violations []Violation `json:"violations"`
+}
+
+type queryState struct {
+	trace     string
+	terminal  string         // terminal event kind; "" while active
+	timers    map[string]int // timer kind -> armed minus stopped
+	delivered int            // per-delivery taps, every disposition
+	cacheHits int            // per-delivery taps, cache-served subset
+}
+
+// Auditor collects conservation-law state for one world. A single
+// instance is shared by every device's factory, facades and radios; it is
+// internally locked so taps may arrive from any simulation lane.
+type Auditor struct {
+	mu         sync.Mutex
+	queries    map[string]*queryState // device + "/" + query id
+	balances   map[string]int64       // device + "/" + balance name
+	violations []Violation
+	checks     int64
+}
+
+// New returns an empty auditor ready to receive taps.
+func New() *Auditor {
+	return &Auditor{
+		queries:  make(map[string]*queryState),
+		balances: make(map[string]int64),
+	}
+}
+
+func key(device, query string) string { return device + "/" + query }
+
+// lawForBalance maps a conservation-balance name to its owning law.
+func lawForBalance(name string) Law {
+	if strings.HasPrefix(name, "qos.") {
+		return LawSlots
+	}
+	return LawRefs
+}
+
+// QueryStarted records that a query entered the plane (was admitted under
+// any mechanism, including cache and pending). trace carries the query's
+// span identity for violation reports; "" when tracing is off.
+func (a *Auditor) QueryStarted(at time.Time, device, query, trace string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	k := key(device, query)
+	if st, ok := a.queries[k]; ok && st.terminal == "" {
+		a.violate(at, device, query, LawLifecycle,
+			"query started twice without a terminal event in between", st.trace)
+		return
+	}
+	a.queries[k] = &queryState{trace: trace, timers: make(map[string]int)}
+}
+
+// QueryFinished records the query's terminal lifecycle event (finished,
+// expired, cancelled, failed, shed). delivered and cacheHits are the
+// query's final per-query totals; they must match the per-delivery taps
+// seen via ItemDelivered. A second terminal event, or a timer still armed
+// at the terminal, is a violation.
+func (a *Auditor) QueryFinished(at time.Time, device, query, kind string, delivered, cacheHits int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	k := key(device, query)
+	st, ok := a.queries[k]
+	if !ok {
+		a.violate(at, device, query, LawLifecycle,
+			fmt.Sprintf("terminal event %q for a query that never started", kind), "")
+		return
+	}
+	if st.terminal != "" {
+		a.violate(at, device, query, LawLifecycle,
+			fmt.Sprintf("second terminal event %q after %q", kind, st.terminal), st.trace)
+		return
+	}
+	st.terminal = kind
+	for _, tk := range sortedKeys(st.timers) {
+		if st.timers[tk] > 0 {
+			a.violate(at, device, query, LawTimers,
+				fmt.Sprintf("timer %q still armed at terminal event %q", tk, kind), st.trace)
+		}
+	}
+	if st.delivered != delivered {
+		a.violate(at, device, query, LawItems,
+			fmt.Sprintf("delivered items: query total %d, delivery taps %d", delivered, st.delivered), st.trace)
+	}
+	if st.cacheHits != cacheHits {
+		a.violate(at, device, query, LawItems,
+			fmt.Sprintf("cache items: query total %d, delivery taps %d", cacheHits, st.cacheHits), st.trace)
+	}
+}
+
+// TimerArmed records that a named vclock timer (expiry, probe, cacheTick)
+// was armed on the query.
+func (a *Auditor) TimerArmed(at time.Time, device, query, kind string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	st, ok := a.queries[key(device, query)]
+	if !ok {
+		a.violate(at, device, query, LawTimers,
+			fmt.Sprintf("timer %q armed on an unknown query", kind), "")
+		return
+	}
+	st.timers[kind]++
+}
+
+// TimerStopped records that the named timer was stopped (or had fired and
+// its handle was released). Stopping more often than arming is a
+// violation in its own right.
+func (a *Auditor) TimerStopped(at time.Time, device, query, kind string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	st, ok := a.queries[key(device, query)]
+	if !ok {
+		return // query record already gone; nothing to balance
+	}
+	if st.timers[kind] <= 0 {
+		a.violate(at, device, query, LawTimers,
+			fmt.Sprintf("timer %q stopped more times than armed", kind), st.trace)
+		return
+	}
+	st.timers[kind]--
+}
+
+// ItemDelivered records one context item handed to a client, with its
+// disposition. Every item counts as delivered; cache-served items count
+// in the cacheHits subset as well, mirroring the query's own accounting.
+func (a *Auditor) ItemDelivered(at time.Time, device, query string, cache bool) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	st, ok := a.queries[key(device, query)]
+	if !ok || st.terminal != "" {
+		a.violate(at, device, query, LawItems,
+			"item delivered to a query with no active lifecycle record", "")
+		return
+	}
+	st.delivered++
+	if cache {
+		st.cacheHits++
+	}
+}
+
+// Add moves a named conservation balance by delta. Balances (qos slots,
+// facade providers, mux subscribers, in-flight radio requests, resident
+// SM messages) must never go negative and must be zero at quiescence.
+func (a *Auditor) Add(at time.Time, device, name string, delta int64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	k := key(device, name)
+	a.balances[k] += delta
+	if a.balances[k] < 0 {
+		a.violate(at, device, "", lawForBalance(name),
+			fmt.Sprintf("balance %q went negative (%d): more releases than acquisitions", name, a.balances[k]), "")
+		a.balances[k] = 0 // re-arm so one bug yields one violation
+	}
+}
+
+// BalanceValue reports the current value of a conservation balance.
+func (a *Auditor) BalanceValue(device, name string) int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balances[key(device, name)]
+}
+
+// Expect asserts that an externally computed pair agrees; a mismatch is a
+// violation against the given law. Used for cross-checks the auditor
+// cannot derive from taps alone (e.g. Controller.Active() vs the set of
+// slot-holding queries).
+func (a *Auditor) Expect(at time.Time, device, query string, law Law, detail string, got, want int64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	if got != want {
+		a.violate(at, device, query, law,
+			fmt.Sprintf("%s: got %d, want %d", detail, got, want), a.traceOf(device, query))
+	}
+}
+
+// ExpectZero asserts a conservation balance is exactly zero — the
+// facade's StopAll and the fleet quiesce use it as the refcount law.
+func (a *Auditor) ExpectZero(at time.Time, device, name string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	if v := a.balances[key(device, name)]; v != 0 {
+		a.violate(at, device, "", lawForBalance(name),
+			fmt.Sprintf("balance %q = %d at zero-check, want 0", name, v), "")
+	}
+}
+
+// Violate records an externally detected violation (e.g. the qos
+// controller reporting a Done() underflow at its own call site).
+func (a *Auditor) Violate(at time.Time, device, query string, law Law, detail, trace string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	if trace == "" {
+		trace = a.traceOf(device, query)
+	}
+	a.violate(at, device, query, law, detail, trace)
+}
+
+// CheckQuiesce runs the end-of-run sweep: every started query must have
+// reached a terminal event, no timer may still be armed, every
+// conservation balance must be zero, and global item accounting must
+// balance. Call it after all factories are closed.
+func (a *Auditor) CheckQuiesce(at time.Time) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks++
+	for _, k := range sortedKeys(a.queries) {
+		st := a.queries[k]
+		device, query := splitKey(k)
+		if st.terminal == "" {
+			a.violate(at, device, query, LawLifecycle,
+				"query never reached a terminal lifecycle event", st.trace)
+			for _, tk := range sortedKeys(st.timers) {
+				if st.timers[tk] > 0 {
+					a.violate(at, device, query, LawTimers,
+						fmt.Sprintf("timer %q still armed at quiesce", tk), st.trace)
+				}
+			}
+		}
+	}
+	for _, k := range sortedKeys(a.balances) {
+		if a.balances[k] != 0 {
+			device, name := splitKey(k)
+			a.violate(at, device, "", lawForBalance(name),
+				fmt.Sprintf("balance %q = %d at quiesce, want 0", name, a.balances[k]), "")
+		}
+	}
+}
+
+// LiveTimers counts timers still armed on queries that have not reached a
+// terminal event — the "no live vclock timers" leak check. (The engine's
+// own periodic feeds are not query timers and are not counted.)
+func (a *Auditor) LiveTimers() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, st := range a.queries {
+		if st.terminal != "" {
+			continue
+		}
+		for _, c := range st.timers {
+			n += c
+		}
+	}
+	return n
+}
+
+// Totals sums the per-delivery taps over every tracked query: total items
+// delivered and the cache-served subset. The fleet engine cross-checks
+// these against the world's delivered/cache-hit counters, closing the
+// accounting law across layers (per-delivery taps vs metric counters).
+func (a *Auditor) Totals() (delivered, cacheHits int64) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, st := range a.queries {
+		delivered += int64(st.delivered)
+		cacheHits += int64(st.cacheHits)
+	}
+	return delivered, cacheHits
+}
+
+// Checks reports how many taps and assertions the auditor has processed —
+// a nonzero value proves auditing actually ran.
+func (a *Auditor) Checks() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checks
+}
+
+// Violations returns a sorted copy of every recorded violation.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return []Violation{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	sortViolations(out)
+	return out
+}
+
+// Report summarizes the audit deterministically for exposition.
+func (a *Auditor) Report() *Report {
+	if a == nil {
+		return nil
+	}
+	r := &Report{
+		Queries:    0,
+		Checks:     a.Checks(),
+		LiveTimers: a.LiveTimers(),
+		Violations: a.Violations(),
+	}
+	a.mu.Lock()
+	r.Queries = len(a.queries)
+	a.mu.Unlock()
+	return r
+}
+
+// violate appends under a.mu held.
+func (a *Auditor) violate(at time.Time, device, query string, law Law, detail, trace string) {
+	a.violations = append(a.violations, Violation{
+		At: at, Device: device, Query: query, Law: law, Detail: detail, Trace: trace,
+	})
+}
+
+// traceOf looks up a query's trace reference under a.mu held.
+func (a *Auditor) traceOf(device, query string) string {
+	if query == "" {
+		return ""
+	}
+	if st, ok := a.queries[key(device, query)]; ok {
+		return st.trace
+	}
+	return ""
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Law != b.Law {
+			return a.Law < b.Law
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func splitKey(k string) (device, rest string) {
+	if i := strings.Index(k, "/"); i >= 0 {
+		return k[:i], k[i+1:]
+	}
+	return k, ""
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"contory/internal/audit"
+	"contory/internal/qos"
+	"contory/internal/query"
+)
+
+// auditViolationsMatching returns the violations of one law whose detail
+// contains the substring.
+func auditViolationsMatching(a *audit.Auditor, law audit.Law, substr string) []audit.Violation {
+	var out []audit.Violation
+	for _, v := range a.Violations() {
+		if v.Law == law && strings.Contains(v.Detail, substr) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestAuditCatchesSeededDoubleDone is the auditor's self-test for the slot
+// law: a deliberately seeded double release of a live QoS slot (the
+// pre-fix Done() bug) must surface as a qos.done.underflow count and a
+// slot-law violation — not vanish into a silent clamp.
+func TestAuditCatchesSeededDoubleDone(t *testing.T) {
+	a := audit.New()
+	b := newBed(t,
+		WithAudit(a),
+		WithQoS(qos.Config{Enabled: true, Rate: 1000, Burst: 1000, QueueCap: 10, MaxActive: 4}))
+	cli := &testClient{decision: true}
+	sub, err := b.factory.ProcessCxtQuery(query.MustParse(
+		"SELECT location FROM intSensor DURATION 1 hour EVERY 30 min"), cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.factory.QoS().Active() != 1 {
+		t.Fatalf("Active = %d, want 1 after admission", b.factory.QoS().Active())
+	}
+	// Seed the bug: release the query's live slot behind the factory's back,
+	// so the query's own terminal release becomes a double Done().
+	b.factory.QoS().Done()
+
+	sub.Cancel()
+
+	if got := b.factory.QoS().Underflows(); got != 1 {
+		t.Fatalf("controller underflows = %d, want 1", got)
+	}
+	reg := b.factory.Metrics()
+	if got := reg.Counter("qos.done.underflow").Value(); got != 1 {
+		t.Fatalf("qos.done.underflow = %d, want 1", got)
+	}
+	vs := auditViolationsMatching(a, audit.LawSlots, "double-release")
+	if len(vs) != 1 {
+		t.Fatalf("slot-law double-release violations = %d, want 1 (all: %v)", len(vs), a.Violations())
+	}
+	if vs[0].Query != "q-1" || vs[0].Device != "phone" {
+		t.Fatalf("violation attributed to %s/%s, want phone/q-1", vs[0].Device, vs[0].Query)
+	}
+}
+
+// TestAuditCatchesSeededLeakedTimer is the auditor's self-test for the
+// timer law: a timer deliberately armed on a query and never stopped must
+// be reported at the query's terminal event.
+func TestAuditCatchesSeededLeakedTimer(t *testing.T) {
+	a := audit.New()
+	b := newBed(t, WithAudit(a))
+	cli := &testClient{}
+	sub, err := b.factory.ProcessCxtQuery(query.MustParse(
+		"SELECT location FROM intSensor DURATION 1 hour EVERY 30 min"), cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the leak: pretend a recovery probe was armed on q-1 but lose the
+	// stop on every exit path (the bug class law (d) exists to catch).
+	before := a.LiveTimers() // the query's own expiry timer is live here
+	b.factory.auditTimerArmed("q-1", "probe")
+	if got := a.LiveTimers(); got != before+1 {
+		t.Fatalf("live timers = %d, want %d after arming", got, before+1)
+	}
+
+	sub.Cancel()
+
+	vs := auditViolationsMatching(a, audit.LawTimers, `timer "probe" still armed`)
+	if len(vs) != 1 {
+		t.Fatalf("timer-law violations = %d, want 1 (all: %v)", len(vs), a.Violations())
+	}
+}
+
+// TestQoSPendingGaugeReconciles is the satellite-2 regression table: after
+// every way a parked query can leave the pending queue — released by an
+// earned token, cancelled while parked, cancelled after dispatch already
+// released it, expired while parked — the qos.pending gauge, the audit
+// balance and Controller.Pending() must all agree.
+func TestQoSPendingGaugeReconciles(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  qos.Config
+		dur  string // DURATION clause of the deferred query
+		step func(t *testing.T, b *bed, deferred *Subscription)
+	}{
+		{
+			name: "released by earned token",
+			cfg:  qos.Config{Enabled: true, Rate: 1, Burst: 1, QueueCap: 10, MaxActive: 4},
+			dur:  "1 min",
+			step: func(t *testing.T, b *bed, _ *Subscription) {
+				b.clk.Advance(5 * time.Second)
+			},
+		},
+		{
+			// Rate 0.01 means the next token is ~100 s out — under the 5 min
+			// lifetime, so the query parks rather than being deadline-rejected.
+			name: "cancelled while parked",
+			cfg:  qos.Config{Enabled: true, Rate: 0.01, Burst: 1, QueueCap: 10, MaxActive: 4},
+			dur:  "5 min",
+			step: func(t *testing.T, b *bed, deferred *Subscription) {
+				deferred.Cancel()
+			},
+		},
+		{
+			name: "dispatched between park and cancel",
+			cfg:  qos.Config{Enabled: true, Rate: 1, Burst: 1, QueueCap: 10, MaxActive: 4},
+			dur:  "10 min",
+			step: func(t *testing.T, b *bed, deferred *Subscription) {
+				// The token is earned and qosDispatch hands the query to live
+				// provisioning...
+				b.clk.Advance(2 * time.Second)
+				if m, err := deferred.Mechanism(); err != nil || m == MechanismPending {
+					t.Fatalf("query still pending after dispatch window (%v, %v)", m, err)
+				}
+				// ...and only then does the client cancel: the pre-fix gauge
+				// decrement lived on the cancel path and went stale here.
+				deferred.Cancel()
+			},
+		},
+		{
+			// Tokens are plentiful but the single live slot is held by the
+			// first query, so the second parks on slot pressure and its 30 s
+			// DURATION elapses before a slot ever frees.
+			name: "expired while parked",
+			cfg:  qos.Config{Enabled: true, Rate: 1000, Burst: 1000, QueueCap: 10, MaxActive: 1},
+			dur:  "30 sec",
+			step: func(t *testing.T, b *bed, _ *Subscription) {
+				b.clk.Advance(time.Minute)
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := audit.New()
+			b := newBed(t, WithAudit(a), WithQoS(c.cfg))
+			cli := &testClient{decision: true}
+			if _, err := b.factory.ProcessCxtQuery(query.MustParse(
+				"SELECT location FROM intSensor DURATION 10 min EVERY 1 min"), cli); err != nil {
+				t.Fatal(err)
+			}
+			deferred, err := b.factory.ProcessCxtQuery(query.MustParse(
+				"SELECT location FROM intSensor DURATION "+c.dur+" EVERY 1 min"), cli)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m, err := deferred.Mechanism(); err != nil || m != MechanismPending {
+				t.Fatalf("second query on %v (%v), want pending", m, err)
+			}
+
+			c.step(t, b, deferred)
+
+			ctrl := b.factory.QoS()
+			gauge := int64(b.factory.Metrics().Gauge("qos.pending").Value())
+			if gauge != int64(ctrl.Pending()) {
+				t.Fatalf("qos.pending gauge = %d, Controller.Pending() = %d", gauge, ctrl.Pending())
+			}
+			if bal := a.BalanceValue("phone", balQoSPending); bal != int64(ctrl.Pending()) {
+				t.Fatalf("audit pending balance = %d, Controller.Pending() = %d", bal, ctrl.Pending())
+			}
+			if got := ctrl.Underflows(); got != 0 {
+				t.Fatalf("Done() underflows = %d, want 0", got)
+			}
+			if vs := a.Violations(); len(vs) != 0 {
+				t.Fatalf("violations: %v", vs)
+			}
+		})
+	}
+}
+
+// TestShedVsCancelSameVclock is the satellite-1 regression: an overload
+// shed and a client cancel of the same live query landing on the same
+// virtual timestamp must release the query's slot exactly once, in either
+// event order.
+func TestShedVsCancelSameVclock(t *testing.T) {
+	for _, shedFirst := range []bool{true, false} {
+		name := "cancel-then-shed"
+		if shedFirst {
+			name = "shed-then-cancel"
+		}
+		t.Run(name, func(t *testing.T) {
+			a := audit.New()
+			b := newBed(t,
+				WithAudit(a),
+				WithQoS(qos.Config{Enabled: true, Rate: 1000, Burst: 1000, QueueCap: 10, MaxActive: 8}))
+			clients := make([]*testClient, 3)
+			subs := make([]*Subscription, 3)
+			for i := range clients {
+				clients[i] = &testClient{decision: true}
+				var err error
+				subs[i], err = b.factory.ProcessCxtQuery(query.MustParse(
+					"SELECT location FROM intSensor DURATION 1 hour EVERY 30 min"), clients[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if b.factory.QoS().Active() != 3 {
+				t.Fatalf("Active = %d, want 3", b.factory.QoS().Active())
+			}
+			// The shed selector picks q-1 (equal cost on the shared timeline,
+			// oldest/lowest id wins the tie-break) — the same query the client
+			// cancels. Shed-first: both events hit q-1 and the later Cancel is
+			// an idempotent no-op, leaving 2 queries. Cancel-first: q-1 is
+			// gone when the shed runs, so it takes the next victim, leaving 1.
+			// Either way every released slot is released exactly once.
+			want := 2
+			if !shedFirst {
+				want = 1
+			}
+			cancel := func() { subs[0].Cancel() }
+			shed := func() { b.factory.qosShedLoad("test overload", 1) }
+			if shedFirst {
+				b.clk.After(10*time.Second, shed)
+				b.clk.After(10*time.Second, cancel)
+			} else {
+				b.clk.After(10*time.Second, cancel)
+				b.clk.After(10*time.Second, shed)
+			}
+			b.clk.Advance(11 * time.Second)
+
+			ctrl := b.factory.QoS()
+			if got := ctrl.Underflows(); got != 0 {
+				t.Fatalf("Done() underflows = %d, want 0", got)
+			}
+			if got := ctrl.Active(); got != want {
+				t.Fatalf("Active = %d, want %d", got, want)
+			}
+			if got := len(b.factory.ActiveQueries()); got != want {
+				t.Fatalf("%d active queries, want %d", got, want)
+			}
+			if vs := a.Violations(); len(vs) != 0 {
+				t.Fatalf("violations: %v", vs)
+			}
+		})
+	}
+}
+
+// TestGroupedFailoverMuxSubscribersReturnToZero is the satellite-3
+// regression: two queries multiplexed on one ad hoc stream are group-
+// failed-over while one subscriber's Cancel lands mid-switch (from inside
+// its own error callback). Whatever interleaving results, every facade's
+// provider and subscriber accounting must return to zero once the
+// survivor is cancelled.
+func TestGroupedFailoverMuxSubscribersReturnToZero(t *testing.T) {
+	a := audit.New()
+	b := newBed(t, WithAudit(a))
+	src := "SELECT temperature FROM region(100,100,200) DURATION 1 hour EVERY 30 sec"
+	cli1 := &cancellingClient{factory: b.factory, cancelOnErr: true}
+	cli2 := &testClient{}
+	if _, err := b.factory.ProcessCxtQuery(query.MustParse(src), cli1); err != nil {
+		t.Fatal(err)
+	}
+	cli1.queryID = "q-1"
+	sub2, err := b.factory.ProcessCxtQuery(query.MustParse(src), cli2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac := b.factory.Facade(MechanismAdHoc)
+	if fac.ActiveProviders() != 1 {
+		t.Fatalf("providers = %d, want 1 shared stream", fac.ActiveProviders())
+	}
+	if _, subs, ok := fac.StreamInfo("q-1"); !ok || subs != 2 {
+		t.Fatalf("stream subs = %d/%v, want 2", subs, ok)
+	}
+
+	// Force the failure path of the grouped failover: WiFi dies (so region
+	// queries must leave the ad hoc facade), and the infrastructure facade
+	// refuses the hand-off, so each switch re-submits to the old mechanism
+	// with cli1's Cancel arriving mid-flight.
+	b.factory.Facade(MechanismInfra).SetDisabled(true)
+	b.dev.Monitor.ReportFailure("wifi", "test")
+
+	if len(cli1.errs) == 0 {
+		t.Fatal("cli1 never informed of the failed switch")
+	}
+	// q-1 is gone (cancelled from its own callback); q-2 survives on the
+	// re-submitted stream.
+	if _, _, ok := fac.StreamInfo("q-1"); ok {
+		t.Fatal("cancelled subscriber still attached to a stream")
+	}
+	if _, subs, ok := fac.StreamInfo("q-2"); !ok || subs != 1 {
+		t.Fatalf("survivor stream subs = %d/%v, want 1", subs, ok)
+	}
+	sub2.Cancel()
+
+	if got := fac.ActiveProviders(); got != 0 {
+		t.Fatalf("adhoc providers = %d, want 0", got)
+	}
+	if _, _, ok := fac.StreamInfo("q-2"); ok {
+		t.Fatal("cancelled survivor still attached to a stream")
+	}
+	for _, name := range []string{
+		"facade.providers." + MechanismAdHoc.String(),
+		"mux.subs." + MechanismAdHoc.String(),
+		"facade.providers." + MechanismInfra.String(),
+		"mux.subs." + MechanismInfra.String(),
+	} {
+		if v := a.BalanceValue("phone", name); v != 0 {
+			t.Errorf("balance %s = %d, want 0", name, v)
+		}
+	}
+	if vs := a.Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}

@@ -117,6 +117,10 @@ func (f *Factory) tryServeFromCache(aq *activeQuery) bool {
 		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 	}
 	f.mu.Unlock()
+	f.auditStarted(aq)
+	if aq.expiry != nil {
+		f.auditTimerArmed(id, "expiry")
+	}
 	f.instr.assigned[MechanismCache].Inc()
 	f.instr.active.Add(1)
 	f.instr.event(f.clock.Now(), id, metrics.EventAssigned, MechanismCache.String(), "")
@@ -178,6 +182,7 @@ func (f *Factory) cacheDeliver(queryID string, first bool) {
 	now := f.clock.Now()
 	f.instr.delivered.Inc()
 	f.instr.cacheHits.Inc()
+	f.audit.ItemDelivered(now, string(f.dev.ID), queryID, true)
 	if !first {
 		f.instr.cacheRefreshes.Inc()
 	}
@@ -203,6 +208,7 @@ func (f *Factory) cacheDeliver(queryID string, first bool) {
 		if cur, still := f.queries[queryID]; still && cur == aq &&
 			aq.mech == MechanismCache && aq.cacheTick == nil {
 			aq.cacheTick = f.clock.Every(q.Every, func() { f.cacheDeliver(queryID, false) })
+			f.auditTimerArmed(queryID, "cacheTick")
 		}
 		f.mu.Unlock()
 	}
@@ -222,6 +228,7 @@ func (f *Factory) promoteFromCache(queryID, reason string) {
 	if aq.cacheTick != nil {
 		aq.cacheTick.Stop()
 		aq.cacheTick = nil
+		f.auditTimerStopped(queryID, "cacheTick")
 	}
 	mergeOn := f.mergeEnabled
 	prefs := aq.prefs

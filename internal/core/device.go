@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"contory/internal/access"
+	"contory/internal/audit"
 	"contory/internal/energy"
 	"contory/internal/metrics"
 	"contory/internal/monitor"
@@ -141,6 +142,18 @@ func (d *Device) attachMetrics(reg *metrics.Registry) {
 	}
 	if d.UMTS != nil {
 		d.UMTS.SetMetrics(reg)
+	}
+}
+
+// attachAudit points the device's Bluetooth reference at the factory's
+// invariant auditor, so in-flight request accounting joins the refcount
+// conservation law. Nil-safe like attachMetrics.
+func (d *Device) attachAudit(a *audit.Auditor) {
+	if a == nil {
+		return
+	}
+	if d.BT != nil {
+		d.BT.SetAudit(a, string(d.ID))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"contory/internal/audit"
 	"contory/internal/cxt"
 	"contory/internal/metrics"
 	"contory/internal/provider"
@@ -98,25 +99,45 @@ type Facade struct {
 	mMuxAttach *metrics.Counter
 	mMuxDetach *metrics.Counter
 	mMuxShared *metrics.Counter
+
+	// Invariant auditing: owner is the device id the audit balances are
+	// keyed under; audit is nil when auditing is off (every tap is
+	// nil-safe). balProviders/balSubs name the facade's two conservation
+	// balances — running providers and mux subscriber attachments — which
+	// must both return to zero after StopAll.
+	owner        string
+	audit        *audit.Auditor
+	balProviders string
+	balSubs      string
 }
 
 // newFacade returns a Facade for one mechanism.
 func newFacade(m Mechanism, clock vclock.Clock, mk providerMaker,
-	deliver func(string, cxt.Item), onExpire func([]string), reg *metrics.Registry) *Facade {
+	deliver func(string, cxt.Item), onExpire func([]string), reg *metrics.Registry,
+	owner string, aud *audit.Auditor) *Facade {
 	return &Facade{
-		mechanism:  m,
-		clock:      clock,
-		make:       mk,
-		deliver:    deliver,
-		onExpire:   onExpire,
-		managed:    make(map[string]*managed),
-		mMerges:    reg.Counter("core.facade.merges." + m.String()),
-		mCreates:   reg.Counter("core.facade.providers_created." + m.String()),
-		mActive:    reg.Gauge("core.facade.active_providers." + m.String()),
-		mMuxAttach: reg.Counter("core.mux.attached." + m.String()),
-		mMuxDetach: reg.Counter("core.mux.detached." + m.String()),
-		mMuxShared: reg.Counter("core.mux.shared_streams." + m.String()),
+		mechanism:    m,
+		clock:        clock,
+		make:         mk,
+		deliver:      deliver,
+		onExpire:     onExpire,
+		managed:      make(map[string]*managed),
+		mMerges:      reg.Counter("core.facade.merges." + m.String()),
+		mCreates:     reg.Counter("core.facade.providers_created." + m.String()),
+		mActive:      reg.Gauge("core.facade.active_providers." + m.String()),
+		mMuxAttach:   reg.Counter("core.mux.attached." + m.String()),
+		mMuxDetach:   reg.Counter("core.mux.detached." + m.String()),
+		mMuxShared:   reg.Counter("core.mux.shared_streams." + m.String()),
+		owner:        owner,
+		audit:        aud,
+		balProviders: "facade.providers." + m.String(),
+		balSubs:      "mux.subs." + m.String(),
 	}
+}
+
+// auditAdd moves one of the facade's conservation balances.
+func (f *Facade) auditAdd(name string, delta int64) {
+	f.audit.Add(f.clock.Now(), f.owner, name, delta)
 }
 
 // Mechanism returns the facade's provisioning mechanism.
@@ -189,6 +210,7 @@ func (f *Facade) submit(queryID string, q *query.Query, mergeEnabled bool, paren
 			f.mu.Unlock()
 			f.mMerges.Inc()
 			f.mMuxAttach.Inc()
+			f.auditAdd(f.balSubs, 1)
 			if subs == 2 {
 				// The stream just became shared: the owning query's provider
 				// now fans out to a second subscriber.
@@ -224,13 +246,12 @@ func (f *Facade) submit(queryID string, q *query.Query, mergeEnabled bool, paren
 	f.mu.Unlock()
 	f.mCreates.Inc()
 	f.mActive.Add(1)
+	f.auditAdd(f.balProviders, 1)
+	f.auditAdd(f.balSubs, 1)
 
 	prov, err := f.make(provID, q, f.sinkFor(provID), f.doneFor(provID), span)
 	if err != nil {
-		f.mu.Lock()
-		delete(f.managed, provID)
-		f.mu.Unlock()
-		f.mActive.Add(-1)
+		f.removeFailed(provID)
 		span.SetAttr("error", err.Error())
 		span.End()
 		return fmt.Errorf("core: %s facade: %w", f.mechanism, err)
@@ -241,15 +262,35 @@ func (f *Facade) submit(queryID string, q *query.Query, mergeEnabled bool, paren
 	}
 	f.mu.Unlock()
 	if err := prov.Start(); err != nil {
-		f.mu.Lock()
-		delete(f.managed, provID)
-		f.mu.Unlock()
-		f.mActive.Add(-1)
+		f.removeFailed(provID)
 		span.SetAttr("error", err.Error())
 		span.End()
 		return fmt.Errorf("core: %s facade start: %w", f.mechanism, err)
 	}
 	return nil
+}
+
+// removeFailed tears down the managed entry of a provider whose
+// construction or Start failed. Start can re-enter the facade through a
+// synchronous delivery (a client callback cancelling subscribers, even
+// this entry), so the entry may already be gone — or may have gained
+// subscribers by merge — and the accounting follows what is actually
+// removed instead of decrementing blindly.
+func (f *Facade) removeFailed(provID string) {
+	f.mu.Lock()
+	m, ok := f.managed[provID]
+	var subs int
+	if ok {
+		subs = len(m.originals)
+		delete(f.managed, provID)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return
+	}
+	f.mActive.Add(-1)
+	f.auditAdd(f.balProviders, -1)
+	f.auditAdd(f.balSubs, -int64(subs))
 }
 
 // sinkFor returns the provider sink performing post-extraction: received
@@ -304,6 +345,8 @@ func (f *Facade) doneFor(provID string) provider.DoneFunc {
 		f.mu.Unlock()
 		m.span.End()
 		f.mActive.Add(-1)
+		f.auditAdd(f.balProviders, -1)
+		f.auditAdd(f.balSubs, -int64(len(ids)))
 		if f.onExpire != nil {
 			f.onExpire(ids)
 		}
@@ -334,6 +377,8 @@ func (f *Facade) Cancel(queryID string) bool {
 		f.mu.Unlock()
 		found.span.End()
 		f.mActive.Add(-1)
+		f.auditAdd(f.balProviders, -1)
+		f.auditAdd(f.balSubs, -1)
 		if prov != nil {
 			prov.Stop()
 		}
@@ -358,6 +403,7 @@ func (f *Facade) Cancel(queryID string) bool {
 	// A refcounted detach: the shared stream keeps running for the
 	// remaining subscribers.
 	f.mMuxDetach.Inc()
+	f.auditAdd(f.balSubs, -1)
 	return true
 }
 
@@ -389,19 +435,28 @@ func (f *Facade) Queries() []string {
 }
 
 // StopAll stops every provider (device shutdown or facade suspension).
+// Under auditing it closes the facade's conservation balances: provider
+// refcounts and mux subscriber counts must both return to zero here.
 func (f *Facade) StopAll() {
 	f.mu.Lock()
 	ms := make([]*managed, 0, len(f.managed))
+	subs := 0
 	for _, m := range f.managed {
 		ms = append(ms, m)
+		subs += len(m.originals)
 	}
 	f.managed = make(map[string]*managed)
 	f.mu.Unlock()
 	f.mActive.Add(-float64(len(ms)))
+	f.auditAdd(f.balProviders, -int64(len(ms)))
+	f.auditAdd(f.balSubs, -int64(subs))
 	for _, m := range ms {
 		m.span.End()
 		if m.prov != nil {
 			m.prov.Stop()
 		}
 	}
+	now := f.clock.Now()
+	f.audit.ExpectZero(now, f.owner, f.balProviders)
+	f.audit.ExpectZero(now, f.owner, f.balSubs)
 }

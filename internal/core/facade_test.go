@@ -81,7 +81,7 @@ func newFacadeRig(t *testing.T) *facadeRig {
 		},
 		func(qid string, it cxt.Item) { r.delivered[qid] = append(r.delivered[qid], it) },
 		func(ids []string) { r.expired = append(r.expired, ids...) },
-		metrics.NewRegistry(),
+		metrics.NewRegistry(), "rig", nil,
 	)
 	return r
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"contory/internal/access"
+	"contory/internal/audit"
 	"contory/internal/cxt"
 	"contory/internal/metrics"
 	"contory/internal/monitor"
@@ -108,10 +109,15 @@ type Factory struct {
 	qosCfg          qos.Config
 	qos             *qos.Controller
 	monCancel       func()
+	// qosUnstable (under mu) counts nested operations currently moving qos
+	// slot/pending accounting; the audit cross-checks only run when it
+	// returns to zero (see qosExitUnstable).
+	qosUnstable int
 
 	metrics *metrics.Registry
 	instr   *instruments
 	tracer  *tracing.Tracer
+	audit   *audit.Auditor
 }
 
 // recoveryProbeInterval is how often a failed-over query probes for its
@@ -148,9 +154,9 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 		f.metrics = metrics.NewRegistry()
 	}
 	f.instr = newInstruments(f.metrics, string(dev.ID))
-	f.facades[MechanismLocal] = newFacade(MechanismLocal, dev.Clock, f.makeLocal, f.deliver, f.onExpire, f.metrics)
-	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire, f.metrics)
-	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire, f.metrics)
+	f.facades[MechanismLocal] = newFacade(MechanismLocal, dev.Clock, f.makeLocal, f.deliver, f.onExpire, f.metrics, string(dev.ID), f.audit)
+	f.facades[MechanismAdHoc] = newFacade(MechanismAdHoc, dev.Clock, f.makeAdHoc, f.deliver, f.onExpire, f.metrics, string(dev.ID), f.audit)
+	f.facades[MechanismInfra] = newFacade(MechanismInfra, dev.Clock, f.makeInfra, f.deliver, f.onExpire, f.metrics, string(dev.ID), f.audit)
 	f.cxtPub = provider.NewPublisher(dev.BT, dev.WiFi)
 	if f.cacheTTL > 0 {
 		dev.Repo.SetDefaultTTL(f.cacheTTL)
@@ -165,6 +171,7 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 	f.engine.SetEnforcer(f.enforce)
 	f.monCancel = dev.Monitor.OnEvent(f.onMonitorEvent)
 	dev.attachMetrics(f.metrics)
+	dev.attachAudit(f.audit)
 	if dev.UMTS != nil {
 		dev.Repo.SetRemote(remoteStore{f: f})
 	}
@@ -290,6 +297,8 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 	// QoS plane: cache misses pass admission control before provisioning
 	// live. Only an admit verdict falls through to mechanism assignment.
 	if f.qos != nil {
+		f.qosEnterUnstable()
+		defer f.qosExitUnstable()
 		if sub, err, handled := f.qosGate(aq); handled {
 			return sub, err
 		}
@@ -313,6 +322,10 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 			aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 		}
 		f.mu.Unlock()
+		f.auditStarted(aq)
+		if aq.expiry != nil {
+			f.auditTimerArmed(id, "expiry")
+		}
 		f.instr.assigned[mech].Inc()
 		f.instr.active.Add(1)
 		f.instr.event(f.clock.Now(), id, metrics.EventAssigned, mech.String(), "")
@@ -321,11 +334,14 @@ func (f *Factory) ProcessCxtQuery(q *query.Query, client Client) (*Subscription,
 	if lastErr == nil {
 		lastErr = ErrNoMechanism
 	}
-	if aq.qosLive {
+	f.mu.Lock()
+	wasLive := aq.qosLive
+	aq.qosLive = false
+	f.mu.Unlock()
+	if wasLive {
 		// Admission succeeded but no mechanism could serve: hand the live
 		// slot back so the failure does not leak provisioning capacity.
-		aq.qosLive = false
-		f.qos.Done()
+		f.qosDone(id)
 		f.qosDispatch()
 	}
 	f.instr.rejected.Inc()
@@ -404,6 +420,10 @@ func (f *Factory) ProcessCxtQueryMulti(q *query.Query, client Client, mechs ...M
 		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 	}
 	f.mu.Unlock()
+	f.auditStarted(aq)
+	if aq.expiry != nil {
+		f.auditTimerArmed(id, "expiry")
+	}
 	f.instr.active.Add(1)
 	for _, mech := range assigned {
 		f.instr.assigned[mech].Inc()
@@ -441,12 +461,15 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	delete(f.queries, queryID)
 	if aq.expiry != nil {
 		aq.expiry.Stop()
+		f.auditTimerStopped(queryID, "expiry")
 	}
 	if aq.probe != nil {
 		aq.probe.Stop()
+		f.auditTimerStopped(queryID, "probe")
 	}
 	if aq.cacheTick != nil {
 		aq.cacheTick.Stop()
+		f.auditTimerStopped(queryID, "cacheTick")
 	}
 	wasPending := aq.mech == MechanismPending
 	wasLive := aq.qosLive
@@ -471,12 +494,20 @@ func (f *Factory) finishQuery(queryID string, kind metrics.EventKind) {
 	f.instr.event(f.clock.Now(), queryID, kind, aq.mech.String(), "")
 	aq.span.SetAttr("outcome", string(kind))
 	aq.span.End()
+	f.audit.QueryFinished(f.clock.Now(), string(f.dev.ID), queryID, string(kind),
+		aq.delivered, aq.cacheHits)
 	if f.qos != nil {
+		f.qosEnterUnstable()
+		defer f.qosExitUnstable()
 		if wasPending && f.qos.Remove(queryID) {
+			// Still parked: the controller dropped the entry, so the gauge
+			// and the pending balance follow. A query already popped by
+			// qosDispatch is accounted there instead (Remove reports false).
 			f.instr.qosPending.Add(-1)
+			f.audit.Add(f.clock.Now(), string(f.dev.ID), balQoSPending, -1)
 		}
 		if wasLive {
-			f.qos.Done()
+			f.qosDone(queryID)
 			f.qosDispatch()
 		}
 	}
@@ -526,6 +557,7 @@ func (f *Factory) deliver(queryID string, it cxt.Item) {
 
 	now := f.clock.Now()
 	f.instr.delivered.Inc()
+	f.audit.ItemDelivered(now, string(f.dev.ID), queryID, false)
 	f.instr.event(now, queryID, metrics.EventDelivered, mech.String(), string(it.Type))
 	if first {
 		f.instr.observeFirstItem(mech, now.Sub(submitted))
@@ -871,6 +903,18 @@ func (f *Factory) switchQuery(queryID, reason string) {
 		// Try to re-submit on the old mechanism so the query is not lost.
 		if err := f.facades[from].submit(queryID, aq.q, mergeOn, aq.span); err != nil {
 			f.finishQuery(queryID, metrics.EventCancelled)
+			return
+		}
+		// The re-submit may have multiplexed the query back onto a shared
+		// stream whose provider delivered synchronously — and a subscriber's
+		// Cancel in that callback can tear this record down mid-flight. Like
+		// every other submit site, re-check identity and undo the attach if
+		// the record changed, or the stream keeps a phantom subscriber.
+		f.mu.Lock()
+		cur, still = f.queries[queryID]
+		f.mu.Unlock()
+		if !still || cur != aq {
+			f.facades[from].Cancel(queryID)
 		}
 		return
 	}
@@ -901,6 +945,7 @@ func (f *Factory) switchQuery(queryID, reason string) {
 	if to == aq.prefs[0] && aq.probe != nil {
 		aq.probe.Stop()
 		aq.probe = nil
+		f.auditTimerStopped(queryID, "probe")
 	}
 	f.mu.Unlock()
 	f.instr.switched.Inc()
@@ -924,6 +969,9 @@ func (f *Factory) startRecoveryProbeLocked(aq *activeQuery) {
 		if f.dev.WiFi != nil {
 			aq.probe = f.clock.Every(recoveryProbeInterval, func() { f.probeWiFi(queryID) })
 		}
+	}
+	if aq.probe != nil {
+		f.auditTimerArmed(queryID, "probe")
 	}
 }
 

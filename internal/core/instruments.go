@@ -38,6 +38,9 @@ type instruments struct {
 	qosDegraded *metrics.Counter
 	qosShed     *metrics.Counter
 	qosPending  *metrics.Gauge
+	// qosDoneUnderflow counts live-slot double releases the controller
+	// detected (Done() with no slot held) — always a middleware bug.
+	qosDoneUnderflow *metrics.Counter
 
 	assigned   map[Mechanism]*metrics.Counter
 	firstLatMs map[Mechanism]*metrics.Histogram
@@ -49,29 +52,30 @@ var allMechanisms = []Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra}
 
 func newInstruments(reg *metrics.Registry, owner string) *instruments {
 	in := &instruments{
-		reg:             reg,
-		owner:           owner,
-		submitted:       reg.Counter("core.query.submitted"),
-		rejected:        reg.Counter("core.query.rejected"),
-		delivered:       reg.Counter("core.query.items_delivered"),
-		switched:        reg.Counter("core.query.switched"),
-		expired:         reg.Counter("core.query.expired"),
-		cancelled:       reg.Counter("core.query.cancelled"),
-		active:          reg.Gauge("core.query.active"),
-		cacheHits:       reg.Counter("core.cache.hits"),
-		cacheMisses:     reg.Counter("core.cache.misses"),
-		cacheRefreshes:  reg.Counter("core.cache.refreshes"),
-		cachePromotions: reg.Counter("core.cache.promotions"),
-		cacheAgeMs:      reg.Histogram("core.cache.served_age_ms", metrics.DefaultLatencyBucketsMs),
-		qosAdmitted:     reg.Counter("qos.admitted"),
-		qosRejected:     reg.Counter("qos.rejected"),
-		qosDeferred:     reg.Counter("qos.deferred"),
-		qosReleased:     reg.Counter("qos.released"),
-		qosDegraded:     reg.Counter("qos.degraded"),
-		qosShed:         reg.Counter("qos.shed"),
-		qosPending:      reg.Gauge("qos.pending"),
-		assigned:        make(map[Mechanism]*metrics.Counter, len(allMechanisms)+1),
-		firstLatMs:      make(map[Mechanism]*metrics.Histogram, len(allMechanisms)+1),
+		reg:              reg,
+		owner:            owner,
+		submitted:        reg.Counter("core.query.submitted"),
+		rejected:         reg.Counter("core.query.rejected"),
+		delivered:        reg.Counter("core.query.items_delivered"),
+		switched:         reg.Counter("core.query.switched"),
+		expired:          reg.Counter("core.query.expired"),
+		cancelled:        reg.Counter("core.query.cancelled"),
+		active:           reg.Gauge("core.query.active"),
+		cacheHits:        reg.Counter("core.cache.hits"),
+		cacheMisses:      reg.Counter("core.cache.misses"),
+		cacheRefreshes:   reg.Counter("core.cache.refreshes"),
+		cachePromotions:  reg.Counter("core.cache.promotions"),
+		cacheAgeMs:       reg.Histogram("core.cache.served_age_ms", metrics.DefaultLatencyBucketsMs),
+		qosAdmitted:      reg.Counter("qos.admitted"),
+		qosRejected:      reg.Counter("qos.rejected"),
+		qosDeferred:      reg.Counter("qos.deferred"),
+		qosReleased:      reg.Counter("qos.released"),
+		qosDegraded:      reg.Counter("qos.degraded"),
+		qosShed:          reg.Counter("qos.shed"),
+		qosPending:       reg.Gauge("qos.pending"),
+		qosDoneUnderflow: reg.Counter("qos.done.underflow"),
+		assigned:         make(map[Mechanism]*metrics.Counter, len(allMechanisms)+1),
+		firstLatMs:       make(map[Mechanism]*metrics.Histogram, len(allMechanisms)+1),
 	}
 	for _, m := range [...]Mechanism{MechanismLocal, MechanismAdHoc, MechanismInfra, MechanismCache} {
 		in.assigned[m] = reg.Counter("core.query.assigned." + m.String())

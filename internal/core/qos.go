@@ -85,6 +85,8 @@ func (f *Factory) qosGate(aq *activeQuery) (sub *Subscription, err error, handle
 	case qos.VerdictAdmit:
 		f.instr.qosAdmitted.Inc()
 		aq.qosLive = true
+		// Admit consumed a live slot (Controller.active++).
+		f.audit.Add(f.clock.Now(), string(f.dev.ID), balQoSSlots, 1)
 		return nil, nil, false
 	case qos.VerdictDegrade:
 		f.registerDegraded(aq, d.Reason)
@@ -98,8 +100,13 @@ func (f *Factory) qosGate(aq *activeQuery) (sub *Subscription, err error, handle
 			aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 		}
 		f.mu.Unlock()
+		f.auditStarted(aq)
+		if aq.expiry != nil {
+			f.auditTimerArmed(id, "expiry")
+		}
 		f.instr.qosDeferred.Inc()
 		f.instr.qosPending.Add(1)
+		f.audit.Add(f.clock.Now(), string(f.dev.ID), balQoSPending, 1)
 		f.instr.active.Add(1)
 		f.instr.event(d.At, id, metrics.EventAssigned, MechanismPending.String(),
 			"deferred "+d.Wait.String())
@@ -152,6 +159,10 @@ func (f *Factory) registerDegraded(aq *activeQuery, reason string) {
 		aq.expiry = f.clock.After(aq.q.Duration.Time, func() { f.finishQuery(id, metrics.EventExpired) })
 	}
 	f.mu.Unlock()
+	f.auditStarted(aq)
+	if aq.expiry != nil {
+		f.auditTimerArmed(id, "expiry")
+	}
 	f.instr.qosDegraded.Inc()
 	f.instr.assigned[MechanismCache].Inc()
 	f.instr.active.Add(1)
@@ -167,11 +178,22 @@ func (f *Factory) qosDispatch() {
 	if f.qos == nil {
 		return
 	}
+	f.qosEnterUnstable()
+	defer f.qosExitUnstable()
 	for {
 		id, ok := f.qos.Next()
 		if !ok {
 			return
 		}
+		// Next() moved the entry out of the pending queue and booked its
+		// live slot. Account both transitions here, 1:1 with the controller,
+		// so the gauge cannot drift from Controller.Pending() no matter what
+		// qosRelease later decides — a query cancelled between park and
+		// release used to leave the gauge stale.
+		f.instr.qosPending.Add(-1)
+		now := f.clock.Now()
+		f.audit.Add(now, string(f.dev.ID), balQoSPending, -1)
+		f.audit.Add(now, string(f.dev.ID), balQoSSlots, 1)
 		f.qosRelease(id)
 	}
 }
@@ -183,14 +205,16 @@ func (f *Factory) qosRelease(queryID string) {
 	f.mu.Lock()
 	aq, ok := f.queries[queryID]
 	if !ok || aq.mech != MechanismPending {
+		// Cancelled (or otherwise re-routed) between park and release: the
+		// pending gauge was already reconciled in qosDispatch when Next()
+		// popped the entry; only the booked slot needs handing back.
 		f.mu.Unlock()
-		f.qos.Done()
+		f.qosDone(queryID)
 		return
 	}
 	mergeOn := f.mergeEnabled
 	prefs := aq.prefs
 	f.mu.Unlock()
-	f.instr.qosPending.Add(-1)
 	for _, mech := range prefs {
 		if !f.mechanismHealthy(mech, aq.q) {
 			continue
@@ -203,7 +227,7 @@ func (f *Factory) qosRelease(queryID string) {
 			// Cancelled inside a synchronous delivery from the new provider.
 			f.mu.Unlock()
 			f.facades[mech].Cancel(queryID)
-			f.qos.Done()
+			f.qosDone(queryID)
 			return
 		}
 		aq.mech = mech
@@ -216,7 +240,7 @@ func (f *Factory) qosRelease(queryID string) {
 			"released from qos queue")
 		return
 	}
-	f.qos.Done()
+	f.qosDone(queryID)
 	aq.client.InformError("contory: query " + queryID +
 		": released from qos queue but no provisioning mechanism is available")
 	f.finishQuery(queryID, metrics.EventCancelled)
@@ -324,6 +348,8 @@ func (f *Factory) qosShedLoad(reason string, minShed int) {
 // is cancelled, its slot is handed back, and answers continue from the
 // repository bounded by the type's TTL.
 func (f *Factory) degradeToCache(queryID, reason string) bool {
+	f.qosEnterUnstable()
+	defer f.qosExitUnstable()
 	f.mu.Lock()
 	aq, ok := f.queries[queryID]
 	if !ok || aq.mech == MechanismCache || aq.mech == MechanismPending {
@@ -338,6 +364,7 @@ func (f *Factory) degradeToCache(queryID, reason string) bool {
 	if aq.probe != nil {
 		aq.probe.Stop()
 		aq.probe = nil
+		f.auditTimerStopped(queryID, "probe")
 	}
 	f.mu.Unlock()
 	for _, mech := range allMechanisms {
@@ -346,7 +373,7 @@ func (f *Factory) degradeToCache(queryID, reason string) bool {
 		}
 	}
 	if wasLive {
-		f.qos.Done()
+		f.qosDone(queryID)
 	}
 	f.instr.qosDegraded.Inc()
 	f.instr.assigned[MechanismCache].Inc()

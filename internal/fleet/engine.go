@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"contory"
+	"contory/internal/audit"
 	"contory/internal/chaos"
 	"contory/internal/cxt"
 	"contory/internal/radio"
@@ -75,6 +76,11 @@ type Engine struct {
 	classes  []string
 	roles    []role
 	injector *chaos.Injector
+	auditor  *audit.Auditor
+	// draining gates submit during the audit quiesce window. Written only
+	// while the clock is idle (between Run phases), read from lane
+	// callbacks started afterwards.
+	draining bool
 	ran      bool
 }
 
@@ -110,9 +116,17 @@ func New(spec Spec) (*Engine, error) {
 			TailCap: spec.Trace.TailCap,
 		}
 	}
+	var auditor *audit.Auditor
+	if spec.Audit.Enabled {
+		auditor = audit.New()
+		wcfg.FactoryOptions = append(wcfg.FactoryOptions, contory.WithAudit(auditor))
+	}
 	w, err := contory.NewWorldConfig(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if auditor != nil {
+		w.AttachAudit(auditor)
 	}
 	if err := w.SetRange("wifi", spec.WiFiRangeM); err != nil {
 		return nil, err
@@ -126,6 +140,7 @@ func New(spec Spec) (*Engine, error) {
 		phones:  make([]*contory.Phone, 0, spec.Phones),
 		classes: make([]string, 0, spec.Phones),
 		roles:   make([]role, 0, spec.Phones),
+		auditor: auditor,
 	}
 	if err := e.buildPopulation(); err != nil {
 		return nil, err
@@ -415,8 +430,12 @@ func (e *Engine) scheduleWorkload() {
 
 // submit parses and submits one query on a phone; failures surface in the
 // middleware's rejected counter, not as engine errors (a fleet member being
-// refused is a result, not a bug).
+// refused is a result, not a bug). During the audit drain window no new
+// queries enter the plane, so quiescence is reachable.
 func (e *Engine) submit(p *contory.Phone, src string) {
+	if e.draining {
+		return
+	}
 	q, err := contory.ParseQuery(src)
 	if err != nil {
 		return
@@ -497,6 +516,10 @@ func (e *Engine) installChaos() {
 // Injector returns the run's fault injector (nil without a chaos profile).
 func (e *Engine) Injector() *chaos.Injector { return e.injector }
 
+// Auditor returns the run's invariant auditor (nil unless Spec.Audit is
+// enabled).
+func (e *Engine) Auditor() *audit.Auditor { return e.auditor }
+
 // Run executes the scenario for Spec.Duration of virtual time and returns
 // its summary. On a sharded world the run drains timestamps across workers
 // goroutines (<= 0 means GOMAXPROCS); an unsharded world runs serially.
@@ -513,8 +536,57 @@ func (e *Engine) Run(workers int) (Summary, error) {
 	} else {
 		e.w.Run(e.spec.Duration)
 	}
+	e.quiesceAudit(start, workers)
 	// Spans of queries still running when the clock stops must land in the
 	// store before the summary reads it.
 	e.w.Tracer().Flush()
 	return e.summarize(start, bs), nil
+}
+
+// auditDrain is how much extra virtual time an audited run gets to reach
+// quiescence after the workload is gated off: long enough for every
+// in-flight radio request to complete or time out and every roaming SM
+// tour to come home, so the end-of-run sweep checks real leaks, not work
+// the clock happened to cut mid-flight.
+const auditDrain = 2 * time.Minute
+
+// quiesceAudit runs the end-of-run conservation sweep on audited runs:
+// gate new submissions off, drain in-flight work, close every factory
+// (cancelling surviving queries and running the facades' refcount
+// zero-checks), cross-check global item accounting against the world's
+// counters, and sweep every lifecycle record, timer and balance for leaks.
+func (e *Engine) quiesceAudit(start time.Time, workers int) {
+	if e.auditor == nil {
+		return
+	}
+	e.draining = true
+	for _, p := range e.phones {
+		p.Factory.Close()
+	}
+	if e.w.Sharded() {
+		e.w.RunParallel(auditDrain, workers)
+	} else {
+		e.w.Run(auditDrain)
+	}
+	now := e.w.Now()
+	counters := make(map[string]int64)
+	for _, c := range e.w.Metrics().Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	tapsDelivered, tapsCache := e.auditor.Totals()
+	e.auditor.Expect(now, "fleet", "", audit.LawItems,
+		"items delivered: per-delivery taps vs world counter",
+		tapsDelivered, counters["core.query.items_delivered"])
+	e.auditor.Expect(now, "fleet", "", audit.LawItems,
+		"cache hits: per-delivery taps vs world counter",
+		tapsCache, counters["core.cache.hits"])
+	// Energy accounting: batteries only drain, so a negative per-phone
+	// energy delta means the timeline double-credited some disposition.
+	for i, p := range e.phones {
+		if j := p.Device.Node.Timeline().EnergyBetween(start, now); j < 0 {
+			e.auditor.Violate(now, p.ID(), "", audit.LawItems,
+				fmt.Sprintf("energy balance: phone %d drained %f J < 0", i, float64(j)), "")
+		}
+	}
+	e.auditor.CheckQuiesce(now)
 }

@@ -118,6 +118,19 @@ type QoSSpec struct {
 	MaxActive int `json:"max_active"`
 }
 
+// AuditSpec opts a run into continuous runtime invariant auditing: one
+// shared auditor receives lifecycle, slot, refcount, timer and accounting
+// taps from every phone's middleware and from the SM platform, verifies
+// the plane's conservation laws during the run, and sweeps for leaks at
+// quiescence (after every factory is closed). The summary gains an Audit
+// report; violations are vclock-ordered and byte-identical at any worker
+// count.
+type AuditSpec struct {
+	// Enabled turns auditing on fleet-wide (strict: harnesses should fail
+	// the run on any violation).
+	Enabled bool `json:"enabled"`
+}
+
 // TraceSpec opts a run into deterministic distributed tracing: every query
 // grows a vclock-stamped span tree and the summary gains a latency
 // attribution report. The zero value disables tracing.
@@ -197,6 +210,7 @@ type Spec struct {
 	Trace    TraceSpec `json:"trace"`
 	Cache    CacheSpec `json:"cache"`
 	QoS      QoSSpec   `json:"qos"`
+	Audit    AuditSpec `json:"audit"`
 }
 
 // withDefaults returns a copy with all defaults applied.

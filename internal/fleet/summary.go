@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"contory/internal/audit"
 	"contory/internal/chaos"
 	"contory/internal/metrics"
 	"contory/internal/tracing"
@@ -135,6 +136,11 @@ type Summary struct {
 	// QoS reports the admission/scheduling/shedding plane (nil unless the
 	// spec enables QoS or a factory recorded QoS activity).
 	QoS *QoSReport `json:"qos,omitempty"`
+
+	// Audit is the runtime invariant checker's report (nil unless the spec
+	// enables auditing). A strict harness fails the run when
+	// Audit.Violations is non-empty.
+	Audit *audit.Report `json:"audit,omitempty"`
 
 	// Snapshot is the full metrics state (lifecycle event ring excluded:
 	// its eviction order is execution-order sensitive by design).
@@ -290,6 +296,10 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 	}
 	if e.spec.QoS.Enabled || qr.Admitted+qr.Deferred+qr.Released+qr.Degraded+qr.Rejected+qr.Shed != 0 {
 		s.QoS = &qr
+	}
+
+	if e.auditor != nil {
+		s.Audit = e.auditor.Report()
 	}
 
 	if tr := e.w.Tracer(); tr != nil {

@@ -215,13 +215,14 @@ type Controller struct {
 	// memory); fed by the ResourcesMonitor. May be nil.
 	resourceLow func() bool
 
-	mu      sync.Mutex
-	tat     map[string]time.Time // GCRA theoretical arrival time per client
-	lanes   map[Class][]entry
-	pending int
-	served  map[Class]int // weighted-fair service accounting per busy period
-	active  int
-	scale   float64 // MaxActive scale knob (reducePower); (0,1]
+	mu         sync.Mutex
+	tat        map[string]time.Time // GCRA theoretical arrival time per client
+	lanes      map[Class][]entry
+	pending    int
+	served     map[Class]int // weighted-fair service accounting per busy period
+	active     int
+	underflows int     // Done() calls with no slot held — always a caller bug
+	scale      float64 // MaxActive scale knob (reducePower); (0,1]
 }
 
 // New returns a Controller on the given clock. resourceLow, when non-nil,
@@ -395,13 +396,26 @@ func (c *Controller) Next() (string, bool) {
 }
 
 // Done releases one live-provisioning slot (query finished, degraded away,
-// or its release failed to find a mechanism).
-func (c *Controller) Done() {
+// or its release failed to find a mechanism). It reports false — leaving
+// the account floored at zero — when no slot was held: a double release,
+// which is always a caller bug and must surface instead of being silently
+// clamped away.
+func (c *Controller) Done() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.active > 0 {
-		c.active--
+	if c.active <= 0 {
+		c.underflows++
+		return false
 	}
+	c.active--
+	return true
+}
+
+// Underflows reports how many Done() calls found no slot to release.
+func (c *Controller) Underflows() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.underflows
 }
 
 // Remove drops a deferred query from its lane (cancelled or expired while

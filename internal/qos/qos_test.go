@@ -248,3 +248,25 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestDoneUnderflowDetected pins the slot-release contract: Done() on a
+// held slot reports true, Done() on an empty account reports false and is
+// counted as an underflow rather than silently clamped.
+func TestDoneUnderflowDetected(t *testing.T) {
+	c, _ := newController(Config{Enabled: true, Rate: 10, Burst: 10, QueueCap: 4, MaxActive: 4}, nil)
+	if d := c.Admit("a", ClassStandard, Request{ID: "q1"}); d.Verdict != VerdictAdmit {
+		t.Fatalf("admit verdict = %v", d.Verdict)
+	}
+	if !c.Done() {
+		t.Fatal("Done() on a held slot reported false")
+	}
+	if c.Done() {
+		t.Fatal("Done() on an empty account reported true")
+	}
+	if got := c.Underflows(); got != 1 {
+		t.Fatalf("Underflows = %d, want 1", got)
+	}
+	if got := c.Active(); got != 0 {
+		t.Fatalf("Active = %d, want 0 (floored, not negative)", got)
+	}
+}

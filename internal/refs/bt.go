@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"contory/internal/audit"
 	"contory/internal/cxt"
 	"contory/internal/energy"
 	"contory/internal/gps"
@@ -62,6 +63,11 @@ type BTReference struct {
 	mGets       *metrics.Counter
 	mRegisters  *metrics.Counter
 	mGPSFixes   *metrics.Counter
+
+	// Invariant auditing (nil-safe): every in-flight SDP/get exchange moves
+	// the refs.bt.inflight balance, which must return to zero at quiesce.
+	audit      *audit.Auditor
+	auditOwner string
 }
 
 type gpsWatch struct {
@@ -116,6 +122,16 @@ func (r *BTReference) SetMetrics(reg *metrics.Registry) {
 	r.mGets = reg.Counter("refs.bt.gets")
 	r.mRegisters = reg.Counter("refs.bt.service_registrations")
 	r.mGPSFixes = reg.Counter("refs.bt.gps_fixes")
+}
+
+// SetAudit attaches the runtime invariant auditor: in-flight request
+// accounting (newRequest/take) joins the refcount conservation law under
+// the given owner (device) id.
+func (r *BTReference) SetAudit(a *audit.Auditor, owner string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.audit = a
+	r.auditOwner = owner
 }
 
 // Close releases the BT reference's continuous power state and watchdogs.
@@ -288,7 +304,9 @@ func (r *BTReference) newRequest(done func(any, error), timeout time.Duration) s
 	id := fmt.Sprintf("%s-bt-%d", r.node.ID(), r.nextID)
 	req := &pendingReq{done: done}
 	r.pending[id] = req
+	aud, owner := r.audit, r.auditOwner
 	r.mu.Unlock()
+	aud.Add(r.clock.Now(), owner, "refs.bt.inflight", 1)
 	t := r.clock.After(timeout, func() {
 		if timed := r.take(id); timed != nil {
 			timed.done(nil, ErrBTTimeout)
@@ -312,9 +330,13 @@ func (r *BTReference) take(id string) *pendingReq {
 	if req != nil {
 		t = req.timeout
 	}
+	aud, owner := r.audit, r.auditOwner
 	r.mu.Unlock()
 	if t != nil {
 		t.Stop()
+	}
+	if req != nil {
+		aud.Add(r.clock.Now(), owner, "refs.bt.inflight", -1)
 	}
 	return req
 }

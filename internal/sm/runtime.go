@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"contory/internal/audit"
 	"contory/internal/energy"
 	"contory/internal/radio"
 	"contory/internal/simnet"
@@ -90,6 +91,11 @@ type Platform struct {
 	// many lanes at once) never pays a per-node tag-space read. Mutated
 	// only under mu, via setParticipating.
 	parts atomic.Pointer[map[simnet.NodeID]bool]
+
+	// aud is the runtime invariant auditor (nil = auditing off): every
+	// resident SM moves the per-node sm.resident balance, which must
+	// return to zero when all migrations complete.
+	aud atomic.Pointer[audit.Auditor]
 }
 
 // NewPlatform returns an SM platform over the given network with the
@@ -107,6 +113,20 @@ func NewPlatform(nw *simnet.Network, wifi *radio.WiFi) *Platform {
 
 // Clock returns the platform's shared virtual clock.
 func (p *Platform) Clock() *vclock.Simulator { return p.net.Clock() }
+
+// SetAudit attaches the runtime invariant auditor: admitted SMs move the
+// per-node sm.resident balance until released. Nil-safe; safe to call
+// before or between runs.
+func (p *Platform) SetAudit(a *audit.Auditor) { p.aud.Store(a) }
+
+// auditResident moves one node's sm.resident balance by delta.
+func (p *Platform) auditResident(id simnet.NodeID, delta int64) {
+	a := p.aud.Load()
+	if a == nil {
+		return
+	}
+	a.Add(p.net.ClockFor(id).Now(), string(id), "sm.resident", delta)
+}
 
 // ClockFor returns the scheduling clock for a node: its lane handle when
 // the network is sharded, the shared simulator otherwise.
@@ -250,24 +270,29 @@ func (rt *Runtime) Participating() bool { return rt.tags.Has(ParticipationTag) }
 // admit runs admission control on an arriving SM.
 func (rt *Runtime) admit(m *Message) error {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if m.HopCnt > rt.admission.maxHopCnt() {
 		rt.rejected++
+		rt.mu.Unlock()
 		return fmt.Errorf("%w: hopCnt %d exceeds cap", ErrAdmission, m.HopCnt)
 	}
 	if rt.resident >= rt.admission.maxResident() {
 		rt.rejected++
-		return fmt.Errorf("%w: %d resident SMs", ErrAdmission, rt.resident)
+		n := rt.resident
+		rt.mu.Unlock()
+		return fmt.Errorf("%w: %d resident SMs", ErrAdmission, n)
 	}
 	rt.accepted++
 	rt.resident++
+	rt.mu.Unlock()
+	rt.platform.auditResident(rt.node.ID(), 1)
 	return nil
 }
 
 func (rt *Runtime) release() {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.resident--
+	rt.mu.Unlock()
+	rt.platform.auditResident(rt.node.ID(), -1)
 }
 
 // cacheCode records a code brick in the node's code cache and reports

@@ -113,6 +113,11 @@ func NewWorldConfig(cfg WorldConfig) (*World, error) {
 // Tracer returns the world's tracer, or nil when tracing is off.
 func (w *World) Tracer() *tracing.Tracer { return w.tracer }
 
+// AttachAudit wires a runtime invariant auditor into the world's shared
+// subsystems (the SM platform's per-node residency balance). Pair it with
+// WithAudit in WorldConfig.FactoryOptions so phone factories audit too.
+func (w *World) AttachAudit(a *Auditor) { w.platform.SetAudit(a) }
+
 // Metrics returns the world-wide metrics registry: every phone's middleware
 // instruments into it, so one Snapshot covers the whole testbed.
 func (w *World) Metrics() *MetricsRegistry { return w.metrics }
