@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke timeline-smoke
 
 all: check
 
@@ -8,8 +8,9 @@ all: check
 # (when installed), tests, the race detector, a small fleet-load smoke run,
 # a determinism-checked chaos run, a determinism-checked trace export, a
 # determinism-checked answer-cache run, a determinism-checked QoS overload
-# run and an invariant-audited chaos+qos+cache run.
-check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke
+# run, an invariant-audited chaos+qos+cache run and a determinism-checked
+# flight-recorder run.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke timeline-smoke
 
 build:
 	$(GO) build ./...
@@ -119,6 +120,25 @@ audit-smoke:
 	cmp BENCH_audit_w1.json BENCH_audit_w8.json
 	rm -f BENCH_audit_w1.json BENCH_audit_w8.json
 
+# timeline-smoke is the flight-recorder gate: the timeline sampler/SLO unit
+# tests and the fleet timeline-determinism/attribution tests under the race
+# detector, then a seeded chaos+qos fleet with the recorder and two SLOs on
+# through the CLI at 1 and 8 workers — the two timeline reports (windows,
+# derived series and alert log) must be byte-identical.
+timeline-smoke:
+	$(GO) test -race -count=1 ./internal/timeline
+	$(GO) test -race -count=1 -run 'TestFleetTimeline' ./internal/fleet
+	$(GO) run ./cmd/contory-load -phones 60 -duration 2m -seed 7 -chaos mixed -gps 0.3 \
+		-qos -overload 0.3 -timeline -timeline-interval 10s \
+		-slo 'p99_first_item_ms<5000,qos_shed_rate<0.9' \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 1 -timeline-out BENCH_timeline_w1.json
+	$(GO) run ./cmd/contory-load -phones 60 -duration 2m -seed 7 -chaos mixed -gps 0.3 \
+		-qos -overload 0.3 -timeline -timeline-interval 10s \
+		-slo 'p99_first_item_ms<5000,qos_shed_rate<0.9' \
+		-mobility 0 -churn-leave 0 -churn-links 0 -workers 8 -timeline-out BENCH_timeline_w8.json
+	cmp BENCH_timeline_w1.json BENCH_timeline_w8.json
+	rm -f BENCH_timeline_w1.json BENCH_timeline_w8.json
+
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
 # engine at 1k/2k/5k phones over ten virtual minutes.
 load-bench:
@@ -145,4 +165,5 @@ clean:
 		BENCH_trace_w1.json BENCH_trace_w8.json \
 		BENCH_cache_w1.json BENCH_cache_w8.json \
 		BENCH_qos_w1.json BENCH_qos_w8.json \
-		BENCH_audit_w1.json BENCH_audit_w8.json
+		BENCH_audit_w1.json BENCH_audit_w8.json \
+		BENCH_timeline_w1.json BENCH_timeline_w8.json

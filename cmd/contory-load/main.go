@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"contory/internal/fleet"
+	"contory/internal/timeline"
 	"contory/internal/tracing"
 )
 
@@ -64,10 +65,21 @@ func main() {
 		traceOn  = flag.Bool("trace", false, "record per-query span trees (deterministic distributed tracing)")
 		traceOut = flag.String("trace-out", "", "write retained traces as Chrome trace-event JSON (open in Perfetto); implies -trace")
 		traceSmp = flag.Int("trace-sample", 0, "keep one trace in N by trace-id residue (<=1 keeps all)")
+		tlOn     = flag.Bool("timeline", false, "arm the flight recorder: periodic metric delta-windows, SLO evaluation and burn-rate alerting")
+		tlEvery  = flag.Duration("timeline-interval", 10*time.Second, "flight-recorder sampling window in virtual time")
+		tlSLO    = flag.String("slo", "", "comma-separated SLO objectives evaluated per window (e.g. p99_first_item_ms<5000,cache_hit_ratio>0.5); implies -timeline")
+		tlOut    = flag.String("timeline-out", "", "write the flight-recorder report JSON to this file; implies -timeline")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's lifetime")
 	)
 	flag.Parse()
-	if err := validateFlags(*phones, *duration, *workers, *qosRate, *overload, *auditOn, *sweep, *benchOut); err != nil {
+	if *tlSLO != "" || *tlOut != "" {
+		*tlOn = true
+	}
+	if err := validateFlags(*phones, *duration, *workers, *qosRate, *overload, *auditOn, *sweep, *benchOut, *tlOn, *tlEvery); err != nil {
+		fail(err)
+	}
+	slos, err := timeline.ParseSLOList(*tlSLO)
+	if err != nil {
 		fail(err)
 	}
 	if *traceOut != "" {
@@ -102,6 +114,11 @@ func main() {
 				QueueCap: *qosQueue, MaxActive: *qosSlots,
 			},
 			Audit: fleet.AuditSpec{Enabled: *auditOn},
+			Timeline: fleet.TimelineSpec{
+				Enabled:  *tlOn,
+				Interval: *tlEvery,
+				SLOs:     slos,
+			},
 		}
 		if *dupFrac > 0 {
 			// A pure duplicate-heavy fleet: the cleanest cache-on-vs-off
@@ -147,10 +164,23 @@ func main() {
 		fail(fmt.Errorf("audit found %d invariant violations", len(sum.Audit.Violations)))
 	}
 	if *traceOut != "" {
-		if err := exportTraces(eng, *traceOut); err != nil {
+		if err := exportTraces(eng, *traceOut, sum.Timeline); err != nil {
 			fail(err)
 		}
 		fmt.Fprintln(os.Stderr, "chrome trace written to", *traceOut)
+	}
+	if *tlOut != "" {
+		if sum.Timeline == nil {
+			fail(fmt.Errorf("run recorded no timeline"))
+		}
+		js, err := json.MarshalIndent(sum.Timeline, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := writeFile(*tlOut, append(js, '\n')); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "timeline report written to", *tlOut)
 	}
 	if *stats {
 		js, err := sum.JSON()
@@ -190,7 +220,7 @@ func fail(err error) {
 // validateFlags rejects flag values that would otherwise surface as a
 // confusing engine panic or an instantly-finished run. -workers keeps 0 as
 // its documented "use GOMAXPROCS" sentinel; only negatives are refused.
-func validateFlags(phones int, duration time.Duration, workers int, qosRate, overload float64, audit bool, sweep, benchOut string) error {
+func validateFlags(phones int, duration time.Duration, workers int, qosRate, overload float64, audit bool, sweep, benchOut string, timelineOn bool, timelineInterval time.Duration) error {
 	if phones <= 0 {
 		return fmt.Errorf("-phones must be positive, got %d", phones)
 	}
@@ -208,6 +238,9 @@ func validateFlags(phones int, duration time.Duration, workers int, qosRate, ove
 	}
 	if audit && (sweep != "" || benchOut != "") {
 		return fmt.Errorf("-audit quiesces each run with a virtual-time drain, which would skew -sweep/-bench-out timings; audit a single run without -bench-out")
+	}
+	if timelineOn && timelineInterval <= 0 {
+		return fmt.Errorf("-timeline-interval must be positive, got %s", timelineInterval)
 	}
 	return nil
 }
@@ -233,13 +266,19 @@ func runOne(spec fleet.Spec, workers int) (fleet.Summary, *fleet.Engine, time.Du
 }
 
 // exportTraces writes the engine's retained traces as Chrome trace-event
-// JSON (chrome://tracing / Perfetto format).
-func exportTraces(e *fleet.Engine, path string) error {
+// JSON (chrome://tracing / Perfetto format). With the flight recorder on,
+// its derived series and alerts ride along as counter tracks and instant
+// markers under a "timeline" pseudo-process, aligned with the span rows.
+func exportTraces(e *fleet.Engine, path string, rep *timeline.Report) error {
 	tr := e.World().Tracer()
 	if tr == nil {
 		return fmt.Errorf("run was not traced (pass -trace)")
 	}
-	data, err := tracing.ChromeJSON(tr.Store().Traces())
+	var extras tracing.ChromeExtras
+	if rep != nil {
+		extras = timeline.ChromeExtras(*rep)
+	}
+	data, err := tracing.ChromeJSONWithExtras(tr.Store().Traces(), extras)
 	if err != nil {
 		return err
 	}
@@ -304,6 +343,9 @@ func printSummary(s fleet.Summary, wall time.Duration) {
 		fmt.Printf("  tracing   %d traces started, %d retained (%d spans), %d sampled out, %d/%d traces/spans dropped\n",
 			s.Trace.Started, s.Trace.Retained, s.Trace.Spans, s.Trace.SampledOut,
 			s.Trace.DroppedTraces, s.Trace.DroppedSpans)
+	}
+	if s.Timeline != nil {
+		fmt.Printf("  %s\n", timeline.Describe(*s.Timeline))
 	}
 	fmt.Printf("  executor  %d events in %d batches, %d lane groups, %d barriers\n",
 		s.Events, s.Batches, s.Groups, s.Barriers)

@@ -8,16 +8,18 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name     string
-		phones   int
-		duration time.Duration
-		workers  int
-		qosRate  float64
-		overload float64
-		audit    bool
-		sweep    string
-		benchOut string
-		wantErr  string // "" = valid
+		name       string
+		phones     int
+		duration   time.Duration
+		workers    int
+		qosRate    float64
+		overload   float64
+		audit      bool
+		sweep      string
+		benchOut   string
+		timeline   bool
+		tlInterval time.Duration
+		wantErr    string // "" = valid
 	}{
 		{name: "defaults", phones: 1000, duration: 10 * time.Minute},
 		{name: "explicit workers", phones: 10, duration: time.Minute, workers: 8},
@@ -34,10 +36,14 @@ func TestValidateFlags(t *testing.T) {
 		{name: "audited sweep", phones: 10, duration: time.Minute, audit: true, sweep: "10,20", wantErr: "-audit"},
 		{name: "audited bench", phones: 10, duration: time.Minute, audit: true, benchOut: "BENCH.json", wantErr: "-audit"},
 		{name: "unaudited sweep", phones: 10, duration: time.Minute, sweep: "10,20"},
+		{name: "timeline run", phones: 10, duration: time.Minute, timeline: true, tlInterval: 10 * time.Second},
+		{name: "timeline zero interval", phones: 10, duration: time.Minute, timeline: true, wantErr: "-timeline-interval"},
+		{name: "timeline negative interval", phones: 10, duration: time.Minute, timeline: true, tlInterval: -time.Second, wantErr: "-timeline-interval"},
+		{name: "timeline off ignores interval", phones: 10, duration: time.Minute, tlInterval: -time.Second},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.phones, tc.duration, tc.workers, tc.qosRate, tc.overload, tc.audit, tc.sweep, tc.benchOut)
+			err := validateFlags(tc.phones, tc.duration, tc.workers, tc.qosRate, tc.overload, tc.audit, tc.sweep, tc.benchOut, tc.timeline, tc.tlInterval)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateFlags: unexpected error %v", err)

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"contory"
 	"contory/internal/infra"
+	"contory/internal/timeline"
 	"contory/internal/tracing"
 )
 
@@ -29,20 +32,48 @@ func main() {
 	trace := flag.Bool("trace", false, "trace every query and print span trees plus latency attribution after the race")
 	traceSmp := flag.Int("trace-sample", 0, "keep one trace in N by trace-id residue (<=1 keeps all)")
 	audit := flag.Bool("audit", false, "run the conservation-law auditor over the race (violations fail the run)")
+	tlOn := flag.Bool("timeline", false, "record a periodic metric timeline (flight recorder) over the race")
+	tlEvery := flag.Duration("timeline-interval", 10*time.Second, "virtual sampling interval for -timeline")
+	tlSLO := flag.String("slo", "", "comma-separated SLOs to evaluate, e.g. 'p99_first_item_ms<5000' (implies -timeline)")
+	tlOut := flag.String("timeline-out", "", "write the timeline report JSON to this file (implies -timeline)")
 	flag.Parse()
-	if err := run(*boats, *duration, *failGPS, *seed, *stats, *trace, *traceSmp, *audit); err != nil {
+	if *tlSLO != "" || *tlOut != "" {
+		*tlOn = true
+	}
+	if *tlOn && *tlEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "contory-sim: -timeline-interval must be positive, got %s\n", *tlEvery)
+		os.Exit(1)
+	}
+	tl := timelineOpts{on: *tlOn, every: *tlEvery, slos: *tlSLO, out: *tlOut}
+	if err := run(*boats, *duration, *failGPS, *seed, *stats, *trace, *traceSmp, *audit, tl); err != nil {
 		fmt.Fprintln(os.Stderr, "contory-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bool, traceSmp int, audit bool) error {
+// timelineOpts bundles the flight-recorder flags so run's signature stays
+// readable.
+type timelineOpts struct {
+	on    bool
+	every time.Duration
+	slos  string
+	out   string
+}
+
+func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bool, traceSmp int, audit bool, tl timelineOpts) error {
 	if boats < 2 {
 		boats = 2
 	}
 	wcfg := contory.WorldConfig{Seed: seed}
 	if trace {
 		wcfg.Trace = &tracing.Config{Sample: traceSmp}
+	}
+	if tl.on {
+		slos, err := timeline.ParseSLOList(tl.slos)
+		if err != nil {
+			return err
+		}
+		wcfg.Timeline = &timeline.Config{Interval: tl.every, SLOs: slos}
 	}
 	var auditor *contory.Auditor
 	if audit {
@@ -163,6 +194,25 @@ func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bo
 		fmt.Println("\nlatency attribution:")
 		fmt.Print(tracing.RenderAttribution(rep))
 	}
+	if rec := w.Timeline(); rec != nil {
+		rec.Stop()
+		if auditor != nil {
+			rec.AttributeAudit(auditor.Report().Violations)
+		}
+		rep := rec.Report()
+		fmt.Println()
+		fmt.Print(timeline.RenderText(rep))
+		if tl.out != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := writeFile(tl.out, append(data, '\n')); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "timeline report written to", tl.out)
+		}
+	}
 	if auditor != nil {
 		rep := auditor.Report()
 		fmt.Printf("\naudit: %d queries tracked, %d checks, %d violations\n",
@@ -175,6 +225,16 @@ func run(boats int, duration, failGPS time.Duration, seed int64, stats, trace bo
 		}
 	}
 	return nil
+}
+
+// writeFile writes data to path, creating parent directories as needed.
+func writeFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // traceTreeLimit caps how many span trees -trace prints.

@@ -6,13 +6,14 @@ import (
 )
 
 func TestRunShortRace(t *testing.T) {
-	if err := run(3, 10*time.Minute, 2*time.Minute, 42, true, true, 0, true); err != nil {
+	tl := timelineOpts{on: true, every: 30 * time.Second, slos: "p99_first_item_ms<5000"}
+	if err := run(3, 10*time.Minute, 2*time.Minute, 42, true, true, 0, true, tl); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMinimumBoats(t *testing.T) {
-	if err := run(0, 5*time.Minute, 0, 7, false, false, 0, false); err != nil {
+	if err := run(0, 5*time.Minute, 0, 7, false, false, 0, false, timelineOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }

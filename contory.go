@@ -9,6 +9,7 @@ import (
 	"contory/internal/qos"
 	"contory/internal/query"
 	"contory/internal/repo"
+	"contory/internal/timeline"
 )
 
 // Context data model (§4.1 of the paper).
@@ -181,6 +182,32 @@ type (
 // NewMetricsRegistry returns an empty metrics registry, for sharing across
 // factories via WithMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Flight recorder (periodic metric timelines, SLO evaluation and burn-rate
+// alerting). Arm it per factory with WithTimeline, or world-wide with
+// WorldConfig.Timeline so one window stream covers the whole testbed.
+type (
+	// TimelineConfig configures the flight recorder: sampling interval,
+	// window ring bound, objectives and burn-rate gates.
+	TimelineConfig = timeline.Config
+	// TimelineSLO is one declarative objective ("p99_first_item_ms<5000").
+	TimelineSLO = timeline.SLO
+	// TimelineRecorder samples a registry into delta-windows and evaluates
+	// objectives; read it with its Report method after the run.
+	TimelineRecorder = timeline.Recorder
+	// TimelineReport is the recorder outcome: retained windows, per-SLO
+	// worst-window table and the vclock-stamped alert log.
+	TimelineReport = timeline.Report
+	// TimelineAlert is one fired burn-rate alert with cause attribution.
+	TimelineAlert = timeline.Alert
+)
+
+// WithTimeline arms the flight recorder on a standalone factory's registry.
+var WithTimeline = core.WithTimeline
+
+// ParseSLOList parses a comma-separated objective list in the -slo flag
+// syntax ("p99_first_item_ms<5000,cache_hit_ratio>0.5").
+func ParseSLOList(list string) ([]TimelineSLO, error) { return timeline.ParseSLOList(list) }
 
 // Provisioning mechanisms. MechanismCache marks queries served from the
 // answer cache with zero provider work.

@@ -19,6 +19,7 @@ import (
 	"contory/internal/query"
 	"contory/internal/repo"
 	"contory/internal/simnet"
+	"contory/internal/timeline"
 	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
@@ -114,10 +115,12 @@ type Factory struct {
 	// returns to zero (see qosExitUnstable).
 	qosUnstable int
 
-	metrics *metrics.Registry
-	instr   *instruments
-	tracer  *tracing.Tracer
-	audit   *audit.Auditor
+	metrics     *metrics.Registry
+	instr       *instruments
+	tracer      *tracing.Tracer
+	audit       *audit.Auditor
+	timelineCfg *timeline.Config
+	recorder    *timeline.Recorder
 }
 
 // recoveryProbeInterval is how often a failed-over query probes for its
@@ -167,6 +170,10 @@ func NewFactory(dev *Device, opts ...Option) *Factory {
 			return mon.BatteryLevel() == monitor.LevelLow || mon.MemoryLevel() == monitor.LevelLow
 		})
 	}
+	if f.timelineCfg != nil {
+		f.recorder = timeline.New(dev.Clock, f.metrics, *f.timelineCfg)
+		f.recorder.Install()
+	}
 	f.applyRetryPolicy()
 	f.engine.SetEnforcer(f.enforce)
 	f.monCancel = dev.Monitor.OnEvent(f.onMonitorEvent)
@@ -183,6 +190,9 @@ func (f *Factory) Device() *Device { return f.dev }
 
 // Metrics returns the registry the factory instruments into.
 func (f *Factory) Metrics() *metrics.Registry { return f.metrics }
+
+// Timeline returns the factory's flight recorder (WithTimeline), or nil.
+func (f *Factory) Timeline() *timeline.Recorder { return f.recorder }
 
 // Facade returns the facade for a mechanism (for experiment harnesses).
 func (f *Factory) Facade(m Mechanism) *Facade { return f.facades[m] }
@@ -1161,6 +1171,9 @@ func (f *Factory) DeregisterCxtServer(client Client) {
 func (f *Factory) Close() {
 	if f.monCancel != nil {
 		f.monCancel()
+	}
+	if f.recorder != nil {
+		f.recorder.Stop()
 	}
 	f.mu.Lock()
 	ids := make([]string, 0, len(f.queries))

@@ -12,6 +12,7 @@ import (
 	"contory/internal/radio"
 	"contory/internal/refs"
 	"contory/internal/sm"
+	"contory/internal/timeline"
 	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
@@ -115,6 +116,10 @@ func New(spec Spec) (*Engine, error) {
 			HeadCap: spec.Trace.HeadCap,
 			TailCap: spec.Trace.TailCap,
 		}
+	}
+	if spec.Timeline.Enabled {
+		tcfg := spec.Timeline.config()
+		wcfg.Timeline = &tcfg
 	}
 	var auditor *audit.Auditor
 	if spec.Audit.Enabled {
@@ -511,6 +516,23 @@ func (e *Engine) installChaos() {
 	e.injector = chaos.NewInjector(e.w.Network(), e.w, e.w.Metrics(), targets, faults)
 	e.injector.SetTracer(e.w.Tracer())
 	e.injector.Install()
+	if rec := e.w.Timeline(); rec != nil {
+		// Hand the recorder the fault plan in absolute time for alert cause
+		// attribution; like switch attribution, a fault stays blameable for
+		// the grace window after it clears.
+		base := e.w.Now()
+		spans := make([]timeline.FaultSpan, 0, len(faults))
+		for _, f := range faults {
+			spans = append(spans, timeline.FaultSpan{
+				ID:     f.ID,
+				Kind:   string(f.Kind),
+				Target: f.Target,
+				From:   base.Add(f.At),
+				Until:  base.Add(f.At + f.Duration + cs.Grace),
+			})
+		}
+		rec.SetFaults(spans)
+	}
 }
 
 // Injector returns the run's fault injector (nil without a chaos profile).

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"contory/internal/chaos"
+	"contory/internal/timeline"
 )
 
 // Workload is the per-phone query mix: each fraction of the population runs
@@ -146,6 +147,44 @@ type TraceSpec struct {
 	TailCap int `json:"tail_cap"`
 }
 
+// TimelineSpec opts a run into the flight recorder: the world-wide metrics
+// registry is sampled every Interval of virtual time into delta-windows
+// (counters as rates, gauges as last-values, latency histograms as
+// per-window quantile points), SLOs are evaluated per window with
+// multi-window burn-rate alerting, and the summary gains a Timeline report
+// whose alerts carry chaos-fault and audit-violation cause attribution.
+// Sampling ticks are global barrier events, so the report is byte-identical
+// at any worker count.
+type TimelineSpec struct {
+	// Enabled turns the flight recorder on.
+	Enabled bool `json:"enabled"`
+	// Interval is the sampling window length (default 10s of virtual time).
+	Interval time.Duration `json:"interval"`
+	// SLOs are the objectives evaluated per window (flag syntax, e.g.
+	// "p99_first_item_ms<5000").
+	SLOs []timeline.SLO `json:"slos,omitempty"`
+	// MaxWindows bounds the retained window ring (default 512).
+	MaxWindows int `json:"max_windows"`
+	// BurnShort / BurnLong / BurnRate tune the alerting gate (defaults
+	// 1 / 6 / 0.5): fire when the last BurnShort windows all violate and
+	// the violating fraction over the BurnLong lookback reaches BurnRate.
+	BurnShort int     `json:"burn_short"`
+	BurnLong  int     `json:"burn_long"`
+	BurnRate  float64 `json:"burn_rate"`
+}
+
+// config lowers the spec into the recorder's configuration.
+func (t TimelineSpec) config() timeline.Config {
+	return timeline.Config{
+		Interval:   t.Interval,
+		MaxWindows: t.MaxWindows,
+		SLOs:       t.SLOs,
+		BurnShort:  t.BurnShort,
+		BurnLong:   t.BurnLong,
+		BurnRate:   t.BurnRate,
+	}
+}
+
 // RadioMix partitions the population into device classes. Fractions are
 // normalized; zero-value means everything Dual.
 type RadioMix struct {
@@ -203,14 +242,15 @@ type Spec struct {
 	// GPSFraction of phones carry a BT-GPS receiver (default 0).
 	GPSFraction float64 `json:"gps_fraction"`
 
-	Radio    RadioMix  `json:"radio"`
-	Workload Workload  `json:"workload"`
-	Churn    Churn     `json:"churn"`
-	Chaos    ChaosSpec `json:"chaos"`
-	Trace    TraceSpec `json:"trace"`
-	Cache    CacheSpec `json:"cache"`
-	QoS      QoSSpec   `json:"qos"`
-	Audit    AuditSpec `json:"audit"`
+	Radio    RadioMix     `json:"radio"`
+	Workload Workload     `json:"workload"`
+	Churn    Churn        `json:"churn"`
+	Chaos    ChaosSpec    `json:"chaos"`
+	Trace    TraceSpec    `json:"trace"`
+	Cache    CacheSpec    `json:"cache"`
+	QoS      QoSSpec      `json:"qos"`
+	Audit    AuditSpec    `json:"audit"`
+	Timeline TimelineSpec `json:"timeline"`
 }
 
 // withDefaults returns a copy with all defaults applied.
@@ -275,6 +315,9 @@ func (s Spec) withDefaults() Spec {
 	if s.Cache.Enabled && s.Cache.TTL <= 0 {
 		s.Cache.TTL = 2 * s.Workload.Period
 	}
+	if s.Timeline.Enabled && s.Timeline.Interval <= 0 {
+		s.Timeline.Interval = 10 * time.Second
+	}
 	return s
 }
 
@@ -302,6 +345,11 @@ func (s Spec) validate() error {
 	if s.QoS.Enabled &&
 		(s.QoS.Rate < 0 || s.QoS.Burst < 0 || s.QoS.QueueCap < 0 || s.QoS.MaxActive < 0) {
 		return fmt.Errorf("fleet: qos parameters must be >= 0 (zero = default)")
+	}
+	if s.Timeline.Enabled {
+		if err := s.Timeline.config().Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
 	}
 	for _, f := range []float64{s.Workload.LocalPeriodic, s.Workload.LocalEvent,
 		s.Workload.AdHocPeriodic, s.Workload.InfraOneShot, s.Workload.GPSPeriodic,

@@ -8,6 +8,7 @@ import (
 	"contory/internal/audit"
 	"contory/internal/chaos"
 	"contory/internal/metrics"
+	"contory/internal/timeline"
 	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
@@ -141,6 +142,11 @@ type Summary struct {
 	// enables auditing). A strict harness fails the run when
 	// Audit.Violations is non-empty.
 	Audit *audit.Report `json:"audit,omitempty"`
+
+	// Timeline is the flight recorder's report — windows, SLO worst-window
+	// table and the burn-rate alert log (nil unless the spec enables the
+	// timeline).
+	Timeline *timeline.Report `json:"timeline,omitempty"`
 
 	// Snapshot is the full metrics state (lifecycle event ring excluded:
 	// its eviction order is execution-order sensitive by design).
@@ -300,6 +306,17 @@ func (e *Engine) summarize(start time.Time, bs vclock.BatchStats) Summary {
 
 	if e.auditor != nil {
 		s.Audit = e.auditor.Report()
+	}
+
+	if rec := e.w.Timeline(); rec != nil {
+		rec.Stop()
+		if s.Audit != nil {
+			// Join audit violations into alert causes post-run: cross-lane
+			// violation order only settles once the clock stops.
+			rec.AttributeAudit(s.Audit.Violations)
+		}
+		rep := rec.Report()
+		s.Timeline = &rep
 	}
 
 	if tr := e.w.Tracer(); tr != nil {

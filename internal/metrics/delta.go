@@ -1,0 +1,87 @@
+package metrics
+
+import "strconv"
+
+// Delta returns the histogram of observations recorded after prev was
+// snapshotted: a per-window view of a cumulative histogram. Bucket counts
+// are cumulative, so for two snapshots of the same histogram the pointwise
+// difference of bucket counts is itself a valid cumulative bucket layout,
+// and Quantile works on the result unchanged.
+//
+// The window's exact Min and Max are not recoverable from cumulative
+// state, so Delta bounds them by the occupied delta buckets: Min is the
+// lower edge of the first occupied delta bucket (the cumulative Min when
+// that is the first bucket) and Max is the upper edge of the last occupied
+// one (the cumulative Max for the +Inf bucket). These are the tightest
+// deterministic bounds the layout supports, and Quantile's interpolation
+// stays inside them.
+//
+// A prev with zero count yields p unchanged — the window spans the whole
+// histogram — as does a prev whose bucket layout differs from p's (a
+// foreign histogram is not a baseline). A window with no observations
+// yields an empty point whose Quantile is NaN by the empty-histogram rule.
+func (p HistogramPoint) Delta(prev HistogramPoint) HistogramPoint {
+	if prev.Count == 0 || len(prev.Buckets) == 0 {
+		return p
+	}
+	if len(prev.Buckets) != len(p.Buckets) {
+		return p
+	}
+	for i := range p.Buckets {
+		if p.Buckets[i].Le != prev.Buckets[i].Le {
+			return p
+		}
+	}
+	d := HistogramPoint{
+		Name:  p.Name,
+		Count: p.Count - prev.Count,
+		Sum:   p.Sum - prev.Sum,
+	}
+	if d.Count <= 0 {
+		return HistogramPoint{Name: p.Name}
+	}
+	d.Buckets = make([]Bucket, len(p.Buckets))
+	for i := range p.Buckets {
+		d.Buckets[i] = Bucket{Le: p.Buckets[i].Le, Count: p.Buckets[i].Count - prev.Buckets[i].Count}
+	}
+	d.Min, d.Max = p.Min, p.Max
+	// Min: the lower edge of the first occupied delta bucket. Every
+	// observation is >= the cumulative Min, so for the first bucket the
+	// cumulative Min is the tightest bound; for later buckets the previous
+	// bucket's upper edge is tighter.
+	cum := int64(0)
+	for i, b := range d.Buckets {
+		if b.Count > cum {
+			if i > 0 {
+				if v, err := strconv.ParseFloat(d.Buckets[i-1].Le, 64); err == nil && v > d.Min {
+					d.Min = v
+				}
+			}
+			break
+		}
+		cum = b.Count
+	}
+	// Max: the upper edge of the last occupied delta bucket; the cumulative
+	// Max bounds the +Inf bucket (and caps finite edges, which can exceed it
+	// when the all-time maximum landed mid-bucket).
+	cum = 0
+	for _, b := range d.Buckets {
+		in := b.Count - cum
+		cum = b.Count
+		if in <= 0 {
+			continue
+		}
+		if b.Le == "+Inf" {
+			d.Max = p.Max
+		} else if v, err := strconv.ParseFloat(b.Le, 64); err == nil {
+			d.Max = v
+		}
+	}
+	if d.Max > p.Max {
+		d.Max = p.Max
+	}
+	if d.Min > d.Max {
+		d.Min = d.Max
+	}
+	return d
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// snapOne registers one histogram, observes vals into it and snapshots it.
+func snapOne(t *testing.T, reg *Registry, bounds []float64, vals []float64) HistogramPoint {
+	t.Helper()
+	h := reg.Histogram("t.hist", bounds)
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	for _, p := range reg.Snapshot().Histograms {
+		if p.Name == "t.hist" {
+			return p
+		}
+	}
+	t.Fatalf("histogram t.hist missing from snapshot")
+	return HistogramPoint{}
+}
+
+// TestHistogramDeltaQuantile covers Quantile over per-window delta
+// histograms: the subtraction path feeding the flight recorder's
+// per-window quantile points.
+func TestHistogramDeltaQuantile(t *testing.T) {
+	bounds := []float64{10, 100, 1000}
+
+	t.Run("empty window", func(t *testing.T) {
+		reg := NewRegistry()
+		prev := snapOne(t, reg, bounds, []float64{5, 50})
+		cur := snapOne(t, reg, bounds, nil) // nothing new
+		d := cur.Delta(prev)
+		if d.Count != 0 {
+			t.Fatalf("empty window has count %d, want 0", d.Count)
+		}
+		if q := d.Quantile(0.99); !math.IsNaN(q) {
+			t.Fatalf("Quantile on an empty window = %v, want NaN", q)
+		}
+	})
+
+	t.Run("single-bucket window", func(t *testing.T) {
+		reg := NewRegistry()
+		prev := snapOne(t, reg, bounds, []float64{5, 500})
+		cur := snapOne(t, reg, bounds, []float64{40, 60, 80}) // all in (10,100]
+		d := cur.Delta(prev)
+		if d.Count != 3 {
+			t.Fatalf("window count = %d, want 3", d.Count)
+		}
+		if want := 40.0 + 60 + 80; math.Abs(d.Sum-want) > 1e-9 {
+			t.Fatalf("window sum = %v, want %v", d.Sum, want)
+		}
+		// Every window observation lies in (10,100]: all quantiles must too.
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			v := d.Quantile(q)
+			if math.IsNaN(v) || v < 10 || v > 100 {
+				t.Fatalf("Quantile(%v) = %v, want within (10,100]", q, v)
+			}
+		}
+		// The cumulative quantile is polluted by the pre-window 5 and 500;
+		// the delta one must not be.
+		if v := cur.Quantile(0); v >= 10 {
+			t.Fatalf("cumulative Quantile(0) = %v, expected pre-window min below 10", v)
+		}
+	})
+
+	t.Run("window equal to cumulative", func(t *testing.T) {
+		reg := NewRegistry()
+		var zero HistogramPoint
+		cur := snapOne(t, reg, bounds, []float64{5, 50, 500, 5000})
+		d := cur.Delta(zero)
+		if d.Count != cur.Count || d.Sum != cur.Sum || d.Min != cur.Min || d.Max != cur.Max {
+			t.Fatalf("delta against empty baseline = %+v, want cumulative %+v", d, cur)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if dv, cv := d.Quantile(q), cur.Quantile(q); dv != cv {
+				t.Fatalf("Quantile(%v): delta %v != cumulative %v", q, dv, cv)
+			}
+		}
+	})
+
+	t.Run("foreign layout keeps cumulative", func(t *testing.T) {
+		regA, regB := NewRegistry(), NewRegistry()
+		prev := snapOne(t, regA, []float64{1, 2}, []float64{1.5})
+		cur := snapOne(t, regB, bounds, []float64{50})
+		d := cur.Delta(prev)
+		if d.Count != cur.Count {
+			t.Fatalf("foreign-layout delta count = %d, want cumulative %d", d.Count, cur.Count)
+		}
+	})
+
+	t.Run("min max bounded by occupied buckets", func(t *testing.T) {
+		reg := NewRegistry()
+		prev := snapOne(t, reg, bounds, []float64{1})
+		cur := snapOne(t, reg, bounds, []float64{50})
+		d := cur.Delta(prev)
+		// The only window observation sits in (10,100]: Min is bounded below
+		// by the previous bucket edge, Max by the occupied bucket's edge.
+		if d.Min < 10 || d.Min > 50 {
+			t.Fatalf("window Min = %v, want within [10,50]", d.Min)
+		}
+		if d.Max < 50 || d.Max > 100 {
+			t.Fatalf("window Max = %v, want within [50,100]", d.Max)
+		}
+	})
+}

@@ -292,6 +292,15 @@ const (
 	EventFaultCleared  EventKind = "fault-cleared"
 )
 
+// SLO lifecycle stages recorded by internal/timeline: a burn-rate alert
+// firing and clearing land in the same ring as query and fault events, so
+// the event log interleaves objectives breaking with the faults that broke
+// them (Query holds the SLO name, Mechanism the metric it watches).
+const (
+	EventSLOAlert EventKind = "slo-alert"
+	EventSLOClear EventKind = "slo-clear"
+)
+
 // Event is one stamped query-lifecycle transition. At is virtual-clock
 // time, so identically-seeded runs produce identical events.
 type Event struct {

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRingDroppedAccounting pins the ring's overflow accounting: Total
+// counts every Record, Dropped counts exactly the evictions, and the two
+// reconcile with the retained length in every fill regime.
+func TestRingDroppedAccounting(t *testing.T) {
+	record := func(r *Ring, n int) {
+		for i := 0; i < n; i++ {
+			r.Record(Event{Query: fmt.Sprintf("q%d", i), Kind: EventSubmitted})
+		}
+	}
+	cases := []struct {
+		name        string
+		capacity    int
+		records     int
+		wantDropped uint64
+	}{
+		{name: "under capacity", capacity: 8, records: 5, wantDropped: 0},
+		{name: "exact capacity", capacity: 8, records: 8, wantDropped: 0},
+		{name: "wrap by one", capacity: 8, records: 9, wantDropped: 1},
+		{name: "wrap many times", capacity: 4, records: 19, wantDropped: 15},
+		{name: "minimum capacity wraps", capacity: 1, records: 3, wantDropped: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(tc.capacity)
+			record(r, tc.records)
+			if got := r.Dropped(); got != tc.wantDropped {
+				t.Fatalf("Dropped() = %d, want %d", got, tc.wantDropped)
+			}
+			if got := r.Total(); got != uint64(tc.records) {
+				t.Fatalf("Total() = %d, want %d", got, tc.records)
+			}
+			wantLen := tc.records
+			if wantLen > tc.capacity {
+				wantLen = tc.capacity
+			}
+			if got := r.Len(); got != wantLen {
+				t.Fatalf("Len() = %d, want %d", got, wantLen)
+			}
+			// Retained + dropped must account for every record.
+			if uint64(r.Len())+r.Dropped() != r.Total() {
+				t.Fatalf("len %d + dropped %d != total %d", r.Len(), r.Dropped(), r.Total())
+			}
+			// The survivors are the newest records, oldest first.
+			evs := r.Events()
+			for i, ev := range evs {
+				want := fmt.Sprintf("q%d", tc.records-len(evs)+i)
+				if ev.Query != want {
+					t.Fatalf("event %d = %q, want %q", i, ev.Query, want)
+				}
+			}
+		})
+	}
+
+	t.Run("concurrent record", func(t *testing.T) {
+		const (
+			capacity   = 16
+			goroutines = 8
+			perG       = 500
+		)
+		r := NewRing(capacity)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					r.Record(Event{Query: fmt.Sprintf("g%d-%d", g, i), Kind: EventSubmitted})
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := r.Total(); got != goroutines*perG {
+			t.Fatalf("Total() = %d, want %d", got, goroutines*perG)
+		}
+		if got := r.Dropped(); got != goroutines*perG-capacity {
+			t.Fatalf("Dropped() = %d, want %d", got, goroutines*perG-capacity)
+		}
+		if got := r.Len(); got != capacity {
+			t.Fatalf("Len() = %d, want %d", got, capacity)
+		}
+	})
+
+	// The registry snapshot must expose the same accounting.
+	t.Run("snapshot exposure", func(t *testing.T) {
+		reg := NewRegistry()
+		cap := reg.Events().Capacity()
+		for i := 0; i < cap+7; i++ {
+			reg.Record(Event{Query: fmt.Sprintf("q%d", i), Kind: EventSubmitted})
+		}
+		s := reg.Snapshot()
+		if s.EventsDropped != 7 || s.EventsTotal != uint64(cap+7) || s.EventsCap != cap {
+			t.Fatalf("snapshot accounting = dropped %d total %d cap %d, want 7 %d %d",
+				s.EventsDropped, s.EventsTotal, s.EventsCap, cap+7, cap)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package timeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"contory/internal/trace"
+	"contory/internal/tracing"
+)
+
+// chromeTracks are the derived series exported as Perfetto counter tracks,
+// in display order. Series that are zero in every retained window are
+// skipped so idle subsystems do not clutter the trace.
+var chromeTracks = []struct {
+	track string
+	value func(Window) float64
+}{
+	{"queries_per_sec", func(w Window) float64 { return w.Derived.QueriesPerSec }},
+	{"items_per_sec", func(w Window) float64 { return w.Derived.ItemsPerSec }},
+	{"p99_first_item_ms", func(w Window) float64 { return w.Derived.P99FirstItemMs }},
+	{"cache_hit_ratio", func(w Window) float64 { return w.Derived.CacheHitRatio }},
+	{"joules_per_item", func(w Window) float64 { return w.Derived.JoulesPerItem }},
+	{"qos_shed_rate", func(w Window) float64 { return w.Derived.ShedRate }},
+	{"qos_pending", func(w Window) float64 { return w.Derived.QoSPending }},
+}
+
+// ChromeExtras converts the report into the counter/instant tracks of the
+// combined Chrome trace export: one counter track per derived series
+// (sampled at each window's end) and one global instant per fired alert,
+// so Perfetto shows the metric timelines and alert markers aligned under
+// the span rows.
+func ChromeExtras(rep Report) tracing.ChromeExtras {
+	ex := tracing.ChromeExtras{Process: "timeline"}
+	for _, s := range chromeTracks {
+		samples := make([]tracing.CounterSample, 0, len(rep.Windows))
+		allZero := true
+		for _, w := range rep.Windows {
+			v := s.value(w)
+			if v != 0 {
+				allZero = false
+			}
+			samples = append(samples, tracing.CounterSample{Track: s.track, At: w.End, Value: v})
+		}
+		if allZero {
+			continue
+		}
+		ex.Counters = append(ex.Counters, samples...)
+	}
+	for _, a := range rep.Alerts {
+		ex.Instants = append(ex.Instants, tracing.InstantSample{
+			Name:   "ALERT " + a.SLO,
+			At:     a.At,
+			Detail: strings.Join(a.Causes, "; "),
+		})
+	}
+	return ex
+}
+
+// Describe renders the one-line run summary harnesses print.
+func Describe(rep Report) string {
+	s := fmt.Sprintf("timeline: %d windows x %s", rep.WindowsTotal, rep.Interval)
+	if rep.WindowsDropped > 0 {
+		s += fmt.Sprintf(" (%d dropped)", rep.WindowsDropped)
+	}
+	if len(rep.SLOs) > 0 {
+		n := len(rep.Alerts) + rep.AlertsDropped
+		s += fmt.Sprintf(", %d slo", len(rep.SLOs))
+		if n == 0 {
+			s += ", no alerts"
+		} else {
+			s += fmt.Sprintf(", %d alerts", n)
+			if rep.AlertsDropped > 0 {
+				s += fmt.Sprintf(" (%d dropped)", rep.AlertsDropped)
+			}
+		}
+	}
+	return s
+}
+
+// offset renders a virtual instant as an offset from the recorder start.
+func offset(start time.Time, t time.Time) string {
+	return fmt.Sprintf("+%s", t.Sub(start))
+}
+
+// RenderText renders the report as text: the per-SLO worst-window table
+// followed by the alert log with cause attributions.
+func RenderText(rep Report) string {
+	var b strings.Builder
+	b.WriteString(Describe(rep))
+	b.WriteByte('\n')
+	if len(rep.SLOs) > 0 {
+		t := trace.Table{
+			Title:   "slo objectives (worst window per objective)",
+			Headers: []string{"slo", "evaluated", "violating", "alerts", "worst window", "worst value"},
+		}
+		for _, s := range rep.SLOs {
+			worstWin, worstVal := "-", "-"
+			if s.WorstWindow >= 0 {
+				worstWin = fmt.Sprintf("%d %s", s.WorstWindow, offset(rep.Start, s.WorstAt))
+				worstVal = fmt.Sprintf("%g", s.WorstValue)
+			}
+			t.Add(s.Name, fmt.Sprintf("%d", s.Evaluated), fmt.Sprintf("%d", s.Violating),
+				fmt.Sprintf("%d", s.Alerts), worstWin, worstVal)
+		}
+		b.WriteString(t.String())
+	}
+	if len(rep.Alerts) > 0 {
+		t := trace.Table{
+			Title:   "alerts",
+			Headers: []string{"at", "slo", "value", "burn", "episode", "causes"},
+		}
+		for _, a := range rep.Alerts {
+			causes := strings.Join(a.Causes, "; ")
+			if causes == "" {
+				causes = "-"
+			}
+			t.Add(offset(rep.Start, a.At), a.SLO, fmt.Sprintf("%g", a.Value),
+				fmt.Sprintf("%.2f", a.BurnRate),
+				fmt.Sprintf("%s..%s", offset(rep.Start, a.WindowStart), offset(rep.Start, a.WindowEnd)),
+				causes)
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

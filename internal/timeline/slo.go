@@ -1,0 +1,162 @@
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Derived metric names an SLO can watch. Beyond these, "counter:<name>"
+// watches any counter's per-window rate (units 1/s) and "gauge:<name>" any
+// gauge's last value.
+const (
+	MetricP99FirstItemMs = "p99_first_item_ms"
+	MetricCacheHitRatio  = "cache_hit_ratio"
+	MetricJoulesPerItem  = "joules_per_item"
+	MetricShedRate       = "qos_shed_rate"
+)
+
+// SLO is one declarative objective: the objective holds while
+// Metric Op Threshold is true in a window ("<" for latency/cost ceilings,
+// ">" for ratio floors). Windows without data for the metric are neither
+// compliant nor violating — they do not feed the burn rate.
+type SLO struct {
+	// Name labels the objective in alerts and summaries (defaults to the
+	// spec string, e.g. "p99_first_item_ms<5000").
+	Name string `json:"name,omitempty"`
+	// Metric is a derived metric name, "counter:<name>" or "gauge:<name>".
+	Metric string `json:"metric"`
+	// Op is "<" or ">".
+	Op string `json:"op"`
+	// Threshold is the objective's bound.
+	Threshold float64 `json:"threshold"`
+}
+
+// String renders the objective in the -slo flag syntax.
+func (s SLO) String() string {
+	return s.Metric + s.Op + strconv.FormatFloat(s.Threshold, 'g', -1, 64)
+}
+
+// normalized fills the default name.
+func (s SLO) normalized() SLO {
+	if s.Name == "" {
+		s.Name = s.String()
+	}
+	return s
+}
+
+// Validate rejects malformed objectives.
+func (s SLO) Validate() error {
+	if s.Op != "<" && s.Op != ">" {
+		return fmt.Errorf("timeline: slo %q: op must be < or >, got %q", s.Name, s.Op)
+	}
+	if math.IsNaN(s.Threshold) || math.IsInf(s.Threshold, 0) {
+		return fmt.Errorf("timeline: slo %q: threshold must be finite", s.Name)
+	}
+	m := s.Metric
+	switch m {
+	case MetricP99FirstItemMs, MetricCacheHitRatio, MetricJoulesPerItem, MetricShedRate:
+		return nil
+	}
+	if name, ok := strings.CutPrefix(m, "counter:"); ok && name != "" {
+		return nil
+	}
+	if name, ok := strings.CutPrefix(m, "gauge:"); ok && name != "" {
+		return nil
+	}
+	return fmt.Errorf("timeline: slo %q: unknown metric %q (want %s, %s, %s, %s, counter:<name> or gauge:<name>)",
+		s.Name, m, MetricP99FirstItemMs, MetricCacheHitRatio, MetricJoulesPerItem, MetricShedRate)
+}
+
+// holds reports whether value satisfies the objective.
+func (s SLO) holds(value float64) bool {
+	if s.Op == ">" {
+		return value > s.Threshold
+	}
+	return value < s.Threshold
+}
+
+// worse reports whether a is a worse value than b under the objective's
+// direction (ties keep the earlier window).
+func (s SLO) worse(a, b float64) bool {
+	if s.Op == ">" {
+		return a < b
+	}
+	return a > b
+}
+
+// ParseSLO parses one "-slo" objective, e.g. "p99_first_item_ms<5000" or
+// "cache_hit_ratio>0.5". An optional "name=" prefix labels it:
+// "latency=p99_first_item_ms<5000".
+func ParseSLO(spec string) (SLO, error) {
+	s := SLO{Name: strings.TrimSpace(spec)}
+	body := s.Name
+	if name, rest, ok := strings.Cut(body, "="); ok {
+		s.Name = strings.TrimSpace(name)
+		body = strings.TrimSpace(rest)
+	}
+	i := strings.IndexAny(body, "<>")
+	if i <= 0 {
+		return SLO{}, fmt.Errorf("timeline: slo %q: want <metric><op><threshold> with op < or >", spec)
+	}
+	s.Metric = strings.TrimSpace(body[:i])
+	s.Op = string(body[i])
+	v, err := strconv.ParseFloat(strings.TrimSpace(body[i+1:]), 64)
+	if err != nil {
+		return SLO{}, fmt.Errorf("timeline: slo %q: bad threshold: %v", spec, err)
+	}
+	s.Threshold = v
+	if err := s.Validate(); err != nil {
+		return SLO{}, err
+	}
+	return s, nil
+}
+
+// ParseSLOList parses a comma-separated "-slo" flag value ("" is empty).
+func ParseSLOList(list string) ([]SLO, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, part := range strings.Split(list, ",") {
+		s, err := ParseSLO(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MetricValue extracts one metric from the window: the value and whether
+// the window has data for it (ratios without a denominator do not).
+func (w Window) MetricValue(metric string) (float64, bool) {
+	switch metric {
+	case MetricP99FirstItemMs:
+		return w.Derived.P99FirstItemMs, w.Derived.FirstItemCount > 0
+	case MetricCacheHitRatio:
+		return w.Derived.CacheHitRatio, w.Derived.CacheLookups > 0
+	case MetricJoulesPerItem:
+		return w.Derived.JoulesPerItem, w.Derived.ItemsDelivered > 0
+	case MetricShedRate:
+		return w.Derived.ShedRate, w.Derived.QueriesSubmitted > 0
+	}
+	if name, ok := strings.CutPrefix(metric, "counter:"); ok {
+		for _, c := range w.Counters {
+			if c.Name == name {
+				return c.PerSec, true
+			}
+		}
+		return 0, true // a counter with no activity has rate 0
+	}
+	if name, ok := strings.CutPrefix(metric, "gauge:"); ok {
+		for _, g := range w.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, true // an absent gauge reads 0
+	}
+	return 0, false
+}

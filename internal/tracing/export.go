@@ -113,21 +113,54 @@ func fmtMS(d time.Duration) string {
 // --- Chrome trace-event JSON export ----------------------------------------
 
 // chromeEvent is one entry of the Chrome trace-event format ("X" complete
-// events plus "M" metadata), loadable in Perfetto / chrome://tracing.
+// events, "M" metadata, "C" counter samples, "i" instants), loadable in
+// Perfetto / chrome://tracing. Field order fixes the JSON key order, and
+// the "s" scope is only set on instants, so span-only exports keep their
+// exact historical bytes.
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  *float64          `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string   `json:"name"`
+	Cat  string   `json:"cat,omitempty"`
+	Ph   string   `json:"ph"`
+	S    string   `json:"s,omitempty"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Args any      `json:"args,omitempty"`
 }
 
 type chromeDoc struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// CounterSample is one point of a numeric counter track ("C" event): the
+// value of Track at virtual time At.
+type CounterSample struct {
+	Track string
+	At    time.Time
+	Value float64
+}
+
+// InstantSample is one global instant marker ("i" event, scope "g") — an
+// SLO alert firing, say — at virtual time At.
+type InstantSample struct {
+	Name   string
+	At     time.Time
+	Detail string
+}
+
+// ChromeExtras carries non-span tracks for the combined export. All extras
+// land under one pseudo-process (named Process, default "timeline") whose
+// pid follows the span nodes'.
+type ChromeExtras struct {
+	Process  string
+	Counters []CounterSample
+	Instants []InstantSample
+}
+
+func (x ChromeExtras) empty() bool {
+	return len(x.Counters) == 0 && len(x.Instants) == 0
 }
 
 // ChromeJSON exports the traces as Chrome trace-event JSON. Processes map
@@ -136,6 +169,14 @@ type chromeDoc struct {
 // the earliest exported trace start. The output is byte-identical for
 // identically-seeded runs at any worker count.
 func ChromeJSON(traces []TraceView) ([]byte, error) {
+	return ChromeJSONWithExtras(traces, ChromeExtras{})
+}
+
+// ChromeJSONWithExtras exports spans plus extra counter/instant tracks in
+// one document, sharing the pid table and time epoch so Perfetto shows the
+// metric timelines aligned under the span rows. With empty extras the
+// output is byte-identical to ChromeJSON.
+func ChromeJSONWithExtras(traces []TraceView, extras ChromeExtras) ([]byte, error) {
 	// Assign pids over the sorted set of node names.
 	nodeSet := make(map[string]bool)
 	for _, tv := range traces {
@@ -153,11 +194,22 @@ func ChromeJSON(traces []TraceView) ([]byte, error) {
 		pids[n] = i + 1
 	}
 
+	// Epoch: the earliest exported instant across spans and extras.
 	var epoch time.Time
-	for i, tv := range traces {
-		if i == 0 || tv.Start.Before(epoch) {
-			epoch = tv.Start
+	haveEpoch := false
+	observe := func(t time.Time) {
+		if !haveEpoch || t.Before(epoch) {
+			epoch, haveEpoch = t, true
 		}
+	}
+	for _, tv := range traces {
+		observe(tv.Start)
+	}
+	for _, c := range extras.Counters {
+		observe(c.At)
+	}
+	for _, in := range extras.Instants {
+		observe(in.At)
 	}
 
 	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
@@ -165,6 +217,17 @@ func ChromeJSON(traces []TraceView) ([]byte, error) {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pids[n],
 			Args: map[string]string{"name": n},
+		})
+	}
+	extrasPid := len(nodes) + 1
+	if !extras.empty() {
+		name := extras.Process
+		if name == "" {
+			name = "timeline"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: extrasPid,
+			Args: map[string]string{"name": name},
 		})
 	}
 	for ti, tv := range traces {
@@ -176,32 +239,52 @@ func ChromeJSON(traces []TraceView) ([]byte, error) {
 		})
 		for _, sv := range tv.Spans {
 			dur := micros(sv.Dur)
-			ev := chromeEvent{
-				Name: sv.Name, Cat: "contory", Ph: "X",
-				Ts:  micros(base + sv.Start),
-				Dur: &dur,
-				Pid: pids[sv.Node], Tid: tid,
-				Args: map[string]string{
-					"span":    sv.ID.String(),
-					"trace":   tv.ID.String(),
-					"node":    sv.Node,
-					"energyJ": fmt.Sprintf("%.6f", sv.EnergyJ),
-				},
+			args := map[string]string{
+				"span":    sv.ID.String(),
+				"trace":   tv.ID.String(),
+				"node":    sv.Node,
+				"energyJ": fmt.Sprintf("%.6f", sv.EnergyJ),
 			}
 			if sv.Parent != 0 {
-				ev.Args["parent"] = sv.Parent.String()
+				args["parent"] = sv.Parent.String()
 			}
 			for _, a := range sv.Attrs {
 				// Repeated keys (several faults overlapping one span)
 				// join into one comma-separated value.
-				if prev, ok := ev.Args[a.Key]; ok {
-					ev.Args[a.Key] = prev + "," + a.Value
+				if prev, ok := args[a.Key]; ok {
+					args[a.Key] = prev + "," + a.Value
 				} else {
-					ev.Args[a.Key] = a.Value
+					args[a.Key] = a.Value
 				}
 			}
-			doc.TraceEvents = append(doc.TraceEvents, ev)
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: sv.Name, Cat: "contory", Ph: "X",
+				Ts:  micros(base + sv.Start),
+				Dur: &dur,
+				Pid: pids[sv.Node], Tid: tid,
+				Args: args,
+			})
 		}
+	}
+	for _, c := range extras.Counters {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: c.Track, Cat: "contory", Ph: "C",
+			Ts:  micros(c.At.Sub(epoch)),
+			Pid: extrasPid,
+			// Chrome counter tracks need numeric arg values.
+			Args: map[string]float64{"value": c.Value},
+		})
+	}
+	for _, in := range extras.Instants {
+		ev := chromeEvent{
+			Name: in.Name, Cat: "contory", Ph: "i", S: "g",
+			Ts:  micros(in.At.Sub(epoch)),
+			Pid: extrasPid,
+		}
+		if in.Detail != "" {
+			ev.Args = map[string]string{"detail": in.Detail}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
 	}
 	return json.MarshalIndent(doc, "", " ")
 }

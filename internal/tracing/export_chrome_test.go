@@ -1,0 +1,253 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"contory/internal/vclock"
+)
+
+// chromeFixture builds a small hand-rolled trace set exercising every span
+// export feature: multiple nodes (pid assignment order), parents, repeated
+// attr keys, first-item and dropped-span markers.
+func chromeFixture() []TraceView {
+	t0 := vclock.Epoch
+	return []TraceView{
+		{
+			ID: TraceID(0xaa01), Name: "p00001/q1", Node: "p00001",
+			Start: t0.Add(2 * time.Second), Dur: 1500 * time.Millisecond,
+			FirstItem: 900 * time.Millisecond, HasFirstItem: true,
+			Spans: []SpanView{
+				{ID: SpanID(0x01), Name: "query", Node: "p00001",
+					Start: 0, Dur: 1500 * time.Millisecond, EnergyJ: 0.25,
+					Attrs: []Attr{{Key: "mech", Value: "adhoc"}}},
+				{ID: SpanID(0x02), Parent: SpanID(0x01), Name: "wifi.finder", Node: "p00002",
+					Start: 100 * time.Millisecond, Dur: 700 * time.Millisecond,
+					Attrs: []Attr{{Key: "fault", Value: "f-01"}, {Key: "fault", Value: "f-02"}}},
+			},
+		},
+		{
+			ID: TraceID(0xaa02), Name: "p00003/q2", Node: "p00003",
+			Start: t0.Add(1 * time.Second), Dur: 400 * time.Millisecond,
+			DroppedSpans: 1, Flushed: true,
+			Spans: []SpanView{
+				{ID: SpanID(0x11), Name: "query", Node: "p00003",
+					Start: 0, Dur: 400 * time.Millisecond},
+			},
+		},
+	}
+}
+
+// goldenChromeJSON is ChromeJSON's output over chromeFixture as produced
+// before the shared chrome writer refactor; the span export path must keep
+// emitting these bytes exactly.
+const goldenChromeJSON = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "p00001"
+   }
+  },
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 2,
+   "tid": 0,
+   "args": {
+    "name": "p00002"
+   }
+  },
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 3,
+   "tid": 0,
+   "args": {
+    "name": "p00003"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "p00001/q1"
+   }
+  },
+  {
+   "name": "query",
+   "cat": "contory",
+   "ph": "X",
+   "ts": 1000000,
+   "dur": 1500000,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "energyJ": "0.250000",
+    "mech": "adhoc",
+    "node": "p00001",
+    "span": "0000000000000001",
+    "trace": "000000000000aa01"
+   }
+  },
+  {
+   "name": "wifi.finder",
+   "cat": "contory",
+   "ph": "X",
+   "ts": 1100000,
+   "dur": 700000,
+   "pid": 2,
+   "tid": 1,
+   "args": {
+    "energyJ": "0.000000",
+    "fault": "f-01,f-02",
+    "node": "p00002",
+    "parent": "0000000000000001",
+    "span": "0000000000000002",
+    "trace": "000000000000aa01"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 3,
+   "tid": 2,
+   "args": {
+    "name": "p00003/q2"
+   }
+  },
+  {
+   "name": "query",
+   "cat": "contory",
+   "ph": "X",
+   "ts": 0,
+   "dur": 400000,
+   "pid": 3,
+   "tid": 2,
+   "args": {
+    "energyJ": "0.000000",
+    "node": "p00003",
+    "span": "0000000000000011",
+    "trace": "000000000000aa02"
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}`
+
+// TestChromeJSONGolden pins the span export bytes across the shared-writer
+// refactor: same fixture, same bytes.
+func TestChromeJSONGolden(t *testing.T) {
+	got, err := ChromeJSON(chromeFixture())
+	if err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	if string(got) != goldenChromeJSON {
+		t.Fatalf("ChromeJSON output drifted from the pinned golden:\n%s", string(got))
+	}
+}
+
+// TestChromeJSONExtrasEmptyIsByteIdentical guarantees the combined export
+// degenerates to the plain span export when there are no extra tracks, so
+// the two paths cannot drift on process/thread naming.
+func TestChromeJSONExtrasEmptyIsByteIdentical(t *testing.T) {
+	tv := chromeFixture()
+	plain, err := ChromeJSON(tv)
+	if err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	combined, err := ChromeJSONWithExtras(tv, ChromeExtras{})
+	if err != nil {
+		t.Fatalf("ChromeJSONWithExtras: %v", err)
+	}
+	if !bytes.Equal(plain, combined) {
+		t.Fatalf("empty-extras combined export differs from ChromeJSON")
+	}
+}
+
+// TestChromeJSONWithExtrasCounterTracks checks the counter-track export:
+// the pseudo-process gets the next pid after the span nodes, counter
+// samples become ph "C" events with numeric values, and alerts become
+// global instant events.
+func TestChromeJSONWithExtrasCounterTracks(t *testing.T) {
+	tv := chromeFixture()
+	t0 := vclock.Epoch
+	data, err := ChromeJSONWithExtras(tv, ChromeExtras{
+		Counters: []CounterSample{
+			{Track: "p99_first_item_ms", At: t0.Add(10 * time.Second), Value: 812.5},
+			{Track: "p99_first_item_ms", At: t0.Add(20 * time.Second), Value: 9000},
+		},
+		Instants: []InstantSample{
+			{Name: "ALERT p99_first_item_ms<5000", At: t0.Add(20 * time.Second), Detail: "fault f-01 partition p00002"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("ChromeJSONWithExtras: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			S    string         `json:"s"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("combined export is not valid JSON: %v", err)
+	}
+	var counters, instants, procs int
+	var timelinePid int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procs++
+				if name, _ := ev.Args["name"].(string); name == "timeline" {
+					timelinePid = ev.Pid
+				}
+			}
+		case "C":
+			counters++
+			if _, ok := ev.Args["value"].(float64); !ok {
+				t.Fatalf("counter event %q has non-numeric value %v", ev.Name, ev.Args["value"])
+			}
+		case "i":
+			instants++
+			if ev.S != "g" {
+				t.Fatalf("instant event %q has scope %q, want g", ev.Name, ev.S)
+			}
+		}
+	}
+	if counters != 2 || instants != 1 {
+		t.Fatalf("got %d counter and %d instant events, want 2 and 1", counters, instants)
+	}
+	// Three span nodes → pids 1..3; the timeline pseudo-process must take 4.
+	if timelinePid != 4 {
+		t.Fatalf("timeline pseudo-process pid = %d, want 4", timelinePid)
+	}
+	if procs != 4 {
+		t.Fatalf("got %d process_name records, want 4", procs)
+	}
+	for _, ev := range doc.TraceEvents {
+		if (ev.Ph == "C" || ev.Ph == "i") && ev.Pid != timelinePid {
+			t.Fatalf("%s event %q on pid %d, want timeline pid %d", ev.Ph, ev.Name, ev.Pid, timelinePid)
+		}
+	}
+	if !strings.Contains(string(data), `"displayTimeUnit": "ms"`) {
+		t.Fatalf("combined export lost the display unit")
+	}
+}

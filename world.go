@@ -14,6 +14,7 @@ import (
 	"contory/internal/radio"
 	"contory/internal/simnet"
 	"contory/internal/sm"
+	"contory/internal/timeline"
 	"contory/internal/tracing"
 	"contory/internal/vclock"
 )
@@ -33,6 +34,7 @@ type World struct {
 	gpsDevs  map[string]*gps.Device
 	metrics  *metrics.Registry
 	tracer   *tracing.Tracer
+	recorder *timeline.Recorder
 	facOpts  []Option
 }
 
@@ -59,6 +61,13 @@ type WorldConfig struct {
 	// radio operations and SM migrations (nil = tracing off). The config's
 	// Seed and Registry fields are filled from the world's.
 	Trace *tracing.Config
+	// Timeline arms the flight recorder: the world-wide registry is
+	// sampled every Timeline.Interval of virtual time into delta-windows,
+	// with SLO evaluation and burn-rate alerting (nil = recorder off).
+	// Ticks run on the simulator's global lane, so on a sharded world they
+	// are barriers between lane batches and windows stay byte-identical at
+	// any worker count.
+	Timeline *timeline.Config
 	// FactoryOptions is appended to every phone factory's construction
 	// options, after the world's metrics and tracer wiring — e.g.
 	// WithAnswerCache(true) to enable the answer cache fleet-wide.
@@ -95,6 +104,14 @@ func NewWorldConfig(cfg WorldConfig) (*World, error) {
 		tcfg.Registry = reg
 		tracer = tracing.New(clk, tcfg)
 	}
+	var recorder *timeline.Recorder
+	if cfg.Timeline != nil {
+		if err := cfg.Timeline.Validate(); err != nil {
+			return nil, fmt.Errorf("contory: world timeline: %w", err)
+		}
+		recorder = timeline.New(clk, reg, *cfg.Timeline)
+		recorder.Install()
+	}
 	return &World{
 		clock:    clk,
 		net:      nw,
@@ -106,12 +123,16 @@ func NewWorldConfig(cfg WorldConfig) (*World, error) {
 		gpsDevs:  make(map[string]*gps.Device),
 		metrics:  reg,
 		tracer:   tracer,
+		recorder: recorder,
 		facOpts:  cfg.FactoryOptions,
 	}, nil
 }
 
 // Tracer returns the world's tracer, or nil when tracing is off.
 func (w *World) Tracer() *tracing.Tracer { return w.tracer }
+
+// Timeline returns the world's flight recorder, or nil when disabled.
+func (w *World) Timeline() *timeline.Recorder { return w.recorder }
 
 // AttachAudit wires a runtime invariant auditor into the world's shared
 // subsystems (the SM platform's per-node residency balance). Pair it with
