@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke timeline-smoke
+.PHONY: all check build fmt-check vet staticcheck test race bench experiments examples cover clean load-smoke load-bench chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke timeline-smoke perf-smoke
 
 all: check
 
@@ -8,9 +8,9 @@ all: check
 # (when installed), tests, the race detector, a small fleet-load smoke run,
 # a determinism-checked chaos run, a determinism-checked trace export, a
 # determinism-checked answer-cache run, a determinism-checked QoS overload
-# run, an invariant-audited chaos+qos+cache run and a determinism-checked
-# flight-recorder run.
-check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke timeline-smoke
+# run, an invariant-audited chaos+qos+cache run, a determinism-checked
+# flight-recorder run and a scaling-regression perf smoke.
+check: fmt-check build vet staticcheck test race load-smoke chaos-smoke trace-smoke cache-smoke qos-smoke audit-smoke timeline-smoke perf-smoke
 
 build:
 	$(GO) build ./...
@@ -139,10 +139,39 @@ timeline-smoke:
 	cmp BENCH_timeline_w1.json BENCH_timeline_w8.json
 	rm -f BENCH_timeline_w1.json BENCH_timeline_w8.json
 
+# perf-smoke is the scaling-regression gate: the scheduler and spatial-index
+# microbenchmarks compile and run once each (so a broken hot path fails the
+# gate, without paying for full measurement), then a short fleet with
+# mobility and churn ON — the workload that exercises incremental grid
+# maintenance, event pooling and the sharded scheduler — runs at
+# GOMAXPROCS=1/-workers 1 and GOMAXPROCS=8/-workers 8: the two summaries
+# must be byte-identical.
+perf-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/vclock ./internal/simnet
+	GOMAXPROCS=1 $(GO) run ./cmd/contory-load -phones 150 -duration 2m -seed 7 \
+		-workers 1 -stats-out BENCH_perf_w1.json
+	GOMAXPROCS=8 $(GO) run ./cmd/contory-load -phones 150 -duration 2m -seed 7 \
+		-workers 8 -stats-out BENCH_perf_w8.json
+	cmp BENCH_perf_w1.json BENCH_perf_w8.json
+	rm -f BENCH_perf_w1.json BENCH_perf_w8.json
+
 # load-bench regenerates BENCH_fleet.json: wall-clock scaling of the fleet
-# engine at 1k/2k/5k phones over ten virtual minutes.
+# engine at 1k/2k/5k phones over ten virtual minutes. With COUNT=n (needs
+# benchstat on PATH) the sweep repeats n times, accumulating Go-benchmark
+# format lines in BENCH_fleet.txt and summarising run-to-run variance with
+# benchstat.
 load-bench:
+ifeq ($(COUNT),)
 	$(GO) run ./cmd/contory-load -sweep 1000,2000,5000 -duration 10m -bench-out BENCH_fleet.json
+else
+	@command -v benchstat >/dev/null 2>&1 || { echo "load-bench COUNT=$(COUNT) needs benchstat on PATH"; exit 1; }
+	rm -f BENCH_fleet.txt
+	for i in $$(seq 1 $(COUNT)); do \
+		$(GO) run ./cmd/contory-load -sweep 1000,2000,5000 -duration 10m \
+			-bench-out BENCH_fleet.json -bench-go BENCH_fleet.txt || exit 1; \
+	done
+	benchstat BENCH_fleet.txt
+endif
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -166,4 +195,5 @@ clean:
 		BENCH_cache_w1.json BENCH_cache_w8.json \
 		BENCH_qos_w1.json BENCH_qos_w8.json \
 		BENCH_audit_w1.json BENCH_audit_w8.json \
-		BENCH_timeline_w1.json BENCH_timeline_w8.json
+		BENCH_timeline_w1.json BENCH_timeline_w8.json \
+		BENCH_perf_w1.json BENCH_perf_w8.json BENCH_fleet.txt

@@ -22,6 +22,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -61,6 +62,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print the full summary JSON to stdout")
 		statsOut = flag.String("stats-out", "", "write the run summary JSON to this file")
 		benchOut = flag.String("bench-out", "", "write sweep wall-clock timings JSON to this file")
+		benchGo  = flag.String("bench-go", "", "append sweep timings in Go benchmark format to this file (benchstat-friendly)")
 		sweep    = flag.String("sweep", "", "comma-separated phone counts to run back to back (e.g. 1000,2000,5000)")
 		traceOn  = flag.Bool("trace", false, "record per-query span trees (deterministic distributed tracing)")
 		traceOut = flag.String("trace-out", "", "write retained traces as Chrome trace-event JSON (open in Perfetto); implies -trace")
@@ -146,13 +148,13 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(*sweep, specFor, *workers, *benchOut); err != nil {
+		if err := runSweep(*sweep, specFor, *workers, *benchOut, *benchGo); err != nil {
 			fail(err)
 		}
 		return
 	}
 
-	sum, eng, wall, err := runOne(specFor(*phones), *workers)
+	sum, eng, wall, mem, err := runOne(specFor(*phones), *workers)
 	if err != nil {
 		fail(err)
 	}
@@ -199,16 +201,23 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "fleet summary written to", *statsOut)
 	}
-	if *benchOut != "" {
-		entry := benchEntry(sum, wall)
-		data, err := json.MarshalIndent(benchDoc{Bench: "fleet", Runs: []benchRun{entry}}, "", "  ")
-		if err != nil {
-			fail(err)
+	if *benchOut != "" || *benchGo != "" {
+		entry := benchEntry(sum, wall, mem)
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(benchDoc{Bench: "fleet", Runs: []benchRun{entry}}, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := writeFile(*benchOut, append(data, '\n')); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(os.Stderr, "bench timings written to", *benchOut)
 		}
-		if err := writeFile(*benchOut, append(data, '\n')); err != nil {
-			fail(err)
+		if *benchGo != "" {
+			if err := appendFile(*benchGo, []byte(benchGoLine(entry))); err != nil {
+				fail(err)
+			}
 		}
-		fmt.Fprintln(os.Stderr, "bench timings written to", *benchOut)
 	}
 }
 
@@ -245,24 +254,45 @@ func validateFlags(phones int, duration time.Duration, workers int, qosRate, ove
 	return nil
 }
 
+// benchMem is the allocation profile of one run, measured by
+// runtime.ReadMemStats deltas around the engine execution: total heap
+// allocations and bytes during the run, plus the process heap high-water
+// mark (HeapSys) after it. Future perf PRs gate on allocation per event as
+// well as throughput.
+type benchMem struct {
+	allocs   uint64
+	bytes    uint64
+	peakHeap uint64
+}
+
 // runOne builds and runs one scenario, returning its summary, the engine
-// (for post-run trace export) and the wall-clock time the run took. The run
-// executes under pprof labels so CPU profiles split by scenario.
-func runOne(spec fleet.Spec, workers int) (fleet.Summary, *fleet.Engine, time.Duration, error) {
+// (for post-run trace export), the wall-clock time the run took and its
+// allocation profile. The run executes under pprof labels so CPU profiles
+// split by scenario.
+func runOne(spec fleet.Spec, workers int) (fleet.Summary, *fleet.Engine, time.Duration, benchMem, error) {
 	e, err := fleet.New(spec)
 	if err != nil {
-		return fleet.Summary{}, nil, 0, err
+		return fleet.Summary{}, nil, 0, benchMem{}, err
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var sum fleet.Summary
 	labels := pprof.Labels("scenario", spec.Name, "phones", strconv.Itoa(spec.Phones))
 	pprof.Do(context.Background(), labels, func(context.Context) {
 		sum, err = e.Run(workers)
 	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	if err != nil {
-		return fleet.Summary{}, nil, 0, err
+		return fleet.Summary{}, nil, 0, benchMem{}, err
 	}
-	return sum, e, time.Since(start), nil
+	mem := benchMem{
+		allocs:   ms1.Mallocs - ms0.Mallocs,
+		bytes:    ms1.TotalAlloc - ms0.TotalAlloc,
+		peakHeap: ms1.HeapSys,
+	}
+	return sum, e, wall, mem, nil
 }
 
 // exportTraces writes the engine's retained traces as Chrome trace-event
@@ -364,17 +394,21 @@ type benchRun struct {
 	WallMS         float64 `json:"wall_ms"`
 	Events         uint64  `json:"events"`
 	EventsPerSec   float64 `json:"events_per_wall_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 	Queries        int64   `json:"queries_submitted"`
 	Items          int64   `json:"items_delivered"`
 	Failovers      int64   `json:"failovers"`
 }
 
-func benchEntry(s fleet.Summary, wall time.Duration) benchRun {
+func benchEntry(s fleet.Summary, wall time.Duration, mem benchMem) benchRun {
 	r := benchRun{
 		Phones:         s.Phones,
 		VirtualSeconds: s.VirtualSeconds,
 		WallMS:         float64(wall) / float64(time.Millisecond),
 		Events:         s.Events,
+		PeakHeapBytes:  mem.peakHeap,
 		Queries:        s.QueriesSubmitted,
 		Items:          s.ItemsDelivered,
 		Failovers:      s.Failovers,
@@ -382,12 +416,24 @@ func benchEntry(s fleet.Summary, wall time.Duration) benchRun {
 	if wall > 0 {
 		r.EventsPerSec = float64(s.Events) / wall.Seconds()
 	}
+	if s.Events > 0 {
+		r.AllocsPerEvent = float64(mem.allocs) / float64(s.Events)
+		r.BytesPerEvent = float64(mem.bytes) / float64(s.Events)
+	}
 	return r
+}
+
+// benchGoLine renders one run as a Go testing benchmark result line, the
+// format benchstat consumes, so repeated `make load-bench COUNT=n` sweeps
+// can be compared statistically.
+func benchGoLine(r benchRun) string {
+	return fmt.Sprintf("BenchmarkFleet/phones=%d 1 %d ns/op %.1f allocs/event %.1f bytes/event %.0f events/wall-sec\n",
+		r.Phones, int64(r.WallMS*1e6), r.AllocsPerEvent, r.BytesPerEvent, r.EventsPerSec)
 }
 
 // runSweep runs the scenario at each population size and reports how
 // wall-clock scales with fleet size.
-func runSweep(list string, specFor func(int) fleet.Spec, workers int, benchOut string) error {
+func runSweep(list string, specFor func(int) fleet.Spec, workers int, benchOut, benchGo string) error {
 	var counts []int
 	for _, part := range strings.Split(list, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -398,12 +444,12 @@ func runSweep(list string, specFor func(int) fleet.Spec, workers int, benchOut s
 	}
 	doc := benchDoc{Bench: "fleet"}
 	for _, n := range counts {
-		sum, _, wall, err := runOne(specFor(n), workers)
+		sum, _, wall, mem, err := runOne(specFor(n), workers)
 		if err != nil {
 			return fmt.Errorf("sweep %d phones: %w", n, err)
 		}
 		printSummary(sum, wall)
-		doc.Runs = append(doc.Runs, benchEntry(sum, wall))
+		doc.Runs = append(doc.Runs, benchEntry(sum, wall, mem))
 	}
 	if benchOut != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")
@@ -415,7 +461,36 @@ func runSweep(list string, specFor func(int) fleet.Spec, workers int, benchOut s
 		}
 		fmt.Fprintln(os.Stderr, "bench timings written to", benchOut)
 	}
+	if benchGo != "" {
+		var lines []byte
+		for _, r := range doc.Runs {
+			lines = append(lines, benchGoLine(r)...)
+		}
+		if err := appendFile(benchGo, lines); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "benchstat lines appended to", benchGo)
+	}
 	return nil
+}
+
+// appendFile appends data, creating the file and parent directories as
+// needed (repeated sweeps accumulate benchstat samples in one file).
+func appendFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create %s: %w", dir, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("append %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // writeFile writes data, creating parent directories as needed.

@@ -108,15 +108,20 @@ func (g *Gauge) Value() float64 {
 // first bucket whose upper bound is >= the value, with an implicit +Inf
 // overflow bucket. Bounds are fixed at creation so snapshots from different
 // runs line up bucket for bucket.
+//
+// Observe is lock-free: bucket and total counts and the fixed-point sum are
+// atomic adds (order-independent, so parallel lanes commute exactly), and
+// min/max are maintained by compare-and-swap on float bits. Snapshots are
+// taken between batches when the clock is idle, so the per-field atomic
+// reads observe a consistent state.
 type Histogram struct {
 	bounds []float64 // strictly increasing upper bounds (excl. +Inf)
 
-	mu     sync.Mutex
-	counts []int64 // len(bounds)+1; last is the +Inf bucket
-	count  int64
-	sum    int64 // microunits (see fixedScale): order-independent accumulation
-	min    float64
-	max    float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sum     atomic.Int64  // microunits (see fixedScale): order-independent accumulation
+	minBits atomic.Uint64 // Float64bits; +Inf until the first observation
+	maxBits atomic.Uint64 // Float64bits; -Inf until the first observation
 }
 
 // DefaultLatencyBucketsMs covers the paper's measured range: sub-millisecond
@@ -137,10 +142,13 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 		dedup = append(dedup, b)
 	}
-	return &Histogram{
+	h := &Histogram{
 		bounds: dedup,
-		counts: make([]int64, len(dedup)+1),
+		counts: make([]atomic.Int64, len(dedup)+1),
 	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value.
@@ -149,16 +157,20 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.counts[i]++
-	h.count++
-	h.sum += toFixed(v)
-	if h.count == 1 || v < h.min {
-		h.min = v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(toFixed(v))
+	for {
+		ob := h.minBits.Load()
+		if !(v < math.Float64frombits(ob)) || h.minBits.CompareAndSwap(ob, math.Float64bits(v)) {
+			break
+		}
 	}
-	if h.count == 1 || v > h.max {
-		h.max = v
+	for {
+		ob := h.maxBits.Load()
+		if !(v > math.Float64frombits(ob)) || h.maxBits.CompareAndSwap(ob, math.Float64bits(v)) {
+			break
+		}
 	}
 }
 
@@ -167,9 +179,7 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of all observed values, at microunit resolution.
@@ -177,9 +187,16 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return fromFixed(h.sum)
+	return fromFixed(h.sum.Load())
+}
+
+// minMax returns the observed extrema, or (0, 0) for an empty histogram —
+// the same zero values the mutex-based implementation reported.
+func (h *Histogram) minMax() (lo, hi float64) {
+	if h.count.Load() == 0 {
+		return 0, 0
+	}
+	return math.Float64frombits(h.minBits.Load()), math.Float64frombits(h.maxBits.Load())
 }
 
 // Registry holds named instruments and the query-lifecycle event ring. A

@@ -60,8 +60,8 @@ func TestHistogramBucketing(t *testing.T) {
 	// first matching bucket.
 	wantRaw := []int64{2, 2, 2, 2} // (≤1)=2, (1,5]=2, (5,10]=2, +Inf=2
 	for i, want := range wantRaw {
-		if h.counts[i] != want {
-			t.Errorf("raw bucket %d = %d, want %d", i, h.counts[i], want)
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("raw bucket %d = %d, want %d", i, got, want)
 		}
 	}
 	if h.Count() != 8 {

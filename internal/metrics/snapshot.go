@@ -88,21 +88,20 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 func snapHistogram(name string, h *Histogram) HistogramPoint {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	lo, hi := h.minMax()
 	p := HistogramPoint{
 		Name:  name,
-		Count: h.count,
-		Sum:   fromFixed(h.sum),
-		Min:   h.min,
-		Max:   h.max,
+		Count: h.count.Load(),
+		Sum:   fromFixed(h.sum.Load()),
+		Min:   lo,
+		Max:   hi,
 	}
 	cum := int64(0)
 	for i, b := range h.bounds {
-		cum += h.counts[i]
+		cum += h.counts[i].Load()
 		p.Buckets = append(p.Buckets, Bucket{Le: formatFloat(b), Count: cum})
 	}
-	cum += h.counts[len(h.bounds)]
+	cum += h.counts[len(h.bounds)].Load()
 	p.Buckets = append(p.Buckets, Bucket{Le: "+Inf", Count: cum})
 	return p
 }

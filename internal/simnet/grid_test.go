@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -101,6 +102,192 @@ func TestGridMatchesBruteForce(t *testing.T) {
 	}
 	ids = append(ids, "neg")
 	check("after negative-coordinate node")
+}
+
+// Property test: drive the incremental index through a long randomized
+// churn — teleports, node additions, range changes, radio/down flips, link
+// faults, partitions, and mobility ticks — asserting exact agreement with
+// the brute-force scan after every single mutation. Any stale cell entry,
+// missed migration, or dangling where-pointer shows up as a neighbour-set
+// divergence at the step that introduced it.
+func TestGridIncrementalChurnProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1311))
+	clk := vclock.NewSimulator()
+	nw := New(clk)
+	nw.SetRange(radio.MediumWiFi, 60)
+	nw.SetRange(radio.MediumBT, 12)
+
+	var ids []NodeID
+	addNode := func() {
+		id := NodeID(fmt.Sprintf("c%03d", len(ids)))
+		if _, err := nw.AddNode(id, Position{X: rng.Float64() * 500, Y: rng.Float64() * 500}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 60; i++ {
+		addNode()
+	}
+	pick := func() NodeID { return ids[rng.Intn(len(ids))] }
+
+	check := func(step int, op string) {
+		t.Helper()
+		for _, m := range []radio.Medium{radio.MediumWiFi, radio.MediumBT} {
+			for _, id := range ids {
+				got := nw.Neighbors(id, m)
+				want := bruteNeighbors(nw, id, m)
+				if len(got) != len(want) {
+					t.Fatalf("step %d (%s): %s over %s: grid %v, brute %v", step, op, id, m, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("step %d (%s): %s over %s: grid %v, brute %v", step, op, id, m, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	nw.StartMobility(time.Second)
+	var parts []int
+	for step := 0; step < 200; step++ {
+		op := ""
+		switch r := rng.Intn(20); {
+		case r < 6: // teleport, sometimes onto negative coordinates
+			op = "teleport"
+			nw.Node(pick()).SetPosition(Position{X: rng.Float64()*600 - 100, Y: rng.Float64()*600 - 100})
+		case r < 9: // mobility tick over whatever velocities are set
+			op = "mobility"
+			nw.Node(pick()).SetVelocity(Position{X: rng.Float64()*20 - 10, Y: rng.Float64()*20 - 10})
+			clk.Advance(time.Second)
+		case r < 11:
+			op = "add"
+			if len(ids) < 110 {
+				addNode()
+			}
+		case r < 13: // grow or shrink a medium's range (rebuilds its grid)
+			op = "range"
+			nw.SetRange(radio.MediumWiFi, 10+rng.Float64()*90)
+		case r < 15:
+			op = "radio/down"
+			nw.Node(pick()).SetRadio(radio.MediumBT, rng.Intn(2) == 0)
+			nw.Node(pick()).SetDown(rng.Intn(2) == 0)
+		case r < 17:
+			op = "fault"
+			a, b := pick(), pick()
+			if rng.Intn(2) == 0 {
+				nw.FailLink(a, b, radio.MediumWiFi)
+			} else {
+				nw.RestoreLink(a, b, radio.MediumWiFi)
+			}
+		case r < 18:
+			op = "connect"
+			a, b := pick(), pick()
+			if a != b {
+				_ = nw.Connect(a, b, radio.MediumWiFi)
+			}
+		default:
+			op = "partition"
+			if len(parts) > 0 && rng.Intn(2) == 0 {
+				nw.Heal(parts[len(parts)-1])
+				parts = parts[:len(parts)-1]
+			} else {
+				members := []NodeID{pick(), pick(), pick()}
+				parts = append(parts, nw.Partition(radio.MediumWiFi, members...))
+			}
+		}
+		check(step, op)
+	}
+}
+
+// Regression guard for the PR-8 lock-inversion class of bug: grid
+// maintenance used to take per-node locks while already holding nw.mu,
+// opposite to the setters' lock order, deadlocking under churn. Node state
+// is lock-free now, so hammering setters, queries, and range rebuilds from
+// many goroutines must neither deadlock nor trip the race detector. The
+// watchdog fails fast instead of hanging the suite if an inversion returns.
+func TestGridMaintenanceLockFreeUnderChurn(t *testing.T) {
+	clk := vclock.NewSimulator()
+	nw := New(clk)
+	nw.SetRange(radio.MediumWiFi, 40)
+	const n = 64
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("h%02d", i))
+		if _, err := nw.AddNode(ids[i], Position{X: float64(i), Y: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	hammer := func(fn func(rng *rand.Rand, i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(len(ids))))
+			for i := 0; i < 2000; i++ {
+				fn(rng, i)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		hammer(func(rng *rand.Rand, i int) { // movers: exercise grid migration
+			nw.Node(ids[rng.Intn(n)]).SetPosition(Position{X: rng.Float64() * 200, Y: rng.Float64() * 200})
+			nw.Node(ids[rng.Intn(n)]).SetVelocity(Position{X: 1, Y: -1})
+		})
+	}
+	for g := 0; g < 2; g++ {
+		hammer(func(rng *rand.Rand, i int) { // togglers: node-state writers
+			nw.Node(ids[rng.Intn(n)]).SetRadio(radio.MediumWiFi, i%2 == 0)
+			nw.Node(ids[rng.Intn(n)]).SetDown(i%3 == 0)
+		})
+	}
+	for g := 0; g < 2; g++ {
+		hammer(func(rng *rand.Rand, i int) { // queriers: read under nw.mu
+			nw.Neighbors(ids[rng.Intn(n)], radio.MediumWiFi)
+			nw.Linked(ids[rng.Intn(n)], ids[rng.Intn(n)], radio.MediumWiFi)
+		})
+	}
+	hammer(func(rng *rand.Rand, i int) { // ranger: full-grid rebuilds under nw.mu
+		nw.SetRange(radio.MediumWiFi, 20+float64(i%40))
+	})
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("grid maintenance deadlocked: churn did not finish within 30s")
+	}
+}
+
+// BenchmarkNeighborsUnderMobility measures the steady-state cost the fleet
+// driver pays: one mobility tick (n incremental cell migrations) followed
+// by a burst of neighbour queries, with the old design's full O(n) grid
+// rebuild on every post-move query replaced by incremental maintenance.
+func BenchmarkNeighborsUnderMobility(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	clk := vclock.NewSimulator()
+	nw := New(clk)
+	nw.SetRange(radio.MediumWiFi, 50)
+	const n = 1000
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("m%04d", i))
+		if _, err := nw.AddNode(ids[i], Position{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}); err != nil {
+			b.Fatal(err)
+		}
+		nw.Node(ids[i]).SetVelocity(Position{X: rng.Float64()*4 - 2, Y: rng.Float64()*4 - 2})
+	}
+	nw.StartMobility(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		for j := 0; j < 16; j++ {
+			nw.Neighbors(ids[(i*16+j)%n], radio.MediumWiFi)
+		}
+	}
 }
 
 func TestShardingAssignsStableLanes(t *testing.T) {

@@ -77,17 +77,32 @@ func newLinkKey(a, b NodeID, m radio.Medium) linkKey {
 	return linkKey{a: a, b: b, medium: m}
 }
 
+// maxMedium bounds the per-node radio state array; media are small ints.
+const maxMedium = 8
+
 // Node is one device in the simulated testbed.
+//
+// All mutable node state is lock-free: positions and velocities are stored
+// as atomic float bits, down/radio flags as atomic bools, and the handler
+// table as a copy-on-write map. Hot paths (link checks, grid maintenance,
+// message dispatch) therefore never take a per-node lock, and Network code
+// holding nw.mu can read node state without any lock-order concern — the
+// lock inversion that rebuildGridsLocked used to risk (nw.mu → Node.mu) is
+// gone by construction. Position writes are serialised by nw.mu (SetPosition
+// and the mobility ticker both hold it), so the X/Y pair is never torn for
+// readers inside the lock; lock-free readers outside it run between
+// mutation barriers in deterministic runs.
 type Node struct {
 	id  NodeID
 	net *Network
 
-	mu       sync.Mutex
-	pos      Position
-	vel      Position // metres/second, applied by mobility ticks
-	down     bool
-	radios   map[radio.Medium]bool // on/off per medium
-	handlers map[string]Handler
+	posX, posY atomic.Uint64 // math.Float64bits
+	velX, velY atomic.Uint64 // metres/second, applied by mobility ticks
+	down       atomic.Bool
+	radios     [maxMedium]atomic.Bool // on/off per medium
+
+	hmu      sync.Mutex // serialises handler-table copy-on-write
+	handlers atomic.Pointer[map[string]Handler]
 
 	timeline *energy.Timeline
 	battery  *energy.Battery
@@ -102,70 +117,85 @@ func (n *Node) Timeline() *energy.Timeline { return n.timeline }
 // Battery returns the node's battery model.
 func (n *Node) Battery() *energy.Battery { return n.battery }
 
-// Position returns the node's current location.
-func (n *Node) Position() Position {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.pos
+// position is the lock-free position accessor used by grid maintenance and
+// link checks (safe with or without nw.mu held).
+func (n *Node) position() Position {
+	return Position{
+		X: math.Float64frombits(n.posX.Load()),
+		Y: math.Float64frombits(n.posY.Load()),
+	}
 }
 
-// SetPosition teleports the node.
+func (n *Node) storePosition(p Position) {
+	n.posX.Store(math.Float64bits(p.X))
+	n.posY.Store(math.Float64bits(p.Y))
+}
+
+func (n *Node) velocity() (vx, vy float64) {
+	return math.Float64frombits(n.velX.Load()), math.Float64frombits(n.velY.Load())
+}
+
+// Position returns the node's current location.
+func (n *Node) Position() Position { return n.position() }
+
+// SetPosition teleports the node, migrating its spatial-grid cells.
 func (n *Node) SetPosition(p Position) {
-	n.mu.Lock()
-	n.pos = p
-	n.mu.Unlock()
-	n.net.gridsDirty.Store(true)
+	nw := n.net
+	nw.mu.Lock()
+	n.storePosition(p)
+	for _, g := range nw.grids {
+		g.move(n.id, p)
+	}
+	nw.mu.Unlock()
 }
 
 // SetVelocity sets the node's velocity vector in metres/second; the network
 // mobility ticker integrates it.
 func (n *Node) SetVelocity(v Position) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.vel = v
+	n.velX.Store(math.Float64bits(v.X))
+	n.velY.Store(math.Float64bits(v.Y))
 }
 
 // SetRadio switches a medium's radio on or off. Turning a radio off fails
 // in-flight deliveries to this node on that medium.
 func (n *Node) SetRadio(m radio.Medium, on bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.radios[m] = on
+	if m < 0 || int(m) >= maxMedium {
+		return
+	}
+	n.radios[m].Store(on)
 }
 
 // RadioOn reports whether the given radio is on.
 func (n *Node) RadioOn(m radio.Medium) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.radios[m]
+	if m < 0 || int(m) >= maxMedium {
+		return false
+	}
+	return n.radios[m].Load()
 }
 
 // SetDown marks the node as failed (true) or recovered (false).
-func (n *Node) SetDown(down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.down = down
-}
+func (n *Node) SetDown(down bool) { n.down.Store(down) }
 
 // Down reports whether the node is failed.
-func (n *Node) Down() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down
-}
+func (n *Node) Down() bool { return n.down.Load() }
 
 // Handle registers the handler for a message kind, replacing any previous
-// registration.
+// registration. Registration copies the handler table (copy-on-write), so
+// the per-delivery lookup is a lock-free map read.
 func (n *Node) Handle(kind string, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.handlers[kind] = h
+	n.hmu.Lock()
+	old := n.handlers.Load()
+	next := make(map[string]Handler, len(*old)+1)
+	for k, v := range *old {
+		next[k] = v
+	}
+	next[kind] = h
+	n.handlers.Store(&next)
+	n.hmu.Unlock()
 }
 
 func (n *Node) handler(kind string) (Handler, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	h, ok := n.handlers[kind]
+	h, ok := (*n.handlers.Load())[kind]
 	return h, ok
 }
 
@@ -204,15 +234,16 @@ type Network struct {
 	// EnableSharding before any node exists, read-only afterwards).
 	lanes int
 
-	mu     sync.Mutex
-	nodes  map[NodeID]*Node
-	links  map[linkKey]bool
-	adj    map[radio.Medium]map[NodeID]map[NodeID]bool // explicit-link adjacency
-	failed map[linkKey]bool
-	ranges map[radio.Medium]float64 // 0 = explicit links only
-	loss   map[linkKey]float64      // per-link drop probability
-	rng    *rand.Rand
-	seed   int64
+	mu       sync.Mutex
+	nodes    map[NodeID]*Node
+	nodeList []*Node // sorted by ID; maintained incrementally by AddNode
+	links    map[linkKey]bool
+	adj      map[radio.Medium]map[NodeID]map[NodeID]bool // explicit-link adjacency
+	failed   map[linkKey]bool
+	ranges   map[radio.Medium]float64 // 0 = explicit links only
+	loss     map[linkKey]float64      // per-link drop probability
+	rng      *rand.Rand
+	seed     int64
 
 	// Fault-injection state (internal/chaos): active partitions, per-node
 	// drop probability (degraded RSSI, provider hang at p=1) and per-node
@@ -222,11 +253,21 @@ type Network struct {
 	nodeLoss   map[nodeMedium]float64
 	nodeDelay  map[nodeMedium]time.Duration
 
-	// grids caches a uniform spatial index per range-enabled medium (cell
+	// faultLoss and faultDelay count active loss/delay entries so the
+	// per-delivery fast path can skip the mutex entirely when no fault is
+	// installed — the common case for every scale benchmark.
+	faultLoss  atomic.Int32
+	faultDelay atomic.Int32
+
+	// grids holds a uniform spatial index per range-enabled medium (cell
 	// size = the medium's range, so candidates beyond range cannot appear
-	// outside the 3×3 cell neighborhood). Rebuilt lazily when gridsDirty.
-	grids      map[radio.Medium]*grid
-	gridsDirty atomic.Bool
+	// outside the 3×3 cell neighborhood). Maintained incrementally:
+	// AddNode inserts into every active grid, position changes migrate only
+	// the moved node's cell, and SetRange rebuilds only its own medium.
+	grids map[radio.Medium]*grid
+
+	// candScratch is the reusable Neighbors candidate buffer (guarded by mu).
+	candScratch []NodeID
 
 	// lossSeq counts deliveries per directed link in sharded mode; the
 	// hash-based loss decision is keyed on it instead of a shared rand
@@ -369,21 +410,33 @@ func (nw *Network) SetLoss(a, b NodeID, m radio.Medium, p float64) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	key := newLinkKey(a, b, m)
+	_, had := nw.loss[key]
 	if p == 0 {
-		delete(nw.loss, key)
+		if had {
+			delete(nw.loss, key)
+			nw.faultLoss.Add(-1)
+		}
 		return
 	}
 	nw.loss[key] = p
+	if !had {
+		nw.faultLoss.Add(1)
+	}
 }
 
-// lossDrop reports whether a delivery on the link should be lost. In serial
-// mode decisions come from the shared rand stream (draw order is the event
-// order, which is deterministic). In sharded mode the shared stream's draw
-// order would depend on cross-lane interleaving, so the decision is instead
-// a keyed hash of (seed, directed link, per-link delivery count): each
-// directed link's deliveries execute sequentially in the receiver's lane,
-// making the count — and hence every decision — schedule-independent.
+// lossDrop reports whether a delivery on the link should be lost. When no
+// loss fault is installed anywhere (the common case) it returns immediately
+// without locking. In serial mode decisions come from the shared rand
+// stream (draw order is the event order, which is deterministic). In
+// sharded mode the shared stream's draw order would depend on cross-lane
+// interleaving, so the decision is instead a keyed hash of (seed, directed
+// link, per-link delivery count): each directed link's deliveries execute
+// sequentially in the receiver's lane, making the count — and hence every
+// decision — schedule-independent.
 func (nw *Network) lossDrop(a, b NodeID, m radio.Medium) bool {
+	if nw.faultLoss.Load() == 0 {
+		return false
+	}
 	nw.mu.Lock()
 	p, lossy := nw.loss[newLinkKey(a, b, m)]
 	// Per-node loss (degraded RSSI, hung provider) on either endpoint
@@ -418,7 +471,9 @@ func (nw *Network) Clock() *vclock.Simulator { return nw.clock }
 
 // AddNode creates a node at the given position with all radios on. When
 // sharding is enabled the node's timeline and battery tick on its lane
-// clock, so their periodic work stays on the node's shard.
+// clock, so their periodic work stays on the node's shard. The node is
+// inserted into every active spatial grid; other media's grids are
+// untouched.
 func (nw *Network) AddNode(id NodeID, pos Position) (*Node, error) {
 	clk := nw.ClockFor(id)
 	nw.mu.Lock()
@@ -427,24 +482,28 @@ func (nw *Network) AddNode(id NodeID, pos Position) (*Node, error) {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
 	}
 	n := &Node{
-		id:  id,
-		net: nw,
-		pos: pos,
-		radios: map[radio.Medium]bool{
-			radio.MediumInternal: true,
-			radio.MediumBT:       true,
-			radio.MediumWiFi:     true,
-			radio.MediumUMTS:     true,
-		},
-		handlers: make(map[string]Handler),
+		id:       id,
+		net:      nw,
 		timeline: energy.NewTimeline(clk),
 		battery:  energy.NewBattery(clk, energy.BatteryConfig{}),
 	}
+	n.storePosition(pos)
+	for _, m := range []radio.Medium{radio.MediumInternal, radio.MediumBT, radio.MediumWiFi, radio.MediumUMTS} {
+		n.radios[m].Store(true)
+	}
+	empty := make(map[string]Handler)
+	n.handlers.Store(&empty)
 	if nw.metrics != nil {
 		n.timeline.SetMetrics(nw.metrics)
 	}
 	nw.nodes[id] = n
-	nw.gridsDirty.Store(true)
+	i := sort.Search(len(nw.nodeList), func(i int) bool { return nw.nodeList[i].id >= id })
+	nw.nodeList = append(nw.nodeList, nil)
+	copy(nw.nodeList[i+1:], nw.nodeList[i:])
+	nw.nodeList[i] = n
+	for _, g := range nw.grids {
+		g.insert(id, pos)
+	}
 	return n, nil
 }
 
@@ -459,11 +518,10 @@ func (nw *Network) Node(id NodeID) *Node {
 func (nw *Network) Nodes() []NodeID {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	ids := make([]NodeID, 0, len(nw.nodes))
-	for id := range nw.nodes {
-		ids = append(ids, id)
+	ids := make([]NodeID, len(nw.nodeList))
+	for i, n := range nw.nodeList {
+		ids[i] = n.id
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -562,11 +620,18 @@ func (nw *Network) SetNodeLoss(id NodeID, m radio.Medium, p float64) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	key := nodeMedium{id: id, medium: m}
+	_, had := nw.nodeLoss[key]
 	if p == 0 {
-		delete(nw.nodeLoss, key)
+		if had {
+			delete(nw.nodeLoss, key)
+			nw.faultLoss.Add(-1)
+		}
 		return
 	}
 	nw.nodeLoss[key] = p
+	if !had {
+		nw.faultLoss.Add(1)
+	}
 }
 
 // NodeLoss returns the node's current drop probability on m (0 when none).
@@ -582,28 +647,43 @@ func (nw *Network) SetNodeDelay(id NodeID, m radio.Medium, d time.Duration) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	key := nodeMedium{id: id, medium: m}
+	_, had := nw.nodeDelay[key]
 	if d <= 0 {
-		delete(nw.nodeDelay, key)
+		if had {
+			delete(nw.nodeDelay, key)
+			nw.faultDelay.Add(-1)
+		}
 		return
 	}
 	nw.nodeDelay[key] = d
+	if !had {
+		nw.faultDelay.Add(1)
+	}
 }
 
-// extraDelay returns the fault-injected latency surcharge for a delivery.
-func (nw *Network) extraDelay(from, to NodeID, m radio.Medium) time.Duration {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
+// extraDelayLocked returns the fault-injected latency surcharge for a
+// delivery; nw.mu must be held.
+func (nw *Network) extraDelayLocked(from, to NodeID, m radio.Medium) time.Duration {
 	return nw.nodeDelay[nodeMedium{id: from, medium: m}] + nw.nodeDelay[nodeMedium{id: to, medium: m}]
 }
 
 // SetRange enables range-based connectivity on a medium: any two nodes
 // within metres of each other are linked (unless the link is failed).
-// A range of 0 disables range-based linking for the medium.
+// A range of 0 disables range-based linking for the medium. Only this
+// medium's spatial grid is rebuilt; other grids are untouched.
 func (nw *Network) SetRange(m radio.Medium, metres float64) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.ranges[m] = metres
-	nw.gridsDirty.Store(true)
+	if metres <= 0 {
+		delete(nw.grids, m)
+		return
+	}
+	g := newGrid(metres)
+	for _, n := range nw.nodeList {
+		g.insert(n.id, n.position())
+	}
+	nw.grids[m] = g
 }
 
 // Linked reports whether a and b can currently communicate over m.
@@ -618,7 +698,7 @@ func (nw *Network) linkedLocked(a, b NodeID, m radio.Medium) bool {
 	if na == nil || nb == nil || a == b {
 		return false
 	}
-	if na.Down() || nb.Down() || !na.RadioOn(m) || !nb.RadioOn(m) {
+	if na.down.Load() || nb.down.Load() || !na.RadioOn(m) || !nb.RadioOn(m) {
 		return false
 	}
 	key := newLinkKey(a, b, m)
@@ -634,7 +714,7 @@ func (nw *Network) linkedLocked(a, b NodeID, m radio.Medium) bool {
 		return true
 	}
 	if r := nw.ranges[m]; r > 0 {
-		return na.Position().Distance(nb.Position()) <= r
+		return na.position().Distance(nb.position()) <= r
 	}
 	return false
 }
@@ -644,44 +724,81 @@ func (nw *Network) linkedLocked(a, b NodeID, m radio.Medium) bool {
 // adjacent cell, so a 3×3 neighborhood scan finds every range candidate
 // (each still verified with the exact link predicate, so link decisions are
 // identical to the brute-force scan — the grid only prunes).
+//
+// The index is incremental: where remembers each member's cell, and a
+// position change removes the node from its old cell and inserts it into
+// the new one — O(log cell) for the sorted-slice membership — instead of
+// rebuilding every medium's grid on the next query. Cells stay sorted by
+// NodeID so candidate enumeration is deterministic.
 type grid struct {
 	cell  float64
 	cells map[[2]int][]NodeID
+	where map[NodeID][2]int
+}
+
+func newGrid(cell float64) *grid {
+	return &grid{
+		cell:  cell,
+		cells: make(map[[2]int][]NodeID),
+		where: make(map[NodeID][2]int),
+	}
 }
 
 func (g *grid) key(p Position) [2]int {
 	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
 }
 
-// rebuildGridsLocked re-buckets every node for every range-enabled medium.
-// nw.mu must be held.
-func (nw *Network) rebuildGridsLocked() {
-	nw.grids = make(map[radio.Medium]*grid, len(nw.ranges))
-	for m, r := range nw.ranges {
-		if r <= 0 {
-			continue
-		}
-		g := &grid{cell: r, cells: make(map[[2]int][]NodeID)}
-		for id, n := range nw.nodes {
-			k := g.key(n.Position())
-			g.cells[k] = append(g.cells[k], id)
-		}
-		nw.grids[m] = g
+// insert adds a node that must not already be a member.
+func (g *grid) insert(id NodeID, p Position) {
+	k := g.key(p)
+	g.cells[k] = insertSorted(g.cells[k], id)
+	g.where[id] = k
+}
+
+// move migrates a member to the cell for p; a no-op when the cell is
+// unchanged (the common case for small mobility steps).
+func (g *grid) move(id NodeID, p Position) {
+	k := g.key(p)
+	old, ok := g.where[id]
+	if ok && old == k {
+		return
 	}
-	nw.gridsDirty.Store(false)
+	if ok {
+		if rest := removeSorted(g.cells[old], id); len(rest) > 0 {
+			g.cells[old] = rest
+		} else {
+			delete(g.cells, old)
+		}
+	}
+	g.cells[k] = insertSorted(g.cells[k], id)
+	g.where[id] = k
+}
+
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func removeSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		copy(s[i:], s[i+1:])
+		s = s[:len(s)-1]
+	}
+	return s
 }
 
 // rangeCandidatesLocked appends to out the IDs of nodes that could be within
 // range of n over m (superset pruned by the grid). nw.mu must be held.
 func (nw *Network) rangeCandidatesLocked(n *Node, m radio.Medium, out []NodeID) []NodeID {
-	if nw.gridsDirty.Load() || nw.grids == nil {
-		nw.rebuildGridsLocked()
-	}
 	g := nw.grids[m]
 	if g == nil {
 		return out
 	}
-	k := g.key(n.Position())
+	k := g.key(n.position())
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			out = append(out, g.cells[[2]int{k[0] + dx, k[1] + dy}]...)
@@ -693,7 +810,8 @@ func (nw *Network) rangeCandidatesLocked(n *Node, m radio.Medium, out []NodeID) 
 // Neighbors returns the IDs of all nodes currently linked to id over m, in
 // stable order. Candidates come from the explicit-link adjacency set plus
 // the spatial grid (when the medium has a range), so the cost is
-// O(degree + local density) instead of O(all nodes).
+// O(degree + local density) instead of O(all nodes). The candidate buffer
+// is recycled across calls; only the result slice is allocated.
 func (nw *Network) Neighbors(id NodeID, m radio.Medium) []NodeID {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -701,25 +819,27 @@ func (nw *Network) Neighbors(id NodeID, m radio.Medium) []NodeID {
 	if n == nil {
 		return nil
 	}
-	var cand []NodeID
+	cand := nw.candScratch[:0]
 	for other := range nw.adj[m][id] {
 		cand = append(cand, other)
 	}
 	if nw.ranges[m] > 0 {
 		cand = nw.rangeCandidatesLocked(n, m, cand)
 	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
 	var out []NodeID
-	seen := make(map[NodeID]bool, len(cand))
 	for _, other := range cand {
-		if other == id || seen[other] {
+		if other == id {
 			continue
 		}
-		seen[other] = true
+		if len(out) > 0 && out[len(out)-1] == other {
+			continue // adjacency and grid both produced it
+		}
 		if nw.linkedLocked(id, other, m) {
 			out = append(out, other)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	nw.candScratch = cand
 	return out
 }
 
@@ -793,28 +913,35 @@ func (nw *Network) ShortestPath(a, b NodeID, m radio.Medium) ([]NodeID, error) {
 // Send schedules delivery of a message after the given latency. The link is
 // checked both at send time and at delivery time; a link or node failure in
 // between drops the message silently (as radio losses do), incrementing the
-// drop counter.
+// drop counter. Send-time validation runs in one critical section.
 func (nw *Network) Send(msg Message, latency time.Duration) error {
-	from := nw.Node(msg.From)
+	nw.mu.Lock()
+	from := nw.nodes[msg.From]
 	if from == nil {
+		nw.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownNode, msg.From)
 	}
 	if msg.From == msg.To {
+		nw.mu.Unlock()
 		return ErrSelfDelivery
 	}
-	if from.Down() {
+	if from.down.Load() {
+		nw.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNodeDown, msg.From)
 	}
 	if !from.RadioOn(msg.Medium) {
+		nw.mu.Unlock()
 		return fmt.Errorf("%w: %s %s", ErrRadioOff, msg.From, msg.Medium)
 	}
-	if !nw.Linked(msg.From, msg.To, msg.Medium) {
+	if !nw.linkedLocked(msg.From, msg.To, msg.Medium) {
+		nw.mu.Unlock()
 		return fmt.Errorf("%w: %s→%s over %s", ErrNotLinked, msg.From, msg.To, msg.Medium)
 	}
-	msg.SentAt = nw.clock.Now()
-	if d := nw.extraDelay(msg.From, msg.To, msg.Medium); d > 0 {
-		latency += d
+	if nw.faultDelay.Load() > 0 {
+		latency += nw.extraDelayLocked(msg.From, msg.To, msg.Medium)
 	}
+	nw.mu.Unlock()
+	msg.SentAt = nw.clock.Now()
 	if fc := nw.frames.Load(); fc != nil {
 		fc.sent[msg.Medium].Inc()
 	}
@@ -830,13 +957,15 @@ func (nw *Network) Send(msg Message, latency time.Duration) error {
 }
 
 func (nw *Network) deliver(msg Message) {
-	to := nw.Node(msg.To)
 	if nw.lossDrop(msg.From, msg.To, msg.Medium) {
 		nw.countDrop(msg.Medium)
 		return
 	}
-	if to == nil || to.Down() || !to.RadioOn(msg.Medium) ||
-		!nw.Linked(msg.From, msg.To, msg.Medium) {
+	nw.mu.Lock()
+	to := nw.nodes[msg.To]
+	linked := to != nil && nw.linkedLocked(msg.From, msg.To, msg.Medium)
+	nw.mu.Unlock()
+	if !linked {
 		nw.countDrop(msg.Medium)
 		return
 	}
@@ -865,22 +994,33 @@ func (nw *Network) Stats() (delivered, dropped int) {
 	return int(nw.delivers.Load()), int(nw.dropped.Load())
 }
 
-// StartMobility begins integrating node velocities every interval.
+// StartMobility begins integrating node velocities every interval. Each
+// tick walks the sorted node list under one lock, skips stationary nodes,
+// and migrates only the grid cells that actually change — no per-tick
+// allocation and no full-grid rebuild.
 func (nw *Network) StartMobility(interval time.Duration) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if nw.mobility != nil {
 		return
 	}
+	dt := interval.Seconds()
 	nw.mobility = nw.clock.Every(interval, func() {
-		for _, id := range nw.Nodes() {
-			n := nw.Node(id)
-			n.mu.Lock()
-			n.pos.X += n.vel.X * interval.Seconds()
-			n.pos.Y += n.vel.Y * interval.Seconds()
-			n.mu.Unlock()
+		nw.mu.Lock()
+		for _, n := range nw.nodeList {
+			vx, vy := n.velocity()
+			if vx == 0 && vy == 0 {
+				continue
+			}
+			p := n.position()
+			p.X += vx * dt
+			p.Y += vy * dt
+			n.storePosition(p)
+			for _, g := range nw.grids {
+				g.move(n.id, p)
+			}
 		}
-		nw.gridsDirty.Store(true)
+		nw.mu.Unlock()
 	})
 }
 

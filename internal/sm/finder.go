@@ -193,13 +193,13 @@ func (p *Platform) discoverTargets(origin simnet.NodeID, spec FinderSpec) []simn
 		id   simnet.NodeID
 		dist int
 	}
-	var cands []cand
-	for _, id := range p.participants() {
+	// dist holds exactly the reachable participants (plus origin): the BFS
+	// only expands tagged nodes. Iterating it keeps discovery proportional
+	// to the reachable neighborhood instead of the whole participant set;
+	// the full (dist, id) sort below erases map iteration order.
+	cands := make([]cand, 0, len(dist))
+	for id, d := range dist {
 		if id == origin {
-			continue
-		}
-		d, reachable := dist[id]
-		if !reachable {
 			continue
 		}
 		rt := p.Runtime(id)

@@ -211,17 +211,6 @@ func (p *Platform) participantSet() map[simnet.NodeID]bool {
 	return nil
 }
 
-// participants returns the IDs of nodes currently exposing the
-// participation tag.
-func (p *Platform) participants() []simnet.NodeID {
-	set := p.participantSet()
-	out := make([]simnet.NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	return out
-}
-
 // Runtime is the per-node SM runtime system: tag space, admission manager,
 // code cache and scheduler (execution is dispatched on the shared virtual
 // clock).

@@ -1,0 +1,74 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRunParallelUntil exercises the sharded hot path under the two
+// workload shapes the fleet produces: lane-heavy (many device lanes, no
+// global events — shard pops dominate) and barrier-heavy (a global event
+// at every timestamp — flush/barrier transitions dominate). Both run the
+// serial inline path and with a worker pool.
+func BenchmarkRunParallelUntil(b *testing.B) {
+	cases := []struct {
+		name    string
+		lanes   int
+		barrier bool
+		workers int
+	}{
+		{"lane-heavy/w1", 64, false, 1},
+		{"lane-heavy/w4", 64, false, 4},
+		{"barrier-heavy/w1", 8, true, 1},
+		{"barrier-heavy/w4", 8, true, 4},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			s := NewSimulator()
+			for i := 0; i < bc.lanes; i++ {
+				s.Lane(i).Every(time.Millisecond, func() {})
+			}
+			if bc.barrier {
+				s.Every(time.Millisecond, func() {})
+			}
+			deadline := s.Now()
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				deadline = deadline.Add(10 * time.Millisecond)
+				st := s.RunParallelUntil(deadline, bc.workers)
+				events += st.Events
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			}
+		})
+	}
+}
+
+// BenchmarkTimerStopChurn measures schedule-then-cancel churn: subscription
+// timeouts and retry timers that are armed and stopped without ever firing.
+// Stop must be O(log shard) removal plus free-list recycle, not a linear
+// scan or a leaked queue entry.
+func BenchmarkTimerStopChurn(b *testing.B) {
+	s := NewSimulator()
+	timers := make([]*Timer, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.After(time.Duration(i%1000+1)*time.Millisecond, func() {})
+		timers = append(timers, t)
+		if len(timers) == cap(timers) {
+			for _, tm := range timers {
+				tm.Stop()
+			}
+			timers = timers[:0]
+		}
+	}
+	b.StopTimer()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+}

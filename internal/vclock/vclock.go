@@ -18,6 +18,22 @@
 // on the simulator itself (GlobalLane) are barriers within a timestamp, so
 // topology-wide mutations never race device work.
 //
+// # Storage sharding and pooling
+//
+// Timer storage is sharded per lane: each lane owns a min-heap ordered by
+// (at, origin, seq), and a small index heap tracks the head event of every
+// non-empty shard. Stopping a timer removes its event from the owning
+// shard's heap — O(log shard) instead of O(log total) — and draining a
+// timestamp pops from only the shards whose head matches, which in the
+// common case (one contributing shard) yields an already-ordered batch with
+// no merge. All shards share the simulator mutex: correctness needs pushes,
+// stops and head-index updates to be mutually consistent, and the sharding
+// win here is algorithmic (smaller heaps, cheaper pops) rather than lock
+// spreading. Event objects and per-batch scratch are recycled through free
+// lists owned by the simulator, so steady-state dispatch allocates nothing:
+// one-shot events return to the pool after execution, and periodic events
+// are re-armed in place instead of being re-created each firing.
+//
 // Determinism contract for parallel runs: a lane event may mutate state
 // owned by its own lane, schedule events through lane-bound handles, and
 // touch shared state only through order-independent operations (atomic
@@ -30,10 +46,9 @@
 package vclock
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,52 +74,45 @@ const GlobalLane int32 = -1
 
 // Timer is a handle to a scheduled callback.
 type Timer struct {
-	mu      sync.Mutex
-	stopped bool
+	stopped atomic.Bool
 	sim     *Simulator
-	// ev is the timer's currently queued event, guarded by sim.mu (not
-	// t.mu: push runs with sim.mu held and must not take t.mu, or Stop's
-	// t.mu→sim.mu order would deadlock).
+	// ev is the timer's currently queued event, guarded by sim.mu (push
+	// runs with sim.mu held; Stop flips the atomic first, then takes sim.mu
+	// to unlink the event, so there is no lock-order cycle).
 	ev *event
 }
 
-// Stop cancels the timer and removes its pending event from the simulator's
-// queue, so stopping N timers shrinks the heap by N immediately (high-churn
-// fleets would otherwise grow the queue unboundedly with dead events). It is
-// safe to call multiple times and after the timer has fired; it reports
-// whether the call prevented a future firing.
+// Stop cancels the timer and removes its pending event from the owning
+// shard's heap, so stopping N timers shrinks the queue by N immediately
+// (high-churn fleets would otherwise grow it unboundedly with dead events).
+// It is safe to call multiple times and after the timer has fired; it
+// reports whether the call prevented a future firing.
 func (t *Timer) Stop() bool {
 	if t == nil {
 		return false
 	}
-	t.mu.Lock()
-	if t.stopped {
-		t.mu.Unlock()
+	if !t.stopped.CompareAndSwap(false, true) {
 		return false
 	}
-	t.stopped = true
-	sim := t.sim
-	t.mu.Unlock()
-	if sim != nil {
-		sim.mu.Lock()
+	if s := t.sim; s != nil {
+		s.mu.Lock()
 		if ev := t.ev; ev != nil && ev.index >= 0 {
-			heap.Remove(&sim.queue, ev.index)
+			s.removeLocked(ev)
+			s.recycleLocked(ev)
 		}
 		t.ev = nil
-		sim.mu.Unlock()
+		s.mu.Unlock()
 	}
 	return true
 }
 
-func (t *Timer) isStopped() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stopped
-}
+func (t *Timer) isStopped() bool { return t.stopped.Load() }
 
-// event is a scheduled callback in the simulator's queue.
+// event is a scheduled callback in one of the simulator's shard heaps.
+// at is nanoseconds since the simulator start: an integer key keeps heap
+// comparisons to two loads and a subtract instead of time.Time method calls.
 type event struct {
-	at time.Time
+	at int64
 	// origin and seq form the deterministic tie-break among same-time
 	// events: origin is the lane whose (sequential) code scheduled the
 	// event, seq that origin's private counter. GlobalLane origins cover
@@ -113,50 +121,64 @@ type event struct {
 	seq    uint64
 	// lane is the execution shard: events sharing a lane run sequentially
 	// even in parallel batches. GlobalLane events are barriers.
-	lane  int32
-	fn    func()
-	timer *Timer // nil for one-shot internal events
-	index int    // heap index; -1 once popped or removed
+	lane int32
+	// period is the re-arm interval in nanoseconds for Every timers; 0 for
+	// one-shot events. Periodic events are re-pushed in place after each
+	// firing instead of allocating a fresh event per firing.
+	period int64
+	fn     func()
+	timer  *Timer // nil for one-shot internal events
+	index  int    // index in the owning shard's heap; -1 once popped or removed
 }
 
-// eventQueue is a min-heap ordered by (at, origin, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if q[i].origin != q[j].origin {
-		return q[i].origin < q[j].origin
+	if a.origin != b.origin {
+		return a.origin < b.origin
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// shard is one lane's private min-heap of pending events, ordered by
+// (at, origin, seq).
+type shard struct {
+	q   []*event
+	pos int // index in Simulator.heads; -1 while the shard is empty
 }
 
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
+func (sh *shard) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(sh.q[i], sh.q[p]) {
+			break
+		}
+		sh.q[i], sh.q[p] = sh.q[p], sh.q[i]
+		sh.q[i].index = i
+		sh.q[p].index = p
+		i = p
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+func (sh *shard) down(i int) {
+	n := len(sh.q)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && evLess(sh.q[r], sh.q[c]) {
+			c = r
+		}
+		if !evLess(sh.q[c], sh.q[i]) {
+			return
+		}
+		sh.q[i], sh.q[c] = sh.q[c], sh.q[i]
+		sh.q[i].index = i
+		sh.q[c].index = c
+		i = c
+	}
 }
 
 // Simulator is a discrete-event Clock. The zero value is not usable; use
@@ -167,12 +189,17 @@ func (q *eventQueue) Pop() any {
 type Simulator struct {
 	mu        sync.Mutex
 	start     time.Time
-	now       time.Time
-	nowNanos  atomic.Int64 // mirror of now (ns since start) for lock-free Now
+	nowNanos  atomic.Int64 // ns since start; written under mu, read lock-free
 	globalSeq uint64
 	laneSeq   []uint64
-	queue     eventQueue
-	runs      atomic.Uint64 // number of events executed
+	// shards holds per-lane event heaps: slot 0 is GlobalLane, slot l+1 is
+	// lane l. heads is a min-heap over the non-empty shards keyed by each
+	// shard's head event, so the global minimum is heads[0].q[0].
+	shards  []*shard
+	heads   []*shard
+	pending int
+	free    []*event      // recycled event objects; owned by mu
+	runs    atomic.Uint64 // number of events executed
 }
 
 var _ Clock = (*Simulator)(nil)
@@ -188,19 +215,13 @@ func NewSimulator() *Simulator {
 
 // NewSimulatorAt returns a Simulator starting at the given time.
 func NewSimulatorAt(start time.Time) *Simulator {
-	return &Simulator{start: start, now: start}
+	return &Simulator{start: start}
 }
 
 // Now returns the current virtual time. It is lock-free: hot paths across
 // all lanes read the clock constantly.
 func (s *Simulator) Now() time.Time {
 	return s.start.Add(time.Duration(s.nowNanos.Load()))
-}
-
-// setNowLocked advances the clock; s.mu must be held.
-func (s *Simulator) setNowLocked(t time.Time) {
-	s.now = t
-	s.nowNanos.Store(int64(t.Sub(s.start)))
 }
 
 // Executed returns the number of events executed so far.
@@ -212,7 +233,7 @@ func (s *Simulator) Executed() uint64 {
 func (s *Simulator) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.pending
 }
 
 // After implements Clock; the event is scheduled on the global lane.
@@ -226,8 +247,8 @@ func (s *Simulator) afterIn(origin, lane int32, d time.Duration, fn func()) *Tim
 	}
 	t := &Timer{sim: s}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.push(s.now.Add(d), fn, t, origin, lane)
+	s.pushLocked(s.nowNanos.Load()+int64(d), fn, t, origin, lane, 0)
+	s.mu.Unlock()
 	return t
 }
 
@@ -256,27 +277,12 @@ func (s *Simulator) Every(d time.Duration, fn func()) *Timer {
 func (s *Simulator) everyIn(origin, lane int32, d time.Duration, fn func()) *Timer {
 	t := &Timer{sim: s}
 	if d <= 0 {
-		t.stopped = true
+		t.stopped.Store(true)
 		return t
 	}
-	var schedule func(at time.Time)
-	schedule = func(at time.Time) {
-		s.push(at, func() {
-			if t.isStopped() {
-				return
-			}
-			fn()
-			if t.isStopped() {
-				return
-			}
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			schedule(at.Add(d))
-		}, t, origin, lane)
-	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	schedule(s.now.Add(d))
+	s.pushLocked(s.nowNanos.Load()+int64(d), fn, t, origin, lane, int64(d))
+	s.mu.Unlock()
 	return t
 }
 
@@ -318,24 +324,227 @@ func (l *Lane) Every(d time.Duration, fn func()) *Timer {
 	return l.s.everyIn(l.id, l.id, d, fn)
 }
 
-// push must be called with s.mu held.
-func (s *Simulator) push(at time.Time, fn func(), t *Timer, origin, lane int32) {
-	var seq uint64
+// nextSeqLocked draws the next ordering sequence for origin; s.mu held.
+func (s *Simulator) nextSeqLocked(origin int32) uint64 {
 	if origin == GlobalLane {
-		seq = s.globalSeq
+		seq := s.globalSeq
 		s.globalSeq++
-	} else {
-		for int(origin) >= len(s.laneSeq) {
-			s.laneSeq = append(s.laneSeq, 0)
-		}
-		seq = s.laneSeq[origin]
-		s.laneSeq[origin]++
+		return seq
 	}
-	ev := &event{at: at, origin: origin, seq: seq, lane: lane, fn: fn, timer: t}
+	for int(origin) >= len(s.laneSeq) {
+		s.laneSeq = append(s.laneSeq, 0)
+	}
+	seq := s.laneSeq[origin]
+	s.laneSeq[origin]++
+	return seq
+}
+
+// shardForLocked returns lane's shard, creating it on first use; s.mu held.
+func (s *Simulator) shardForLocked(lane int32) *shard {
+	slot := 0
+	if lane != GlobalLane {
+		slot = int(lane) + 1
+	}
+	for slot >= len(s.shards) {
+		s.shards = append(s.shards, nil)
+	}
+	sh := s.shards[slot]
+	if sh == nil {
+		sh = &shard{pos: -1}
+		s.shards[slot] = sh
+	}
+	return sh
+}
+
+func shLess(a, b *shard) bool { return evLess(a.q[0], b.q[0]) }
+
+func (s *Simulator) headUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !shLess(s.heads[i], s.heads[p]) {
+			break
+		}
+		s.heads[i], s.heads[p] = s.heads[p], s.heads[i]
+		s.heads[i].pos = i
+		s.heads[p].pos = p
+		i = p
+	}
+}
+
+func (s *Simulator) headDown(i int) {
+	n := len(s.heads)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && shLess(s.heads[r], s.heads[c]) {
+			c = r
+		}
+		if !shLess(s.heads[c], s.heads[i]) {
+			return
+		}
+		s.heads[i], s.heads[c] = s.heads[c], s.heads[i]
+		s.heads[i].pos = i
+		s.heads[c].pos = c
+		i = c
+	}
+}
+
+// headDeleteLocked removes an emptied shard from the head index; s.mu held.
+func (s *Simulator) headDeleteLocked(sh *shard) {
+	i := sh.pos
+	last := len(s.heads) - 1
+	s.heads[i] = s.heads[last]
+	s.heads[i].pos = i
+	s.heads[last] = nil
+	s.heads = s.heads[:last]
+	if i < last {
+		s.headDown(i)
+		s.headUp(i)
+	}
+	sh.pos = -1
+}
+
+// shardPushLocked inserts ev into sh and fixes the head index; s.mu held.
+func (s *Simulator) shardPushLocked(sh *shard, ev *event) {
+	ev.index = len(sh.q)
+	sh.q = append(sh.q, ev)
+	sh.up(ev.index)
+	if ev.index == 0 {
+		// New shard head: either the shard just became non-empty, or its
+		// key decreased — both only ever move it up the head index.
+		if sh.pos < 0 {
+			sh.pos = len(s.heads)
+			s.heads = append(s.heads, sh)
+		}
+		s.headUp(sh.pos)
+	}
+	s.pending++
+}
+
+// shardPopRootLocked removes and returns sh's head event without touching
+// the head index; the caller fixes it once after a run of pops. s.mu held.
+func (s *Simulator) shardPopRootLocked(sh *shard) *event {
+	ev := sh.q[0]
+	last := len(sh.q) - 1
+	sh.q[0] = sh.q[last]
+	sh.q[0].index = 0
+	sh.q[last] = nil
+	sh.q = sh.q[:last]
+	if last > 0 {
+		sh.down(0)
+	}
+	ev.index = -1
+	s.pending--
+	return ev
+}
+
+// headFixAfterPopsLocked restores sh's position in the head index after its
+// head event changed (or the shard emptied); s.mu held.
+func (s *Simulator) headFixAfterPopsLocked(sh *shard) {
+	if len(sh.q) == 0 {
+		s.headDeleteLocked(sh)
+	} else {
+		s.headDown(sh.pos)
+	}
+}
+
+// removeLocked unlinks a still-queued event from its shard; s.mu held.
+func (s *Simulator) removeLocked(ev *event) {
+	sh := s.shardForLocked(ev.lane)
+	i := ev.index
+	last := len(sh.q) - 1
+	sh.q[i] = sh.q[last]
+	sh.q[i].index = i
+	sh.q[last] = nil
+	sh.q = sh.q[:last]
+	if i < last {
+		sh.down(i)
+		sh.up(i)
+	}
+	ev.index = -1
+	s.pending--
+	if i == 0 || len(sh.q) == 0 {
+		s.headFixAfterPopsLocked(sh)
+	}
+}
+
+// popMinLocked removes and returns the globally minimal event; s.mu held,
+// heads non-empty.
+func (s *Simulator) popMinLocked() *event {
+	sh := s.heads[0]
+	ev := s.shardPopRootLocked(sh)
+	s.headFixAfterPopsLocked(sh)
+	return ev
+}
+
+// getEventLocked returns a recycled event or a fresh one; s.mu held.
+func (s *Simulator) getEventLocked() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycleLocked returns a dead event to the pool, severing its timer link so
+// a later Stop cannot unlink a reused object; s.mu held.
+func (s *Simulator) recycleLocked(ev *event) {
+	if ev.timer != nil {
+		if ev.timer.ev == ev {
+			ev.timer.ev = nil
+		}
+		ev.timer = nil
+	}
+	ev.fn = nil
+	ev.period = 0
+	if len(s.free) < 1<<15 {
+		s.free = append(s.free, ev)
+	}
+}
+
+// pushLocked schedules fn; s.mu must be held.
+func (s *Simulator) pushLocked(at int64, fn func(), t *Timer, origin, lane int32, period int64) {
+	ev := s.getEventLocked()
+	ev.at = at
+	ev.origin = origin
+	ev.seq = s.nextSeqLocked(origin)
+	ev.lane = lane
+	ev.period = period
+	ev.fn = fn
+	ev.timer = t
 	if t != nil {
 		t.ev = ev
 	}
-	heap.Push(&s.queue, ev)
+	s.shardPushLocked(s.shardForLocked(lane), ev)
+}
+
+// reschedule re-arms a periodic event after a firing, drawing a fresh
+// ordering sequence at the same logical point the firing's own scheduling
+// code would (after fn, before any later event in the lane runs), so
+// periodic timelines are identical to the pre-pooling implementation.
+// If the timer was stopped since the firing began the event is not
+// re-armed; its period is zeroed and the caller's recycling path reclaims
+// it. reschedule itself never touches the free list: batch slices may still
+// reference the event, and recycling here could hand it to a concurrent
+// push while the coordinator later recycles the reused object.
+func (s *Simulator) reschedule(ev *event) {
+	s.mu.Lock()
+	if t := ev.timer; t != nil && t.stopped.Load() {
+		ev.period = 0
+		s.mu.Unlock()
+		return
+	}
+	ev.at += ev.period
+	ev.seq = s.nextSeqLocked(ev.origin)
+	if ev.timer != nil {
+		ev.timer.ev = ev
+	}
+	s.shardPushLocked(s.shardForLocked(ev.lane), ev)
+	s.mu.Unlock()
 }
 
 // ErrNoEvents is returned by Step when the queue is empty.
@@ -345,25 +554,32 @@ var ErrNoEvents = errors.New("vclock: no pending events")
 func (s *Simulator) Step() error {
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 {
+		if len(s.heads) == 0 {
 			s.mu.Unlock()
 			return ErrNoEvents
 		}
-		popped := heap.Pop(&s.queue)
-		ev, ok := popped.(*event)
-		if !ok {
-			s.mu.Unlock()
-			return fmt.Errorf("vclock: unexpected queue element %T", popped)
-		}
-		if ev.at.After(s.now) {
-			s.setNowLocked(ev.at)
+		ev := s.popMinLocked()
+		if ev.at > s.nowNanos.Load() {
+			s.nowNanos.Store(ev.at)
 		}
 		s.runs.Add(1)
 		s.mu.Unlock()
 		if ev.timer != nil && ev.timer.isStopped() {
+			s.mu.Lock()
+			s.recycleLocked(ev)
+			s.mu.Unlock()
 			continue // cancelled; try the next event
 		}
 		ev.fn()
+		if ev.period > 0 {
+			s.reschedule(ev)
+		}
+		if ev.period == 0 {
+			// One-shot, or a periodic whose timer stopped mid-firing.
+			s.mu.Lock()
+			s.recycleLocked(ev)
+			s.mu.Unlock()
+		}
 		return nil
 	}
 }
@@ -375,20 +591,18 @@ func (s *Simulator) Advance(d time.Duration) {
 	if d < 0 {
 		return
 	}
-	s.mu.Lock()
-	deadline := s.now.Add(d)
-	s.mu.Unlock()
-	s.AdvanceTo(deadline)
+	s.AdvanceTo(s.Now().Add(d))
 }
 
 // AdvanceTo runs all events scheduled up to and including deadline, then
 // sets the clock to deadline (if later than the current time).
 func (s *Simulator) AdvanceTo(deadline time.Time) {
+	dNs := deadline.Sub(s.start).Nanoseconds()
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 || s.queue[0].at.After(deadline) {
-			if deadline.After(s.now) {
-				s.setNowLocked(deadline)
+		if len(s.heads) == 0 || s.heads[0].q[0].at > dNs {
+			if dNs > s.nowNanos.Load() {
+				s.nowNanos.Store(dNs)
 			}
 			s.mu.Unlock()
 			return
@@ -441,46 +655,78 @@ func (s *Simulator) RunParallelUntil(deadline time.Time, workers int) BatchStats
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pool := newLanePool(workers, &s.runs)
-	defer pool.close()
+	var pool *lanePool
+	if workers > 1 {
+		pool = newLanePool(workers, s)
+		defer pool.close()
+	}
+	dNs := deadline.Sub(s.start).Nanoseconds()
 
 	var st BatchStats
 	var batch []*event
-	group := make([][]*event, 0, 64)
-	laneIdx := make(map[int32]int, 64)
+	// Group scratch: groups is the reusable per-flush set of per-lane event
+	// lists, groupOf maps a lane to its slot+1 for the current flush (zeroed
+	// via touched, not reallocated), all backing slices are recycled.
+	groups := make([][]*event, 0, 64)
+	var groupOf []int32
+	touched := make([]int32, 0, 64)
 
 	flush := func() {
-		if len(group) == 0 {
+		if len(groups) == 0 {
 			return
 		}
 		st.Groups++
-		st.Events += pool.run(group)
-		group = group[:0]
-		for k := range laneIdx {
-			delete(laneIdx, k)
+		// A single lane group (the overwhelmingly common flush shape) and
+		// single-worker runs execute inline: order is identical to the pool
+		// path and the channel round-trip is skipped.
+		if pool == nil || len(groups) == 1 {
+			st.Events += s.runGroupsInline(groups)
+		} else {
+			st.Events += pool.run(groups)
 		}
+		for _, l := range touched {
+			groupOf[l] = 0
+		}
+		touched = touched[:0]
+		for i := range groups {
+			groups[i] = groups[i][:0]
+		}
+		groups = groups[:0]
 	}
 
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 || s.queue[0].at.After(deadline) {
-			if deadline.After(s.now) {
-				s.setNowLocked(deadline)
+		if len(s.heads) == 0 || s.heads[0].q[0].at > dNs {
+			if dNs > s.nowNanos.Load() {
+				s.nowNanos.Store(dNs)
 			}
 			s.mu.Unlock()
 			return st
 		}
-		t := s.queue[0].at
+		t := s.heads[0].q[0].at
 		batch = batch[:0]
-		for len(s.queue) > 0 && s.queue[0].at.Equal(t) {
-			ev, ok := heap.Pop(&s.queue).(*event)
-			if !ok {
-				continue
+		contributors := 0
+		for len(s.heads) > 0 && s.heads[0].q[0].at == t {
+			sh := s.heads[0]
+			for len(sh.q) > 0 && sh.q[0].at == t {
+				batch = append(batch, s.shardPopRootLocked(sh))
 			}
-			batch = append(batch, ev)
+			s.headFixAfterPopsLocked(sh)
+			contributors++
 		}
-		if t.After(s.now) {
-			s.setNowLocked(t)
+		if contributors > 1 {
+			// Each shard's pops are already (origin, seq)-ordered; merge
+			// shards into the global deterministic order. seq is unique per
+			// origin, so the key is total and stability is irrelevant.
+			sort.Slice(batch, func(i, j int) bool {
+				if batch[i].origin != batch[j].origin {
+					return batch[i].origin < batch[j].origin
+				}
+				return batch[i].seq < batch[j].seq
+			})
+		}
+		if t > s.nowNanos.Load() {
+			s.nowNanos.Store(t)
 		}
 		s.mu.Unlock()
 		st.Batches++
@@ -497,20 +743,62 @@ func (s *Simulator) RunParallelUntil(deadline time.Time, workers int) BatchStats
 				st.Events++
 				s.runs.Add(1)
 				ev.fn()
+				if ev.period > 0 {
+					s.reschedule(ev)
+				}
 				continue
 			}
-			i, ok := laneIdx[ev.lane]
-			if !ok {
-				i = len(group)
-				laneIdx[ev.lane] = i
-				group = append(group, nil)
+			gi := int(0)
+			for int(ev.lane) >= len(groupOf) {
+				groupOf = append(groupOf, 0)
 			}
-			group[i] = append(group[i], ev)
+			if g := groupOf[ev.lane]; g > 0 {
+				gi = int(g - 1)
+			} else {
+				gi = len(groups)
+				if gi < cap(groups) {
+					groups = groups[:gi+1]
+				} else {
+					groups = append(groups, nil)
+				}
+				groupOf[ev.lane] = int32(gi + 1)
+				touched = append(touched, ev.lane)
+			}
+			groups[gi] = append(groups[gi], ev)
 		}
 		flush()
 		// Events scheduled at exactly t during this batch drain on the
-		// next loop iteration, before the clock moves past t.
+		// next loop iteration, before the clock moves past t. Executed
+		// one-shot events are dead once the flush returns: recycle them in
+		// one critical section. Periodic events re-armed themselves.
+		s.mu.Lock()
+		for _, ev := range batch {
+			if ev.period == 0 {
+				s.recycleLocked(ev)
+			}
+		}
+		s.mu.Unlock()
 	}
+}
+
+// runGroupsInline executes a flush's lane groups sequentially on the calling
+// goroutine, in group order — the same order a single pool worker would use.
+func (s *Simulator) runGroupsInline(groups [][]*event) uint64 {
+	var n uint64
+	for _, job := range groups {
+		for _, ev := range job {
+			if ev.timer != nil && ev.timer.isStopped() {
+				continue
+			}
+			ev.fn()
+			if ev.period > 0 {
+				s.reschedule(ev)
+			}
+			n++
+		}
+	}
+	s.runs.Add(n)
+	return n
 }
 
 // lanePool executes per-lane event lists across a fixed set of workers.
@@ -519,12 +807,12 @@ func (s *Simulator) RunParallelUntil(deadline time.Time, workers int) BatchStats
 type lanePool struct {
 	jobs chan []*event
 	wg   sync.WaitGroup
-	runs *atomic.Uint64
+	sim  *Simulator
 	n    atomic.Uint64 // executed in the current run() call
 }
 
-func newLanePool(workers int, runs *atomic.Uint64) *lanePool {
-	p := &lanePool{jobs: make(chan []*event, workers), runs: runs}
+func newLanePool(workers int, sim *Simulator) *lanePool {
+	p := &lanePool{jobs: make(chan []*event, workers), sim: sim}
 	for i := 0; i < workers; i++ {
 		go func() {
 			for job := range p.jobs {
@@ -533,6 +821,9 @@ func newLanePool(workers int, runs *atomic.Uint64) *lanePool {
 						continue
 					}
 					ev.fn()
+					if ev.period > 0 {
+						p.sim.reschedule(ev)
+					}
 					p.n.Add(1)
 				}
 				p.wg.Done()
@@ -551,7 +842,7 @@ func (p *lanePool) run(group [][]*event) uint64 {
 	}
 	p.wg.Wait()
 	n := p.n.Load()
-	p.runs.Add(n)
+	p.sim.runs.Add(n)
 	return n
 }
 
@@ -563,7 +854,5 @@ func (s *Simulator) Sleep(d time.Duration) { s.Advance(d) }
 
 // SinceEpoch returns the duration elapsed since the simulator start.
 func (s *Simulator) SinceEpoch() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now.Sub(s.start)
+	return time.Duration(s.nowNanos.Load())
 }
